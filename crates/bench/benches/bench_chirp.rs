@@ -1,0 +1,66 @@
+//! B2 — Chirp protocol throughput: wire encode/decode and full
+//! request/response round trips through the proxy.
+
+use chirp::prelude::*;
+use chirp::wire::{decode_request, decode_response, encode_request, encode_response};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_wire(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wire");
+    let req = Request::Write {
+        fd: 3,
+        data: vec![0xAB; 4096],
+    };
+    let enc = encode_request(&req);
+    g.throughput(Throughput::Bytes(enc.len() as u64));
+    g.bench_function("encode_write_4k", |b| {
+        b.iter(|| black_box(encode_request(black_box(&req))))
+    });
+    g.bench_function("decode_write_4k", |b| {
+        b.iter(|| black_box(decode_request(black_box(&enc)).unwrap()))
+    });
+    let resp = Response::Data {
+        data: vec![0xCD; 4096],
+    };
+    let enc = encode_response(&resp);
+    g.bench_function("decode_data_4k", |b| {
+        b.iter(|| black_box(decode_response(black_box(&enc)).unwrap()))
+    });
+    g.finish();
+}
+
+fn authed_client() -> ChirpClient<DirectTransport<MemFs>> {
+    let mut fs = MemFs::default();
+    fs.put("bench.dat", &vec![7u8; 1 << 20]);
+    let cookie = Cookie::generate(1);
+    let server = ChirpServer::new(fs, cookie.clone());
+    let mut c = ChirpClient::new(DirectTransport::new(server));
+    c.auth(cookie.as_bytes()).unwrap();
+    c
+}
+
+fn bench_round_trips(c: &mut Criterion) {
+    let mut g = c.benchmark_group("round_trip");
+    g.bench_function("stat", |b| {
+        let mut client = authed_client();
+        b.iter(|| black_box(client.stat("bench.dat").unwrap()))
+    });
+    for size in [256usize, 4096, 65536] {
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("read", size), &size, |b, &size| {
+            let mut client = authed_client();
+            let fd = client.open("bench.dat", OpenMode::Read).unwrap();
+            b.iter(|| black_box(client.read(fd, size as u32).unwrap()));
+        });
+        g.bench_with_input(BenchmarkId::new("write", size), &size, |b, &size| {
+            let mut client = authed_client();
+            let fd = client.open("out.dat", OpenMode::Write).unwrap();
+            let data = vec![1u8; size];
+            b.iter(|| black_box(client.write(fd, &data).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_wire, bench_round_trips);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! B1 — ClassAd language throughput: parse, evaluate, and matchmake at the
+//! rates a busy matchmaker needs.
+
+use classads::prelude::*;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const JOB_REQ: &str =
+    "TARGET.Memory >= MY.ImageSize && TARGET.OpSys == \"LINUX\" && TARGET.HasJava =?= true";
+
+fn machine(i: i64) -> ClassAd {
+    ClassAd::new()
+        .with_str("Name", &format!("node{i}"))
+        .with_int("Memory", 64 + (i % 16) * 64)
+        .with_str("OpSys", "LINUX")
+        .with_str("Arch", "INTEL")
+        .with_bool("HasJava", i % 5 != 0)
+        .with_expr("Requirements", "TARGET.ImageSize <= MY.Memory")
+        .with_expr("Rank", "0")
+}
+
+fn job() -> ClassAd {
+    ClassAd::new()
+        .with_int("ImageSize", 128)
+        .with_str("Owner", "ada")
+        .with_expr("Requirements", JOB_REQ)
+        .with_expr("Rank", "TARGET.Memory")
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parse");
+    g.bench_function("requirements_expr", |b| {
+        b.iter(|| black_box(parse_expr(black_box(JOB_REQ)).unwrap()))
+    });
+    let ad_src = "[ Memory = 256; OpSys = \"LINUX\"; HasJava = true; \
+                   Requirements = TARGET.ImageSize <= MY.Memory; Rank = 0 ]";
+    g.bench_function("whole_ad", |b| {
+        b.iter(|| black_box(ClassAd::parse(black_box(ad_src)).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let j = job();
+    let m = machine(3);
+    let mut g = c.benchmark_group("eval");
+    g.bench_function("requirements_against_target", |b| {
+        b.iter(|| black_box(requirements_met(black_box(&j), black_box(&m))))
+    });
+    g.bench_function("symmetric_match", |b| {
+        b.iter(|| black_box(symmetric_match(black_box(&j), black_box(&m))))
+    });
+    g.finish();
+}
+
+fn bench_matchmaking_scale(c: &mut Criterion) {
+    let mut g = c.benchmark_group("best_match_pool");
+    for n in [10usize, 100, 1000] {
+        let pool: Vec<ClassAd> = (0..n as i64).map(machine).collect();
+        let j = job();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &pool, |b, pool| {
+            b.iter(|| black_box(best_match(&j, pool)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_eval, bench_matchmaking_scale);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! B4 — pool throughput: whole simulated runs per second at growing pool
+//! sizes, and the scoped-vs-naive discipline cost at the system level.
+
+use condor::prelude::*;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use desim::{SimDuration, SimTime};
+use gridvm::programs;
+
+fn run_pool(machines: usize, jobs: u32, mode: JavaMode) -> RunReport {
+    let specs = (0..machines).map(|i| MachineSpec::healthy(&format!("m{i}"), 256));
+    let job_specs = (1..=jobs).map(move |i| {
+        JobSpec::java(i, "ada", programs::completes_main(), mode)
+            .with_exec_time(SimDuration::from_secs(60))
+    });
+    PoolBuilder::new(1)
+        .machines(specs)
+        .jobs(job_specs)
+        .without_trace()
+        .run(SimTime::from_secs(24 * 3600))
+}
+
+fn bench_pool_scale(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pool_scale");
+    g.sample_size(10);
+    for (machines, jobs) in [(4usize, 8u32), (16, 32), (64, 128)] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{machines}m_{jobs}j")),
+            &(machines, jobs),
+            |b, &(m, j)| {
+                b.iter(|| {
+                    let r = run_pool(m, j, JavaMode::Scoped);
+                    assert_eq!(r.metrics.jobs_completed as u32, j);
+                    black_box(r)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_discipline_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("discipline_cost");
+    g.sample_size(10);
+    g.bench_function("naive", |b| {
+        b.iter(|| black_box(run_pool(8, 16, JavaMode::Naive)))
+    });
+    g.bench_function("scoped", |b| {
+        b.iter(|| black_box(run_pool(8, 16, JavaMode::Scoped)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pool_scale, bench_discipline_cost);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! E5 — the cost of disciplined error propagation.
+//!
+//! §4 claims the necessary changes were "small but powerful"; this bench
+//! quantifies the runtime cost of scoped errors versus a bare
+//! `Result<_, String>`: construction, propagation through the Figure 3
+//! stack, auditing, and result-file serialisation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use errorscope::audit::{audit_delivery, audit_error};
+use errorscope::prelude::*;
+use errorscope::resultfile::ResultFile;
+
+fn bench_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("construction");
+    g.bench_function("bare_string_error", |b| {
+        b.iter(|| {
+            let e: Result<(), String> = Err(black_box("FileNotFound: data.in").to_string());
+            black_box(e)
+        })
+    });
+    g.bench_function("scoped_error", |b| {
+        b.iter(|| {
+            black_box(ScopedError::explicit(
+                codes::FILE_NOT_FOUND,
+                Scope::File,
+                "io-library",
+                black_box("no such file: data.in"),
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    let stack = java_universe_stack();
+    let mut g = c.benchmark_group("propagation");
+    g.bench_function("route_through_figure3_stack", |b| {
+        b.iter(|| {
+            let e = ScopedError::escaping(
+                codes::FILESYSTEM_OFFLINE,
+                Scope::LocalResource,
+                "wrapper",
+                "nfs down",
+            );
+            black_box(stack.propagate(e, "wrapper"))
+        })
+    });
+    g.bench_function("widen_and_escape_chain", |b| {
+        b.iter(|| {
+            let e = ScopedError::explicit(codes::CONNECTION_TIMED_OUT, Scope::Network, "sock", "")
+                .widen(Scope::Process, "rpc")
+                .escape("rpc")
+                .forwarded("starter")
+                .reexpress("shadow")
+                .handle("schedd");
+            black_box(e)
+        })
+    });
+    g.finish();
+}
+
+fn bench_audit(c: &mut Criterion) {
+    let stack = java_universe_stack();
+    let delivery = stack.propagate(
+        ScopedError::escaping(codes::OUT_OF_MEMORY, Scope::VirtualMachine, "wrapper", "oom"),
+        "wrapper",
+    );
+    let err = delivery.error.clone();
+    let mut g = c.benchmark_group("audit");
+    g.bench_function("audit_trail", |b| {
+        b.iter(|| black_box(audit_error(black_box(&err))))
+    });
+    g.bench_function("audit_delivery", |b| {
+        b.iter(|| black_box(audit_delivery(&stack, black_box(&delivery))))
+    });
+    g.finish();
+}
+
+fn bench_resultfile(c: &mut Criterion) {
+    let rf = ResultFile::environment_failure(
+        Scope::LocalResource,
+        codes::FILESYSTEM_OFFLINE,
+        "home file system offline",
+    );
+    let json = rf.to_json();
+    let mut g = c.benchmark_group("resultfile");
+    g.bench_function("serialise", |b| b.iter(|| black_box(rf.to_json())));
+    g.bench_function("parse", |b| {
+        b.iter(|| black_box(ResultFile::from_json(black_box(&json)).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_construction,
+    bench_propagation,
+    bench_audit,
+    bench_resultfile
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! B3 — GridVM interpreter throughput: dispatch rate, startup path, and the
+//! wrapper's overhead over the bare VM.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gridvm::jvmio::NoIo;
+use gridvm::prelude::*;
+use gridvm::programs;
+use gridvm::wrapper::{run_naive, run_wrapped};
+
+fn bench_interpreter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interpreter");
+    for n in [1_000i64, 100_000] {
+        let image = programs::cpu_bound(n);
+        let install = Installation::healthy();
+        // Instructions per iteration ~ 15n; report element throughput.
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("cpu_bound", n), &image, |b, image| {
+            b.iter(|| black_box(load_and_run(image, &install, &mut NoIo)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_startup(c: &mut Criterion) {
+    let image = programs::completes_main();
+    let install = Installation::healthy();
+    let mut g = c.benchmark_group("startup");
+    g.bench_function("load_verify_run_trivial", |b| {
+        b.iter(|| black_box(load_and_run(&image, &install, &mut NoIo)))
+    });
+    let corrupt = programs::corrupt_image();
+    g.bench_function("reject_corrupt_image", |b| {
+        b.iter(|| black_box(load_and_run(&corrupt, &install, &mut NoIo)))
+    });
+    g.finish();
+}
+
+fn bench_wrapper_overhead(c: &mut Criterion) {
+    let image = programs::cpu_bound(10_000);
+    let install = Installation::healthy();
+    let mut g = c.benchmark_group("wrapper_overhead");
+    g.bench_function("naive_exit_code", |b| {
+        b.iter(|| black_box(run_naive(&image, &install, &mut NoIo)))
+    });
+    g.bench_function("wrapped_with_result_file", |b| {
+        b.iter(|| black_box(run_wrapped(&image, &install, &mut NoIo)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_interpreter, bench_startup, bench_wrapper_overhead);
+criterion_main!(benches);

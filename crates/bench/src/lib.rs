@@ -1,0 +1,67 @@
+//! Shared helpers for the figure/experiment harnesses.
+
+/// Render a fixed-width text table: a header row followed by data rows.
+/// Column widths are computed from the content.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (i, cell) in cells.iter().enumerate() {
+            line.push_str(&format!(" {:<width$} |", cell, width = widths[i]));
+        }
+        line
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+    }
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a float with fixed decimals, for table cells.
+pub fn f(x: f64, decimals: usize) -> String {
+    format!("{x:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["alpha".into(), "1".into()],
+                vec!["b".into(), "10000".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+        assert!(lines[0].contains("name"));
+        assert!(lines[3].contains("10000"));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(f(10.0, 0), "10");
+    }
+}

@@ -1,0 +1,433 @@
+//! The job-side I/O library.
+//!
+//! "For such programs, we provide a simple I/O library. This library
+//! presents files using standard Java abstractions" (§2.2). Here the
+//! abstraction is a typed Rust API over a [`Transport`].
+//!
+//! The library exists in the paper's two incarnations:
+//!
+//! * [`ClientDiscipline::Scoped`] — the redesign: in-vocabulary protocol
+//!   errors surface as [`IoError::Explicit`]; a broken connection becomes
+//!   an [`IoError::Escape`] carrying a [`ScopedError`] destined for the
+//!   wrapper (Principle 2).
+//! * [`ClientDiscipline::NaiveGeneric`] — the first implementation: every
+//!   failure, environmental or not, is delivered to the program as a
+//!   generic exception ([`IoError::GenericException`]) — "although this was
+//!   easy, it was incorrect."
+
+use crate::proto::{ChirpError, Fd, FileInfo, OpenMode, Request, Response};
+use crate::server::DisconnectReason;
+use crate::transport::{Broken, Transport};
+use errorscope::error::codes;
+use errorscope::{ErrorCode, Scope, ScopedError};
+
+/// Which error discipline the library applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientDiscipline {
+    /// The paper's redesign (Principles 2–4 respected).
+    Scoped,
+    /// The paper's flawed first cut: everything is an explicit generic
+    /// exception.
+    NaiveGeneric,
+}
+
+/// A failure surfaced by the I/O library.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IoError {
+    /// An explicit error within the operation's contract: a legitimate
+    /// program-visible result (file scope).
+    Explicit(ChirpError),
+    /// The naive library's catch-all "IOException subtype". Only produced
+    /// under [`ClientDiscipline::NaiveGeneric`]; its presence in a run is a
+    /// Principle 2/4 violation by construction.
+    GenericException(ErrorCode),
+    /// An escaping error: the condition cannot be expressed in the I/O
+    /// interface and must travel to the wrapper, which will classify its
+    /// scope and record it in the result file.
+    Escape(ScopedError),
+}
+
+impl IoError {
+    /// True for escaping errors.
+    pub fn is_escape(&self) -> bool {
+        matches!(self, IoError::Escape(_))
+    }
+}
+
+/// Result alias for library calls.
+pub type IoResult<T> = Result<T, IoError>;
+
+/// The I/O library bound to one transport.
+pub struct ChirpClient<T: Transport> {
+    transport: T,
+    discipline: ClientDiscipline,
+    /// Requests issued, for metrics.
+    pub calls: u64,
+}
+
+const LAYER: &str = "io-library";
+
+impl<T: Transport> ChirpClient<T> {
+    /// A scoped-discipline client.
+    pub fn new(transport: T) -> Self {
+        ChirpClient {
+            transport,
+            discipline: ClientDiscipline::Scoped,
+            calls: 0,
+        }
+    }
+
+    /// Select a discipline (builder style).
+    pub fn with_discipline(mut self, d: ClientDiscipline) -> Self {
+        self.discipline = d;
+        self
+    }
+
+    /// The underlying transport.
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
+
+    /// Authenticate with the cookie read from the scratch directory.
+    pub fn auth(&mut self, cookie: &[u8]) -> IoResult<()> {
+        match self.call(&Request::Auth {
+            cookie: cookie.to_vec(),
+        })? {
+            Response::Ok => Ok(()),
+            Response::Error(e) => Err(self.explicit(e)),
+            other => Err(self.protocol_surprise("auth", &other)),
+        }
+    }
+
+    /// Open a file.
+    pub fn open(&mut self, path: &str, mode: OpenMode) -> IoResult<Fd> {
+        match self.call(&Request::Open {
+            path: path.to_string(),
+            mode,
+        })? {
+            Response::Opened { fd } => Ok(fd),
+            Response::Error(e) => Err(self.explicit(e)),
+            other => Err(self.protocol_surprise("open", &other)),
+        }
+    }
+
+    /// Read up to `len` bytes. An empty vector means end of file.
+    pub fn read(&mut self, fd: Fd, len: u32) -> IoResult<Vec<u8>> {
+        match self.call(&Request::Read { fd, len })? {
+            Response::Data { data } => Ok(data),
+            Response::Error(e) => Err(self.explicit(e)),
+            other => Err(self.protocol_surprise("read", &other)),
+        }
+    }
+
+    /// Read the whole remainder of a file.
+    pub fn read_all(&mut self, fd: Fd) -> IoResult<Vec<u8>> {
+        let mut out = Vec::new();
+        loop {
+            let chunk = self.read(fd, 64 * 1024)?;
+            if chunk.is_empty() {
+                return Ok(out);
+            }
+            out.extend_from_slice(&chunk);
+        }
+    }
+
+    /// Write all of `data`.
+    pub fn write(&mut self, fd: Fd, data: &[u8]) -> IoResult<u32> {
+        match self.call(&Request::Write {
+            fd,
+            data: data.to_vec(),
+        })? {
+            Response::Written { len } => Ok(len),
+            Response::Error(e) => Err(self.explicit(e)),
+            other => Err(self.protocol_surprise("write", &other)),
+        }
+    }
+
+    /// Close a descriptor.
+    pub fn close(&mut self, fd: Fd) -> IoResult<()> {
+        match self.call(&Request::Close { fd })? {
+            Response::Ok => Ok(()),
+            Response::Error(e) => Err(self.explicit(e)),
+            other => Err(self.protocol_surprise("close", &other)),
+        }
+    }
+
+    /// Stat a path.
+    pub fn stat(&mut self, path: &str) -> IoResult<FileInfo> {
+        match self.call(&Request::Stat {
+            path: path.to_string(),
+        })? {
+            Response::Info(i) => Ok(i),
+            Response::Error(e) => Err(self.explicit(e)),
+            other => Err(self.protocol_surprise("stat", &other)),
+        }
+    }
+
+    /// Remove a file.
+    pub fn unlink(&mut self, path: &str) -> IoResult<()> {
+        match self.call(&Request::Unlink {
+            path: path.to_string(),
+        })? {
+            Response::Ok => Ok(()),
+            Response::Error(e) => Err(self.explicit(e)),
+            other => Err(self.protocol_surprise("unlink", &other)),
+        }
+    }
+
+    /// Fetch a whole file in one round trip.
+    pub fn get_file(&mut self, path: &str) -> IoResult<Vec<u8>> {
+        match self.call(&Request::GetFile {
+            path: path.to_string(),
+        })? {
+            Response::Data { data } => Ok(data),
+            Response::Error(e) => Err(self.explicit(e)),
+            other => Err(self.protocol_surprise("getfile", &other)),
+        }
+    }
+
+    /// Store a whole file in one round trip.
+    pub fn put_file(&mut self, path: &str, data: &[u8]) -> IoResult<u32> {
+        match self.call(&Request::PutFile {
+            path: path.to_string(),
+            data: data.to_vec(),
+        })? {
+            Response::Written { len } => Ok(len),
+            Response::Error(e) => Err(self.explicit(e)),
+            other => Err(self.protocol_surprise("putfile", &other)),
+        }
+    }
+
+    /// Rename a file.
+    pub fn rename(&mut self, from: &str, to: &str) -> IoResult<()> {
+        match self.call(&Request::Rename {
+            from: from.to_string(),
+            to: to.to_string(),
+        })? {
+            Response::Ok => Ok(()),
+            Response::Error(e) => Err(self.explicit(e)),
+            other => Err(self.protocol_surprise("rename", &other)),
+        }
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response, IoError> {
+        self.calls += 1;
+        self.transport.call(req).map_err(|b| self.broken(b))
+    }
+
+    /// An in-vocabulary protocol error. Both disciplines deliver it
+    /// explicitly; the naive one wraps it in its generic type, losing the
+    /// contract information.
+    fn explicit(&self, e: ChirpError) -> IoError {
+        match self.discipline {
+            ClientDiscipline::Scoped => IoError::Explicit(e),
+            ClientDiscipline::NaiveGeneric => {
+                IoError::GenericException(ErrorCode::owned(format!("IOException:{e}")))
+            }
+        }
+    }
+
+    /// The connection broke.
+    fn broken(&self, b: Broken) -> IoError {
+        // Recover the richest description available. In-process (the real
+        // deployment: the proxy lives in the starter on the same host) the
+        // disconnect reason is observable; over a raw socket it may not be.
+        let (code, scope, detail): (ErrorCode, Scope, String) = match &b.reason {
+            Some(DisconnectReason::Env(f)) => (f.code(), f.scope(), f.to_string()),
+            Some(DisconnectReason::ContractViolation { op, code }) => (
+                ErrorCode::owned(format!("ContractViolation:{code}")),
+                Scope::Process,
+                format!("backend produced {code} during {op}"),
+            ),
+            Some(DisconnectReason::ProtocolViolation(d)) => (
+                ErrorCode::new("ProtocolViolation"),
+                Scope::Process,
+                d.clone(),
+            ),
+            None => (
+                codes::CONNECTION_TIMED_OUT,
+                Scope::Network,
+                b.detail.clone(),
+            ),
+        };
+        match self.discipline {
+            ClientDiscipline::Scoped => {
+                IoError::Escape(ScopedError::escaping(code, scope, LAYER, detail))
+            }
+            ClientDiscipline::NaiveGeneric => {
+                // The flawed library extends IOException yet again.
+                IoError::GenericException(ErrorCode::owned(format!("IOException:{code}")))
+            }
+        }
+    }
+
+    /// The server answered with a response shape that does not belong to
+    /// this operation — a protocol violation, hence an escape (never a
+    /// fabricated value: Principle 1).
+    fn protocol_surprise(&self, op: &str, resp: &Response) -> IoError {
+        let detail = format!("unexpected response to {op}: {resp:?}");
+        match self.discipline {
+            ClientDiscipline::Scoped => IoError::Escape(ScopedError::escaping(
+                "ProtocolViolation",
+                Scope::Process,
+                LAYER,
+                detail,
+            )),
+            ClientDiscipline::NaiveGeneric => {
+                IoError::GenericException(ErrorCode::new("IOException:Protocol"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{EnvFault, MemFs};
+    use crate::cookie::Cookie;
+    use crate::server::ChirpServer;
+    use crate::transport::DirectTransport;
+
+    fn client(
+        discipline: ClientDiscipline,
+        server_discipline: crate::server::ErrorDiscipline,
+        prep: impl FnOnce(&mut MemFs),
+    ) -> ChirpClient<DirectTransport<MemFs>> {
+        let mut fs = MemFs::default();
+        prep(&mut fs);
+        let server =
+            ChirpServer::new(fs, Cookie::generate(1)).with_discipline(server_discipline);
+        let mut c =
+            ChirpClient::new(DirectTransport::new(server)).with_discipline(discipline);
+        c.auth(Cookie::generate(1).as_bytes()).unwrap();
+        c
+    }
+
+    fn scoped(prep: impl FnOnce(&mut MemFs)) -> ChirpClient<DirectTransport<MemFs>> {
+        client(
+            ClientDiscipline::Scoped,
+            crate::server::ErrorDiscipline::Scoped,
+            prep,
+        )
+    }
+
+    #[test]
+    fn full_file_round_trip() {
+        let mut c = scoped(|fs| {
+            fs.put("in.dat", b"the quick brown fox");
+        });
+        let fd = c.open("in.dat", OpenMode::Read).unwrap();
+        assert_eq!(c.read_all(fd).unwrap(), b"the quick brown fox");
+        c.close(fd).unwrap();
+
+        let out = c.open("out.dat", OpenMode::Write).unwrap();
+        assert_eq!(c.write(out, b"results").unwrap(), 7);
+        c.close(out).unwrap();
+        assert_eq!(c.stat("out.dat").unwrap().size, 7);
+        c.rename("out.dat", "final.dat").unwrap();
+        c.unlink("final.dat").unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_explicit_file_scope() {
+        let mut c = scoped(|_| {});
+        let err = c.open("ghost", OpenMode::Read).unwrap_err();
+        assert_eq!(err, IoError::Explicit(ChirpError::NotFound));
+        assert!(!err.is_escape());
+    }
+
+    #[test]
+    fn offline_filesystem_escapes_with_local_resource_scope() {
+        let mut c = scoped(|fs| {
+            fs.put("f", b"x");
+        });
+        let fd = c.open("f", OpenMode::Read).unwrap();
+        c.transport_mut()
+            .server_mut()
+            .unwrap()
+            .backend_mut()
+            .set_env_fault(Some(EnvFault::FilesystemOffline));
+        let err = c.read(fd, 1).unwrap_err();
+        let IoError::Escape(se) = err else {
+            panic!("expected escape, got {err:?}")
+        };
+        assert_eq!(se.scope, Scope::LocalResource);
+        assert_eq!(se.code, codes::FILESYSTEM_OFFLINE);
+        assert_eq!(se.comm, errorscope::Comm::Escaping);
+        assert_eq!(se.origin(), Some(LAYER));
+    }
+
+    #[test]
+    fn naive_library_delivers_generic_exceptions() {
+        let mut c = client(
+            ClientDiscipline::NaiveGeneric,
+            crate::server::ErrorDiscipline::NaiveGeneric,
+            |fs| {
+                fs.put("f", b"x");
+            },
+        );
+        let fd = c.open("f", OpenMode::Read).unwrap();
+        c.transport_mut()
+            .server_mut()
+            .unwrap()
+            .backend_mut()
+            .set_env_fault(Some(EnvFault::CredentialsExpired));
+        let err = c.read(fd, 1).unwrap_err();
+        // The environmental fault reaches the program as an "IOException".
+        assert!(matches!(err, IoError::GenericException(_)));
+    }
+
+    #[test]
+    fn escape_persists_after_disconnect() {
+        let mut c = scoped(|fs| {
+            fs.put("f", b"x");
+        });
+        let fd = c.open("f", OpenMode::Read).unwrap();
+        c.transport_mut()
+            .server_mut()
+            .unwrap()
+            .backend_mut()
+            .set_env_fault(Some(EnvFault::ConnectionTimedOut));
+        assert!(c.read(fd, 1).unwrap_err().is_escape());
+        // Every subsequent operation also escapes — the connection is gone.
+        assert!(c.stat("f").unwrap_err().is_escape());
+        assert!(c.open("f", OpenMode::Read).unwrap_err().is_escape());
+    }
+
+    #[test]
+    fn timeout_has_network_scope() {
+        let mut c = scoped(|fs| {
+            fs.put("f", b"x");
+        });
+        let fd = c.open("f", OpenMode::Read).unwrap();
+        c.transport_mut()
+            .server_mut()
+            .unwrap()
+            .backend_mut()
+            .set_env_fault(Some(EnvFault::ConnectionTimedOut));
+        let IoError::Escape(se) = c.read(fd, 1).unwrap_err() else {
+            panic!()
+        };
+        assert_eq!(se.scope, Scope::Network);
+    }
+
+    #[test]
+    fn bad_cookie_is_explicit() {
+        let fs = MemFs::default();
+        let server = ChirpServer::new(fs, Cookie::generate(1));
+        let mut c = ChirpClient::new(DirectTransport::new(server));
+        let err = c.auth(&[0; 32]).unwrap_err();
+        assert_eq!(err, IoError::Explicit(ChirpError::NotAuthenticated));
+    }
+
+    #[test]
+    fn call_counter_advances() {
+        let mut c = scoped(|fs| {
+            fs.put("f", b"xy");
+        });
+        let before = c.calls;
+        let fd = c.open("f", OpenMode::Read).unwrap();
+        let _ = c.read_all(fd);
+        assert!(c.calls > before + 1);
+    }
+}

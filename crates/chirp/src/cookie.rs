@@ -1,0 +1,106 @@
+//! Shared-secret authentication.
+//!
+//! "The library authenticates itself to the starter by presenting a shared
+//! secret revealed to it through the local file system. Thus, the
+//! connection is secure to the same degree as the local system" (§2.2).
+//!
+//! The starter generates a [`Cookie`] per job, writes it into the job's
+//! scratch directory, and accepts only connections that present it.
+
+use std::fmt;
+
+/// Length of a cookie in bytes.
+pub const COOKIE_LEN: usize = 32;
+
+/// A per-job shared secret.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Cookie(Vec<u8>);
+
+impl Cookie {
+    /// Generate a cookie from a deterministic seed (the simulation is
+    /// seeded; real deployments would use an OS entropy source here).
+    pub fn generate(seed: u64) -> Cookie {
+        // SplitMix64 expansion of the seed into COOKIE_LEN bytes.
+        let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+        let mut bytes = Vec::with_capacity(COOKIE_LEN);
+        while bytes.len() < COOKIE_LEN {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            bytes.extend_from_slice(&z.to_le_bytes());
+        }
+        bytes.truncate(COOKIE_LEN);
+        Cookie(bytes)
+    }
+
+    /// A cookie from raw bytes (as read back from the scratch directory).
+    pub fn from_bytes(b: &[u8]) -> Cookie {
+        Cookie(b.to_vec())
+    }
+
+    /// The raw bytes, for writing into the scratch directory.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Constant-time comparison against a presented secret: the comparison
+    /// examines every byte regardless of where a mismatch occurs, so the
+    /// check leaks no prefix-length timing information.
+    pub fn verify(&self, presented: &[u8]) -> bool {
+        if presented.len() != self.0.len() {
+            return false;
+        }
+        let mut diff = 0u8;
+        for (a, b) in self.0.iter().zip(presented) {
+            diff |= a ^ b;
+        }
+        diff == 0
+    }
+}
+
+impl fmt::Debug for Cookie {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print the secret.
+        write!(f, "Cookie(<{} bytes>)", self.0.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_generation() {
+        assert_eq!(Cookie::generate(1).as_bytes(), Cookie::generate(1).as_bytes());
+        assert_ne!(Cookie::generate(1).as_bytes(), Cookie::generate(2).as_bytes());
+        assert_eq!(Cookie::generate(0).as_bytes().len(), COOKIE_LEN);
+    }
+
+    #[test]
+    fn verify_accepts_exact_match_only() {
+        let c = Cookie::generate(7);
+        assert!(c.verify(c.as_bytes()));
+        let mut tampered = c.as_bytes().to_vec();
+        tampered[0] ^= 1;
+        assert!(!c.verify(&tampered));
+        assert!(!c.verify(&tampered[..16]));
+        assert!(!c.verify(&[]));
+    }
+
+    #[test]
+    fn from_bytes_round_trip() {
+        let c = Cookie::generate(9);
+        let c2 = Cookie::from_bytes(c.as_bytes());
+        assert!(c2.verify(c.as_bytes()));
+    }
+
+    #[test]
+    fn debug_does_not_leak() {
+        let c = Cookie::generate(3);
+        let dbg = format!("{c:?}");
+        assert!(!dbg.contains(&format!("{:02x}", c.as_bytes()[0])) || dbg.len() < 30);
+        assert!(dbg.contains("bytes"));
+    }
+}

@@ -1,0 +1,310 @@
+//! A real TCP loopback transport.
+//!
+//! "The connection is established from one process to another on the
+//! loopback network interface" (§2.2). This module runs the Chirp proxy on
+//! an actual `127.0.0.1` socket: the starter binds an ephemeral port,
+//! reveals it (together with the cookie) through the job's scratch
+//! directory, and the I/O library dials in.
+//!
+//! Unlike [`crate::transport::DirectTransport`], the client here learns of
+//! an escaping error exactly the way a real program does: **the socket
+//! closes**, with no reason attached. The starter-side reason is recorded
+//! in the value returned by the server thread — observable by the starter,
+//! never by the job, which is precisely the paper's separation.
+
+use crate::backend::FileBackend;
+use crate::proto::{Request, Response};
+use crate::server::{ChirpServer, DisconnectReason, ServerOutcome};
+use crate::transport::{Broken, Transport};
+use crate::wire::{decode_request, decode_response, deframe, encode_request, encode_response, frame};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::thread::JoinHandle;
+
+/// What the server thread returns to the starter when the session ends.
+pub struct TcpSession<B: FileBackend> {
+    /// The server, with its backend and counters.
+    pub server: ChirpServer<B>,
+    /// Why the connection ended, if the server ended it.
+    pub disconnect: Option<DisconnectReason>,
+}
+
+/// Bind an ephemeral loopback port and serve exactly one Chirp session on
+/// it. Returns the address to dial and the server thread's handle.
+pub fn serve_once<B: FileBackend + 'static>(
+    mut server: ChirpServer<B>,
+) -> std::io::Result<(SocketAddr, JoinHandle<TcpSession<B>>)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let handle = std::thread::spawn(move || {
+        let Ok((mut stream, _peer)) = listener.accept() else {
+            return TcpSession {
+                server,
+                disconnect: None,
+            };
+        };
+        let mut buf: Vec<u8> = Vec::new();
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            // Drain complete frames already buffered.
+            loop {
+                match deframe(&buf) {
+                    Ok(Some((payload, used))) => {
+                        buf.drain(..used);
+                        let req = match decode_request(&payload) {
+                            Ok(r) => r,
+                            Err(e) => {
+                                return TcpSession {
+                                    server,
+                                    disconnect: Some(DisconnectReason::ProtocolViolation(
+                                        e.to_string(),
+                                    )),
+                                }
+                            }
+                        };
+                        match server.handle(&req) {
+                            ServerOutcome::Reply(resp) => {
+                                let bytes = frame(&encode_response(&resp));
+                                if stream.write_all(&bytes).is_err() {
+                                    return TcpSession {
+                                        server,
+                                        disconnect: None,
+                                    };
+                                }
+                            }
+                            ServerOutcome::Disconnect(reason) => {
+                                // The escaping error: just close the socket.
+                                return TcpSession {
+                                    server,
+                                    disconnect: Some(reason),
+                                };
+                            }
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        return TcpSession {
+                            server,
+                            disconnect: Some(DisconnectReason::ProtocolViolation(e.to_string())),
+                        }
+                    }
+                }
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => {
+                    // Client hung up.
+                    return TcpSession {
+                        server,
+                        disconnect: None,
+                    };
+                }
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                Err(_) => {
+                    return TcpSession {
+                        server,
+                        disconnect: None,
+                    }
+                }
+            }
+        }
+    });
+    Ok((addr, handle))
+}
+
+/// The client side: a framed connection over a real socket.
+pub struct TcpTransport {
+    stream: Option<TcpStream>,
+    buf: Vec<u8>,
+}
+
+impl TcpTransport {
+    /// Dial the proxy.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<TcpTransport> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpTransport {
+            stream: Some(stream),
+            buf: Vec::new(),
+        })
+    }
+
+    fn read_frame(&mut self) -> Result<Vec<u8>, Broken> {
+        let Some(stream) = self.stream.as_mut() else {
+            return Err(Broken {
+                detail: "connection already closed".into(),
+                reason: None,
+            });
+        };
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match deframe(&self.buf) {
+                Ok(Some((payload, used))) => {
+                    self.buf.drain(..used);
+                    return Ok(payload);
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    self.stream = None;
+                    return Err(Broken {
+                        detail: e.to_string(),
+                        reason: None,
+                    });
+                }
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => {
+                    // The server hung up — the escaping error as the
+                    // program actually experiences it: silence.
+                    self.stream = None;
+                    return Err(Broken {
+                        detail: "connection closed by proxy".into(),
+                        reason: None,
+                    });
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) => {
+                    self.stream = None;
+                    return Err(Broken {
+                        detail: format!("socket error: {e}"),
+                        reason: None,
+                    });
+                }
+            }
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn call(&mut self, req: &Request) -> Result<Response, Broken> {
+        let Some(stream) = self.stream.as_mut() else {
+            return Err(Broken {
+                detail: "connection already closed".into(),
+                reason: None,
+            });
+        };
+        let bytes = frame(&encode_request(req));
+        if let Err(e) = stream.write_all(&bytes) {
+            self.stream = None;
+            return Err(Broken {
+                detail: format!("send failed: {e}"),
+                reason: None,
+            });
+        }
+        let payload = self.read_frame()?;
+        decode_response(&payload).map_err(|e| Broken {
+            detail: e.to_string(),
+            reason: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{EnvFault, MemFs};
+    use crate::client::{ChirpClient, IoError};
+    use crate::cookie::Cookie;
+    use crate::proto::OpenMode;
+    use errorscope::Scope;
+
+    #[test]
+    fn full_session_over_real_sockets() {
+        let mut fs = MemFs::default();
+        fs.put("input.txt", b"over tcp");
+        let cookie = Cookie::generate(88);
+        let server = ChirpServer::new(fs, cookie.clone());
+        let (addr, handle) = serve_once(server).expect("bind loopback");
+
+        let transport = TcpTransport::connect(addr).expect("dial");
+        let mut lib = ChirpClient::new(transport);
+        lib.auth(cookie.as_bytes()).expect("cookie over tcp");
+
+        let fd = lib.open("input.txt", OpenMode::Read).expect("open");
+        assert_eq!(lib.read_all(fd).unwrap(), b"over tcp");
+        lib.close(fd).unwrap();
+
+        let out = lib.open("out.txt", OpenMode::Write).unwrap();
+        lib.write(out, b"result").unwrap();
+        lib.close(out).unwrap();
+        assert_eq!(lib.stat("out.txt").unwrap().size, 6);
+
+        drop(lib); // hang up
+        let session = handle.join().unwrap();
+        assert!(session.disconnect.is_none());
+        assert!(session.server.requests_handled >= 6);
+        assert_eq!(
+            session.server.backend_ref().get("out.txt"),
+            Some(&b"result"[..])
+        );
+    }
+
+    #[test]
+    fn env_fault_closes_the_socket_and_client_escapes_blind() {
+        let mut fs = MemFs::default();
+        fs.put("f", b"x");
+        fs.set_fault_after(4, EnvFault::FilesystemOffline);
+        let cookie = Cookie::generate(89);
+        let server = ChirpServer::new(fs, cookie.clone());
+        let (addr, handle) = serve_once(server).unwrap();
+
+        let mut lib = ChirpClient::new(TcpTransport::connect(addr).unwrap());
+        lib.auth(cookie.as_bytes()).unwrap();
+        let fd = lib.open("f", OpenMode::Read).unwrap();
+        // Keep reading until the backend fault strikes and the proxy hangs
+        // up on us.
+        let mut saw_escape = false;
+        for _ in 0..10 {
+            match lib.read(fd, 1) {
+                Ok(_) => continue,
+                Err(IoError::Escape(se)) => {
+                    // Over a real socket, the client cannot know why: the
+                    // escape defaults to network scope — indeterminate, to
+                    // be widened with time (§5).
+                    assert_eq!(se.scope, Scope::Network);
+                    saw_escape = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(saw_escape);
+
+        // The starter, on its side, knows exactly why.
+        let session = handle.join().unwrap();
+        assert_eq!(
+            session.disconnect,
+            Some(DisconnectReason::Env(EnvFault::FilesystemOffline))
+        );
+    }
+
+    #[test]
+    fn wrong_cookie_is_explicit_over_tcp() {
+        let server = ChirpServer::new(MemFs::default(), Cookie::generate(90));
+        let (addr, handle) = serve_once(server).unwrap();
+        let mut lib = ChirpClient::new(TcpTransport::connect(addr).unwrap());
+        let err = lib.auth(&[0u8; 32]).unwrap_err();
+        assert!(matches!(
+            err,
+            IoError::Explicit(crate::proto::ChirpError::NotAuthenticated)
+        ));
+        drop(lib);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn garbage_frames_break_the_connection() {
+        let server = ChirpServer::new(MemFs::default(), Cookie::generate(91));
+        let (addr, handle) = serve_once(server).unwrap();
+        let mut raw = TcpStream::connect(addr).unwrap();
+        // A frame whose payload is not a valid request.
+        raw.write_all(&frame(&[0xFF, 0x00, 0x01])).unwrap();
+        let mut buf = [0u8; 16];
+        let n = raw.read(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "server must hang up, not answer");
+        let session = handle.join().unwrap();
+        assert!(matches!(
+            session.disconnect,
+            Some(DisconnectReason::ProtocolViolation(_))
+        ));
+    }
+}

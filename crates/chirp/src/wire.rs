@@ -1,0 +1,407 @@
+//! Wire encoding: length-prefixed binary frames.
+//!
+//! Every request and response travels as one frame: a `u32` little-endian
+//! payload length followed by the payload. Within a payload, integers are
+//! little-endian and byte strings are `u32` length + bytes. A frame that
+//! fails to decode is a protocol violation — the receiving end treats it as
+//! a broken connection, not as any in-vocabulary error.
+
+use crate::proto::{ChirpError, FileInfo, OpenMode, Request, Response};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Maximum payload we will accept, to bound memory.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// A decoding failure — always a protocol violation, never an application
+/// error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire protocol violation: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn put_bytes(buf: &mut BytesMut, b: &[u8]) {
+    buf.put_u32_le(b.len() as u32);
+    buf.put_slice(b);
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    put_bytes(buf, s.as_bytes());
+}
+
+fn get_bytes(buf: &mut Bytes) -> Result<Vec<u8>, WireError> {
+    if buf.remaining() < 4 {
+        return Err(WireError("truncated length".into()));
+    }
+    let n = buf.get_u32_le() as usize;
+    if buf.remaining() < n {
+        return Err(WireError("truncated bytes".into()));
+    }
+    Ok(buf.copy_to_bytes(n).to_vec())
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, WireError> {
+    String::from_utf8(get_bytes(buf)?).map_err(|_| WireError("invalid utf-8".into()))
+}
+
+fn get_u32(buf: &mut Bytes) -> Result<u32, WireError> {
+    if buf.remaining() < 4 {
+        return Err(WireError("truncated u32".into()));
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn get_u64(buf: &mut Bytes) -> Result<u64, WireError> {
+    if buf.remaining() < 8 {
+        return Err(WireError("truncated u64".into()));
+    }
+    Ok(buf.get_u64_le())
+}
+
+fn get_u8(buf: &mut Bytes) -> Result<u8, WireError> {
+    if buf.remaining() < 1 {
+        return Err(WireError("truncated u8".into()));
+    }
+    Ok(buf.get_u8())
+}
+
+/// Encode a request payload (without the outer frame length).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut b = BytesMut::new();
+    match req {
+        Request::Auth { cookie } => {
+            b.put_u8(0);
+            put_bytes(&mut b, cookie);
+        }
+        Request::Open { path, mode } => {
+            b.put_u8(1);
+            put_str(&mut b, path);
+            b.put_u8(mode.to_byte());
+        }
+        Request::Read { fd, len } => {
+            b.put_u8(2);
+            b.put_u32_le(*fd);
+            b.put_u32_le(*len);
+        }
+        Request::Write { fd, data } => {
+            b.put_u8(3);
+            b.put_u32_le(*fd);
+            put_bytes(&mut b, data);
+        }
+        Request::Close { fd } => {
+            b.put_u8(4);
+            b.put_u32_le(*fd);
+        }
+        Request::Stat { path } => {
+            b.put_u8(5);
+            put_str(&mut b, path);
+        }
+        Request::Unlink { path } => {
+            b.put_u8(6);
+            put_str(&mut b, path);
+        }
+        Request::Rename { from, to } => {
+            b.put_u8(7);
+            put_str(&mut b, from);
+            put_str(&mut b, to);
+        }
+        Request::GetFile { path } => {
+            b.put_u8(8);
+            put_str(&mut b, path);
+        }
+        Request::PutFile { path, data } => {
+            b.put_u8(9);
+            put_str(&mut b, path);
+            put_bytes(&mut b, data);
+        }
+    }
+    b.to_vec()
+}
+
+/// Decode a request payload.
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let mut buf = Bytes::copy_from_slice(payload);
+    let tag = get_u8(&mut buf)?;
+    let req = match tag {
+        0 => Request::Auth {
+            cookie: get_bytes(&mut buf)?,
+        },
+        1 => {
+            let path = get_str(&mut buf)?;
+            let mode = OpenMode::from_byte(get_u8(&mut buf)?)
+                .ok_or_else(|| WireError("bad open mode".into()))?;
+            Request::Open { path, mode }
+        }
+        2 => Request::Read {
+            fd: get_u32(&mut buf)?,
+            len: get_u32(&mut buf)?,
+        },
+        3 => Request::Write {
+            fd: get_u32(&mut buf)?,
+            data: get_bytes(&mut buf)?,
+        },
+        4 => Request::Close {
+            fd: get_u32(&mut buf)?,
+        },
+        5 => Request::Stat {
+            path: get_str(&mut buf)?,
+        },
+        6 => Request::Unlink {
+            path: get_str(&mut buf)?,
+        },
+        7 => {
+            let from = get_str(&mut buf)?;
+            let to = get_str(&mut buf)?;
+            Request::Rename { from, to }
+        }
+        8 => Request::GetFile {
+            path: get_str(&mut buf)?,
+        },
+        9 => {
+            let path = get_str(&mut buf)?;
+            let data = get_bytes(&mut buf)?;
+            Request::PutFile { path, data }
+        }
+        t => return Err(WireError(format!("unknown request tag {t}"))),
+    };
+    if buf.has_remaining() {
+        return Err(WireError("trailing bytes in request".into()));
+    }
+    Ok(req)
+}
+
+/// Encode a response payload.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut b = BytesMut::new();
+    match resp {
+        Response::Ok => b.put_u8(0),
+        Response::Opened { fd } => {
+            b.put_u8(1);
+            b.put_u32_le(*fd);
+        }
+        Response::Data { data } => {
+            b.put_u8(2);
+            put_bytes(&mut b, data);
+        }
+        Response::Written { len } => {
+            b.put_u8(3);
+            b.put_u32_le(*len);
+        }
+        Response::Info(info) => {
+            b.put_u8(4);
+            b.put_u64_le(info.size);
+        }
+        Response::Error(e) => {
+            b.put_u8(255);
+            b.put_u8(e.to_byte());
+        }
+    }
+    b.to_vec()
+}
+
+/// Decode a response payload.
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    let mut buf = Bytes::copy_from_slice(payload);
+    let tag = get_u8(&mut buf)?;
+    let resp = match tag {
+        0 => Response::Ok,
+        1 => Response::Opened {
+            fd: get_u32(&mut buf)?,
+        },
+        2 => Response::Data {
+            data: get_bytes(&mut buf)?,
+        },
+        3 => Response::Written {
+            len: get_u32(&mut buf)?,
+        },
+        4 => Response::Info(FileInfo {
+            size: get_u64(&mut buf)?,
+        }),
+        255 => Response::Error(
+            ChirpError::from_byte(get_u8(&mut buf)?)
+                .ok_or_else(|| WireError("unknown error code".into()))?,
+        ),
+        t => return Err(WireError(format!("unknown response tag {t}"))),
+    };
+    if buf.has_remaining() {
+        return Err(WireError("trailing bytes in response".into()));
+    }
+    Ok(resp)
+}
+
+/// Add the outer frame (u32 LE length prefix) to a payload.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Strip one frame from the front of `stream`, if complete. Returns the
+/// payload and the number of bytes consumed.
+pub fn deframe(stream: &[u8]) -> Result<Option<(Vec<u8>, usize)>, WireError> {
+    if stream.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([stream[0], stream[1], stream[2], stream[3]]);
+    if len > MAX_FRAME {
+        return Err(WireError(format!("frame of {len} bytes exceeds limit")));
+    }
+    let total = 4 + len as usize;
+    if stream.len() < total {
+        return Ok(None);
+    }
+    Ok(Some((stream[4..total].to_vec(), total)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_requests() -> Vec<Request> {
+        vec![
+            Request::Auth {
+                cookie: vec![1, 2, 3],
+            },
+            Request::Open {
+                path: "data/in.txt".into(),
+                mode: OpenMode::Read,
+            },
+            Request::Open {
+                path: "out".into(),
+                mode: OpenMode::Append,
+            },
+            Request::Read { fd: 7, len: 4096 },
+            Request::Write {
+                fd: 7,
+                data: b"hello".to_vec(),
+            },
+            Request::Close { fd: 7 },
+            Request::Stat {
+                path: "x/y".into(),
+            },
+            Request::Unlink { path: "x".into() },
+            Request::Rename {
+                from: "a".into(),
+                to: "b".into(),
+            },
+            Request::GetFile {
+                path: "whole.bin".into(),
+            },
+            Request::PutFile {
+                path: "dest.bin".into(),
+                data: vec![9; 300],
+            },
+        ]
+    }
+
+    fn all_responses() -> Vec<Response> {
+        vec![
+            Response::Ok,
+            Response::Opened { fd: 3 },
+            Response::Data {
+                data: b"payload".to_vec(),
+            },
+            Response::Data { data: vec![] },
+            Response::Written { len: 5 },
+            Response::Info(FileInfo { size: 1 << 40 }),
+            Response::Error(ChirpError::DiskFull),
+            Response::Error(ChirpError::NotFound),
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in all_requests() {
+            let enc = encode_request(&req);
+            assert_eq!(decode_request(&enc).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in all_responses() {
+            let enc = encode_response(&resp);
+            assert_eq!(decode_response(&enc).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn corrupt_frames_are_violations_not_errors() {
+        assert!(decode_request(&[]).is_err());
+        assert!(decode_request(&[99]).is_err());
+        assert!(decode_response(&[255, 0]).is_err()); // error code 0 invalid
+        assert!(decode_response(&[250]).is_err());
+        // Truncated string.
+        let mut enc = encode_request(&Request::Stat { path: "abcdef".into() });
+        enc.truncate(enc.len() - 3);
+        assert!(decode_request(&enc).is_err());
+        // Trailing garbage.
+        let mut enc = encode_response(&Response::Ok);
+        enc.push(0);
+        assert!(decode_response(&enc).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        // Hand-build an Open with invalid UTF-8 in the path.
+        let mut b = vec![1u8];
+        b.extend_from_slice(&2u32.to_le_bytes());
+        b.extend_from_slice(&[0xFF, 0xFE]);
+        b.push(0);
+        assert!(decode_request(&b).is_err());
+    }
+
+    #[test]
+    fn framing_round_trip() {
+        let payload = encode_request(&Request::Close { fd: 1 });
+        let framed = frame(&payload);
+        let (got, used) = deframe(&framed).unwrap().unwrap();
+        assert_eq!(got, payload);
+        assert_eq!(used, framed.len());
+    }
+
+    #[test]
+    fn deframe_handles_partial_and_concatenated() {
+        let p1 = encode_request(&Request::Close { fd: 1 });
+        let p2 = encode_request(&Request::Close { fd: 2 });
+        let mut stream = frame(&p1);
+        stream.extend_from_slice(&frame(&p2));
+
+        // Partial: only 2 bytes of the length.
+        assert_eq!(deframe(&stream[..2]).unwrap(), None);
+        // Partial: length present, payload incomplete.
+        assert_eq!(deframe(&stream[..5]).unwrap(), None);
+        // First frame complete.
+        let (got1, used1) = deframe(&stream).unwrap().unwrap();
+        assert_eq!(got1, p1);
+        let (got2, used2) = deframe(&stream[used1..]).unwrap().unwrap();
+        assert_eq!(got2, p2);
+        assert_eq!(used1 + used2, stream.len());
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let huge = (MAX_FRAME + 1).to_le_bytes();
+        assert!(deframe(&huge).is_err());
+    }
+
+    #[test]
+    fn empty_write_and_large_write() {
+        let req = Request::Write {
+            fd: 0,
+            data: vec![],
+        };
+        assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+        let req = Request::Write {
+            fd: 0,
+            data: vec![0xAB; 100_000],
+        };
+        assert_eq!(decode_request(&encode_request(&req)).unwrap(), req);
+    }
+}

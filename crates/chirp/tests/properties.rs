@@ -1,0 +1,190 @@
+//! Property-based tests for the Chirp protocol.
+
+use chirp::backend::{BackendFailure, EnvFault, FileBackend, MemFs};
+use chirp::cookie::Cookie;
+use chirp::proto::{ChirpError, OpenMode, Request, Response};
+use chirp::server::{ChirpServer, ServerOutcome};
+use chirp::wire::{
+    decode_request, decode_response, deframe, encode_request, encode_response, frame,
+};
+use proptest::prelude::*;
+
+fn any_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        prop::collection::vec(any::<u8>(), 0..64).prop_map(|cookie| Request::Auth { cookie }),
+        ("[ -~]{0,40}", 0u8..3).prop_map(|(path, m)| Request::Open {
+            path,
+            mode: OpenMode::from_byte(m).unwrap(),
+        }),
+        (any::<u32>(), any::<u32>()).prop_map(|(fd, len)| Request::Read { fd, len }),
+        (any::<u32>(), prop::collection::vec(any::<u8>(), 0..256))
+            .prop_map(|(fd, data)| Request::Write { fd, data }),
+        any::<u32>().prop_map(|fd| Request::Close { fd }),
+        "[ -~]{0,40}".prop_map(|path| Request::Stat { path }),
+        "[ -~]{0,40}".prop_map(|path| Request::Unlink { path }),
+        ("[ -~]{0,40}", "[ -~]{0,40}").prop_map(|(from, to)| Request::Rename { from, to }),
+        "[ -~]{0,40}".prop_map(|path| Request::GetFile { path }),
+        ("[ -~]{0,40}", prop::collection::vec(any::<u8>(), 0..128))
+            .prop_map(|(path, data)| Request::PutFile { path, data }),
+    ]
+}
+
+fn any_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        Just(Response::Ok),
+        any::<u32>().prop_map(|fd| Response::Opened { fd }),
+        prop::collection::vec(any::<u8>(), 0..256).prop_map(|data| Response::Data { data }),
+        any::<u32>().prop_map(|len| Response::Written { len }),
+        any::<u64>().prop_map(|size| Response::Info(chirp::proto::FileInfo { size })),
+        (1u8..8).prop_map(|b| Response::Error(ChirpError::from_byte(b).unwrap())),
+    ]
+}
+
+proptest! {
+    /// Every request survives the wire.
+    #[test]
+    fn request_roundtrip(req in any_request()) {
+        let enc = encode_request(&req);
+        prop_assert_eq!(decode_request(&enc).unwrap(), req);
+    }
+
+    /// Every response survives the wire.
+    #[test]
+    fn response_roundtrip(resp in any_response()) {
+        let enc = encode_response(&resp);
+        prop_assert_eq!(decode_response(&enc).unwrap(), resp);
+    }
+
+    /// Decoding arbitrary bytes never panics — it either parses or
+    /// reports a protocol violation.
+    #[test]
+    fn decode_is_total(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_request(&bytes);
+        let _ = decode_response(&bytes);
+        let _ = deframe(&bytes);
+    }
+
+    /// A concatenated stream of frames deframes back into the original
+    /// payloads regardless of chunk boundaries.
+    #[test]
+    fn deframe_stream(payload_sizes in prop::collection::vec(0usize..200, 1..8)) {
+        let payloads: Vec<Vec<u8>> = payload_sizes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| vec![i as u8; *n])
+            .collect();
+        let mut stream = Vec::new();
+        for p in &payloads {
+            stream.extend_from_slice(&frame(p));
+        }
+        let mut pos = 0;
+        let mut out = Vec::new();
+        while pos < stream.len() {
+            let (payload, used) = deframe(&stream[pos..]).unwrap().unwrap();
+            out.push(payload);
+            pos += used;
+        }
+        prop_assert_eq!(out, payloads);
+    }
+
+    /// Truncating a frame anywhere yields "need more bytes", never garbage.
+    #[test]
+    fn truncated_frames_wait(data in prop::collection::vec(any::<u8>(), 0..100)) {
+        let full = frame(&data);
+        for cut in 0..full.len() {
+            let r = deframe(&full[..cut]).unwrap();
+            prop_assert!(r.is_none(), "cut={cut} should be incomplete");
+        }
+        let (payload, used) = deframe(&full).unwrap().unwrap();
+        prop_assert_eq!(payload, data);
+        prop_assert_eq!(used, full.len());
+    }
+
+    /// The server never panics on any request sequence, and in the scoped
+    /// discipline never emits an out-of-vocabulary explicit error.
+    #[test]
+    fn server_is_total_and_contract_clean(
+        reqs in prop::collection::vec(any_request(), 0..40),
+        authed in any::<bool>(),
+    ) {
+        let mut fs = MemFs::new(4096);
+        fs.put("seed.txt", b"hello");
+        let cookie = Cookie::generate(7);
+        let mut server = ChirpServer::new(fs, cookie.clone());
+        if authed {
+            let out = server.handle(&Request::Auth {
+                cookie: cookie.as_bytes().to_vec(),
+            });
+            prop_assert_eq!(out, ServerOutcome::Reply(Response::Ok));
+        }
+        for req in &reqs {
+            match server.handle(req) {
+                ServerOutcome::Reply(Response::Error(e)) => {
+                    // Principle 4: any explicit error must be in the
+                    // operation's declared vocabulary.
+                    let vocab = chirp::proto::explicit_errors_of(req.op());
+                    prop_assert!(
+                        vocab.contains(&e),
+                        "{e} outside vocabulary of {}",
+                        req.op()
+                    );
+                }
+                ServerOutcome::Reply(_) => {}
+                ServerOutcome::Disconnect(_) => break, // connection over
+            }
+        }
+    }
+
+    /// MemFs quota accounting never goes negative and never exceeds quota.
+    #[test]
+    fn memfs_quota_invariant(ops in prop::collection::vec((0u8..4, 0usize..3, 0usize..200), 0..60)) {
+        let quota = 500u64;
+        let mut fs = MemFs::new(quota);
+        let paths = ["a", "b", "c"];
+        for (op, pi, n) in ops {
+            let path = paths[pi];
+            match op {
+                0 => {
+                    let _ = fs.create(path);
+                }
+                1 => {
+                    let _ = fs.append(path, &vec![0u8; n]);
+                }
+                2 => {
+                    let _ = fs.unlink(path);
+                }
+                _ => {
+                    let _ = fs.read_at(path, 0, n as u32);
+                }
+            }
+            prop_assert!(fs.used() <= quota, "used {} > quota {quota}", fs.used());
+        }
+    }
+
+    /// Cookies only verify against themselves.
+    #[test]
+    fn cookie_verification(seed_a in any::<u64>(), seed_b in any::<u64>()) {
+        let a = Cookie::generate(seed_a);
+        let b = Cookie::generate(seed_b);
+        prop_assert!(a.verify(a.as_bytes()));
+        prop_assert_eq!(a.verify(b.as_bytes()), seed_a == seed_b);
+    }
+
+    /// Env faults always map to the same scope/code — the mapping is pure.
+    #[test]
+    fn env_fault_mapping_is_stable(which in 0u8..3) {
+        let f = match which {
+            0 => EnvFault::FilesystemOffline,
+            1 => EnvFault::CredentialsExpired,
+            _ => EnvFault::ConnectionTimedOut,
+        };
+        prop_assert_eq!(f.code(), f.code());
+        prop_assert_eq!(f.scope(), f.scope());
+        // And a faulted backend refuses everything with exactly that fault.
+        let mut fs = MemFs::default();
+        fs.put("x", b"1");
+        fs.set_env_fault(Some(f));
+        prop_assert_eq!(fs.exists("x"), Err(BackendFailure::Env(f)));
+        prop_assert_eq!(fs.size("x"), Err(BackendFailure::Env(f)));
+    }
+}

@@ -1,0 +1,191 @@
+//! The ClassAd itself: a set of named attribute expressions.
+//!
+//! "The requests and requirements of both parties are expressed in a unique
+//! language known as ClassAds, and forwarded to a central matchmaker" (§2.1
+//! of the paper). An ad maps case-insensitive attribute names to
+//! expressions; well-known attributes like `Requirements` and `Rank` drive
+//! matchmaking.
+
+use crate::ast::Expr;
+use crate::parser::{parse_ad_pairs, ParseError};
+use crate::value::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A classified advertisement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ClassAd {
+    // Keyed by lower-case name; value keeps the display spelling plus the
+    // expression, and insertion order is not semantic (BTreeMap gives
+    // deterministic iteration).
+    attrs: BTreeMap<String, (String, Expr)>,
+}
+
+impl ClassAd {
+    /// An empty ad.
+    pub fn new() -> Self {
+        ClassAd::default()
+    }
+
+    /// Parse an ad from `[ name = expr; … ]` syntax. Later duplicates of a
+    /// name override earlier ones.
+    pub fn parse(input: &str) -> Result<Self, ParseError> {
+        let mut ad = ClassAd::new();
+        for (name, expr) in parse_ad_pairs(input)? {
+            ad.insert_expr(name, expr);
+        }
+        Ok(ad)
+    }
+
+    /// Insert an attribute given its expression.
+    pub fn insert_expr(&mut self, name: impl Into<String>, expr: Expr) -> &mut Self {
+        let display = name.into();
+        self.attrs.insert(display.to_ascii_lowercase(), (display, expr));
+        self
+    }
+
+    /// Insert a literal value.
+    pub fn insert(&mut self, name: impl Into<String>, value: Value) -> &mut Self {
+        self.insert_expr(name, Expr::Lit(value))
+    }
+
+    /// Builder-style attribute with a literal integer.
+    pub fn with_int(mut self, name: &str, v: i64) -> Self {
+        self.insert(name, Value::Int(v));
+        self
+    }
+
+    /// Builder-style attribute with a literal real.
+    pub fn with_real(mut self, name: &str, v: f64) -> Self {
+        self.insert(name, Value::Real(v));
+        self
+    }
+
+    /// Builder-style attribute with a literal string.
+    pub fn with_str(mut self, name: &str, v: &str) -> Self {
+        self.insert(name, Value::str(v));
+        self
+    }
+
+    /// Builder-style attribute with a literal boolean.
+    pub fn with_bool(mut self, name: &str, v: bool) -> Self {
+        self.insert(name, Value::Bool(v));
+        self
+    }
+
+    /// Builder-style attribute from expression source text.
+    ///
+    /// # Panics
+    /// On unparseable source — builder use is for literals in code, where a
+    /// parse failure is a programming error.
+    pub fn with_expr(mut self, name: &str, src: &str) -> Self {
+        let e = crate::parser::parse_expr(src)
+            .unwrap_or_else(|err| panic!("bad expression for {name}: {err}"));
+        self.insert_expr(name, e);
+        self
+    }
+
+    /// Look up an attribute's expression by (case-insensitive) name.
+    pub fn get(&self, name: &str) -> Option<&Expr> {
+        self.attrs.get(&name.to_ascii_lowercase()).map(|(_, e)| e)
+    }
+
+    /// Remove an attribute. Returns whether it was present.
+    pub fn remove(&mut self, name: &str) -> bool {
+        self.attrs.remove(&name.to_ascii_lowercase()).is_some()
+    }
+
+    /// True if the attribute exists.
+    pub fn has(&self, name: &str) -> bool {
+        self.attrs.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// True when the ad has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Iterate `(display_name, expr)` in deterministic (lexical) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Expr)> {
+        self.attrs.values().map(|(d, e)| (d.as_str(), e))
+    }
+
+    /// Evaluate one attribute of this ad with no candidate ad in scope.
+    /// Missing attributes are `Undefined`.
+    pub fn value_of(&self, name: &str) -> Value {
+        crate::eval::eval_attr(self, None, name)
+    }
+}
+
+impl fmt::Display for ClassAd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[")?;
+        for (name, expr) in self.iter() {
+            writeln!(f, "    {name} = {expr};")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_lookup_case_insensitive() {
+        let ad = ClassAd::new()
+            .with_int("Memory", 128)
+            .with_str("OpSys", "LINUX");
+        assert!(ad.has("memory"));
+        assert!(ad.has("MEMORY"));
+        assert_eq!(ad.value_of("memory"), Value::Int(128));
+        assert_eq!(ad.value_of("opsys"), Value::str("LINUX"));
+        assert_eq!(ad.value_of("nope"), Value::Undefined);
+        assert_eq!(ad.len(), 2);
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        let src = "[ Memory = 64; Requirements = TARGET.Owner == \"ada\"; HasJava = true ]";
+        let ad = ClassAd::parse(src).unwrap();
+        assert_eq!(ad.len(), 3);
+        let printed = ad.to_string();
+        let again = ClassAd::parse(&printed).unwrap();
+        assert_eq!(ad, again);
+    }
+
+    #[test]
+    fn duplicate_names_last_wins() {
+        let ad = ClassAd::parse("[ a = 1; A = 2 ]").unwrap();
+        assert_eq!(ad.len(), 1);
+        assert_eq!(ad.value_of("a"), Value::Int(2));
+    }
+
+    #[test]
+    fn attribute_referencing_sibling() {
+        let ad = ClassAd::new()
+            .with_int("Disk", 100)
+            .with_expr("HalfDisk", "Disk / 2");
+        assert_eq!(ad.value_of("HalfDisk"), Value::Int(50));
+    }
+
+    #[test]
+    fn remove_and_empty() {
+        let mut ad = ClassAd::new().with_int("x", 1);
+        assert!(!ad.is_empty());
+        assert!(ad.remove("X"));
+        assert!(!ad.remove("X"));
+        assert!(ad.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn with_expr_panics_on_garbage() {
+        let _ = ClassAd::new().with_expr("r", "1 +");
+    }
+}

@@ -1,0 +1,438 @@
+//! Tokeniser for the ClassAd expression language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// An identifier (attribute or function name), original spelling.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A real literal.
+    Real(f64),
+    /// A string literal (unescaped content).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `.`
+    Dot,
+    /// `||`
+    OrOr,
+    /// `&&`
+    AndAnd,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `=?=`
+    MetaEq,
+    /// `=!=`
+    MetaNe,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `!`
+    Bang,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Real(r) => write!(f, "{r}"),
+            Token::Str(s) => write!(f, "{s:?}"),
+            Token::LParen => f.write_str("("),
+            Token::RParen => f.write_str(")"),
+            Token::LBracket => f.write_str("["),
+            Token::RBracket => f.write_str("]"),
+            Token::Semi => f.write_str(";"),
+            Token::Comma => f.write_str(","),
+            Token::Assign => f.write_str("="),
+            Token::Dot => f.write_str("."),
+            Token::OrOr => f.write_str("||"),
+            Token::AndAnd => f.write_str("&&"),
+            Token::EqEq => f.write_str("=="),
+            Token::NotEq => f.write_str("!="),
+            Token::MetaEq => f.write_str("=?="),
+            Token::MetaNe => f.write_str("=!="),
+            Token::Lt => f.write_str("<"),
+            Token::Le => f.write_str("<="),
+            Token::Gt => f.write_str(">"),
+            Token::Ge => f.write_str(">="),
+            Token::Plus => f.write_str("+"),
+            Token::Minus => f.write_str("-"),
+            Token::Star => f.write_str("*"),
+            Token::Slash => f.write_str("/"),
+            Token::Percent => f.write_str("%"),
+            Token::Bang => f.write_str("!"),
+        }
+    }
+}
+
+/// A lexing failure with byte position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Byte offset in the input.
+    pub at: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenise `input`. Comments (`// …` and `/* … */`) are skipped.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let b = input.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= b.len() {
+                        return Err(LexError {
+                            at: start,
+                            message: "unterminated block comment".into(),
+                        });
+                    }
+                    if b[i] == b'*' && b[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            b')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            b'[' => {
+                out.push(Token::LBracket);
+                i += 1;
+            }
+            b']' => {
+                out.push(Token::RBracket);
+                i += 1;
+            }
+            b';' => {
+                out.push(Token::Semi);
+                i += 1;
+            }
+            b',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            b'.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            b'+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            b'-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            b'*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            b'/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            b'%' => {
+                out.push(Token::Percent);
+                i += 1;
+            }
+            b'|' => {
+                if i + 1 < b.len() && b[i + 1] == b'|' {
+                    out.push(Token::OrOr);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        at: i,
+                        message: "single '|' is not an operator".into(),
+                    });
+                }
+            }
+            b'&' => {
+                if i + 1 < b.len() && b[i + 1] == b'&' {
+                    out.push(Token::AndAnd);
+                    i += 2;
+                } else {
+                    return Err(LexError {
+                        at: i,
+                        message: "single '&' is not an operator".into(),
+                    });
+                }
+            }
+            b'=' => {
+                if i + 2 < b.len() && b[i + 1] == b'?' && b[i + 2] == b'=' {
+                    out.push(Token::MetaEq);
+                    i += 3;
+                } else if i + 2 < b.len() && b[i + 1] == b'!' && b[i + 2] == b'=' {
+                    out.push(Token::MetaNe);
+                    i += 3;
+                } else if i + 1 < b.len() && b[i + 1] == b'=' {
+                    out.push(Token::EqEq);
+                    i += 2;
+                } else {
+                    out.push(Token::Assign);
+                    i += 1;
+                }
+            }
+            b'!' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    out.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    out.push(Token::Bang);
+                    i += 1;
+                }
+            }
+            b'<' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    out.push(Token::Le);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= b.len() {
+                        return Err(LexError {
+                            at: start,
+                            message: "unterminated string literal".into(),
+                        });
+                    }
+                    match b[i] {
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\\' => {
+                            if i + 1 >= b.len() {
+                                return Err(LexError {
+                                    at: i,
+                                    message: "dangling escape".into(),
+                                });
+                            }
+                            let esc = b[i + 1];
+                            s.push(match esc {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'\\' => '\\',
+                                b'"' => '"',
+                                other => {
+                                    return Err(LexError {
+                                        at: i,
+                                        message: format!("unknown escape '\\{}'", other as char),
+                                    })
+                                }
+                            });
+                            i += 2;
+                        }
+                        other => {
+                            s.push(other as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_real = false;
+                if i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+                    is_real = true;
+                    i += 1;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < b.len() && (b[j] == b'+' || b[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < b.len() && b[j].is_ascii_digit() {
+                        is_real = true;
+                        i = j;
+                        while i < b.len() && b[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &input[start..i];
+                if is_real {
+                    let r: f64 = text.parse().map_err(|_| LexError {
+                        at: start,
+                        message: format!("bad real literal '{text}'"),
+                    })?;
+                    out.push(Token::Real(r));
+                } else {
+                    let n: i64 = text.parse().map_err(|_| LexError {
+                        at: start,
+                        message: format!("integer literal '{text}' out of range"),
+                    })?;
+                    out.push(Token::Int(n));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => {
+                return Err(LexError {
+                    at: i,
+                    message: format!("unexpected character '{}'", other as char),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let t = lex("Memory >= 64 && Arch == \"INTEL\"").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("Memory".into()),
+                Token::Ge,
+                Token::Int(64),
+                Token::AndAnd,
+                Token::Ident("Arch".into()),
+                Token::EqEq,
+                Token::Str("INTEL".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn meta_operators() {
+        let t = lex("x =?= undefined =!= y").unwrap();
+        assert!(t.contains(&Token::MetaEq));
+        assert!(t.contains(&Token::MetaNe));
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(lex("42").unwrap(), vec![Token::Int(42)]);
+        assert_eq!(lex("3.25").unwrap(), vec![Token::Real(3.25)]);
+        assert_eq!(lex("1e3").unwrap(), vec![Token::Real(1000.0)]);
+        assert_eq!(lex("2.5e-1").unwrap(), vec![Token::Real(0.25)]);
+        // "1." followed by non-digit is Int then Dot (scoped attr syntax).
+        assert_eq!(lex("1.x").unwrap()[0], Token::Int(1));
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            lex(r#""a\nb\"c\\""#).unwrap(),
+            vec![Token::Str("a\nb\"c\\".into())]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = lex("1 // comment\n + /* block */ 2").unwrap();
+        assert_eq!(t, vec![Token::Int(1), Token::Plus, Token::Int(2)]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("a | b").is_err());
+        assert!(lex("a & b").is_err());
+        assert!(lex("#").is_err());
+        assert!(lex("/* unterminated").is_err());
+        assert!(lex("999999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn ad_syntax_tokens() {
+        let t = lex("[ a = 1; b = MY.x ]").unwrap();
+        assert_eq!(t[0], Token::LBracket);
+        assert!(t.contains(&Token::Assign));
+        assert!(t.contains(&Token::Semi));
+        assert!(t.contains(&Token::Dot));
+        assert_eq!(*t.last().unwrap(), Token::RBracket);
+    }
+}

@@ -1,0 +1,67 @@
+//! # classads — the Condor match language
+//!
+//! A self-contained implementation of the classified-advertisement
+//! (ClassAd) language the Condor kernel uses to describe jobs and machines
+//! and to match them ("The requests and requirements of both parties are
+//! expressed in a unique language known as ClassAds", Thain & Livny §2.1):
+//!
+//! * [`value`] — values with the `UNDEFINED`/`ERROR` tri-state semantics
+//!   that let autonomous parties mention attributes the other has never
+//!   defined.
+//! * [`ast`], [`lexer`], [`parser`] — the expression language: arithmetic,
+//!   comparisons, three-valued logic, the `=?=`/`=!=` meta-operators,
+//!   `MY.`/`TARGET.` scoping, and builtin functions.
+//! * [`ad`] — the [`ClassAd`] attribute map, parseable from and printable
+//!   to `[ name = expr; … ]` syntax.
+//! * [`mod@eval`] — evaluation of expressions against a (self, target) ad pair
+//!   with cycle detection.
+//! * [`matchmaking`] — symmetric two-way `Requirements` matching and
+//!   `Rank`-based candidate ordering.
+//!
+//! ```
+//! use classads::prelude::*;
+//!
+//! let job = ClassAd::new()
+//!     .with_int("ImageSize", 48)
+//!     .with_expr("Requirements", "TARGET.Memory >= MY.ImageSize && TARGET.HasJava =?= true")
+//!     .with_expr("Rank", "TARGET.Memory");
+//!
+//! let machine = ClassAd::new()
+//!     .with_int("Memory", 128)
+//!     .with_bool("HasJava", true)
+//!     .with_expr("Requirements", "TARGET.ImageSize <= MY.Memory");
+//!
+//! let m = symmetric_match(&job, &machine);
+//! assert!(m.matched);
+//! assert_eq!(m.left_rank, 128.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ad;
+pub mod ast;
+pub mod eval;
+pub mod lexer;
+pub mod matchmaking;
+pub mod parser;
+pub mod value;
+
+pub use ad::ClassAd;
+pub use ast::{AttrScope, BinOp, Expr, UnOp};
+pub use eval::{eval, eval_attr};
+pub use matchmaking::{best_match, rank, requirements_met, symmetric_match, MatchResult};
+pub use parser::{parse_expr, ParseError};
+pub use value::Value;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::ad::ClassAd;
+    pub use crate::ast::Expr;
+    pub use crate::eval::{eval, eval_attr};
+    pub use crate::matchmaking::{
+        best_match, rank, requirements_met, symmetric_match, MatchResult,
+    };
+    pub use crate::parser::parse_expr;
+    pub use crate::value::Value;
+}

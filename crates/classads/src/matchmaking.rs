@@ -1,0 +1,174 @@
+//! Two-way matchmaking: the matchmaker's core operation.
+//!
+//! "This process collects information about all participants, and notifies
+//! schedds and startds of compatible partners" (§2.1). Two ads match when
+//! *each* ad's `Requirements` expression evaluates to exactly TRUE with the
+//! other as `TARGET`. `Rank` orders acceptable partners: higher is better,
+//! `Undefined`/`Error` rank as 0.
+
+use crate::ad::ClassAd;
+use crate::eval::eval_attr;
+use crate::value::Value;
+
+/// The standard attribute names.
+pub const REQUIREMENTS: &str = "Requirements";
+/// See [`REQUIREMENTS`].
+pub const RANK: &str = "Rank";
+
+/// Does `ad`'s `Requirements` accept `candidate`? An ad with *no*
+/// `Requirements` attribute accepts nothing — an ad must make a positive
+/// statement to participate, mirroring the paper's Principle 4 preference
+/// for strong, limited statements over silent generality.
+pub fn requirements_met(ad: &ClassAd, candidate: &ClassAd) -> bool {
+    eval_attr(ad, Some(candidate), REQUIREMENTS).is_true()
+}
+
+/// The rank `ad` assigns to `candidate`: numeric value of its `Rank`
+/// expression, with non-numeric results (including `Undefined`) scored 0.
+pub fn rank(ad: &ClassAd, candidate: &ClassAd) -> f64 {
+    match eval_attr(ad, Some(candidate), RANK) {
+        Value::Int(i) => i as f64,
+        Value::Real(r) if r.is_finite() => r,
+        Value::Bool(true) => 1.0,
+        _ => 0.0,
+    }
+}
+
+/// The result of testing one pair of ads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchResult {
+    /// Did both sides' `Requirements` accept?
+    pub matched: bool,
+    /// Rank the left ad assigned the right one.
+    pub left_rank: f64,
+    /// Rank the right ad assigned the left one.
+    pub right_rank: f64,
+}
+
+/// Symmetric two-way match.
+pub fn symmetric_match(left: &ClassAd, right: &ClassAd) -> MatchResult {
+    let l_accepts = requirements_met(left, right);
+    let r_accepts = requirements_met(right, left);
+    MatchResult {
+        matched: l_accepts && r_accepts,
+        left_rank: rank(left, right),
+        right_rank: rank(right, left),
+    }
+}
+
+/// Among `candidates`, find the index of the best match for `ad`:
+/// candidates failing the two-way requirements test are skipped; survivors
+/// are ordered by the rank *`ad`* assigns them (ties broken by lowest
+/// index, for determinism).
+pub fn best_match(ad: &ClassAd, candidates: &[ClassAd]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, c) in candidates.iter().enumerate() {
+        let m = symmetric_match(ad, c);
+        if !m.matched {
+            continue;
+        }
+        match best {
+            Some((_, r)) if m.left_rank <= r => {}
+            _ => best = Some((i, m.left_rank)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job() -> ClassAd {
+        ClassAd::new()
+            .with_str("Owner", "ada")
+            .with_int("ImageSize", 48)
+            .with_str("Universe", "java")
+            .with_expr(
+                "Requirements",
+                "TARGET.Memory >= MY.ImageSize && TARGET.HasJava =?= true",
+            )
+            .with_expr("Rank", "TARGET.Memory")
+    }
+
+    fn machine(mem: i64, java: bool) -> ClassAd {
+        let mut ad = ClassAd::new()
+            .with_int("Memory", mem)
+            .with_expr("Requirements", "TARGET.ImageSize <= MY.Memory");
+        if java {
+            ad.insert("HasJava", Value::Bool(true));
+        }
+        ad
+    }
+
+    #[test]
+    fn two_way_match_requires_both_sides() {
+        let j = job();
+        let m = machine(128, true);
+        let r = symmetric_match(&j, &m);
+        assert!(r.matched);
+        assert_eq!(r.left_rank, 128.0);
+
+        // Machine with too little memory: machine side rejects.
+        let small = machine(16, true);
+        assert!(!symmetric_match(&j, &small).matched);
+
+        // Machine without Java: job side sees HasJava =?= true as FALSE.
+        let nojava = machine(128, false);
+        assert!(!symmetric_match(&j, &nojava).matched);
+    }
+
+    #[test]
+    fn missing_requirements_matches_nothing() {
+        let bare = ClassAd::new().with_int("Memory", 512);
+        let j = job();
+        assert!(!requirements_met(&bare, &j));
+        assert!(!symmetric_match(&j, &bare).matched);
+    }
+
+    #[test]
+    fn undefined_requirements_do_not_match() {
+        // Requirements referencing an attribute the target lacks evaluate
+        // Undefined, which is not TRUE.
+        let picky = ClassAd::new().with_expr("Requirements", "TARGET.NoSuchAttr > 5");
+        let m = machine(128, true);
+        assert!(!requirements_met(&picky, &m));
+    }
+
+    #[test]
+    fn rank_defaults_to_zero() {
+        let no_rank = ClassAd::new().with_expr("Requirements", "true");
+        let m = machine(1, false);
+        assert_eq!(rank(&no_rank, &m), 0.0);
+        let bad_rank = ClassAd::new().with_expr("Rank", "\"not a number\"");
+        assert_eq!(rank(&bad_rank, &m), 0.0);
+        let bool_rank = ClassAd::new().with_expr("Rank", "TARGET.Memory > 0");
+        assert_eq!(rank(&bool_rank, &m), 1.0);
+    }
+
+    #[test]
+    fn best_match_prefers_highest_rank() {
+        let j = job();
+        let candidates = vec![machine(64, true), machine(256, true), machine(128, true)];
+        assert_eq!(best_match(&j, &candidates), Some(1));
+    }
+
+    #[test]
+    fn best_match_skips_non_matching() {
+        let j = job();
+        let candidates = vec![
+            machine(1024, false), // no java: skipped despite best memory
+            machine(64, true),
+        ];
+        assert_eq!(best_match(&j, &candidates), Some(1));
+        assert_eq!(best_match(&j, &[machine(8, true)]), None);
+        assert_eq!(best_match(&j, &[]), None);
+    }
+
+    #[test]
+    fn best_match_tie_breaks_by_first() {
+        let j = job();
+        let candidates = vec![machine(128, true), machine(128, true)];
+        assert_eq!(best_match(&j, &candidates), Some(0));
+    }
+}

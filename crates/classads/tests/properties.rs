@@ -1,0 +1,188 @@
+//! Property-based tests for the ClassAd language.
+
+use classads::ast::{BinOp, Expr};
+use classads::prelude::*;
+use classads::value::ArithOp;
+use proptest::prelude::*;
+
+/// A strategy for arbitrary ClassAd values.
+fn any_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Undefined),
+        Just(Value::Error),
+        any::<bool>().prop_map(Value::Bool),
+        (-1_000_000i64..1_000_000).prop_map(Value::Int),
+        (-1e6f64..1e6).prop_map(Value::Real),
+        "[a-zA-Z0-9 _]{0,12}".prop_map(Value::Str),
+    ]
+}
+
+/// A strategy for small expression trees over a fixed attribute alphabet.
+fn any_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        any_value().prop_map(Expr::Lit),
+        prop::sample::select(vec!["a", "b", "c", "memory"]).prop_map(Expr::attr),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        let ops = prop::sample::select(vec![
+            BinOp::Or,
+            BinOp::And,
+            BinOp::Eq,
+            BinOp::Ne,
+            BinOp::MetaEq,
+            BinOp::MetaNe,
+            BinOp::Lt,
+            BinOp::Le,
+            BinOp::Gt,
+            BinOp::Ge,
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::Div,
+            BinOp::Mod,
+        ]);
+        (inner.clone(), ops, inner)
+            .prop_map(|(l, op, r)| Expr::Binary(op, Box::new(l), Box::new(r)))
+    })
+}
+
+proptest! {
+    /// Evaluation is total: no expression panics, whatever the ads hold.
+    #[test]
+    fn eval_never_panics(e in any_expr(), mem in -100i64..100) {
+        let me = ClassAd::new().with_int("a", mem).with_bool("b", mem > 0);
+        let target = ClassAd::new().with_int("memory", mem * 2);
+        let _ = eval(&me, Some(&target), &e);
+    }
+
+    /// Display → parse round trip: printing an expression and re-parsing
+    /// it yields a semantically identical expression (same value against
+    /// random ads).
+    #[test]
+    fn display_parse_roundtrip(e in any_expr(), mem in -100i64..100) {
+        let printed = e.to_string();
+        let reparsed = parse_expr(&printed).unwrap_or_else(|err| {
+            panic!("failed to reparse {printed:?}: {err}")
+        });
+        let me = ClassAd::new().with_int("a", mem);
+        let target = ClassAd::new().with_int("memory", mem + 1).with_bool("b", true);
+        prop_assert_eq!(
+            eval(&me, Some(&target), &e),
+            eval(&me, Some(&target), &reparsed),
+            "printed form: {}", printed
+        );
+    }
+
+    /// AND/OR are commutative and AND distributes FALSE, OR distributes
+    /// TRUE, for all value pairs (the tri-state truth tables).
+    #[test]
+    fn logic_laws(a in any_value(), b in any_value()) {
+        prop_assert_eq!(a.and(&b), b.and(&a));
+        prop_assert_eq!(a.or(&b), b.or(&a));
+        prop_assert_eq!(Value::FALSE.and(&a), Value::FALSE);
+        prop_assert_eq!(Value::TRUE.or(&a), Value::TRUE);
+        // De Morgan holds in the three-valued logic.
+        prop_assert_eq!(a.and(&b).not(), a.not().or(&b.not()));
+        prop_assert_eq!(a.or(&b).not(), a.not().and(&b.not()));
+    }
+
+    /// =?= is total (never Undefined/Error), reflexive, and symmetric.
+    #[test]
+    fn meta_eq_laws(a in any_value(), b in any_value()) {
+        let ab = a.is_identical(&b);
+        prop_assert!(matches!(ab, Value::Bool(_)));
+        prop_assert_eq!(ab, b.is_identical(&a));
+        // Reflexivity, except NaN != NaN under f64 equality.
+        let reflexive_ok = match &a {
+            Value::Real(r) => !r.is_nan(),
+            _ => true,
+        };
+        if reflexive_ok {
+            prop_assert_eq!(a.is_identical(&a), Value::Bool(true));
+        }
+    }
+
+    /// Int arithmetic agrees with wrapping i64 arithmetic away from the
+    /// division-by-zero edge.
+    #[test]
+    fn int_arith_matches_i64(x in any::<i64>(), y in any::<i64>()) {
+        prop_assert_eq!(
+            Value::Int(x).arith(ArithOp::Add, &Value::Int(y)),
+            Value::Int(x.wrapping_add(y))
+        );
+        prop_assert_eq!(
+            Value::Int(x).arith(ArithOp::Mul, &Value::Int(y)),
+            Value::Int(x.wrapping_mul(y))
+        );
+        if y != 0 {
+            prop_assert_eq!(
+                Value::Int(x).arith(ArithOp::Div, &Value::Int(y)),
+                Value::Int(x.wrapping_div(y))
+            );
+        } else {
+            prop_assert_eq!(Value::Int(x).arith(ArithOp::Div, &Value::Int(0)), Value::Error);
+        }
+    }
+
+    /// Whole-ad print/parse round trip preserves every attribute's value.
+    #[test]
+    fn ad_roundtrip(
+        ints in prop::collection::btree_map("[a-z][a-z0-9]{0,6}", -1000i64..1000, 0..6),
+    ) {
+        let mut ad = ClassAd::new();
+        for (k, v) in &ints {
+            ad.insert(k.clone(), Value::Int(*v));
+        }
+        let printed = ad.to_string();
+        let back = ClassAd::parse(&printed).unwrap();
+        // Structural equality can differ (e.g. -1 prints as a literal but
+        // reparses as unary negation), so compare semantically.
+        prop_assert_eq!(back.len(), ad.len());
+        for (k, v) in &ints {
+            prop_assert_eq!(back.value_of(k), Value::Int(*v));
+        }
+    }
+
+    /// The parser is total: arbitrary input never panics — it parses or
+    /// returns an error.
+    #[test]
+    fn parser_is_total(input in ".{0,120}") {
+        let _ = parse_expr(&input);
+        let _ = ClassAd::parse(&input);
+    }
+
+    /// Token soup from the language's own alphabet also never panics and,
+    /// when it parses, evaluates without panicking.
+    #[test]
+    fn token_soup_is_survivable(
+        tokens in prop::collection::vec(
+            prop::sample::select(vec![
+                "a", "MY.", "TARGET.", "1", "2.5", "\"s\"", "true", "undefined",
+                "error", "(", ")", "&&", "||", "==", "!=", "=?=", "=!=", "<", "<=",
+                "+", "-", "*", "/", "%", "!", ",", "min", "strcat",
+            ]),
+            0..25,
+        )
+    ) {
+        let src = tokens.join(" ");
+        if let Ok(e) = parse_expr(&src) {
+            let ad = ClassAd::new().with_int("a", 1);
+            let _ = eval(&ad, None, &e);
+        }
+    }
+
+    /// Matching is symmetric in `matched` (two-way by construction).
+    #[test]
+    fn match_symmetry(mem in 1i64..1024, img in 1i64..1024) {
+        let job = ClassAd::new()
+            .with_int("ImageSize", img)
+            .with_expr("Requirements", "TARGET.Memory >= MY.ImageSize");
+        let machine = ClassAd::new()
+            .with_int("Memory", mem)
+            .with_expr("Requirements", "TARGET.ImageSize <= MY.Memory");
+        let ab = symmetric_match(&job, &machine);
+        let ba = symmetric_match(&machine, &job);
+        prop_assert_eq!(ab.matched, ba.matched);
+        prop_assert_eq!(ab.matched, mem >= img);
+    }
+}

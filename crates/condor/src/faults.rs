@@ -1,0 +1,260 @@
+//! The fault plan: scheduled environmental failures.
+//!
+//! Experiments describe faults declaratively — "the submitter's file system
+//! is offline from t=100s to t=300s", "machine 7 crashes at t=200s" — and
+//! every daemon consults the shared plan deterministically. Static
+//! misconfiguration lives in [`crate::machine::MachineSpec`]; the plan
+//! holds the *timed* faults.
+
+use chirp::backend::EnvFault;
+use desim::SimTime;
+use std::sync::Arc;
+
+/// A half-open window of virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// Start (inclusive).
+    pub from: SimTime,
+    /// End (exclusive); `SimTime::MAX` for "forever".
+    pub to: SimTime,
+}
+
+impl Window {
+    /// A window covering `[from, to)`.
+    pub fn new(from: SimTime, to: SimTime) -> Window {
+        assert!(from < to, "empty fault window");
+        Window { from, to }
+    }
+
+    /// From `from` onward, forever.
+    pub fn from(from: SimTime) -> Window {
+        Window {
+            from,
+            to: SimTime::MAX,
+        }
+    }
+
+    /// Does the window contain instant `t`?
+    pub fn contains(&self, t: SimTime) -> bool {
+        self.from <= t && t < self.to
+    }
+
+    /// Does the window intersect `[a, b]`?
+    pub fn overlaps(&self, a: SimTime, b: SimTime) -> bool {
+        self.from <= b && a < self.to
+    }
+}
+
+#[derive(Debug, Clone)]
+struct FsFault {
+    schedd: usize,
+    window: Window,
+    fault: EnvFault,
+}
+
+#[derive(Debug, Clone)]
+struct MachineCrash {
+    machine: usize,
+    window: Window,
+}
+
+#[derive(Debug, Clone)]
+struct OwnerBusy {
+    machine: usize,
+    window: Window,
+}
+
+/// The complete fault schedule for one run.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    fs_faults: Vec<FsFault>,
+    crashes: Vec<MachineCrash>,
+    owner_busy: Vec<OwnerBusy>,
+}
+
+impl FaultPlan {
+    /// An empty plan: nothing ever breaks.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// The submitter file system served by `schedd` suffers `fault` during
+    /// `window`.
+    pub fn fs_fault(mut self, schedd: usize, window: Window, fault: EnvFault) -> FaultPlan {
+        self.fs_faults.push(FsFault {
+            schedd,
+            window,
+            fault,
+        });
+        self
+    }
+
+    /// `machine` is crashed (silent, unreachable) during `window`.
+    pub fn crash(mut self, machine: usize, window: Window) -> FaultPlan {
+        self.crashes.push(MachineCrash { machine, window });
+        self
+    }
+
+    /// The owner of `machine` uses it during `window`: visiting jobs are
+    /// evicted at the window's start and the machine is withdrawn from the
+    /// pool until it ends. Not a fault at all — owner policy — but it
+    /// flows through the same schedule. This is the condition Condor's
+    /// checkpointing (§2.1, Standard Universe) exists to survive.
+    pub fn owner_activity(mut self, machine: usize, window: Window) -> FaultPlan {
+        self.owner_busy.push(OwnerBusy { machine, window });
+        self
+    }
+
+    /// Freeze into a shareable handle.
+    pub fn build(self) -> Arc<FaultPlan> {
+        Arc::new(self)
+    }
+
+    /// The file-system fault (if any) affecting `schedd`'s home file system
+    /// at any point in `[start, end]`. The earliest-declared overlapping
+    /// fault wins.
+    pub fn fs_fault_during(&self, schedd: usize, start: SimTime, end: SimTime) -> Option<EnvFault> {
+        self.fs_faults
+            .iter()
+            .find(|f| f.schedd == schedd && f.window.overlaps(start, end))
+            .map(|f| f.fault)
+    }
+
+    /// Is the file system faulty at exactly `t`?
+    pub fn fs_fault_at(&self, schedd: usize, t: SimTime) -> Option<EnvFault> {
+        self.fs_faults
+            .iter()
+            .find(|f| f.schedd == schedd && f.window.contains(t))
+            .map(|f| f.fault)
+    }
+
+    /// Is `machine` crashed at instant `t`?
+    pub fn crashed_at(&self, machine: usize, t: SimTime) -> bool {
+        self.crashes
+            .iter()
+            .any(|c| c.machine == machine && c.window.contains(t))
+    }
+
+    /// Does `machine` crash at any point during `[start, end]`?
+    pub fn crashes_during(&self, machine: usize, start: SimTime, end: SimTime) -> bool {
+        self.crashes
+            .iter()
+            .any(|c| c.machine == machine && c.window.overlaps(start, end))
+    }
+
+    /// Is the owner using `machine` at instant `t`?
+    pub fn owner_busy_at(&self, machine: usize, t: SimTime) -> bool {
+        self.owner_busy
+            .iter()
+            .any(|o| o.machine == machine && o.window.contains(t))
+    }
+
+    /// The first instant strictly after `start` and at or before `end` at
+    /// which the owner reclaims `machine`, if any — the eviction moment
+    /// for a job running over `[start, end]`.
+    pub fn owner_returns_during(
+        &self,
+        machine: usize,
+        start: SimTime,
+        end: SimTime,
+    ) -> Option<SimTime> {
+        self.owner_busy
+            .iter()
+            .filter(|o| o.machine == machine && o.window.from > start && o.window.from <= end)
+            .map(|o| o.window.from)
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn window_membership() {
+        let w = Window::new(t(10), t(20));
+        assert!(!w.contains(t(9)));
+        assert!(w.contains(t(10)));
+        assert!(w.contains(t(19)));
+        assert!(!w.contains(t(20)));
+        assert!(Window::from(t(5)).contains(t(1_000_000)));
+    }
+
+    #[test]
+    fn window_overlap() {
+        let w = Window::new(t(10), t(20));
+        assert!(w.overlaps(t(0), t(10)));
+        assert!(w.overlaps(t(15), t(16)));
+        assert!(w.overlaps(t(19), t(30)));
+        assert!(!w.overlaps(t(20), t(30)));
+        assert!(!w.overlaps(t(0), t(9)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_window_rejected() {
+        let _ = Window::new(t(5), t(5));
+    }
+
+    #[test]
+    fn fs_faults_are_per_schedd() {
+        let plan = FaultPlan::none()
+            .fs_fault(1, Window::new(t(100), t(200)), EnvFault::FilesystemOffline)
+            .build();
+        assert_eq!(
+            plan.fs_fault_at(1, t(150)),
+            Some(EnvFault::FilesystemOffline)
+        );
+        assert_eq!(plan.fs_fault_at(2, t(150)), None);
+        assert_eq!(plan.fs_fault_at(1, t(250)), None);
+        assert_eq!(
+            plan.fs_fault_during(1, t(0), t(100)),
+            Some(EnvFault::FilesystemOffline)
+        );
+        assert_eq!(plan.fs_fault_during(1, t(0), t(99)), None);
+    }
+
+    #[test]
+    fn crashes_are_per_machine() {
+        let plan = FaultPlan::none().crash(3, Window::from(t(50))).build();
+        assert!(!plan.crashed_at(3, t(49)));
+        assert!(plan.crashed_at(3, t(50)));
+        assert!(plan.crashed_at(3, t(1_000_000)));
+        assert!(!plan.crashed_at(4, t(100)));
+        assert!(plan.crashes_during(3, t(0), t(60)));
+        assert!(!plan.crashes_during(3, t(0), t(49)));
+    }
+
+    #[test]
+    fn empty_plan_is_quiet() {
+        let plan = FaultPlan::none().build();
+        assert_eq!(plan.fs_fault_at(0, t(100)), None);
+        assert!(!plan.crashed_at(0, t(100)));
+        assert!(!plan.owner_busy_at(0, t(100)));
+        assert_eq!(plan.owner_returns_during(0, t(0), t(100)), None);
+    }
+
+    #[test]
+    fn owner_activity_windows() {
+        let plan = FaultPlan::none()
+            .owner_activity(2, Window::new(t(100), t(200)))
+            .owner_activity(2, Window::new(t(500), t(600)))
+            .build();
+        assert!(!plan.owner_busy_at(2, t(99)));
+        assert!(plan.owner_busy_at(2, t(150)));
+        assert!(!plan.owner_busy_at(2, t(200)));
+        assert!(!plan.owner_busy_at(3, t(150)));
+        // A job running [50, 300] is evicted at 100.
+        assert_eq!(plan.owner_returns_during(2, t(50), t(300)), Some(t(100)));
+        // A job running [300, 550] is evicted at 500 (earliest onset).
+        assert_eq!(plan.owner_returns_during(2, t(300), t(550)), Some(t(500)));
+        // A job starting exactly at an onset is not "interrupted" by it.
+        assert_eq!(plan.owner_returns_during(2, t(100), t(150)), None);
+        // A job elsewhere is untouched.
+        assert_eq!(plan.owner_returns_during(1, t(0), t(1000)), None);
+    }
+}

@@ -1,0 +1,65 @@
+//! # condor — the Condor kernel on a discrete-event simulator
+//!
+//! A faithful control-plane reproduction of the system of Thain & Livny's
+//! Figures 1 and 2: matchmaker, schedd (with shadows), startd (with
+//! starters), the claiming protocol, the Java Universe with its Chirp proxy
+//! and wrapper — plus the fault injection and accounting the paper's
+//! experiments need.
+//!
+//! * [`job`], [`machine`] — what users submit and owners contribute.
+//! * [`msg`] — the protocol messages (the arrows of Figure 1).
+//! * [`matchmaker`], [`schedd`], [`startd`] — the daemons.
+//! * [`faults`] — the timed fault plan (crashes, file-system outages).
+//! * [`pool`] — one-stop pool assembly and run reports.
+//! * [`metrics`] — the quantities the experiments report.
+//!
+//! The Java Universe runs in either of the paper's two disciplines
+//! ([`job::JavaMode`]): **naive** (§2.3 — exit codes and generic
+//! exceptions; environmental errors reach the user) and **scoped** (§4 —
+//! the wrapper's result file routes every error to the manager of its
+//! scope).
+//!
+//! ```
+//! use condor::prelude::*;
+//! use desim::{SimDuration, SimTime};
+//!
+//! let report = PoolBuilder::new(42)
+//!     .machine(MachineSpec::healthy("node1", 256))
+//!     .job(JobSpec::java(1, "ada", gridvm::programs::completes_main(), JavaMode::Scoped)
+//!         .with_exec_time(SimDuration::from_secs(30)))
+//!     .run(SimTime::from_secs(600));
+//! assert_eq!(report.metrics.jobs_completed, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod faults;
+pub mod job;
+pub mod machine;
+pub mod matchmaker;
+pub mod metrics;
+pub mod msg;
+pub mod pool;
+pub mod schedd;
+pub mod startd;
+
+pub use faults::{FaultPlan, Window};
+pub use job::{Attempt, JavaMode, JobId, JobRecord, JobSpec, JobState, Universe};
+pub use machine::MachineSpec;
+pub use matchmaker::Matchmaker;
+pub use metrics::{MachineStats, Metrics};
+pub use msg::{Activation, ExecutionReport, FsSnapshot, Msg};
+pub use pool::{PoolBuilder, RunReport};
+pub use schedd::{Schedd, ScheddPolicy, UserEvent};
+pub use startd::{Startd, StartdPolicy};
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::faults::{FaultPlan, Window};
+    pub use crate::job::{JavaMode, JobSpec, JobState, Universe};
+    pub use crate::machine::MachineSpec;
+    pub use crate::pool::{PoolBuilder, RunReport};
+    pub use crate::schedd::{ScheddPolicy, UserEvent};
+    pub use crate::startd::StartdPolicy;
+}

@@ -1,0 +1,272 @@
+//! The matchmaker daemon.
+//!
+//! "This process collects information about all participants, and notifies
+//! schedds and startds of compatible partners. Matched processes are
+//! individually responsible for communicating with each other and verifying
+//! that their needs are met" (§2.1). The matchmaker holds soft state only:
+//! ads expire, and a lost notification merely delays a job until the next
+//! negotiation cycle.
+
+use crate::msg::Msg;
+use classads::matchmaking::symmetric_match;
+use classads::ClassAd;
+use desim::prelude::*;
+use std::collections::BTreeMap;
+
+/// How often the matchmaker runs a negotiation cycle.
+pub const NEGOTIATE_PERIOD: SimDuration = SimDuration::from_secs(10);
+/// Machine ads older than this are discarded (the startd re-advertises
+/// every few seconds while alive).
+pub const AD_LIFETIME: SimDuration = SimDuration::from_secs(30);
+
+struct MachineEntry {
+    ad: ClassAd,
+    fresh_at: SimTime,
+}
+
+struct JobEntry {
+    ad: ClassAd,
+}
+
+/// The matchmaker actor.
+pub struct Matchmaker {
+    machines: BTreeMap<ActorId, MachineEntry>,
+    // Keyed by (schedd, job) so several schedds could coexist.
+    jobs: BTreeMap<(ActorId, u32), JobEntry>,
+    /// Total matches produced.
+    pub matches_made: u64,
+    /// Negotiation cycles run.
+    pub cycles: u64,
+}
+
+impl Matchmaker {
+    /// A new matchmaker.
+    pub fn new() -> Matchmaker {
+        Matchmaker {
+            machines: BTreeMap::new(),
+            jobs: BTreeMap::new(),
+            matches_made: 0,
+            cycles: 0,
+        }
+    }
+}
+
+impl Default for Matchmaker {
+    fn default() -> Self {
+        Matchmaker::new()
+    }
+}
+
+impl Actor<Msg> for Matchmaker {
+    fn name(&self) -> String {
+        "matchmaker".into()
+    }
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        ctx.send_self_after(NEGOTIATE_PERIOD, Msg::NegotiateTick);
+    }
+
+    fn on_message(&mut self, from: ActorId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+        match msg {
+            Msg::MachineAd { ad } => {
+                self.machines.insert(
+                    from,
+                    MachineEntry {
+                        ad: *ad,
+                        fresh_at: ctx.now,
+                    },
+                );
+            }
+            Msg::JobAd { job, ad } => {
+                self.jobs.insert((from, job), JobEntry { ad: *ad });
+            }
+            Msg::NegotiateTick => {
+                self.cycles += 1;
+                self.negotiate(ctx);
+                ctx.send_self_after(NEGOTIATE_PERIOD, Msg::NegotiateTick);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Matchmaker {
+    fn negotiate(&mut self, ctx: &mut Context<'_, Msg>) {
+        // Expire stale machine ads — a crashed startd stops advertising and
+        // silently falls out of the pool.
+        let now = ctx.now;
+        self.machines
+            .retain(|_, m| now - m.fresh_at <= AD_LIFETIME);
+
+        // Greedy cycle: jobs in (schedd, id) order, each takes its
+        // best-ranked compatible machine; a machine serves at most one
+        // match per cycle.
+        let mut taken: Vec<ActorId> = Vec::new();
+        let mut notifications: Vec<(ActorId, u32, ActorId)> = Vec::new();
+
+        for ((schedd, job), entry) in &self.jobs {
+            // Collect every compatible machine at the best rank, then pick
+            // one uniformly — ties must not always favour the same host, or
+            // a free fast-failing machine becomes a deterministic magnet.
+            let mut best_rank = f64::NEG_INFINITY;
+            let mut candidates: Vec<ActorId> = Vec::new();
+            for (mid, m) in &self.machines {
+                if taken.contains(mid) {
+                    continue;
+                }
+                let r = symmetric_match(&entry.ad, &m.ad);
+                if !r.matched {
+                    continue;
+                }
+                if r.left_rank > best_rank {
+                    best_rank = r.left_rank;
+                    candidates.clear();
+                }
+                if r.left_rank == best_rank {
+                    candidates.push(*mid);
+                }
+            }
+            if !candidates.is_empty() {
+                let mid = candidates[ctx.rng.index(candidates.len())];
+                taken.push(mid);
+                notifications.push((*schedd, *job, mid));
+            }
+        }
+
+        for (schedd, job, machine) in notifications {
+            self.matches_made += 1;
+            ctx.trace(format!("match job {job} -> machine {machine}"));
+            ctx.send_net(schedd, Msg::MatchNotify { job, machine });
+            // The job ad is consumed; the schedd re-advertises if the claim
+            // falls through. The machine ad is consumed likewise.
+            self.jobs.remove(&(schedd, job));
+            self.machines.remove(&machine);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JavaMode, JobSpec};
+    use crate::machine::MachineSpec;
+
+    /// An actor that sends a fixed ad once at startup (so `from` is its own
+    /// id, as with a real startd or schedd), optionally delayed.
+    struct AdSender {
+        mm: ActorId,
+        ad: ClassAd,
+        as_job: Option<u32>,
+        delay: SimDuration,
+        notified: Vec<(u32, usize)>,
+    }
+
+    impl AdSender {
+        fn machine(mm: ActorId, ad: ClassAd) -> AdSender {
+            AdSender {
+                mm,
+                ad,
+                as_job: None,
+                delay: SimDuration::ZERO,
+                notified: vec![],
+            }
+        }
+        fn job(mm: ActorId, job: u32, ad: ClassAd) -> AdSender {
+            AdSender {
+                mm,
+                ad,
+                as_job: Some(job),
+                delay: SimDuration::ZERO,
+                notified: vec![],
+            }
+        }
+    }
+
+    impl Actor<Msg> for AdSender {
+        fn name(&self) -> String {
+            "adsender".into()
+        }
+        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            let msg = match self.as_job {
+                Some(job) => Msg::JobAd {
+                    job,
+                    ad: Box::new(self.ad.clone()),
+                },
+                None => Msg::MachineAd {
+                    ad: Box::new(self.ad.clone()),
+                },
+            };
+            ctx.send_after(self.delay, self.mm, msg);
+        }
+        fn on_message(&mut self, _f: ActorId, msg: Msg, _c: &mut Context<'_, Msg>) {
+            if let Msg::MatchNotify { job, machine } = msg {
+                self.notified.push((job, machine));
+            }
+        }
+    }
+
+    #[test]
+    fn two_way_match_prefers_highest_rank() {
+        let mut w: World<Msg> = World::new(2);
+        let mm = w.add_actor(Box::new(Matchmaker::new()));
+        let job = JobSpec::java(1, "ada", vec![], JavaMode::Scoped);
+        let schedd = w.add_actor(Box::new(AdSender::job(mm, 1, job.ad())));
+        let _small = w.add_actor(Box::new(AdSender::machine(
+            mm,
+            MachineSpec::healthy("small", 128).ad(true),
+        )));
+        let big = w.add_actor(Box::new(AdSender::machine(
+            mm,
+            MachineSpec::healthy("big", 512).ad(true),
+        )));
+        let _nojava = w.add_actor(Box::new(AdSender::machine(
+            mm,
+            MachineSpec::healthy("nojava", 1024).ad(false),
+        )));
+        w.run_until(SimTime::from_secs(15));
+        assert_eq!(w.get::<Matchmaker>(mm).unwrap().matches_made, 1);
+        // The big Java machine wins (ranked by memory); the bigger
+        // machine without Java fails the job's requirements.
+        assert_eq!(
+            w.get::<AdSender>(schedd).unwrap().notified,
+            vec![(1, big)]
+        );
+    }
+
+    #[test]
+    fn consumed_ads_are_not_rematched() {
+        let mut w: World<Msg> = World::new(4);
+        let mm = w.add_actor(Box::new(Matchmaker::new()));
+        let j1 = JobSpec::java(1, "ada", vec![], JavaMode::Scoped);
+        let j2 = JobSpec::java(2, "bob", vec![], JavaMode::Scoped);
+        let s1 = w.add_actor(Box::new(AdSender::job(mm, 1, j1.ad())));
+        let s2 = w.add_actor(Box::new(AdSender::job(mm, 2, j2.ad())));
+        let m = w.add_actor(Box::new(AdSender::machine(
+            mm,
+            MachineSpec::healthy("only", 512).ad(true),
+        )));
+        w.run_until(SimTime::from_secs(60));
+        // One machine, two jobs, ads never refreshed: exactly one match.
+        assert_eq!(w.get::<Matchmaker>(mm).unwrap().matches_made, 1);
+        let total = w.get::<AdSender>(s1).unwrap().notified.len()
+            + w.get::<AdSender>(s2).unwrap().notified.len();
+        assert_eq!(total, 1);
+        let _ = m;
+    }
+
+    #[test]
+    fn stale_machine_ads_expire() {
+        let mut w: World<Msg> = World::new(3);
+        let mm = w.add_actor(Box::new(Matchmaker::new()));
+        let _m = w.add_actor(Box::new(AdSender::machine(
+            mm,
+            MachineSpec::healthy("m", 512).ad(true),
+        )));
+        // The job ad arrives long after the machine ad has gone stale.
+        let mut late = AdSender::job(mm, 1, JobSpec::java(1, "ada", vec![], JavaMode::Scoped).ad());
+        late.delay = SimDuration::from_secs(60);
+        let _s = w.add_actor(Box::new(late));
+        w.run_until(SimTime::from_secs(120));
+        assert_eq!(w.get::<Matchmaker>(mm).unwrap().matches_made, 0);
+    }
+}

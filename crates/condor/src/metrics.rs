@@ -1,0 +1,132 @@
+//! Pool-level accounting: the quantities the experiments report.
+
+use desim::SimDuration;
+use errorscope::Scope;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Counters accumulated by the schedd over one run.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct Metrics {
+    /// Jobs that reached a true program result (completion or program
+    /// exception) delivered to the user.
+    pub jobs_completed: u64,
+    /// Jobs marked unexecutable (job scope) and returned to the user.
+    pub jobs_unexecutable: u64,
+    /// Jobs parked after exhausting their attempt budget.
+    pub jobs_held: u64,
+    /// Incidental (environment-scope) errors delivered to the user as if
+    /// they were program results — the naive system's signature failure.
+    pub incidental_errors_shown_to_user: u64,
+    /// Human postmortems performed (naive mode resubmissions).
+    pub postmortems: u64,
+    /// Times the schedd logged an environmental error and rescheduled.
+    pub reschedules: u64,
+    /// Claims that were rejected or timed out.
+    pub failed_claims: u64,
+    /// Execution reports that never arrived (machine crash / partition).
+    pub vanished_attempts: u64,
+    /// Jobs evicted by owner activity.
+    pub evictions: u64,
+    /// Execution time preserved by checkpoints across evictions.
+    #[serde(skip)]
+    pub checkpointed_work: SimDuration,
+    /// Execution time thrown away by evictions of non-checkpointable jobs.
+    #[serde(skip)]
+    pub work_lost_to_eviction: SimDuration,
+    /// CPU time spent on attempts that produced a program result.
+    #[serde(skip)]
+    pub useful_cpu: SimDuration,
+    /// CPU time spent on attempts that failed environmentally — the §5
+    /// black-hole waste.
+    #[serde(skip)]
+    pub wasted_cpu: SimDuration,
+    /// Execution outcomes by scope, as observed by the schedd (ground
+    /// truth in naive mode comes from the report's accounting field).
+    pub outcomes_by_scope: BTreeMap<String, u64>,
+}
+
+impl Metrics {
+    /// Record an execution outcome of the given true scope.
+    pub fn record_outcome(&mut self, scope: Scope, cpu: SimDuration) {
+        *self
+            .outcomes_by_scope
+            .entry(scope.name().to_string())
+            .or_insert(0) += 1;
+        if scope == Scope::Program {
+            self.useful_cpu += cpu;
+        } else {
+            self.wasted_cpu += cpu;
+        }
+    }
+
+    /// Fraction of total execution CPU that was useful. 1.0 when no CPU
+    /// was spent at all.
+    pub fn cpu_efficiency(&self) -> f64 {
+        let useful = self.useful_cpu.as_micros() as f64;
+        let total = useful + self.wasted_cpu.as_micros() as f64;
+        if total == 0.0 {
+            1.0
+        } else {
+            useful / total
+        }
+    }
+
+    /// Jobs that left the queue in any user-facing way.
+    pub fn jobs_finished(&self) -> u64 {
+        self.jobs_completed + self.jobs_unexecutable + self.jobs_held
+    }
+}
+
+/// The per-machine view, extracted from startds after a run.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct MachineStats {
+    /// Display name.
+    pub name: String,
+    /// Whether the startd advertised Java capability (post self-test,
+    /// possibly revoked by learning).
+    pub advertising_java: bool,
+    /// Claims accepted.
+    pub claims_accepted: u64,
+    /// Claims rejected.
+    pub claims_rejected: u64,
+    /// Executions performed.
+    pub executions: u64,
+    /// Executions that failed with remote-resource scope (this machine's
+    /// own fault).
+    pub remote_resource_failures: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_accounting() {
+        let mut m = Metrics::default();
+        m.record_outcome(Scope::Program, SimDuration::from_secs(60));
+        m.record_outcome(Scope::RemoteResource, SimDuration::from_secs(20));
+        m.record_outcome(Scope::RemoteResource, SimDuration::from_secs(20));
+        assert_eq!(m.outcomes_by_scope["program"], 1);
+        assert_eq!(m.outcomes_by_scope["remote-resource"], 2);
+        assert_eq!(m.useful_cpu, SimDuration::from_secs(60));
+        assert_eq!(m.wasted_cpu, SimDuration::from_secs(40));
+        assert!((m.cpu_efficiency() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_with_no_cpu_is_one() {
+        assert_eq!(Metrics::default().cpu_efficiency(), 1.0);
+    }
+
+    #[test]
+    fn finished_sums_terminal_states() {
+        let m = Metrics {
+            jobs_completed: 3,
+            jobs_unexecutable: 2,
+            jobs_held: 1,
+            ..Metrics::default()
+        };
+        assert_eq!(m.jobs_finished(), 6);
+    }
+}

@@ -1,0 +1,185 @@
+//! The message alphabet of the simulated Condor kernel.
+//!
+//! These are the arrows of Figure 1 (matchmaking, claiming) and Figure 2
+//! (activation, execution reports), plus the self-addressed timer messages
+//! each daemon uses for periodic work and timeouts.
+
+use crate::job::{JobId, Universe};
+use classads::ClassAd;
+use desim::{SimDuration, SimTime};
+use errorscope::resultfile::ResultFile;
+use errorscope::Scope;
+use std::collections::BTreeMap;
+
+/// A snapshot of the submitter's home file system, shipped with a claim
+/// activation (the shadow "providing the details of the job to be run,
+/// such as the executable, the input files, and the arguments").
+#[derive(Debug, Clone, Default)]
+pub struct FsSnapshot {
+    /// Input files and contents.
+    pub files: BTreeMap<String, Vec<u8>>,
+    /// Inputs the schedd could not provide (named by the job but missing).
+    pub missing: Vec<String>,
+}
+
+/// Everything the starter needs to run one job.
+#[derive(Debug, Clone)]
+pub struct Activation {
+    /// Which job.
+    pub job: JobId,
+    /// The program image.
+    pub image: Vec<u8>,
+    /// Universe (and Java error discipline).
+    pub universe: Universe,
+    /// Input snapshot.
+    pub snapshot: FsSnapshot,
+    /// Nominal execution time.
+    pub exec_time: SimDuration,
+    /// Whether the job performs remote I/O against the shadow.
+    pub does_remote_io: bool,
+    /// The schedd (shadow host) this claim belongs to.
+    pub schedd: usize,
+}
+
+/// What the starter tells the shadow when execution concludes.
+#[derive(Debug, Clone)]
+pub enum ExecutionReport {
+    /// The naive Java Universe (and the Vanilla universe): the process
+    /// exit code is all the schedd gets.
+    NaiveExit {
+        /// The VM process exit code.
+        code: i32,
+        /// Captured stdout.
+        stdout: String,
+        /// What the user would have to discover by postmortem: the true
+        /// scope of the outcome. Carried for *accounting only* — the naive
+        /// schedd logic never reads it.
+        truth_scope: Scope,
+        /// Human-readable truth, for the event log.
+        truth_note: String,
+    },
+    /// The scope-aware Java Universe: the wrapper's result file.
+    Scoped {
+        /// The result file read back by the starter.
+        result: ResultFile,
+    },
+    /// The machine owner reclaimed the machine; the starter evicted the
+    /// job. Not an error — owner policy. For Standard-universe jobs the
+    /// starter took a checkpoint first.
+    Evicted {
+        /// Execution time completed before eviction (banked for Standard
+        /// jobs, lost for others).
+        completed: SimDuration,
+        /// Whether a checkpoint was taken (Standard universe only).
+        checkpointed: bool,
+    },
+}
+
+/// One message.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    // ---- timers (self-addressed) ----
+    /// Periodic: advertise to the matchmaker.
+    AdvertiseTick,
+    /// Periodic (matchmaker): run a negotiation cycle.
+    NegotiateTick,
+    /// The claim handshake for `job` timed out.
+    ClaimTimeout {
+        /// Which job.
+        job: JobId,
+        /// The machine being claimed.
+        machine: usize,
+    },
+    /// No execution report arrived for `job` in time.
+    ReportTimeout {
+        /// Which job.
+        job: JobId,
+        /// The machine it was running on.
+        machine: usize,
+        /// Attempt number the timeout was armed for (stale timeouts are
+        /// ignored).
+        attempt: usize,
+    },
+    /// The human finished postmortem analysis of a wrongly-returned job
+    /// (naive mode only) and resubmits it.
+    PostmortemDone {
+        /// Which job.
+        job: JobId,
+    },
+    /// A delayed retry: put the job back in the idle queue.
+    RetryJob {
+        /// Which job.
+        job: JobId,
+    },
+    /// The starter's execution of `job` finished (startd self-timer).
+    ExecutionComplete {
+        /// Which job.
+        job: JobId,
+    },
+
+    // ---- matchmaking (Figure 1: "Matchmaking Protocol") ----
+    /// A startd advertises its machine.
+    MachineAd {
+        /// The machine's ClassAd (with `HasJava` per the self-test).
+        ad: Box<ClassAd>,
+    },
+    /// A schedd advertises one idle job.
+    JobAd {
+        /// Which job.
+        job: JobId,
+        /// The job's ClassAd.
+        ad: Box<ClassAd>,
+    },
+    /// The matchmaker notifies the schedd of a compatible partner
+    /// ("notifies schedds and startds of compatible partners").
+    MatchNotify {
+        /// Which job.
+        job: JobId,
+        /// The matched machine (startd actor id).
+        machine: usize,
+    },
+
+    // ---- claiming (Figure 1: "Claiming Protocol") ----
+    /// The schedd asks to claim the machine for a job.
+    ClaimRequest {
+        /// Which job.
+        job: JobId,
+        /// The job ad, for the startd's own verification ("matched
+        /// processes are individually responsible for … verifying that
+        /// their needs are met").
+        ad: Box<ClassAd>,
+    },
+    /// The startd accepts the claim.
+    ClaimAccept {
+        /// Which job.
+        job: JobId,
+    },
+    /// The startd declines.
+    ClaimReject {
+        /// Which job.
+        job: JobId,
+        /// Why.
+        reason: String,
+    },
+    /// The schedd releases a claim it cannot activate (e.g. its home file
+    /// system is offline at staging time).
+    ReleaseClaim {
+        /// Which job.
+        job: JobId,
+    },
+
+    // ---- shadow/starter (Figure 1: "Control Protocol") ----
+    /// The shadow activates the claim with the job details.
+    ActivateClaim(Box<Activation>),
+    /// The starter reports the outcome to the shadow.
+    StarterReport {
+        /// Which job.
+        job: JobId,
+        /// The outcome.
+        report: ExecutionReport,
+        /// CPU time consumed at the execution site.
+        cpu: SimDuration,
+        /// When execution started (for the attempt record).
+        started: SimTime,
+    },
+}

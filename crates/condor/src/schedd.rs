@@ -1,0 +1,568 @@
+//! The schedd and its shadows.
+//!
+//! "A user submits jobs to a schedd, which keeps the job state in
+//! persistent storage, and works to find places where the job may be
+//! executed … The schedd starts a shadow, which is responsible for
+//! providing the details of the job to be run" (§2.1).
+//!
+//! The schedd is "the last line of defense" (§4): an error of program scope
+//! completes the job; an error of job scope marks it unexecutable; anything
+//! in between is logged and the job tries another site. In the **naive**
+//! discipline, every exit is delivered to the user as a result — and the
+//! *user* pays for the missing scope information with postmortem time.
+
+use crate::faults::FaultPlan;
+use crate::job::{Attempt, JobId, JobRecord, JobSpec, JobState};
+use crate::metrics::Metrics;
+use crate::msg::{Activation, ExecutionReport, FsSnapshot, Msg};
+use desim::prelude::*;
+use errorscope::propagate::Disposition;
+use errorscope::resultfile::{Outcome, ResultFile};
+use errorscope::Scope;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// How often the schedd advertises its idle jobs.
+pub const ADVERTISE_PERIOD: SimDuration = SimDuration::from_secs(5);
+
+/// The schedd's configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ScheddPolicy {
+    /// Delay before re-advertising after an environmental failure.
+    pub retry_delay: SimDuration,
+    /// Delay before retrying after a *local-resource* failure — the home
+    /// file system needs time to come back; trying another execution site
+    /// would not help.
+    pub local_resource_delay: SimDuration,
+    /// How long the human takes to postmortem a wrongly-returned job
+    /// (naive mode). "A human is the slowest part of any computing system."
+    pub postmortem_delay: SimDuration,
+    /// Attempts before the job is parked.
+    pub max_attempts: u32,
+    /// §5's complementary approach: "enhance the schedd with logic to
+    /// detect and avoid hosts with chronic failures."
+    pub avoid_chronic_hosts: bool,
+    /// Environmental failures on one host before it is avoided.
+    pub avoid_threshold: u32,
+    /// Claim handshake timeout.
+    pub claim_timeout: SimDuration,
+    /// Extra slack on top of the job's own execution time before the
+    /// shadow declares the attempt vanished.
+    pub report_slack: SimDuration,
+}
+
+impl Default for ScheddPolicy {
+    fn default() -> Self {
+        ScheddPolicy {
+            retry_delay: SimDuration::from_secs(10),
+            local_resource_delay: SimDuration::from_secs(120),
+            postmortem_delay: SimDuration::from_secs(600),
+            max_attempts: 20,
+            avoid_chronic_hosts: false,
+            avoid_threshold: 2,
+            claim_timeout: SimDuration::from_secs(20),
+            report_slack: SimDuration::from_secs(120),
+        }
+    }
+}
+
+/// One line of the user's view of the queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserEvent {
+    /// When.
+    pub at: SimTime,
+    /// Which job.
+    pub job: JobId,
+    /// What the user was told.
+    pub text: String,
+}
+
+/// The schedd actor.
+pub struct Schedd {
+    matchmaker: ActorId,
+    policy: ScheddPolicy,
+    plan: Arc<FaultPlan>,
+    /// The job queue ("persistent storage").
+    pub jobs: BTreeMap<JobId, JobRecord>,
+    /// The submitter's home file system contents.
+    pub home_fs: BTreeMap<String, Vec<u8>>,
+    /// Hosts with chronic environmental failures (machine → count).
+    pub chronic: BTreeMap<usize, u32>,
+    /// Accounting.
+    pub metrics: Metrics,
+    /// What the user saw, in order.
+    pub user_log: Vec<UserEvent>,
+    self_id: usize,
+}
+
+impl Schedd {
+    /// A schedd with an empty queue.
+    pub fn new(matchmaker: ActorId, policy: ScheddPolicy, plan: Arc<FaultPlan>) -> Schedd {
+        Schedd {
+            matchmaker,
+            policy,
+            plan,
+            jobs: BTreeMap::new(),
+            home_fs: BTreeMap::new(),
+            chronic: BTreeMap::new(),
+            metrics: Metrics::default(),
+            user_log: Vec::new(),
+            self_id: usize::MAX,
+        }
+    }
+
+    /// Submit a job before the world starts.
+    pub fn submit(&mut self, spec: JobSpec) {
+        let id = spec.id;
+        self.jobs.insert(id, JobRecord::new(spec, SimTime::ZERO));
+    }
+
+    /// Place a file in the submitter's home file system.
+    pub fn put_home_file(&mut self, path: &str, data: &[u8]) {
+        self.home_fs.insert(path.to_string(), data.to_vec());
+    }
+
+    /// Are all jobs in terminal states?
+    pub fn all_done(&self) -> bool {
+        self.jobs.values().all(|j| j.state.is_terminal())
+    }
+
+    fn user_sees(&mut self, at: SimTime, job: JobId, text: impl Into<String>) {
+        self.user_log.push(UserEvent {
+            at,
+            job,
+            text: text.into(),
+        });
+    }
+
+    fn is_avoided(&self, machine: usize) -> bool {
+        self.policy.avoid_chronic_hosts
+            && self
+                .chronic
+                .get(&machine)
+                .is_some_and(|c| *c >= self.policy.avoid_threshold)
+    }
+
+    /// The job's ad with `TARGET.MachineId =!= id` clauses appended for
+    /// every avoided host — how the schedd "avoids hosts with chronic
+    /// failures" (§5) without the matchmaker needing to know why.
+    fn ad_excluding(spec: &JobSpec, avoided: &[usize]) -> classads::ClassAd {
+        use classads::ast::{BinOp, Expr};
+        let mut ad = spec.ad();
+        if avoided.is_empty() {
+            return ad;
+        }
+        let mut req = ad
+            .get("Requirements")
+            .cloned()
+            .unwrap_or(Expr::boolean(true));
+        for id in avoided {
+            req = req.and(Expr::target("MachineId").bin(BinOp::MetaNe, Expr::int(*id as i64)));
+        }
+        ad.insert_expr("Requirements", req);
+        ad
+    }
+
+    fn snapshot_for(&self, spec: &JobSpec) -> FsSnapshot {
+        let mut snap = FsSnapshot::default();
+        for input in &spec.inputs {
+            match self.home_fs.get(input) {
+                Some(data) => {
+                    snap.files.insert(input.clone(), data.clone());
+                }
+                None => snap.missing.push(input.clone()),
+            }
+        }
+        snap
+    }
+}
+
+impl Actor<Msg> for Schedd {
+    fn name(&self) -> String {
+        "schedd".into()
+    }
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.self_id = ctx.self_id;
+        ctx.send_self_after(ADVERTISE_PERIOD, Msg::AdvertiseTick);
+    }
+
+    fn on_message(&mut self, from: ActorId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+        self.self_id = ctx.self_id;
+        match msg {
+            Msg::AdvertiseTick => {
+                let avoided: Vec<usize> = if self.policy.avoid_chronic_hosts {
+                    self.chronic
+                        .iter()
+                        .filter(|(_, c)| **c >= self.policy.avoid_threshold)
+                        .map(|(m, _)| *m)
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                let ads: Vec<(JobId, classads::ClassAd)> = self
+                    .jobs
+                    .values()
+                    .filter(|j| matches!(j.state, JobState::Idle))
+                    .map(|j| (j.spec.id, Self::ad_excluding(&j.spec, &avoided)))
+                    .collect();
+                for (job, ad) in ads {
+                    ctx.send_net(self.matchmaker, Msg::JobAd {
+                        job,
+                        ad: Box::new(ad),
+                    });
+                }
+                ctx.send_self_after(ADVERTISE_PERIOD, Msg::AdvertiseTick);
+            }
+
+            Msg::MatchNotify { job, machine } => {
+                let avoided = self.is_avoided(machine);
+                let Some(rec) = self.jobs.get_mut(&job) else {
+                    return;
+                };
+                if !matches!(rec.state, JobState::Idle) {
+                    return;
+                }
+                if avoided {
+                    ctx.trace(format!("avoiding chronic host {machine} for job {job}"));
+                    return; // stays idle; re-advertised next tick
+                }
+                rec.state = JobState::Claiming { machine };
+                let ad = rec.spec.ad();
+                ctx.trace(format!("claiming machine {machine} for job {job}"));
+                ctx.send_net(machine, Msg::ClaimRequest {
+                    job,
+                    ad: Box::new(ad),
+                });
+                ctx.send_self_after(self.policy.claim_timeout, Msg::ClaimTimeout { job, machine });
+            }
+
+            Msg::ClaimAccept { job } => {
+                let Some(rec) = self.jobs.get(&job) else {
+                    return;
+                };
+                let JobState::Claiming { machine } = rec.state else {
+                    return;
+                };
+                if machine != from {
+                    return;
+                }
+                // The shadow stages the job. If the home file system is
+                // down right now, staging itself fails: a local-resource
+                // error the shadow reports to the schedd ("the job cannot
+                // run right now").
+                if self.plan.fs_fault_at(ctx.self_id, ctx.now).is_some()
+                    && !self.jobs[&job].spec.inputs.is_empty()
+                {
+                    ctx.trace(format!(
+                        "staging failed for job {job}: home file system offline"
+                    ));
+                    ctx.send_net(machine, Msg::ReleaseClaim { job });
+                    self.metrics.reschedules += 1;
+                    let rec = self.jobs.get_mut(&job).unwrap();
+                    rec.state = JobState::Waiting;
+                    ctx.send_self_after(self.policy.local_resource_delay, Msg::RetryJob { job });
+                    return;
+                }
+                let rec = self.jobs.get_mut(&job).unwrap();
+                let spec = rec.spec.clone();
+                // Standard-universe jobs resume from their checkpoint: only
+                // the remaining execution time is needed.
+                let remaining = if matches!(spec.universe, crate::job::Universe::Standard) {
+                    let left = spec
+                        .exec_time
+                        .as_micros()
+                        .saturating_sub(rec.progress.as_micros());
+                    SimDuration::from_micros(left.max(1))
+                } else {
+                    spec.exec_time
+                };
+                rec.state = JobState::Running { machine };
+                let attempt_no = rec.attempts.len();
+                let snapshot = self.snapshot_for(&spec);
+                ctx.trace(format!("shadow activating job {job} on machine {machine}"));
+                ctx.send_net(
+                    machine,
+                    Msg::ActivateClaim(Box::new(Activation {
+                        job,
+                        image: spec.image.clone(),
+                        universe: spec.universe,
+                        snapshot,
+                        exec_time: remaining,
+                        does_remote_io: spec.does_remote_io,
+                        schedd: ctx.self_id,
+                    })),
+                );
+                let deadline = remaining + remaining + self.policy.report_slack;
+                ctx.send_self_after(deadline, Msg::ReportTimeout {
+                    job,
+                    machine,
+                    attempt: attempt_no,
+                });
+            }
+
+            Msg::ClaimReject { job, reason } => {
+                let Some(rec) = self.jobs.get_mut(&job) else {
+                    return;
+                };
+                let JobState::Claiming { machine } = rec.state else {
+                    return;
+                };
+                if machine != from {
+                    return;
+                }
+                ctx.trace(format!("claim rejected for job {job}: {reason}"));
+                self.metrics.failed_claims += 1;
+                rec.state = JobState::Idle;
+            }
+
+            Msg::ClaimTimeout { job, machine } => {
+                let Some(rec) = self.jobs.get_mut(&job) else {
+                    return;
+                };
+                if rec.state == (JobState::Claiming { machine }) {
+                    ctx.trace(format!("claim timeout for job {job} on machine {machine}"));
+                    self.metrics.failed_claims += 1;
+                    rec.state = JobState::Idle;
+                }
+            }
+
+            Msg::StarterReport {
+                job,
+                report,
+                cpu,
+                started,
+            } => {
+                self.handle_report(job, from, report, cpu, started, ctx);
+            }
+
+            Msg::ReportTimeout {
+                job,
+                machine,
+                attempt,
+            } => {
+                let Some(rec) = self.jobs.get_mut(&job) else {
+                    return;
+                };
+                if rec.state != (JobState::Running { machine }) || rec.attempts.len() != attempt {
+                    return; // a report arrived; stale timer
+                }
+                // The claim evaporated: machine crash or partition. An
+                // escaping error whose only representation is silence —
+                // time gives it scope (§5).
+                ctx.trace(format!(
+                    "report timeout: job {job} vanished on machine {machine}"
+                ));
+                let exec_time = rec.spec.exec_time;
+                rec.attempts.push(Attempt {
+                    machine,
+                    started: ctx.now,
+                    ended: ctx.now,
+                    scope: None,
+                    note: "no report: machine crashed or unreachable".into(),
+                });
+                self.metrics.vanished_attempts += 1;
+                self.metrics.wasted_cpu += exec_time;
+                *self.chronic.entry(machine).or_insert(0) += 1;
+                self.reschedule_or_hold(job, self.policy.retry_delay, ctx);
+            }
+
+            Msg::RetryJob { job } => {
+                if let Some(rec) = self.jobs.get_mut(&job) {
+                    if matches!(rec.state, JobState::Waiting) {
+                        rec.state = JobState::Idle;
+                    }
+                }
+            }
+
+            Msg::PostmortemDone { job } => {
+                let Some(rec) = self.jobs.get_mut(&job) else {
+                    return;
+                };
+                if !matches!(rec.state, JobState::AwaitingPostmortem { .. }) {
+                    return;
+                }
+                self.metrics.postmortems += 1;
+                ctx.trace(format!("user resubmits job {job} after postmortem"));
+                self.reschedule_or_hold(job, SimDuration::from_micros(1), ctx);
+            }
+
+            _ => {}
+        }
+    }
+}
+
+impl Schedd {
+    /// Reschedule after `delay`, or hold the job if its attempt budget is
+    /// exhausted.
+    fn reschedule_or_hold(&mut self, job: JobId, delay: SimDuration, ctx: &mut Context<'_, Msg>) {
+        let max = self.policy.max_attempts;
+        let rec = self.jobs.get_mut(&job).expect("job exists");
+        if rec.attempts.len() as u32 >= max {
+            rec.state = JobState::Held {
+                reason: format!("{} failed attempts", rec.attempts.len()),
+            };
+            rec.finished = Some(ctx.now);
+            self.metrics.jobs_held += 1;
+            self.user_sees(ctx.now, job, "job held: too many failed attempts");
+            return;
+        }
+        rec.state = JobState::Waiting;
+        ctx.send_self_after(delay, Msg::RetryJob { job });
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn handle_report(
+        &mut self,
+        job: JobId,
+        machine: ActorId,
+        report: ExecutionReport,
+        cpu: SimDuration,
+        started: SimTime,
+        ctx: &mut Context<'_, Msg>,
+    ) {
+        let Some(rec) = self.jobs.get(&job) else {
+            return;
+        };
+        if rec.state != (JobState::Running { machine }) {
+            return; // late report after a timeout already acted
+        }
+
+        match report {
+            // ---- owner reclaimed the machine: not an error at all ----
+            ExecutionReport::Evicted {
+                completed,
+                checkpointed,
+            } => {
+                self.metrics.evictions += 1;
+                let rec = self.jobs.get_mut(&job).unwrap();
+                if checkpointed {
+                    rec.progress += completed;
+                    self.metrics.checkpointed_work += completed;
+                } else {
+                    self.metrics.work_lost_to_eviction += completed;
+                }
+                let rec = self.jobs.get_mut(&job).unwrap();
+                rec.attempts.push(Attempt {
+                    machine,
+                    started,
+                    ended: ctx.now,
+                    scope: None,
+                    note: if checkpointed {
+                        format!("evicted by owner; checkpointed {completed} of work")
+                    } else {
+                        format!("evicted by owner; {completed} of work lost")
+                    },
+                });
+                ctx.trace(format!("job {job} evicted from machine {machine}"));
+                // Owner policy, not a chronic failure: reschedule without
+                // blaming the host.
+                self.reschedule_or_hold(job, self.policy.retry_delay, ctx);
+                let _ = cpu;
+            }
+
+            // ---- the naive discipline: the exit code is the result ----
+            ExecutionReport::NaiveExit {
+                code,
+                stdout: _,
+                truth_scope,
+                truth_note,
+            } => {
+                {
+                    let rec = self.jobs.get_mut(&job).unwrap();
+                    rec.attempts.push(Attempt {
+                        machine,
+                        started,
+                        ended: ctx.now,
+                        scope: Some(truth_scope),
+                        note: truth_note.clone(),
+                    });
+                }
+                self.metrics.record_outcome(truth_scope, cpu);
+                if truth_scope == Scope::Program {
+                    let rec = self.jobs.get_mut(&job).unwrap();
+                    rec.state = JobState::Completed {
+                        result: ResultFile::completed(code),
+                    };
+                    rec.finished = Some(ctx.now);
+                    self.metrics.jobs_completed += 1;
+                    self.user_sees(ctx.now, job, format!("job exited with code {code}"));
+                } else {
+                    // The environmental error reaches the user dressed as a
+                    // result. "It required frequent postmortem analysis to
+                    // determine whether the job had exited of its own
+                    // account or because of accidental properties of the
+                    // execution site."
+                    self.metrics.incidental_errors_shown_to_user += 1;
+                    let shown = format!("job exited with code {code}");
+                    self.user_sees(ctx.now, job, shown.clone());
+                    let rec = self.jobs.get_mut(&job).unwrap();
+                    rec.state = JobState::AwaitingPostmortem { shown };
+                    ctx.send_self_after(self.policy.postmortem_delay, Msg::PostmortemDone { job });
+                }
+            }
+
+            // ---- the scoped discipline: route by error scope ----
+            ExecutionReport::Scoped { result } => {
+                let scope = result.scope();
+                let note = result.to_string();
+                {
+                    let rec = self.jobs.get_mut(&job).unwrap();
+                    rec.attempts.push(Attempt {
+                        machine,
+                        started,
+                        ended: ctx.now,
+                        scope: Some(scope),
+                        note: note.clone(),
+                    });
+                }
+                self.metrics.record_outcome(scope, cpu);
+                match Disposition::for_scope(scope) {
+                    Disposition::ReturnCompleted => {
+                        let rec = self.jobs.get_mut(&job).unwrap();
+                        let text = match &result.outcome {
+                            Outcome::Completed { exit_code } => {
+                                format!("job completed with exit code {exit_code}")
+                            }
+                            Outcome::ProgramException { exception, message } => {
+                                format!("job threw {exception}: {message}")
+                            }
+                            Outcome::EnvironmentFailure { .. } => unreachable!(),
+                        };
+                        rec.state = JobState::Completed { result };
+                        rec.finished = Some(ctx.now);
+                        self.metrics.jobs_completed += 1;
+                        self.user_sees(ctx.now, job, text);
+                    }
+                    Disposition::ReturnUnexecutable => {
+                        let rec = self.jobs.get_mut(&job).unwrap();
+                        rec.state = JobState::Unexecutable {
+                            reason: note.clone(),
+                        };
+                        rec.finished = Some(ctx.now);
+                        self.metrics.jobs_unexecutable += 1;
+                        self.user_sees(ctx.now, job, format!("job is unexecutable: {note}"));
+                    }
+                    Disposition::LogAndReschedule | Disposition::EscalateToHuman => {
+                        // "Anything in between causes it to log the error
+                        // and then attempt to execute the program at a new
+                        // site."
+                        ctx.trace(format!(
+                            "logged {scope}-scope error for job {job}; rescheduling"
+                        ));
+                        self.metrics.reschedules += 1;
+                        if scope != Scope::LocalResource {
+                            *self.chronic.entry(machine).or_insert(0) += 1;
+                        }
+                        let delay = if scope == Scope::LocalResource {
+                            self.policy.local_resource_delay
+                        } else {
+                            self.policy.retry_delay
+                        };
+                        self.reschedule_or_hold(job, delay, ctx);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,428 @@
+//! The startd and its starter.
+//!
+//! "Each execution site is managed by a startd that enforces the machine
+//! owner's policy … The startd creates a starter, which is responsible for
+//! the execution environment, such as creating a scratch directory, loading
+//! the executable, and moving input and output files" (§2.1). Here the
+//! starter is the startd's execution arm: it builds the scratch sandbox,
+//! hosts the Chirp proxy, invokes the VM (bare in the naive mode, wrapped
+//! in the scoped mode), and reports to the shadow.
+//!
+//! Two §5 mechanisms live here:
+//! * the **startup self-test** ("rather than blindly accept each owner's
+//!   assertion regarding the Java installation, we modified the startd to
+//!   test the installation at startup"), and
+//! * optional **learning from failures**: a remote-resource-scope failure
+//!   is the starter's to handle (Figure 3), and the startd reacts by
+//!   ceasing to advertise the capability.
+
+use crate::faults::FaultPlan;
+use crate::job::Universe;
+use crate::machine::MachineSpec;
+use crate::metrics::MachineStats;
+use crate::msg::{Activation, ExecutionReport, Msg};
+use chirp::backend::MemFs;
+use chirp::client::{ChirpClient, ClientDiscipline};
+use chirp::cookie::Cookie;
+use chirp::server::{ChirpServer, ErrorDiscipline};
+use chirp::transport::DirectTransport;
+use classads::matchmaking::requirements_met;
+use desim::prelude::*;
+use errorscope::error::codes;
+use errorscope::resultfile::ResultFile;
+use errorscope::Scope;
+use gridvm::config::SelfTestDepth;
+use gridvm::jvmio::{ChirpJobIo, NoIo};
+use gridvm::wrapper::{run_naive, run_wrapped};
+use gridvm::{self_test, Termination};
+use std::sync::Arc;
+
+/// How often the startd advertises while free.
+pub const ADVERTISE_PERIOD: SimDuration = SimDuration::from_secs(5);
+/// How long a failed startup (misconfiguration, corrupt image) occupies the
+/// machine before the error surfaces — fast, but not free. This is what
+/// makes §5's black holes attractive: they "fail fast" and come right back
+/// for more jobs.
+pub const FAIL_FAST_TIME: SimDuration = SimDuration::from_secs(2);
+
+/// The startd's configuration knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct StartdPolicy {
+    /// Depth of the startup installation test (§5).
+    pub self_test: SelfTestDepth,
+    /// Whether a remote-resource-scope failure revokes the advertised
+    /// capability (the "complementary approach" applied at the execution
+    /// side).
+    pub learn_from_failures: bool,
+}
+
+impl Default for StartdPolicy {
+    fn default() -> Self {
+        StartdPolicy {
+            self_test: SelfTestDepth::None,
+            learn_from_failures: false,
+        }
+    }
+}
+
+enum State {
+    Free,
+    Claimed {
+        schedd: ActorId,
+        job: u32,
+    },
+    Running {
+        schedd: ActorId,
+        job: u32,
+        started: SimTime,
+        report: ExecutionReport,
+        cpu: SimDuration,
+    },
+}
+
+/// The startd actor.
+pub struct Startd {
+    spec: MachineSpec,
+    policy: StartdPolicy,
+    matchmaker: ActorId,
+    plan: Arc<FaultPlan>,
+    state: State,
+    advertising_java: bool,
+    /// This actor's id, learned from the context (used as the fault-plan
+    /// key).
+    stats_id: usize,
+    /// Accumulated statistics.
+    pub stats: MachineStats,
+}
+
+impl Startd {
+    /// A startd for `spec`, reporting to `matchmaker`, under `plan`.
+    pub fn new(
+        spec: MachineSpec,
+        policy: StartdPolicy,
+        matchmaker: ActorId,
+        plan: Arc<FaultPlan>,
+    ) -> Startd {
+        let stats = MachineStats {
+            name: spec.name.clone(),
+            ..MachineStats::default()
+        };
+        Startd {
+            spec,
+            policy,
+            matchmaker,
+            plan,
+            state: State::Free,
+            advertising_java: false,
+            stats_id: usize::MAX,
+            stats,
+        }
+    }
+
+    /// Is the machine currently advertising Java capability?
+    pub fn advertising_java(&self) -> bool {
+        self.advertising_java
+    }
+
+    fn crashed(&self, now: SimTime) -> bool {
+        self.plan.crashed_at(self.stats_id, now)
+    }
+}
+
+impl Actor<Msg> for Startd {
+    fn name(&self) -> String {
+        format!("startd:{}", self.spec.name)
+    }
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.stats_id = ctx.self_id;
+        // §5: test the installation before advertising the capability.
+        self.advertising_java =
+            self.spec.asserts_java && self_test(&self.spec.installation, self.policy.self_test);
+        self.stats.advertising_java = self.advertising_java;
+        ctx.trace(format!(
+            "self-test depth {:?}: advertising_java={}",
+            self.policy.self_test, self.advertising_java
+        ));
+        ctx.send_self_after(ADVERTISE_PERIOD, Msg::AdvertiseTick);
+    }
+
+    fn on_message(&mut self, from: ActorId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+        self.stats_id = ctx.self_id;
+        match msg {
+            Msg::AdvertiseTick => {
+                if self.crashed(ctx.now) {
+                    // Crash wipes any in-flight work; the shadow's timeout
+                    // is what notices.
+                    self.state = State::Free;
+                } else if self.plan.owner_busy_at(ctx.self_id, ctx.now) {
+                    // The owner is using the machine: withdraw from the
+                    // pool (an already-running job was evicted at the
+                    // window onset by the ExecutionComplete path).
+                } else if matches!(self.state, State::Free) {
+                    let mut ad = self.spec.ad(self.advertising_java);
+                    ad.insert("MachineId", classads::Value::Int(ctx.self_id as i64));
+                    ctx.send_net(self.matchmaker, Msg::MachineAd { ad: Box::new(ad) });
+                }
+                ctx.send_self_after(ADVERTISE_PERIOD, Msg::AdvertiseTick);
+            }
+            Msg::ClaimRequest { job, ad } => {
+                if self.crashed(ctx.now) {
+                    return; // silence; the schedd's claim timeout fires
+                }
+                if !matches!(self.state, State::Free) {
+                    self.stats.claims_rejected += 1;
+                    ctx.send_net(from, Msg::ClaimReject {
+                        job,
+                        reason: "busy".into(),
+                    });
+                    return;
+                }
+                // "Matched processes are individually responsible for …
+                // verifying that their needs are met."
+                let my_ad = self.spec.ad(self.advertising_java);
+                if !requirements_met(&my_ad, &ad) || !requirements_met(&ad, &my_ad) {
+                    self.stats.claims_rejected += 1;
+                    ctx.send_net(from, Msg::ClaimReject {
+                        job,
+                        reason: "requirements no longer met".into(),
+                    });
+                    return;
+                }
+                self.stats.claims_accepted += 1;
+                self.state = State::Claimed { schedd: from, job };
+                ctx.trace(format!("claim accepted for job {job}"));
+                ctx.send_net(from, Msg::ClaimAccept { job });
+            }
+            Msg::ActivateClaim(act) => {
+                let State::Claimed { schedd, job } = self.state else {
+                    return; // stale activation
+                };
+                if schedd != from || act.job != job || self.crashed(ctx.now) {
+                    return;
+                }
+                let (mut report, mut cpu) = self.execute(&act, ctx);
+                // Owner reclamation: if the owner returns before the run
+                // finishes, the job is evicted at that instant. Standard-
+                // universe jobs are checkpointed first (§2.1); everyone
+                // else loses the partial work.
+                let t_done = ctx.now + cpu;
+                if let Some(evict_at) = self.plan.owner_returns_during(ctx.self_id, ctx.now, t_done)
+                {
+                    let completed = evict_at - ctx.now;
+                    let checkpointed = matches!(act.universe, Universe::Standard);
+                    ctx.trace(format!(
+                        "owner returning at {evict_at}; job {job} will be evicted{}",
+                        if checkpointed { " (checkpointing)" } else { "" }
+                    ));
+                    report = ExecutionReport::Evicted {
+                        completed,
+                        checkpointed,
+                    };
+                    cpu = completed;
+                }
+                ctx.trace(format!("starter running job {job}"));
+                self.state = State::Running {
+                    schedd,
+                    job,
+                    started: ctx.now,
+                    report,
+                    cpu,
+                };
+                ctx.send_self_after(cpu, Msg::ExecutionComplete { job });
+            }
+            Msg::ExecutionComplete { job } => {
+                let State::Running {
+                    schedd,
+                    job: running,
+                    started,
+                    ..
+                } = self.state
+                else {
+                    return;
+                };
+                if running != job {
+                    return;
+                }
+                if self.plan.crashes_during(ctx.self_id, started, ctx.now) {
+                    // The machine died mid-run: no report, ever. The claim
+                    // evaporates; the shadow's timeout is the escaping
+                    // error's only witness.
+                    ctx.trace(format!("crashed during job {job}; report lost"));
+                    self.state = State::Free;
+                    return;
+                }
+                let State::Running {
+                    report, cpu, started, ..
+                } = std::mem::replace(&mut self.state, State::Free)
+                else {
+                    unreachable!()
+                };
+                ctx.trace(format!("report for job {job}"));
+                ctx.send_net(schedd, Msg::StarterReport {
+                    job,
+                    report,
+                    cpu,
+                    started,
+                });
+            }
+            Msg::ReleaseClaim { job } => {
+                if let State::Claimed { job: claimed, .. } = self.state {
+                    if claimed == job {
+                        self.state = State::Free;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Startd {
+    /// The starter: set up the sandbox and proxy, run the VM, classify.
+    /// Returns the report and the CPU time the attempt will consume.
+    fn execute(&mut self, act: &Activation, ctx: &mut Context<'_, Msg>) -> (ExecutionReport, SimDuration) {
+        self.stats.executions += 1;
+        let t0 = ctx.now;
+        let t_end = t0 + act.exec_time;
+
+        // Missing inputs are a job-scope error: the job as submitted can
+        // never run anywhere.
+        if !act.snapshot.missing.is_empty() {
+            let note = format!("missing input files: {:?}", act.snapshot.missing);
+            if let Universe::Java(crate::job::JavaMode::Scoped) = act.universe {
+                self.react_to_scope(Scope::Job);
+                return (
+                    ExecutionReport::Scoped {
+                        result: ResultFile::environment_failure(
+                            Scope::Job,
+                            codes::MISSING_INPUT,
+                            note,
+                        ),
+                    },
+                    FAIL_FAST_TIME,
+                );
+            }
+            return self.finish(
+                Termination::EnvFailure {
+                    scope: Scope::Job,
+                    code: codes::MISSING_INPUT,
+                    message: note,
+                },
+                String::new(),
+                0,
+                act,
+            );
+        }
+
+        match act.universe {
+            Universe::Vanilla | Universe::Standard => {
+                // No wrapper, no remote I/O: bare exit code semantics.
+                // (Standard additionally checkpoints on eviction, handled
+                // by the caller.)
+                let (_exit, out) =
+                    run_naive(&act.image, &self.spec.installation, &mut NoIo);
+                self.finish(out.termination, out.stdout, out.instructions, act)
+            }
+            Universe::Java(mode) => {
+                // The starter's scratch sandbox, pre-loaded with the
+                // transferred inputs, behind the Chirp proxy.
+                let mut fs = MemFs::default();
+                for (path, data) in &act.snapshot.files {
+                    fs.put(path, data);
+                }
+                // The remote channel to the shadow: if the submitter's file
+                // system fails during the execution window, remote I/O
+                // escapes.
+                if act.does_remote_io {
+                    if let Some(fault) = self.plan.fs_fault_during(act.schedd, t0, t_end) {
+                        fs.set_env_fault(Some(fault));
+                    }
+                }
+                let (server_disc, client_disc) = match mode {
+                    crate::job::JavaMode::Naive => {
+                        (ErrorDiscipline::NaiveGeneric, ClientDiscipline::NaiveGeneric)
+                    }
+                    crate::job::JavaMode::Scoped => {
+                        (ErrorDiscipline::Scoped, ClientDiscipline::Scoped)
+                    }
+                };
+                let cookie = Cookie::generate(u64::from(act.job) ^ 0xC0FFEE);
+                let server =
+                    ChirpServer::new(fs, cookie.clone()).with_discipline(server_disc);
+                let mut client = ChirpClient::new(DirectTransport::new(server))
+                    .with_discipline(client_disc);
+                let _ = client.auth(cookie.as_bytes());
+                let mut io = ChirpJobIo::new(client);
+
+                match mode {
+                    crate::job::JavaMode::Naive => {
+                        let (_exit, out) =
+                            run_naive(&act.image, &self.spec.installation, &mut io);
+                        self.finish(out.termination, out.stdout, out.instructions, act)
+                    }
+                    crate::job::JavaMode::Scoped => {
+                        let w = run_wrapped(&act.image, &self.spec.installation, &mut io);
+                        // The starter examines the result file and ignores
+                        // the JVM result entirely (§4).
+                        let result = ResultFile::from_json(&w.result_file_bytes)
+                            .expect("wrapper wrote the file it just serialised");
+                        let scope = result.scope();
+                        self.react_to_scope(scope);
+                        let cpu = if w.instructions == 0 && scope != Scope::Program {
+                            FAIL_FAST_TIME
+                        } else {
+                            act.exec_time
+                        };
+                        (ExecutionReport::Scoped { result }, cpu)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Package a bare termination (naive universes) into a report.
+    fn finish(
+        &mut self,
+        termination: Termination,
+        stdout: String,
+        instructions: u64,
+        act: &Activation,
+    ) -> (ExecutionReport, SimDuration) {
+        let scope = termination.scope();
+        self.react_to_scope(scope);
+        let cpu = if instructions == 0 && scope != Scope::Program {
+            FAIL_FAST_TIME
+        } else {
+            act.exec_time
+        };
+        let (code, note) = match &termination {
+            Termination::Completed { exit_code } => (*exit_code, "completed".to_string()),
+            Termination::Exception { name, message } => (1, format!("{name}: {message}")),
+            Termination::EnvFailure { code, message, .. } => {
+                (1, format!("{code}: {message}"))
+            }
+        };
+        (
+            ExecutionReport::NaiveExit {
+                code,
+                stdout,
+                truth_scope: scope,
+                truth_note: note,
+            },
+            cpu,
+        )
+    }
+
+    /// The starter is the handler for remote-resource scope (Figure 3): if
+    /// configured to learn, it stops advertising the broken capability.
+    fn react_to_scope(&mut self, scope: Scope) {
+        if scope == Scope::RemoteResource {
+            self.stats.remote_resource_failures += 1;
+            if self.policy.learn_from_failures && self.advertising_java {
+                self.advertising_java = false;
+                self.stats.advertising_java = false;
+            }
+        }
+    }
+}

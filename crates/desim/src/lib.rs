@@ -1,0 +1,58 @@
+//! # desim — a deterministic discrete-event simulation engine
+//!
+//! The substrate the simulated Condor pool runs on: virtual time, a
+//! deterministic event queue, message-passing actors, a fault-injectable
+//! network model, seeded randomness, and a structured trace log.
+//!
+//! Everything is single-threaded and reproducible: the same seed and the
+//! same actor set always produce the same history, which is what lets the
+//! test suite assert exact error-routing tables and lets every experiment
+//! in the paper reproduction be replayed bit-for-bit.
+//!
+//! ```
+//! use desim::prelude::*;
+//!
+//! struct Echo;
+//! impl Actor<String> for Echo {
+//!     fn name(&self) -> String { "echo".into() }
+//!     fn on_message(&mut self, from: ActorId, msg: String, ctx: &mut Context<'_, String>) {
+//!         ctx.trace(format!("got {msg}"));
+//!         if from != ctx.self_id { ctx.send(from, msg); }
+//!     }
+//! }
+//!
+//! let mut world: World<String> = World::new(42);
+//! let echo = world.add_actor(Box::new(Echo));
+//! world.inject(echo, "hello".to_string());
+//! world.run(100);
+//! assert!(world.trace().has("got hello"));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod actor;
+pub mod net;
+pub mod queue;
+pub mod rng;
+pub mod time;
+pub mod trace;
+pub mod world;
+
+pub use actor::{Actor, ActorId, Context, Envelope};
+pub use net::Network;
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};
+pub use trace::{TraceEntry, TraceLog};
+pub use world::World;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::actor::{Actor, ActorId, Context, Envelope};
+    pub use crate::net::Network;
+    pub use crate::rng::SimRng;
+    pub use crate::time::{SimDuration, SimTime};
+    pub use crate::trace::TraceLog;
+    pub use crate::world::World;
+}

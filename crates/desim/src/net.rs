@@ -1,0 +1,227 @@
+//! A simulated network.
+//!
+//! Models the connectivity between simulated processes: per-link latency,
+//! message loss, partitions, and down hosts. Senders consult the network to
+//! learn the delivery latency of a message — or that it will never arrive,
+//! in which case the *sender's own timeout machinery* is what eventually
+//! notices, exactly as in a real distributed system. The paper's escaping
+//! error "communicated by breaking the connection" appears here as a link
+//! that stops delivering.
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+use std::collections::{HashMap, HashSet};
+
+/// Identifies a simulated host (by the actor id of its daemon).
+pub type HostId = usize;
+
+fn link_key(a: HostId, b: HostId) -> (HostId, HostId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// The simulated network fabric.
+#[derive(Debug, Clone)]
+pub struct Network {
+    default_latency: SimDuration,
+    latency_jitter: f64,
+    link_latency: HashMap<(HostId, HostId), SimDuration>,
+    partitioned: HashSet<(HostId, HostId)>,
+    down: HashSet<HostId>,
+    drop_prob: f64,
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Network::new(SimDuration::from_millis(1))
+    }
+}
+
+impl Network {
+    /// A fully connected network with the given base latency and no jitter.
+    pub fn new(default_latency: SimDuration) -> Self {
+        Network {
+            default_latency,
+            latency_jitter: 0.0,
+            link_latency: HashMap::new(),
+            partitioned: HashSet::new(),
+            down: HashSet::new(),
+            drop_prob: 0.0,
+        }
+    }
+
+    /// Set a multiplicative jitter factor: each delivery's latency is
+    /// scaled by a uniform draw in `[1, 1+jitter]`.
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        assert!(jitter >= 0.0);
+        self.latency_jitter = jitter;
+        self
+    }
+
+    /// Set an independent per-message drop probability.
+    pub fn with_drop_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        self.drop_prob = p;
+        self
+    }
+
+    /// Override the latency of one (undirected) link.
+    pub fn set_link_latency(&mut self, a: HostId, b: HostId, latency: SimDuration) {
+        self.link_latency.insert(link_key(a, b), latency);
+    }
+
+    /// Sever one link in both directions.
+    pub fn partition(&mut self, a: HostId, b: HostId) {
+        self.partitioned.insert(link_key(a, b));
+    }
+
+    /// Restore a severed link.
+    pub fn heal(&mut self, a: HostId, b: HostId) {
+        self.partitioned.remove(&link_key(a, b));
+    }
+
+    /// Is the link between `a` and `b` currently severed?
+    pub fn is_partitioned(&self, a: HostId, b: HostId) -> bool {
+        self.partitioned.contains(&link_key(a, b))
+    }
+
+    /// Take a host offline: nothing is delivered to or from it.
+    pub fn set_host_down(&mut self, h: HostId) {
+        self.down.insert(h);
+    }
+
+    /// Bring a host back.
+    pub fn set_host_up(&mut self, h: HostId) {
+        self.down.remove(&h);
+    }
+
+    /// Is the host offline?
+    pub fn is_down(&self, h: HostId) -> bool {
+        self.down.contains(&h)
+    }
+
+    /// Decide the fate of one message from `from` to `to`: `Some(latency)`
+    /// if it will be delivered that much later, `None` if it is lost
+    /// (partition, down host, or random drop). Loss is *silent* — the
+    /// sender learns only via its own timeout, as in life.
+    pub fn transit(&self, rng: &mut SimRng, from: HostId, to: HostId) -> Option<SimDuration> {
+        if from == to {
+            // Loopback never fails and is effectively instant; one
+            // microsecond preserves causal ordering.
+            return Some(SimDuration::from_micros(1));
+        }
+        if self.is_down(from) || self.is_down(to) || self.is_partitioned(from, to) {
+            return None;
+        }
+        if self.drop_prob > 0.0 && rng.chance(self.drop_prob) {
+            return None;
+        }
+        let base = self
+            .link_latency
+            .get(&link_key(from, to))
+            .copied()
+            .unwrap_or(self.default_latency);
+        let lat = if self.latency_jitter > 0.0 {
+            base.mul_f64(1.0 + rng.f64() * self.latency_jitter)
+        } else {
+            base
+        };
+        // Clamp to at least 1µs so delivery is strictly after sending.
+        Some(SimDuration::from_micros(lat.as_micros().max(1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn default_latency_applies() {
+        let net = Network::new(SimDuration::from_millis(5));
+        let mut r = rng();
+        assert_eq!(net.transit(&mut r, 1, 2), Some(SimDuration::from_millis(5)));
+    }
+
+    #[test]
+    fn loopback_is_instant_and_reliable() {
+        let mut net = Network::default().with_drop_probability(1.0);
+        net.set_host_down(3);
+        let mut r = rng();
+        // Even a "down" host can talk to itself over loopback: the paper's
+        // chirp connection is "from one process to another on the loopback
+        // network interface" and is as reliable as the local machine.
+        assert_eq!(net.transit(&mut r, 3, 3), Some(SimDuration::from_micros(1)));
+    }
+
+    #[test]
+    fn link_override_beats_default() {
+        let mut net = Network::new(SimDuration::from_millis(1));
+        net.set_link_latency(1, 2, SimDuration::from_millis(50));
+        let mut r = rng();
+        assert_eq!(
+            net.transit(&mut r, 2, 1),
+            Some(SimDuration::from_millis(50)),
+            "links are undirected"
+        );
+        assert_eq!(net.transit(&mut r, 1, 3), Some(SimDuration::from_millis(1)));
+    }
+
+    #[test]
+    fn partition_blocks_both_directions() {
+        let mut net = Network::default();
+        net.partition(1, 2);
+        let mut r = rng();
+        assert!(net.is_partitioned(2, 1));
+        assert_eq!(net.transit(&mut r, 1, 2), None);
+        assert_eq!(net.transit(&mut r, 2, 1), None);
+        net.heal(2, 1);
+        assert!(net.transit(&mut r, 1, 2).is_some());
+    }
+
+    #[test]
+    fn down_host_receives_and_sends_nothing() {
+        let mut net = Network::default();
+        net.set_host_down(7);
+        let mut r = rng();
+        assert!(net.is_down(7));
+        assert_eq!(net.transit(&mut r, 7, 1), None);
+        assert_eq!(net.transit(&mut r, 1, 7), None);
+        net.set_host_up(7);
+        assert!(net.transit(&mut r, 1, 7).is_some());
+    }
+
+    #[test]
+    fn drop_probability_loses_messages() {
+        let net = Network::default().with_drop_probability(0.5);
+        let mut r = rng();
+        let delivered = (0..10_000)
+            .filter(|_| net.transit(&mut r, 1, 2).is_some())
+            .count();
+        assert!((4000..6000).contains(&delivered), "delivered={delivered}");
+    }
+
+    #[test]
+    fn jitter_scales_latency_within_bounds() {
+        let net = Network::new(SimDuration::from_millis(10)).with_jitter(0.5);
+        let mut r = rng();
+        for _ in 0..1000 {
+            let l = net.transit(&mut r, 1, 2).unwrap();
+            assert!(l >= SimDuration::from_millis(10), "lat {l}");
+            assert!(l <= SimDuration::from_millis(15), "lat {l}");
+        }
+    }
+
+    #[test]
+    fn latency_is_never_zero() {
+        let net = Network::new(SimDuration::ZERO);
+        let mut r = rng();
+        assert_eq!(net.transit(&mut r, 1, 2), Some(SimDuration::from_micros(1)));
+    }
+}

@@ -1,0 +1,182 @@
+//! Seeded randomness for reproducible experiments.
+//!
+//! Every stochastic choice in an experiment draws from a [`SimRng`] seeded
+//! from the experiment definition, so that runs are bit-for-bit
+//! reproducible. Streams can be forked per component so adding a new
+//! consumer does not perturb the draws seen by existing ones.
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A deterministic random stream.
+pub struct SimRng {
+    inner: ChaCha8Rng,
+}
+
+impl SimRng {
+    /// A stream from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Fork an independent stream for a named component. The same
+    /// `(parent seed, label)` pair always yields the same child stream.
+    pub fn fork(&self, label: &str) -> SimRng {
+        // Mix the label into a child seed with FNV-1a; the parent's own
+        // stream is not advanced, so forking is order-independent.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut seed = self.inner.get_seed();
+        for (i, byte) in h.to_le_bytes().iter().enumerate() {
+            seed[i] ^= byte;
+        }
+        SimRng {
+            inner: ChaCha8Rng::from_seed(seed),
+        }
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform in `[lo, hi)`. Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform in `[0, n)`, as a usize index.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index over empty range");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0,1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.inner.gen::<f64>() < p
+        }
+    }
+
+    /// Exponentially distributed value with the given mean — the classic
+    /// inter-arrival model.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0);
+        let u: f64 = self.inner.gen_range(f64::EPSILON..1.0);
+        -mean * u.ln()
+    }
+
+    /// A random permutation of `0..n` (Fisher–Yates).
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut v: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = self.inner.gen_range(0..=i);
+            v.swap(i, j);
+        }
+        v
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn forks_are_deterministic_and_independent() {
+        let parent = SimRng::seed_from_u64(7);
+        let mut c1 = parent.fork("matchmaker");
+        let mut c2 = parent.fork("matchmaker");
+        assert_eq!(c1.next_u64(), c2.next_u64());
+
+        let mut c3 = parent.fork("schedd");
+        let mut c1b = parent.fork("matchmaker");
+        c1b.next_u64();
+        assert_ne!(c1b.next_u64(), c3.next_u64());
+    }
+
+    #[test]
+    fn fork_does_not_advance_parent() {
+        let mut a = SimRng::seed_from_u64(9);
+        let mut b = SimRng::seed_from_u64(9);
+        let _ = a.fork("x");
+        let _ = a.fork("y");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seed_from_u64(0);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        // Rough frequency sanity for p=0.5.
+        let hits = (0..10_000).filter(|_| r.chance(0.5)).count();
+        assert!((4000..6000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut r = SimRng::seed_from_u64(3);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| r.exponential(10.0)).sum();
+        let mean = total / n as f64;
+        assert!((9.0..11.0).contains(&mean), "mean={mean}");
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut r = SimRng::seed_from_u64(5);
+        let p = r.permutation(100);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn index_in_range() {
+        let mut r = SimRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            assert!(r.index(7) < 7);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! A structured trace of simulation activity.
+//!
+//! Components append timestamped entries; the figure harnesses replay them
+//! to print the protocol sequences of Figures 1 and 2, and tests assert on
+//! them.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// One trace entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// When it happened.
+    pub at: SimTime,
+    /// Which component reported it.
+    pub actor: String,
+    /// Free-form description, conventionally `"verb detail"`.
+    pub text: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>12.6}s] {:<12} {}", self.at.as_secs_f64(), self.actor, self.text)
+    }
+}
+
+/// An append-only log of trace entries.
+#[derive(Debug, Default, Clone)]
+pub struct TraceLog {
+    entries: Vec<TraceEntry>,
+    enabled: bool,
+}
+
+impl TraceLog {
+    /// A new, enabled log.
+    pub fn new() -> Self {
+        TraceLog {
+            entries: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// A log that discards everything — for benchmarks where tracing would
+    /// dominate.
+    pub fn disabled() -> Self {
+        TraceLog {
+            entries: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// Append an entry (no-op when disabled).
+    pub fn record(&mut self, at: SimTime, actor: impl Into<String>, text: impl Into<String>) {
+        if self.enabled {
+            self.entries.push(TraceEntry {
+                at,
+                actor: actor.into(),
+                text: text.into(),
+            });
+        }
+    }
+
+    /// All entries, in order of recording.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Entries whose actor matches `actor` exactly.
+    pub fn by_actor<'a>(&'a self, actor: &'a str) -> impl Iterator<Item = &'a TraceEntry> {
+        self.entries.iter().filter(move |e| e.actor == actor)
+    }
+
+    /// Entries whose text contains `needle`.
+    pub fn containing<'a>(&'a self, needle: &'a str) -> impl Iterator<Item = &'a TraceEntry> {
+        self.entries.iter().filter(move |e| e.text.contains(needle))
+    }
+
+    /// True if any entry's text contains `needle`.
+    pub fn has(&self, needle: &str) -> bool {
+        self.containing(needle).next().is_some()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Render the whole log, one entry per line.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        for e in &self.entries {
+            s.push_str(&e.to_string());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut t = TraceLog::new();
+        t.record(SimTime::from_secs(1), "schedd", "submit job 1");
+        t.record(SimTime::from_secs(2), "matchmaker", "match job 1 to machine 3");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.entries()[0].actor, "schedd");
+        assert_eq!(t.entries()[1].at, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn disabled_log_discards() {
+        let mut t = TraceLog::disabled();
+        t.record(SimTime::ZERO, "x", "y");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn filters() {
+        let mut t = TraceLog::new();
+        t.record(SimTime::ZERO, "schedd", "claim machine 1");
+        t.record(SimTime::ZERO, "startd", "accept claim");
+        t.record(SimTime::ZERO, "schedd", "spawn shadow");
+        assert_eq!(t.by_actor("schedd").count(), 2);
+        assert_eq!(t.containing("claim").count(), 2);
+        assert!(t.has("shadow"));
+        assert!(!t.has("starter"));
+    }
+
+    #[test]
+    fn render_is_line_per_entry() {
+        let mut t = TraceLog::new();
+        t.record(SimTime::from_millis(1500), "a", "hello");
+        let r = t.render();
+        assert!(r.contains("1.500000s"));
+        assert!(r.contains("hello"));
+        assert_eq!(r.lines().count(), 1);
+    }
+}

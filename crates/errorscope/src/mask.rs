@@ -1,0 +1,356 @@
+//! Fault-tolerance masking: retry and replication, scope-aware.
+//!
+//! "Once an error is understood, then we may rewrite, retry, replicate,
+//! reset, or reboot as the condition warrants" (§3). This module provides
+//! the two workhorse techniques as combinators over operations that return
+//! [`ScopedError`]s, with scope-awareness the paper's theory makes
+//! possible:
+//!
+//! * **Retry is only sensible for transient scopes.** Retrying a job-scope
+//!   error (corrupt image) is futile anywhere; retrying a program-scope
+//!   result is dishonest (it second-guesses the user's program). The
+//!   [`maskable`] predicate encodes which scopes a masking layer may
+//!   legitimately absorb.
+//! * **Replication joins scopes.** When every replica of an operation
+//!   fails, the combined error invalidates the *union* of what the
+//!   individual failures invalidated: its scope is the
+//!   [`Scope::join`] of the replicas' scopes.
+//!
+//! Successful masking records a [`crate::error::HopAction::Masked`] hop on the error it
+//! absorbed, so audits can still see that a fault occurred and was
+//! handled — masking hides errors from callers, never from the record.
+
+use crate::error::{ScopedError};
+use crate::scope::Scope;
+
+/// May a masking layer (retry/replicate) legitimately absorb an error of
+/// this scope?
+///
+/// Transient, environmental scopes — file, network, process, local
+/// resource, the machine-local scopes — are fair game: trying again or
+/// elsewhere can genuinely succeed. Program scope is the user's result and
+/// must never be masked; job scope can never succeed anywhere; pool and
+/// system scopes exceed any single masking layer's authority.
+pub fn maskable(scope: Scope) -> bool {
+    !matches!(
+        scope,
+        Scope::Program | Scope::Job | Scope::Pool | Scope::System
+    )
+}
+
+/// A bounded retry policy (pure counting — time-based criteria live in
+/// [`crate::escalate::RetryCriteria`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (so `1` means "no retries").
+    pub max_attempts: u32,
+}
+
+impl RetryPolicy {
+    /// A policy allowing `max_attempts` total attempts.
+    pub fn attempts(max_attempts: u32) -> RetryPolicy {
+        assert!(max_attempts >= 1);
+        RetryPolicy { max_attempts }
+    }
+}
+
+/// The outcome of a masking combinator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MaskOutcome<T> {
+    /// The operation eventually succeeded. Any errors absorbed along the
+    /// way are returned with `Masked` hops recorded — hidden from the
+    /// caller's result, visible to the audit.
+    Recovered {
+        /// The successful result.
+        value: T,
+        /// Attempts consumed (1 = first try succeeded).
+        attempts: u32,
+        /// The errors that were masked.
+        masked: Vec<ScopedError>,
+    },
+    /// Masking failed (or was not legitimate); the error propagates.
+    Propagate(ScopedError),
+}
+
+impl<T> MaskOutcome<T> {
+    /// The value, if recovered.
+    pub fn value(self) -> Option<T> {
+        match self {
+            MaskOutcome::Recovered { value, .. } => Some(value),
+            MaskOutcome::Propagate(_) => None,
+        }
+    }
+
+    /// Did masking succeed?
+    pub fn is_recovered(&self) -> bool {
+        matches!(self, MaskOutcome::Recovered { .. })
+    }
+}
+
+/// Retry `op` up to the policy's budget at `layer`.
+///
+/// The attempt counter passed to `op` is 0-based. An error whose scope is
+/// not [`maskable`] propagates immediately — a disciplined layer does not
+/// burn retries on a corrupt image.
+pub fn retry<T>(
+    policy: RetryPolicy,
+    layer: &'static str,
+    mut op: impl FnMut(u32) -> Result<T, ScopedError>,
+) -> MaskOutcome<T> {
+    let mut masked = Vec::new();
+    for attempt in 0..policy.max_attempts {
+        match op(attempt) {
+            Ok(value) => {
+                return MaskOutcome::Recovered {
+                    value,
+                    attempts: attempt + 1,
+                    masked,
+                }
+            }
+            Err(e) => {
+                if !maskable(e.scope) {
+                    return MaskOutcome::Propagate(e.forwarded(layer));
+                }
+                if attempt + 1 == policy.max_attempts {
+                    // Budget exhausted: the last error propagates, carrying
+                    // the retry history in its trail.
+                    return MaskOutcome::Propagate(
+                        e.mask(format!("retry x{} (exhausted)", policy.max_attempts), layer)
+                            .escape(layer),
+                    );
+                }
+                masked.push(e.mask("retry", layer));
+            }
+        }
+    }
+    unreachable!("max_attempts >= 1")
+}
+
+/// Try each replica in turn ("consult mirrored copies"); the first success
+/// wins. If all fail, the combined error's scope is the **join** of the
+/// replicas' scopes — the whole replicated resource is invalidated.
+pub fn replicate<T>(
+    layer: &'static str,
+    replicas: Vec<Box<dyn FnMut() -> Result<T, ScopedError> + '_>>,
+) -> MaskOutcome<T> {
+    let mut masked: Vec<ScopedError> = Vec::new();
+    let total = replicas.len();
+    for (i, mut replica) in replicas.into_iter().enumerate() {
+        match replica() {
+            Ok(value) => {
+                return MaskOutcome::Recovered {
+                    value,
+                    attempts: i as u32 + 1,
+                    masked,
+                }
+            }
+            Err(e) => {
+                if !maskable(e.scope) {
+                    return MaskOutcome::Propagate(e.forwarded(layer));
+                }
+                masked.push(e.mask("mirror", layer));
+            }
+        }
+    }
+    // All replicas failed: join the scopes.
+    let joined = masked
+        .iter()
+        .map(|e| e.scope)
+        .fold(None::<Scope>, |acc, s| {
+            Some(match acc {
+                None => s,
+                Some(a) => a.join(s),
+            })
+        })
+        .unwrap_or(Scope::Process);
+    let detail = masked
+        .iter()
+        .map(|e| format!("{}", e.code))
+        .collect::<Vec<_>>()
+        .join(", ");
+    MaskOutcome::Propagate(ScopedError::escaping(
+        "AllReplicasFailed",
+        joined,
+        layer,
+        format!("{total} replicas failed: {detail}"),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::codes;
+    use crate::error::HopAction;
+
+    fn transient(code: &'static str, scope: Scope) -> ScopedError {
+        ScopedError::explicit(code, scope, "backend", "boom")
+    }
+
+    #[test]
+    fn maskable_scopes_match_theory() {
+        assert!(maskable(Scope::Network));
+        assert!(maskable(Scope::File));
+        assert!(maskable(Scope::LocalResource));
+        assert!(maskable(Scope::RemoteResource));
+        assert!(maskable(Scope::VirtualMachine));
+        assert!(!maskable(Scope::Program));
+        assert!(!maskable(Scope::Job));
+        assert!(!maskable(Scope::Pool));
+        assert!(!maskable(Scope::System));
+    }
+
+    #[test]
+    fn retry_succeeds_after_transient_failures() {
+        let out = retry(RetryPolicy::attempts(5), "shadow", |attempt| {
+            if attempt < 2 {
+                Err(transient("ConnectionTimedOut", Scope::Network))
+            } else {
+                Ok(attempt)
+            }
+        });
+        let MaskOutcome::Recovered {
+            value,
+            attempts,
+            masked,
+        } = out
+        else {
+            panic!("{out:?}")
+        };
+        assert_eq!(value, 2);
+        assert_eq!(attempts, 3);
+        assert_eq!(masked.len(), 2);
+        // Each masked error carries the Masked hop for auditing.
+        assert!(masked.iter().all(|e| e
+            .trail
+            .iter()
+            .any(|h| matches!(h.action, HopAction::Masked { .. }))));
+    }
+
+    #[test]
+    fn retry_exhaustion_escapes() {
+        let out: MaskOutcome<()> = retry(RetryPolicy::attempts(3), "shadow", |_| {
+            Err(transient("ConnectionTimedOut", Scope::Network))
+        });
+        let MaskOutcome::Propagate(e) = out else {
+            panic!()
+        };
+        assert_eq!(e.comm, crate::comm::Comm::Escaping);
+        assert!(e
+            .trail
+            .iter()
+            .any(|h| matches!(&h.action, HopAction::Masked { technique } if technique.contains("exhausted"))));
+    }
+
+    #[test]
+    fn retry_refuses_to_mask_job_scope() {
+        let mut calls = 0;
+        let out: MaskOutcome<()> = retry(RetryPolicy::attempts(10), "shadow", |_| {
+            calls += 1;
+            Err(ScopedError::escaping(
+                codes::CORRUPT_IMAGE,
+                Scope::Job,
+                "starter",
+                "bad image",
+            ))
+        });
+        assert!(!out.is_recovered());
+        assert_eq!(calls, 1, "no retry budget burned on job scope");
+    }
+
+    #[test]
+    fn retry_refuses_to_mask_program_results() {
+        let out: MaskOutcome<()> = retry(RetryPolicy::attempts(10), "shadow", |_| {
+            Err(ScopedError::explicit(
+                codes::INDEX_OUT_OF_BOUNDS,
+                Scope::Program,
+                "wrapper",
+                "the user's own bug",
+            ))
+        });
+        let MaskOutcome::Propagate(e) = out else {
+            panic!()
+        };
+        assert_eq!(e.scope, Scope::Program);
+    }
+
+    #[test]
+    fn first_try_success_masks_nothing() {
+        let out = retry(RetryPolicy::attempts(3), "l", |_| Ok(7));
+        let MaskOutcome::Recovered {
+            value,
+            attempts,
+            masked,
+        } = out
+        else {
+            panic!()
+        };
+        assert_eq!((value, attempts), (7, 1));
+        assert!(masked.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_attempts_rejected() {
+        let _ = RetryPolicy::attempts(0);
+    }
+
+    #[test]
+    fn replicate_first_success_wins() {
+        let out = replicate(
+            "replica-mgr",
+            vec![
+                Box::new(|| Err(transient("FileNotFound", Scope::File))),
+                Box::new(|| Ok("replica-2")),
+                Box::new(|| panic!("never consulted")),
+            ],
+        );
+        let MaskOutcome::Recovered {
+            value, attempts, ..
+        } = out
+        else {
+            panic!()
+        };
+        assert_eq!(value, "replica-2");
+        assert_eq!(attempts, 2);
+    }
+
+    #[test]
+    fn replicate_total_failure_joins_scopes() {
+        let out: MaskOutcome<()> = replicate(
+            "replica-mgr",
+            vec![
+                Box::new(|| Err(transient("FileNotFound", Scope::File))),
+                Box::new(|| Err(transient("ConnectionTimedOut", Scope::Network))),
+            ],
+        );
+        let MaskOutcome::Propagate(e) = out else {
+            panic!()
+        };
+        // join(File, Network) = Process: losing both the file and the
+        // network invalidates the whole process's view.
+        assert_eq!(e.scope, Scope::File.join(Scope::Network));
+        assert_eq!(e.scope, Scope::Process);
+        assert!(e.message.contains("2 replicas failed"));
+        assert!(e.message.contains("FileNotFound"));
+    }
+
+    #[test]
+    fn replicate_empty_replica_set_propagates() {
+        let out: MaskOutcome<()> = replicate("m", vec![]);
+        assert!(!out.is_recovered());
+    }
+
+    #[test]
+    fn mask_outcome_accessors() {
+        let r: MaskOutcome<i32> = MaskOutcome::Recovered {
+            value: 1,
+            attempts: 1,
+            masked: vec![],
+        };
+        assert!(r.is_recovered());
+        assert_eq!(r.value(), Some(1));
+        let p: MaskOutcome<i32> =
+            MaskOutcome::Propagate(transient("X", Scope::Network));
+        assert_eq!(p.value(), None);
+    }
+}

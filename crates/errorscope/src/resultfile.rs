@@ -1,0 +1,244 @@
+//! The wrapper's result file — §4 of the paper.
+//!
+//! The JVM's exit code is not useful "because it does not distinguish error
+//! scopes: a result of 1 could indicate a normal program exit, an exit with
+//! an exception, or an error in the surrounding environment" (Figure 4).
+//! The fix: the starter makes the JVM run a *wrapper* that executes the
+//! actual program, catches any exception, examines its type, and "produces a
+//! result file describing the program result and the scope of any errors
+//! discovered. The starter examines this result file and ignores the JVM
+//! result entirely."
+//!
+//! [`ResultFile`] is that file: a small serialisable record that is also the
+//! paper's example of using "an indirect channel, such as a file, to carry
+//! the necessary information to its destination" (§3.3).
+
+use crate::error::ErrorCode;
+use crate::scope::Scope;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The program's fate as observed by the wrapper.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// The program exited by completing `main` or by calling
+    /// `System.exit(code)`. Program scope; the exit code is the user's.
+    Completed {
+        /// The exit code: 0 for falling off `main`, `x` for
+        /// `System.exit(x)`.
+        exit_code: i32,
+    },
+    /// The program terminated with a program-generated exception (null
+    /// dereference, array bounds, arithmetic, or a user-thrown exception).
+    /// Still program scope: "users wanted to see program generated errors".
+    ProgramException {
+        /// Exception type name, e.g. `"ArrayIndexOutOfBoundsException"`.
+        exception: ErrorCode,
+        /// Exception message.
+        message: String,
+    },
+    /// The environment, not the program, failed. The scope tells the
+    /// surrounding system which manager must act; the code and message are
+    /// diagnostic detail.
+    EnvironmentFailure {
+        /// The portion of the system the failure invalidates.
+        scope: Scope,
+        /// Machine-readable condition.
+        code: ErrorCode,
+        /// Diagnostic detail.
+        message: String,
+    },
+}
+
+/// The result file the wrapper leaves for the starter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResultFile {
+    /// Format version, for forward compatibility of the indirect channel.
+    pub version: u32,
+    /// What happened.
+    pub outcome: Outcome,
+}
+
+/// Current format version.
+pub const RESULT_FILE_VERSION: u32 = 1;
+
+impl ResultFile {
+    /// A normal completion.
+    pub fn completed(exit_code: i32) -> Self {
+        ResultFile {
+            version: RESULT_FILE_VERSION,
+            outcome: Outcome::Completed { exit_code },
+        }
+    }
+
+    /// A program-scope exception.
+    pub fn program_exception(exception: impl Into<ErrorCode>, message: impl Into<String>) -> Self {
+        ResultFile {
+            version: RESULT_FILE_VERSION,
+            outcome: Outcome::ProgramException {
+                exception: exception.into(),
+                message: message.into(),
+            },
+        }
+    }
+
+    /// An environmental failure of the given scope.
+    pub fn environment_failure(
+        scope: Scope,
+        code: impl Into<ErrorCode>,
+        message: impl Into<String>,
+    ) -> Self {
+        ResultFile {
+            version: RESULT_FILE_VERSION,
+            outcome: Outcome::EnvironmentFailure {
+                scope,
+                code: code.into(),
+                message: message.into(),
+            },
+        }
+    }
+
+    /// The scope of the recorded outcome. Completions and program
+    /// exceptions are program scope by definition.
+    pub fn scope(&self) -> Scope {
+        match &self.outcome {
+            Outcome::Completed { .. } | Outcome::ProgramException { .. } => Scope::Program,
+            Outcome::EnvironmentFailure { scope, .. } => *scope,
+        }
+    }
+
+    /// True when this is a result the user should see (program scope).
+    pub fn is_program_result(&self) -> bool {
+        self.scope() == Scope::Program
+    }
+
+    /// Serialise to the on-disk representation (JSON).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("result file is always serialisable")
+    }
+
+    /// Parse the on-disk representation. A corrupt or unparseable result
+    /// file is itself an environmental problem and yields `Err` — the
+    /// starter must then treat the execution attempt as failed with
+    /// indeterminate (execution-site) scope rather than trust a partial
+    /// record.
+    pub fn from_json(s: &str) -> Result<Self, ResultFileError> {
+        let rf: ResultFile =
+            serde_json::from_str(s).map_err(|e| ResultFileError::Malformed(e.to_string()))?;
+        if rf.version != RESULT_FILE_VERSION {
+            return Err(ResultFileError::UnknownVersion(rf.version));
+        }
+        Ok(rf)
+    }
+}
+
+impl fmt::Display for ResultFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.outcome {
+            Outcome::Completed { exit_code } => write!(f, "completed(exit={exit_code})"),
+            Outcome::ProgramException { exception, message } => {
+                write!(f, "program-exception({exception}: {message})")
+            }
+            Outcome::EnvironmentFailure { scope, code, message } => {
+                write!(f, "environment-failure({scope} scope, {code}: {message})")
+            }
+        }
+    }
+}
+
+/// Failure to read a result file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResultFileError {
+    /// The bytes did not parse.
+    Malformed(String),
+    /// The format version is not one we understand.
+    UnknownVersion(u32),
+}
+
+impl fmt::Display for ResultFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResultFileError::Malformed(m) => write!(f, "malformed result file: {m}"),
+            ResultFileError::UnknownVersion(v) => write!(f, "unknown result file version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for ResultFileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::codes::*;
+
+    #[test]
+    fn completion_is_program_scope() {
+        let rf = ResultFile::completed(0);
+        assert_eq!(rf.scope(), Scope::Program);
+        assert!(rf.is_program_result());
+        let rf = ResultFile::completed(42);
+        assert!(rf.is_program_result());
+    }
+
+    #[test]
+    fn program_exception_is_program_scope() {
+        let rf = ResultFile::program_exception(INDEX_OUT_OF_BOUNDS, "index 7, length 3");
+        assert_eq!(rf.scope(), Scope::Program);
+        assert!(rf.is_program_result());
+    }
+
+    #[test]
+    fn environment_failures_carry_their_scope() {
+        let cases = [
+            (Scope::VirtualMachine, OUT_OF_MEMORY),
+            (Scope::RemoteResource, MISCONFIGURED_INSTALLATION),
+            (Scope::LocalResource, FILESYSTEM_OFFLINE),
+            (Scope::Job, CORRUPT_IMAGE),
+        ];
+        for (scope, code) in cases {
+            let rf = ResultFile::environment_failure(scope, code.clone(), "x");
+            assert_eq!(rf.scope(), scope);
+            assert!(!rf.is_program_result());
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let files = [
+            ResultFile::completed(7),
+            ResultFile::program_exception(NULL_POINTER, "at main"),
+            ResultFile::environment_failure(Scope::LocalResource, FILESYSTEM_OFFLINE, "nfs down"),
+        ];
+        for rf in files {
+            let j = rf.to_json();
+            let back = ResultFile::from_json(&j).unwrap();
+            assert_eq!(back, rf);
+        }
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(matches!(
+            ResultFile::from_json("{ not json"),
+            Err(ResultFileError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let mut rf = ResultFile::completed(0);
+        rf.version = 99;
+        let j = serde_json::to_string(&rf).unwrap();
+        assert_eq!(
+            ResultFile::from_json(&j),
+            Err(ResultFileError::UnknownVersion(99))
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ResultFile::completed(0).to_string(), "completed(exit=0)");
+        let s = ResultFile::environment_failure(Scope::Job, CORRUPT_IMAGE, "bad").to_string();
+        assert!(s.contains("job scope"));
+    }
+}

@@ -1,0 +1,190 @@
+//! Bridging scoped errors to and from `std::io::Error`.
+//!
+//! A library claiming to bring discipline to error propagation has to meet
+//! the errors programs actually have. This module classifies
+//! [`std::io::Error`]s into [`ScopedError`]s — assigning each
+//! [`std::io::ErrorKind`] the scope it invalidates, per the paper's
+//! taxonomy — and converts scoped errors back into `std::io::Error` for
+//! handing to std-flavoured interfaces.
+//!
+//! The kind→scope table follows §3.3's examples: namespace and per-file
+//! conditions are **file scope** (the calling function handles them);
+//! connection-level conditions are **network scope** (indeterminate, to be
+//! escalated with time); resource exhaustion local to the process is
+//! **process scope**.
+
+use crate::error::{codes, ErrorCode, ScopedError};
+use crate::scope::Scope;
+use std::io;
+
+/// The scope an [`io::ErrorKind`] invalidates.
+pub fn scope_of_kind(kind: io::ErrorKind) -> Scope {
+    use io::ErrorKind as K;
+    match kind {
+        // Namespace and per-file conditions: the caller can handle them.
+        K::NotFound
+        | K::PermissionDenied
+        | K::AlreadyExists
+        | K::InvalidFilename
+        | K::IsADirectory
+        | K::NotADirectory
+        | K::DirectoryNotEmpty
+        | K::FileTooLarge
+        | K::StorageFull
+        | K::ReadOnlyFilesystem
+        | K::UnexpectedEof => Scope::File,
+        // Connection-level conditions: indeterminate, start at network
+        // scope and let time widen them (§5).
+        K::ConnectionRefused
+        | K::ConnectionReset
+        | K::ConnectionAborted
+        | K::NotConnected
+        | K::AddrInUse
+        | K::AddrNotAvailable
+        | K::BrokenPipe
+        | K::TimedOut
+        | K::HostUnreachable
+        | K::NetworkUnreachable
+        | K::NetworkDown => Scope::Network,
+        // Local exhaustion or API misuse: the process's own mechanisms are
+        // suspect.
+        K::OutOfMemory | K::ResourceBusy | K::WouldBlock | K::Interrupted => Scope::Process,
+        // Anything unrecognised invalidates at least the calling function.
+        _ => Scope::Function,
+    }
+}
+
+/// The conventional error code for an [`io::ErrorKind`].
+pub fn code_of_kind(kind: io::ErrorKind) -> ErrorCode {
+    use io::ErrorKind as K;
+    match kind {
+        K::NotFound => codes::FILE_NOT_FOUND,
+        K::PermissionDenied => codes::ACCESS_DENIED,
+        K::StorageFull => codes::DISK_FULL,
+        K::UnexpectedEof => codes::END_OF_FILE,
+        K::TimedOut => codes::CONNECTION_TIMED_OUT,
+        K::ConnectionRefused => codes::CONNECTION_REFUSED,
+        other => ErrorCode::owned(format!("{other:?}")),
+    }
+}
+
+/// Classify a `std::io::Error` into a scoped, explicit error raised at
+/// `layer`.
+pub fn classify_io_error(e: &io::Error, layer: &'static str) -> ScopedError {
+    ScopedError::explicit(
+        code_of_kind(e.kind()),
+        scope_of_kind(e.kind()),
+        layer,
+        e.to_string(),
+    )
+}
+
+/// Render a scoped error as a `std::io::Error` for std-flavoured callers.
+/// The scope and trail are preserved in the error's display text; the kind
+/// is the closest `ErrorKind` for well-known codes.
+pub fn to_io_error(e: &ScopedError) -> io::Error {
+    let kind = match e.code.as_str() {
+        "FileNotFound" => io::ErrorKind::NotFound,
+        "AccessDenied" => io::ErrorKind::PermissionDenied,
+        "DiskFull" => io::ErrorKind::StorageFull,
+        "EndOfFile" => io::ErrorKind::UnexpectedEof,
+        "ConnectionTimedOut" => io::ErrorKind::TimedOut,
+        "ConnectionRefused" => io::ErrorKind::ConnectionRefused,
+        "AlreadyExists" => io::ErrorKind::AlreadyExists,
+        _ => io::ErrorKind::Other,
+    };
+    io::Error::new(kind, e.to_string())
+}
+
+/// Extension methods for classifying `std::io` results in one call.
+pub trait IoResultExt<T> {
+    /// Convert the error side into a [`ScopedError`] raised at `layer`.
+    fn classify(self, layer: &'static str) -> Result<T, ScopedError>;
+}
+
+impl<T> IoResultExt<T> for Result<T, io::Error> {
+    fn classify(self, layer: &'static str) -> Result<T, ScopedError> {
+        self.map_err(|e| classify_io_error(&e, layer))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use io::ErrorKind as K;
+
+    #[test]
+    fn file_conditions_are_file_scope() {
+        for k in [K::NotFound, K::PermissionDenied, K::StorageFull, K::UnexpectedEof] {
+            assert_eq!(scope_of_kind(k), Scope::File, "{k:?}");
+        }
+    }
+
+    #[test]
+    fn connection_conditions_are_network_scope() {
+        for k in [
+            K::ConnectionRefused,
+            K::ConnectionReset,
+            K::BrokenPipe,
+            K::TimedOut,
+        ] {
+            assert_eq!(scope_of_kind(k), Scope::Network, "{k:?}");
+        }
+    }
+
+    #[test]
+    fn exhaustion_is_process_scope() {
+        assert_eq!(scope_of_kind(K::OutOfMemory), Scope::Process);
+        assert_eq!(scope_of_kind(K::Interrupted), Scope::Process);
+    }
+
+    #[test]
+    fn unknown_kinds_default_to_function_scope() {
+        assert_eq!(scope_of_kind(K::Other), Scope::Function);
+    }
+
+    #[test]
+    fn codes_match_paper_vocabulary() {
+        assert_eq!(code_of_kind(K::NotFound), codes::FILE_NOT_FOUND);
+        assert_eq!(code_of_kind(K::StorageFull), codes::DISK_FULL);
+        assert_eq!(code_of_kind(K::TimedOut), codes::CONNECTION_TIMED_OUT);
+    }
+
+    #[test]
+    fn classify_and_back() {
+        let orig = io::Error::new(K::NotFound, "no such file: data.in");
+        let scoped = classify_io_error(&orig, "fs-layer");
+        assert_eq!(scoped.scope, Scope::File);
+        assert_eq!(scoped.code, codes::FILE_NOT_FOUND);
+        assert_eq!(scoped.origin(), Some("fs-layer"));
+        assert!(scoped.message.contains("data.in"));
+
+        let back = to_io_error(&scoped);
+        assert_eq!(back.kind(), K::NotFound);
+        assert!(back.to_string().contains("file scope"));
+    }
+
+    #[test]
+    fn result_ext_classifies() {
+        let r: Result<(), io::Error> = Err(io::Error::new(K::TimedOut, "slow"));
+        let e = r.classify("net-layer").unwrap_err();
+        assert_eq!(e.scope, Scope::Network);
+        let ok: Result<u8, io::Error> = Ok(7);
+        assert_eq!(ok.classify("net-layer").unwrap(), 7);
+    }
+
+    #[test]
+    fn scoped_to_io_kind_table() {
+        let cases = [
+            (codes::FILE_NOT_FOUND, K::NotFound),
+            (codes::ACCESS_DENIED, K::PermissionDenied),
+            (codes::DISK_FULL, K::StorageFull),
+            (codes::CONNECTION_TIMED_OUT, K::TimedOut),
+            (ErrorCode::new("SomethingElse"), K::Other),
+        ];
+        for (code, kind) in cases {
+            let e = ScopedError::explicit(code, Scope::File, "l", "m");
+            assert_eq!(to_io_error(&e).kind(), kind);
+        }
+    }
+}

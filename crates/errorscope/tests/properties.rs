@@ -1,0 +1,177 @@
+//! Property-based tests for the error-scope theory.
+
+use errorscope::escalate::EscalationPolicy;
+use errorscope::prelude::*;
+use errorscope::resultfile::ResultFile;
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn any_scope() -> impl Strategy<Value = Scope> {
+    prop::sample::select(Scope::ALL.to_vec())
+}
+
+fn any_comm_ctor() -> impl Strategy<Value = bool> {
+    any::<bool>()
+}
+
+proptest! {
+    /// Containment is a partial order: reflexive, antisymmetric,
+    /// transitive — over random triples.
+    #[test]
+    fn scope_partial_order_laws(a in any_scope(), b in any_scope(), c in any_scope()) {
+        prop_assert!(a.contains(a));
+        if a.contains(b) && b.contains(a) {
+            prop_assert_eq!(a, b);
+        }
+        if a.contains(b) && b.contains(c) {
+            prop_assert!(a.contains(c));
+        }
+    }
+
+    /// join is the least upper bound: an upper bound, commutative,
+    /// idempotent, associative.
+    #[test]
+    fn scope_join_is_lub(a in any_scope(), b in any_scope(), c in any_scope()) {
+        let j = a.join(b);
+        prop_assert!(j.contains(a) && j.contains(b));
+        prop_assert_eq!(j, b.join(a));
+        prop_assert_eq!(a.join(a), a);
+        prop_assert_eq!(a.join(b).join(c), a.join(b.join(c)));
+        // Minimality: no strict descendant of j on j's path to a or b also
+        // contains both (checked via every scope).
+        for s in Scope::ALL {
+            if s.contains(a) && s.contains(b) {
+                prop_assert!(s.contains(j), "{} contains both but not join {}", s, j);
+            }
+        }
+    }
+
+    /// Widening never shrinks and eventually reaches System.
+    #[test]
+    fn widening_terminates_at_system(s in any_scope()) {
+        let mut cur = s;
+        let mut steps = 0;
+        while let Some(w) = cur.widened() {
+            prop_assert!(w.strictly_contains(cur));
+            cur = w;
+            steps += 1;
+            prop_assert!(steps <= Scope::ALL.len());
+        }
+        prop_assert_eq!(cur, Scope::System);
+    }
+
+    /// ScopedError trails only ever grow; widening in transit never
+    /// shrinks scope; the comm mode is whatever the last conversion set.
+    #[test]
+    fn error_trail_monotone(
+        scope in any_scope(),
+        escape_first in any_comm_ctor(),
+        hops in prop::collection::vec(0u8..4, 0..8),
+    ) {
+        let mut e = if escape_first {
+            ScopedError::escaping("X", scope, "origin", "m")
+        } else {
+            ScopedError::explicit("X", scope, "origin", "m")
+        };
+        let mut len = e.trail.len();
+        let mut prev_scope = e.scope;
+        for h in hops {
+            e = match h {
+                0 => e.forwarded("layer"),
+                1 => {
+                    let wider = e.scope.widened().unwrap_or(Scope::System);
+                    e.widen(wider, "layer")
+                }
+                2 => e.escape("layer"),
+                _ => e.reexpress("layer"),
+            };
+            prop_assert_eq!(e.trail.len(), len + 1);
+            len = e.trail.len();
+            prop_assert!(e.scope.contains(prev_scope));
+            prev_scope = e.scope;
+        }
+    }
+
+    /// Escalation policies are monotone in time regardless of step layout.
+    #[test]
+    fn escalation_is_monotone(
+        step1 in 1u64..1000,
+        gap in 1u64..1000,
+        probe in prop::collection::vec(0u64..5000, 1..20),
+    ) {
+        let p = EscalationPolicy::new(Scope::Network)
+            .after(Duration::from_secs(step1), Scope::Process)
+            .after(Duration::from_secs(step1 + gap), Scope::Cluster);
+        let mut probes = probe;
+        probes.sort_unstable();
+        let mut prev = p.scope_at(Duration::ZERO);
+        for t in probes {
+            let s = p.scope_at(Duration::from_secs(t));
+            prop_assert!(s.contains(prev));
+            prev = s;
+        }
+    }
+
+    /// Result files survive serialisation for arbitrary content.
+    #[test]
+    fn resultfile_roundtrip(
+        kind in 0u8..3,
+        code in -1000i32..1000,
+        name in "[A-Za-z][A-Za-z0-9]{0,30}",
+        msg in ".{0,80}",
+        scope in any_scope(),
+    ) {
+        let rf = match kind {
+            0 => ResultFile::completed(code),
+            1 => ResultFile::program_exception(ErrorCode::owned(name), msg),
+            _ => ResultFile::environment_failure(scope, ErrorCode::owned(name), msg),
+        };
+        let back = ResultFile::from_json(&rf.to_json()).unwrap();
+        prop_assert_eq!(back, rf);
+    }
+
+    /// Propagation through the Java Universe stack always terminates with
+    /// a handler whose managed scope contains the error's final scope — or
+    /// no handler, only when nothing in the stack manages a containing
+    /// scope (P3 as an invariant).
+    #[test]
+    fn propagation_satisfies_p3(
+        scope in any_scope(),
+        escape in any_comm_ctor(),
+    ) {
+        let stack = java_universe_stack();
+        let e = if escape {
+            ScopedError::escaping("Y", scope, "wrapper", "m")
+        } else {
+            ScopedError::explicit("Y", scope, "wrapper", "m")
+        };
+        let d = stack.propagate(e, "wrapper");
+        match d.handled_by {
+            Some(h) => {
+                let layer = stack
+                    .layers()
+                    .iter()
+                    .find(|l| l.name == h)
+                    .expect("handler is a layer");
+                prop_assert!(layer.can_absorb(d.error.scope));
+                prop_assert!(errorscope::audit::audit_delivery(&stack, &d).is_empty());
+            }
+            None => {
+                prop_assert!(stack.manager_of(d.error.scope).is_none());
+            }
+        }
+    }
+
+    /// A finite vocabulary admits exactly its members; the generic one
+    /// admits everything (P4 duality).
+    #[test]
+    fn vocabulary_membership(
+        declared in prop::collection::btree_set("[A-Z][a-z]{1,8}", 0..6),
+        probe in "[A-Z][a-z]{1,8}",
+    ) {
+        let v = ErrorVocabulary::finite(declared.iter().cloned().map(ErrorCode::owned));
+        let code = ErrorCode::owned(probe.clone());
+        prop_assert_eq!(v.admits(&code), declared.contains(&probe));
+        prop_assert!(ErrorVocabulary::generic().admits(&code));
+    }
+}

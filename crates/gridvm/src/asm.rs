@@ -1,0 +1,446 @@
+//! A small text assembler for GridVM programs.
+//!
+//! Lets examples and tests write jobs as readable listings instead of
+//! instruction vectors. One instruction per line; `;` starts a comment;
+//! labels are `name:` on their own line or before an instruction; functions
+//! are declared with `.func name locals=N` and the first function is the
+//! entry point; strings are declared with `.str "text"` and referenced by
+//! index.
+//!
+//! ```
+//! let src = r#"
+//! .func main locals=1
+//!     push 6
+//!     push 7
+//!     mul
+//!     print
+//!     halt
+//! "#;
+//! let image = gridvm::asm::assemble(src).unwrap();
+//! assert_eq!(image.functions.len(), 1);
+//! ```
+
+use crate::image::{Function, ProgramImage};
+use crate::isa::{Instr, IoMode};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An assembly failure, with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "asm error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+enum PendingInstr {
+    Ready(Instr),
+    /// A branch to a not-yet-resolved label.
+    Branch {
+        kind: BranchKind,
+        label: String,
+        line: usize,
+    },
+}
+
+enum BranchKind {
+    Jump,
+    JumpIfZero,
+    JumpIfNonZero,
+}
+
+struct PendingFunction {
+    name: String,
+    max_locals: u8,
+    args: u8,
+    rets: u8,
+    instrs: Vec<PendingInstr>,
+    labels: HashMap<String, u32>,
+    start_line: usize,
+}
+
+/// Assemble a source listing into a [`ProgramImage`].
+pub fn assemble(src: &str) -> Result<ProgramImage, AsmError> {
+    let mut functions: Vec<PendingFunction> = Vec::new();
+    let mut strings: Vec<String> = Vec::new();
+    let mut func_names: HashMap<String, u16> = HashMap::new();
+
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        let mut line = raw;
+        if let Some(p) = line.find(';') {
+            line = &line[..p];
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+
+        if let Some(rest) = line.strip_prefix(".func") {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.is_empty() {
+                return Err(err(lineno, ".func needs a name"));
+            }
+            let name = parts[0].to_string();
+            let mut max_locals = 0u8;
+            let mut args = 0u8;
+            let mut rets = 0u8;
+            for p in &parts[1..] {
+                if let Some(v) = p.strip_prefix("locals=") {
+                    max_locals = v
+                        .parse()
+                        .map_err(|_| err(lineno, format!("bad locals count '{v}'")))?;
+                } else if let Some(v) = p.strip_prefix("args=") {
+                    args = v
+                        .parse()
+                        .map_err(|_| err(lineno, format!("bad args count '{v}'")))?;
+                } else if let Some(v) = p.strip_prefix("rets=") {
+                    rets = v
+                        .parse()
+                        .map_err(|_| err(lineno, format!("bad rets count '{v}'")))?;
+                } else {
+                    return Err(err(lineno, format!("unknown .func attribute '{p}'")));
+                }
+            }
+            if func_names.contains_key(&name) {
+                return Err(err(lineno, format!("duplicate function '{name}'")));
+            }
+            func_names.insert(name.clone(), functions.len() as u16);
+            functions.push(PendingFunction {
+                name,
+                max_locals,
+                args,
+                rets,
+                instrs: Vec::new(),
+                labels: HashMap::new(),
+                start_line: lineno,
+            });
+            continue;
+        }
+
+        if let Some(rest) = line.strip_prefix(".str") {
+            let rest = rest.trim();
+            if rest.len() < 2 || !rest.starts_with('"') || !rest.ends_with('"') {
+                return Err(err(lineno, ".str needs a quoted string"));
+            }
+            strings.push(rest[1..rest.len() - 1].to_string());
+            continue;
+        }
+
+        let Some(func) = functions.last_mut() else {
+            return Err(err(lineno, "instruction before any .func"));
+        };
+
+        // Labels: one or more `name:` prefixes.
+        let mut rest = line;
+        while let Some(colon) = rest.find(':') {
+            let (label, tail) = rest.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                break; // not a label — could be something else
+            }
+            if func.labels.contains_key(label) {
+                return Err(err(lineno, format!("duplicate label '{label}'")));
+            }
+            func.labels
+                .insert(label.to_string(), func.instrs.len() as u32);
+            rest = tail[1..].trim();
+            if rest.is_empty() {
+                break;
+            }
+        }
+        if rest.is_empty() {
+            continue;
+        }
+
+        let tokens: Vec<&str> = rest.split_whitespace().collect();
+        let op = tokens[0].to_ascii_lowercase();
+        let arg = tokens.get(1).copied();
+        let arg_i64 = |a: Option<&str>| -> Result<i64, AsmError> {
+            a.ok_or_else(|| err(lineno, format!("'{op}' needs an operand")))?
+                .parse()
+                .map_err(|_| err(lineno, format!("bad integer operand for '{op}'")))
+        };
+        let instr = match op.as_str() {
+            "push" => PendingInstr::Ready(Instr::Push(arg_i64(arg)?)),
+            "pushnull" | "null" => PendingInstr::Ready(Instr::PushNull),
+            "pop" => PendingInstr::Ready(Instr::Pop),
+            "dup" => PendingInstr::Ready(Instr::Dup),
+            "swap" => PendingInstr::Ready(Instr::Swap),
+            "add" => PendingInstr::Ready(Instr::Add),
+            "sub" => PendingInstr::Ready(Instr::Sub),
+            "mul" => PendingInstr::Ready(Instr::Mul),
+            "div" => PendingInstr::Ready(Instr::Div),
+            "mod" => PendingInstr::Ready(Instr::Mod),
+            "neg" => PendingInstr::Ready(Instr::Neg),
+            "cmpeq" => PendingInstr::Ready(Instr::CmpEq),
+            "cmplt" => PendingInstr::Ready(Instr::CmpLt),
+            "cmpgt" => PendingInstr::Ready(Instr::CmpGt),
+            "jump" | "jmp" => PendingInstr::Branch {
+                kind: BranchKind::Jump,
+                label: arg
+                    .ok_or_else(|| err(lineno, "jump needs a label"))?
+                    .to_string(),
+                line: lineno,
+            },
+            "jz" | "jumpifzero" => PendingInstr::Branch {
+                kind: BranchKind::JumpIfZero,
+                label: arg
+                    .ok_or_else(|| err(lineno, "jz needs a label"))?
+                    .to_string(),
+                line: lineno,
+            },
+            "jnz" | "jumpifnonzero" => PendingInstr::Branch {
+                kind: BranchKind::JumpIfNonZero,
+                label: arg
+                    .ok_or_else(|| err(lineno, "jnz needs a label"))?
+                    .to_string(),
+                line: lineno,
+            },
+            "load" => PendingInstr::Ready(Instr::Load(arg_i64(arg)? as u8)),
+            "store" => PendingInstr::Ready(Instr::Store(arg_i64(arg)? as u8)),
+            "newarray" => PendingInstr::Ready(Instr::NewArray),
+            "alen" => PendingInstr::Ready(Instr::ALen),
+            "aload" => PendingInstr::Ready(Instr::ALoad),
+            "astore" => PendingInstr::Ready(Instr::AStore),
+            "call" => {
+                let name = arg.ok_or_else(|| err(lineno, "call needs a function name"))?;
+                // Function may be declared later; store symbolically via a
+                // second pass. Simplest: require declared-before-use or
+                // numeric index.
+                match name.parse::<u16>() {
+                    Ok(n) => PendingInstr::Ready(Instr::Call(n)),
+                    Err(_) => match func_names.get(name) {
+                        Some(n) => PendingInstr::Ready(Instr::Call(*n)),
+                        None => {
+                            return Err(err(
+                                lineno,
+                                format!("unknown function '{name}' (declare before use)"),
+                            ))
+                        }
+                    },
+                }
+            }
+            "ret" => PendingInstr::Ready(Instr::Ret),
+            "exit" => PendingInstr::Ready(Instr::Exit),
+            "halt" => PendingInstr::Ready(Instr::Halt),
+            "throw" => PendingInstr::Ready(Instr::Throw(arg_i64(arg)? as u16)),
+            "print" => PendingInstr::Ready(Instr::Print),
+            "stdcall" => PendingInstr::Ready(Instr::StdCall(arg_i64(arg)? as u8)),
+            "ioopen" => {
+                let path = arg_i64(arg)? as u16;
+                let mode = match tokens.get(2).copied().unwrap_or("read") {
+                    "read" => IoMode::Read,
+                    "write" => IoMode::Write,
+                    "append" => IoMode::Append,
+                    other => return Err(err(lineno, format!("bad io mode '{other}'"))),
+                };
+                PendingInstr::Ready(Instr::IoOpen { path, mode })
+            }
+            "ioreadsum" => PendingInstr::Ready(Instr::IoReadSum),
+            "iowritenum" => PendingInstr::Ready(Instr::IoWriteNum),
+            "ioclose" => PendingInstr::Ready(Instr::IoClose),
+            other => return Err(err(lineno, format!("unknown instruction '{other}'"))),
+        };
+        func.instrs.push(instr);
+    }
+
+    if functions.is_empty() {
+        return Err(err(0, "no functions declared"));
+    }
+
+    let mut out_functions = Vec::with_capacity(functions.len());
+    for f in functions {
+        let mut code = Vec::with_capacity(f.instrs.len());
+        for p in f.instrs {
+            match p {
+                PendingInstr::Ready(i) => code.push(i),
+                PendingInstr::Branch { kind, label, line } => {
+                    let target = *f
+                        .labels
+                        .get(&label)
+                        .ok_or_else(|| err(line, format!("unknown label '{label}'")))?;
+                    code.push(match kind {
+                        BranchKind::Jump => Instr::Jump(target),
+                        BranchKind::JumpIfZero => Instr::JumpIfZero(target),
+                        BranchKind::JumpIfNonZero => Instr::JumpIfNonZero(target),
+                    });
+                }
+            }
+        }
+        if code.is_empty() {
+            return Err(err(
+                f.start_line,
+                format!("function '{}' has no instructions", f.name),
+            ));
+        }
+        out_functions.push(Function {
+            name: f.name,
+            max_locals: f.max_locals,
+            args: f.args,
+            rets: f.rets,
+            code,
+        });
+    }
+
+    Ok(ProgramImage {
+        entry: 0,
+        functions: out_functions,
+        strings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Installation;
+    use crate::jvmio::NoIo;
+    use crate::machine::{load_and_run, Termination};
+
+    #[test]
+    fn simple_program_assembles_and_runs() {
+        let img = assemble(
+            r#"
+            .func main locals=0
+                push 6
+                push 7
+                mul
+                print
+                halt
+            "#,
+        )
+        .unwrap();
+        let out = load_and_run(&img.to_bytes(), &Installation::healthy(), &mut NoIo);
+        assert_eq!(out.stdout, "42\n");
+        assert_eq!(out.termination, Termination::Completed { exit_code: 0 });
+    }
+
+    #[test]
+    fn labels_and_loops() {
+        let img = assemble(
+            r#"
+            ; count down from 3, printing
+            .func main locals=1
+                push 3
+                store 0
+            loop:
+                load 0
+                jz end
+                load 0
+                print
+                load 0
+                push 1
+                sub
+                store 0
+                jump loop
+            end:
+                halt
+            "#,
+        )
+        .unwrap();
+        let out = load_and_run(&img.to_bytes(), &Installation::healthy(), &mut NoIo);
+        assert_eq!(out.stdout, "3\n2\n1\n");
+    }
+
+    #[test]
+    fn functions_and_calls() {
+        let img = assemble(
+            r#"
+            .func square locals=0 args=1 rets=1
+                dup
+                mul
+                ret
+            .func main locals=0
+                push 9
+                call square
+                print
+                halt
+            "#,
+        )
+        .unwrap();
+        // Entry is the first function; make main the entry.
+        let mut img = img;
+        img.entry = 1;
+        let out = load_and_run(&img.to_bytes(), &Installation::healthy(), &mut NoIo);
+        assert_eq!(out.stdout, "81\n");
+    }
+
+    #[test]
+    fn strings_and_io_ops() {
+        let img = assemble(
+            r#"
+            .str "input.txt"
+            .str "output.txt"
+            .func main locals=1
+                ioopen 0 read
+                dup
+                ioreadsum
+                store 0
+                ioclose
+                ioopen 1 write
+                dup
+                load 0
+                iowritenum
+                ioclose
+                halt
+            "#,
+        )
+        .unwrap();
+        assert_eq!(img.strings, vec!["input.txt", "output.txt"]);
+        assert!(crate::verify::verify(&img).is_ok());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("push 1").unwrap_err();
+        assert!(e.message.contains("before any .func"));
+        assert_eq!(e.line, 1);
+
+        let e = assemble(".func main locals=0\n  frobnicate").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"));
+
+        let e = assemble(".func main locals=0\n  jump nowhere\n  halt").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+
+        let e = assemble(".func main locals=0\n  push").unwrap_err();
+        assert!(e.message.contains("operand"));
+
+        assert!(assemble("").is_err());
+        assert!(assemble(".func main locals=0").is_err()); // empty body
+    }
+
+    #[test]
+    fn duplicate_labels_and_functions_rejected() {
+        let e = assemble(".func main locals=0\na:\na:\n  halt").unwrap_err();
+        assert!(e.message.contains("duplicate label"));
+        let e = assemble(".func m locals=0\n halt\n.func m locals=0\n halt").unwrap_err();
+        assert!(e.message.contains("duplicate function"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored()
+    {
+        let img = assemble(
+            "; header comment\n\n.func main locals=0 ; main fn\n  halt ; done\n",
+        )
+        .unwrap();
+        assert_eq!(img.functions[0].code, vec![Instr::Halt]);
+    }
+}

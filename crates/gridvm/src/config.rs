@@ -1,0 +1,181 @@
+//! The virtual machine installation.
+//!
+//! "The JVM binary, libraries, and configuration files are all specified by
+//! the machine owner, as they are certain to differ from location to
+//! location" (§2.2) — and the machine owner "might give an incorrect path
+//! to the standard libraries" (§2.3), a **remote-resource-scope** failure.
+//!
+//! [`InstallHealth`] models the three interesting states: healthy, broken
+//! at startup (wrong binary path — any program fails immediately), and the
+//! more insidious *partially* broken installation whose standard library is
+//! missing: trivial programs run fine, but any program touching the
+//! standard library dies. The distinction matters for the §5 black-hole
+//! experiment: a startd self-test that only runs a trivial program will
+//! certify a partially broken installation as healthy.
+
+use serde::{Deserialize, Serialize};
+
+/// The health of one machine's VM installation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InstallHealth {
+    /// Fully working.
+    Healthy,
+    /// The owner's configured binary/library path is wrong: the VM cannot
+    /// start at all.
+    BadPath,
+    /// The VM starts, but the standard library is missing: the first
+    /// `StdCall` fails.
+    MissingStdlib,
+}
+
+/// An installation descriptor, as the machine owner would configure it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Installation {
+    /// Owner-configured path to the VM (display only).
+    pub path: String,
+    /// Maximum heap, in words.
+    pub heap_limit: u64,
+    /// Maximum call depth.
+    pub max_call_depth: usize,
+    /// Instruction budget per execution; exhausting it is a
+    /// virtual-machine-scope failure (the machine reclaims its CPU).
+    pub fuel: u64,
+    /// Actual health of this installation.
+    pub health: InstallHealth,
+}
+
+impl Default for Installation {
+    fn default() -> Self {
+        Installation::healthy()
+    }
+}
+
+impl Installation {
+    /// A healthy default installation.
+    pub fn healthy() -> Installation {
+        Installation {
+            path: "/usr/local/gridvm/bin/gvm".into(),
+            heap_limit: 1 << 20, // 1M words = 8 MiB
+            max_call_depth: 512,
+            fuel: 50_000_000,
+            health: InstallHealth::Healthy,
+        }
+    }
+
+    /// An installation with the owner's path pointing nowhere.
+    pub fn bad_path() -> Installation {
+        Installation {
+            health: InstallHealth::BadPath,
+            ..Installation::healthy()
+        }
+    }
+
+    /// An installation whose standard library is missing.
+    pub fn missing_stdlib() -> Installation {
+        Installation {
+            health: InstallHealth::MissingStdlib,
+            ..Installation::healthy()
+        }
+    }
+
+    /// Shrink the heap (builder style) — used to provoke
+    /// `OutOfMemoryError`.
+    pub fn with_heap_limit(mut self, words: u64) -> Installation {
+        self.heap_limit = words;
+        self
+    }
+
+    /// Cap the call depth (builder style).
+    pub fn with_max_call_depth(mut self, depth: usize) -> Installation {
+        self.max_call_depth = depth;
+        self
+    }
+
+    /// Cap the instruction budget (builder style).
+    pub fn with_fuel(mut self, fuel: u64) -> Installation {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Can the VM start at all?
+    pub fn can_start(&self) -> bool {
+        self.health != InstallHealth::BadPath
+    }
+
+    /// Is the standard library present?
+    pub fn has_stdlib(&self) -> bool {
+        self.health == InstallHealth::Healthy
+    }
+}
+
+/// The depth of the startd's §5 self-test: "we modified the startd to test
+/// the installation at startup. If found lacking, then the startd simply
+/// declines to advertise its Java capability."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SelfTestDepth {
+    /// Trust the owner's assertion; no test (the pre-§5 behaviour).
+    None,
+    /// Run a trivial program — catches [`InstallHealth::BadPath`] but not a
+    /// missing standard library.
+    Trivial,
+    /// Run a program that also exercises the standard library — catches
+    /// both failure modes.
+    Thorough,
+}
+
+/// Run the startd's self-test against an installation. Returns whether the
+/// machine should advertise its VM capability.
+pub fn self_test(install: &Installation, depth: SelfTestDepth) -> bool {
+    match depth {
+        SelfTestDepth::None => true, // blindly accept the owner's assertion
+        SelfTestDepth::Trivial => install.can_start(),
+        SelfTestDepth::Thorough => install.can_start() && install.has_stdlib(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn health_predicates() {
+        assert!(Installation::healthy().can_start());
+        assert!(Installation::healthy().has_stdlib());
+        assert!(!Installation::bad_path().can_start());
+        assert!(Installation::missing_stdlib().can_start());
+        assert!(!Installation::missing_stdlib().has_stdlib());
+    }
+
+    #[test]
+    fn self_test_depths() {
+        let healthy = Installation::healthy();
+        let bad = Installation::bad_path();
+        let partial = Installation::missing_stdlib();
+
+        // No test: everything advertises — the black-hole precondition.
+        assert!(self_test(&healthy, SelfTestDepth::None));
+        assert!(self_test(&bad, SelfTestDepth::None));
+        assert!(self_test(&partial, SelfTestDepth::None));
+
+        // Trivial test: catches the dead binary, misses the partial break.
+        assert!(self_test(&healthy, SelfTestDepth::Trivial));
+        assert!(!self_test(&bad, SelfTestDepth::Trivial));
+        assert!(self_test(&partial, SelfTestDepth::Trivial));
+
+        // Thorough test: catches both.
+        assert!(self_test(&healthy, SelfTestDepth::Thorough));
+        assert!(!self_test(&bad, SelfTestDepth::Thorough));
+        assert!(!self_test(&partial, SelfTestDepth::Thorough));
+    }
+
+    #[test]
+    fn builders() {
+        let i = Installation::healthy()
+            .with_heap_limit(10)
+            .with_max_call_depth(3)
+            .with_fuel(99);
+        assert_eq!(i.heap_limit, 10);
+        assert_eq!(i.max_call_depth, 3);
+        assert_eq!(i.fuel, 99);
+    }
+}

@@ -1,0 +1,175 @@
+//! Disassembler: render a [`ProgramImage`] back to assembler source.
+//!
+//! The output is accepted by [`crate::asm::assemble`], so
+//! `assemble(disassemble(img))` reproduces the image (up to label naming).
+//! Used for debugging job images and in tests as an inverse of the
+//! assembler.
+
+use crate::image::ProgramImage;
+use crate::isa::{Instr, IoMode};
+use std::collections::BTreeSet;
+use std::fmt::Write;
+
+/// Render an image as assembler source.
+pub fn disassemble(img: &ProgramImage) -> String {
+    let mut out = String::new();
+    for s in &img.strings {
+        let _ = writeln!(out, ".str \"{s}\"");
+    }
+    for (fi, f) in img.functions.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            ".func {} locals={} args={} rets={}{}",
+            sanitize(&f.name, fi),
+            f.max_locals,
+            f.args,
+            f.rets,
+            if fi == img.entry as usize {
+                " ; entry"
+            } else {
+                ""
+            }
+        );
+        // Collect branch targets for labels.
+        let targets: BTreeSet<u32> = f.code.iter().filter_map(|i| i.branch_target()).collect();
+        for (pc, ins) in f.code.iter().enumerate() {
+            if targets.contains(&(pc as u32)) {
+                let _ = writeln!(out, "L{pc}:");
+            }
+            let _ = writeln!(out, "    {}", render(ins));
+        }
+    }
+    out
+}
+
+fn sanitize(name: &str, index: usize) -> String {
+    let clean: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if clean.is_empty() || !clean.chars().next().unwrap().is_alphabetic() {
+        format!("fn{index}")
+    } else {
+        clean
+    }
+}
+
+fn render(ins: &Instr) -> String {
+    match ins {
+        Instr::Push(v) => format!("push {v}"),
+        Instr::PushNull => "pushnull".into(),
+        Instr::Pop => "pop".into(),
+        Instr::Dup => "dup".into(),
+        Instr::Swap => "swap".into(),
+        Instr::Add => "add".into(),
+        Instr::Sub => "sub".into(),
+        Instr::Mul => "mul".into(),
+        Instr::Div => "div".into(),
+        Instr::Mod => "mod".into(),
+        Instr::Neg => "neg".into(),
+        Instr::CmpEq => "cmpeq".into(),
+        Instr::CmpLt => "cmplt".into(),
+        Instr::CmpGt => "cmpgt".into(),
+        Instr::Jump(t) => format!("jump L{t}"),
+        Instr::JumpIfZero(t) => format!("jz L{t}"),
+        Instr::JumpIfNonZero(t) => format!("jnz L{t}"),
+        Instr::Load(n) => format!("load {n}"),
+        Instr::Store(n) => format!("store {n}"),
+        Instr::NewArray => "newarray".into(),
+        Instr::ALen => "alen".into(),
+        Instr::ALoad => "aload".into(),
+        Instr::AStore => "astore".into(),
+        // Numeric call targets are unambiguous and always reassemble,
+        // regardless of declaration order (the assembler accepts both
+        // names and indices).
+        Instr::Call(t) => format!("call {t}"),
+        Instr::Ret => "ret".into(),
+        Instr::Exit => "exit".into(),
+        Instr::Halt => "halt".into(),
+        Instr::Throw(n) => format!("throw {n}"),
+        Instr::Print => "print".into(),
+        Instr::StdCall(n) => format!("stdcall {n}"),
+        Instr::IoOpen { path, mode } => {
+            let m = match mode {
+                IoMode::Read => "read",
+                IoMode::Write => "write",
+                IoMode::Append => "append",
+            };
+            format!("ioopen {path} {m}")
+        }
+        Instr::IoReadSum => "ioreadsum".into(),
+        Instr::IoWriteNum => "iowritenum".into(),
+        Instr::IoClose => "ioclose".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::programs;
+
+    fn roundtrip(bytes: &[u8]) {
+        let img = ProgramImage::from_bytes(bytes).unwrap();
+        let src = disassemble(&img);
+        let back = assemble(&src).unwrap_or_else(|e| panic!("reassembly failed: {e}\n{src}"));
+        // Entry index and string table survive; code must be identical
+        // instruction-for-instruction.
+        assert_eq!(back.strings, img.strings, "\n{src}");
+        assert_eq!(back.functions.len(), img.functions.len());
+        for (a, b) in back.functions.iter().zip(&img.functions) {
+            assert_eq!(a.code, b.code, "\n{src}");
+            assert_eq!(a.max_locals, b.max_locals);
+            assert_eq!(a.args, b.args);
+            assert_eq!(a.rets, b.rets);
+        }
+    }
+
+    #[test]
+    fn canned_programs_roundtrip() {
+        for bytes in [
+            programs::completes_main(),
+            programs::calls_exit(7),
+            programs::null_dereference(),
+            programs::index_out_of_bounds(),
+            programs::exhausts_memory(),
+            programs::uses_stdlib(),
+            programs::reads_and_writes(),
+            programs::cpu_bound(100),
+            programs::throws_user_exception(),
+        ] {
+            roundtrip(&bytes);
+        }
+    }
+
+    #[test]
+    fn listing_is_readable() {
+        let img = ProgramImage::from_bytes(&programs::reads_and_writes()).unwrap();
+        let src = disassemble(&img);
+        assert!(src.contains(".str \"input.txt\""));
+        assert!(src.contains("ioopen 0 read"));
+        assert!(src.contains("iowritenum"));
+        assert!(src.contains(".func reads_and_writes"));
+    }
+
+    #[test]
+    fn labels_appear_at_branch_targets() {
+        let img = ProgramImage::from_bytes(&programs::cpu_bound(5)).unwrap();
+        let src = disassemble(&img);
+        assert!(src.contains("L4:"), "{src}");
+        assert!(src.contains("jump L4"), "{src}");
+    }
+
+    #[test]
+    fn hostile_names_are_sanitised() {
+        let mut img = ProgramImage::from_bytes(&programs::completes_main()).unwrap();
+        img.functions[0].name = "weird name!{}".into();
+        let src = disassemble(&img);
+        assert!(src.contains(".func weird_name___"), "{src}");
+        assert!(assemble(&src).is_ok());
+        let mut img2 = img.clone();
+        img2.functions[0].name = "123".into();
+        let src = disassemble(&img2);
+        assert!(src.contains(".func fn0"), "{src}");
+    }
+}

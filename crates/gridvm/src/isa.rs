@@ -1,0 +1,222 @@
+//! The GridVM instruction set.
+//!
+//! A small stack machine standing in for the JVM. It is deliberately rich
+//! enough to exhibit every failure mode in Figure 4 of the paper:
+//!
+//! * normal completion and `System.exit(x)` ([`Instr::Halt`], [`Instr::Exit`]),
+//! * program-scope exceptions (null dereference, array bounds, arithmetic,
+//!   user throws),
+//! * virtual-machine-scope failures (heap exhaustion, call-stack overflow),
+//! * remote-resource-scope failures (a misconfigured installation, via
+//!   [`Instr::StdCall`] against a broken standard library),
+//! * local-resource-scope failures (remote I/O against an offline home file
+//!   system, via the I/O instructions).
+//!
+//! Values are `i64`. Array references are opaque non-zero handles; `0` is
+//! null. I/O instructions name paths through the image's string table.
+
+/// Open mode for [`Instr::IoOpen`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoMode {
+    /// Read an existing file.
+    Read,
+    /// Create/truncate and write.
+    Write,
+    /// Append, creating if missing.
+    Append,
+}
+
+impl IoMode {
+    /// Stable encoding.
+    pub fn to_byte(self) -> u8 {
+        match self {
+            IoMode::Read => 0,
+            IoMode::Write => 1,
+            IoMode::Append => 2,
+        }
+    }
+
+    /// Decode.
+    pub fn from_byte(b: u8) -> Option<IoMode> {
+        match b {
+            0 => Some(IoMode::Read),
+            1 => Some(IoMode::Write),
+            2 => Some(IoMode::Append),
+            _ => None,
+        }
+    }
+}
+
+/// One instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// Push a constant.
+    Push(i64),
+    /// Push the null reference (0).
+    PushNull,
+    /// Discard the top of stack.
+    Pop,
+    /// Duplicate the top of stack.
+    Dup,
+    /// Swap the top two values.
+    Swap,
+
+    /// Pop b, a; push a + b (wrapping).
+    Add,
+    /// Pop b, a; push a - b (wrapping).
+    Sub,
+    /// Pop b, a; push a * b (wrapping).
+    Mul,
+    /// Pop b, a; push a / b. Division by zero raises `ArithmeticException`.
+    Div,
+    /// Pop b, a; push a % b. Modulo zero raises `ArithmeticException`.
+    Mod,
+    /// Negate the top of stack.
+    Neg,
+
+    /// Pop b, a; push 1 if a == b else 0.
+    CmpEq,
+    /// Pop b, a; push 1 if a < b else 0.
+    CmpLt,
+    /// Pop b, a; push 1 if a > b else 0.
+    CmpGt,
+
+    /// Unconditional jump to instruction index within the current function.
+    Jump(u32),
+    /// Pop v; jump if v == 0.
+    JumpIfZero(u32),
+    /// Pop v; jump if v != 0.
+    JumpIfNonZero(u32),
+
+    /// Push the value of local variable `n`.
+    Load(u8),
+    /// Pop into local variable `n`.
+    Store(u8),
+
+    /// Pop size; allocate an array of that many words (zeroed); push its
+    /// reference. Exhausting the heap raises `OutOfMemoryError`
+    /// (virtual-machine scope). A negative size raises
+    /// `NegativeArraySizeException` (program scope).
+    NewArray,
+    /// Pop ref; push array length. Null raises `NullPointerException`.
+    ALen,
+    /// Pop index, ref; push element. Null/bounds raise the corresponding
+    /// program-scope exceptions.
+    ALoad,
+    /// Pop value, index, ref; store element.
+    AStore,
+
+    /// Call function `n`; arguments are passed through the operand stack by
+    /// convention. Exceeding the call-depth limit raises
+    /// `StackOverflowError` (virtual-machine scope).
+    Call(u16),
+    /// Return from the current function. Returning from the entry function
+    /// completes the program with exit code 0.
+    Ret,
+
+    /// Pop exit code; terminate the program as `System.exit(code)`.
+    Exit,
+    /// Fall off the end of `main`: complete with exit code 0. (Also
+    /// implicit at the end of the entry function.)
+    Halt,
+    /// Throw user exception number `n` (program scope).
+    Throw(u16),
+    /// Pop a value and append its decimal form plus newline to stdout.
+    Print,
+
+    /// Call standard-library routine `n` (0 = abs, 1 = sgn, 2 = isqrt).
+    /// Requires a healthy installation: a missing standard library raises
+    /// the remote-resource-scope `MisconfiguredInstallation` failure.
+    StdCall(u8),
+
+    /// Open the file named by string-table entry `path`; push a descriptor.
+    IoOpen {
+        /// String-table index of the path.
+        path: u16,
+        /// Access mode.
+        mode: IoMode,
+    },
+    /// Pop fd; read the remainder of the file and push the sum of its
+    /// bytes (so file contents affect computation).
+    IoReadSum,
+    /// Pop value, fd; write the decimal form of value to the file.
+    IoWriteNum,
+    /// Pop fd; close it.
+    IoClose,
+}
+
+impl Instr {
+    /// Static branch target, if this instruction has one.
+    pub fn branch_target(&self) -> Option<u32> {
+        match self {
+            Instr::Jump(t) | Instr::JumpIfZero(t) | Instr::JumpIfNonZero(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Net stack effect `(pops, pushes)` where statically known.
+    pub fn stack_effect(&self) -> (u32, u32) {
+        match self {
+            Instr::Push(_) | Instr::PushNull => (0, 1),
+            Instr::Pop => (1, 0),
+            Instr::Dup => (1, 2),
+            Instr::Swap => (2, 2),
+            Instr::Add
+            | Instr::Sub
+            | Instr::Mul
+            | Instr::Div
+            | Instr::Mod
+            | Instr::CmpEq
+            | Instr::CmpLt
+            | Instr::CmpGt => (2, 1),
+            Instr::Neg => (1, 1),
+            Instr::Jump(_) => (0, 0),
+            Instr::JumpIfZero(_) | Instr::JumpIfNonZero(_) => (1, 0),
+            Instr::Load(_) => (0, 1),
+            Instr::Store(_) => (1, 0),
+            Instr::NewArray => (1, 1),
+            Instr::ALen => (1, 1),
+            Instr::ALoad => (2, 1),
+            Instr::AStore => (3, 0),
+            // Calls are checked dynamically.
+            Instr::Call(_) | Instr::Ret => (0, 0),
+            Instr::Exit => (1, 0),
+            Instr::Halt => (0, 0),
+            Instr::Throw(_) => (0, 0),
+            Instr::Print => (1, 0),
+            Instr::StdCall(_) => (1, 1),
+            Instr::IoOpen { .. } => (0, 1),
+            Instr::IoReadSum => (1, 1),
+            Instr::IoWriteNum => (2, 0),
+            Instr::IoClose => (1, 0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_mode_round_trip() {
+        for m in [IoMode::Read, IoMode::Write, IoMode::Append] {
+            assert_eq!(IoMode::from_byte(m.to_byte()), Some(m));
+        }
+        assert_eq!(IoMode::from_byte(7), None);
+    }
+
+    #[test]
+    fn branch_targets() {
+        assert_eq!(Instr::Jump(5).branch_target(), Some(5));
+        assert_eq!(Instr::JumpIfZero(2).branch_target(), Some(2));
+        assert_eq!(Instr::Add.branch_target(), None);
+    }
+
+    #[test]
+    fn stack_effects_are_sane() {
+        assert_eq!(Instr::Push(1).stack_effect(), (0, 1));
+        assert_eq!(Instr::Add.stack_effect(), (2, 1));
+        assert_eq!(Instr::AStore.stack_effect(), (3, 0));
+        assert_eq!(Instr::Dup.stack_effect(), (1, 2));
+    }
+}

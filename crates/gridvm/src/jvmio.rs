@@ -1,0 +1,200 @@
+//! The VM's window onto the world: the job I/O interface.
+//!
+//! I/O instructions call a [`JobIo`] implementation. The production
+//! implementation, [`ChirpJobIo`], wraps the Chirp client library — the
+//! full path of Figure 2: program → I/O library → proxy → (shadow →) file
+//! system. [`NoIo`] is the Vanilla-style environment with no remote I/O.
+
+use chirp::client::{ChirpClient, IoError};
+use chirp::proto::{Fd, OpenMode};
+use chirp::transport::Transport;
+use crate::isa::IoMode;
+
+/// How an I/O instruction can conclude.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IoOutcome<T> {
+    /// Success.
+    Ok(T),
+    /// An explicit, in-contract error — a legitimate program-visible result
+    /// (surfaces as a program-scope exception like `FileNotFoundException`).
+    Exception(String),
+    /// An escaping error from the I/O library: the environment failed in a
+    /// way the I/O interface cannot express. Terminates the program; the
+    /// wrapper classifies the scope.
+    Escape(errorscope::ScopedError),
+}
+
+/// The I/O capability handed to a running VM.
+pub trait JobIo {
+    /// Open a file; returns a descriptor.
+    fn open(&mut self, path: &str, mode: IoMode) -> IoOutcome<Fd>;
+    /// Read the remainder of the file.
+    fn read_all(&mut self, fd: Fd) -> IoOutcome<Vec<u8>>;
+    /// Write bytes.
+    fn write(&mut self, fd: Fd, data: &[u8]) -> IoOutcome<()>;
+    /// Close a descriptor.
+    fn close(&mut self, fd: Fd) -> IoOutcome<()>;
+}
+
+/// An environment with no I/O capability at all: every operation is a
+/// program-visible exception (the file simply is not there for this job).
+#[derive(Debug, Default)]
+pub struct NoIo;
+
+impl JobIo for NoIo {
+    fn open(&mut self, path: &str, _mode: IoMode) -> IoOutcome<Fd> {
+        IoOutcome::Exception(format!("FileNotFoundException: {path}"))
+    }
+    fn read_all(&mut self, _fd: Fd) -> IoOutcome<Vec<u8>> {
+        IoOutcome::Exception("IOException: no descriptor".into())
+    }
+    fn write(&mut self, _fd: Fd, _data: &[u8]) -> IoOutcome<()> {
+        IoOutcome::Exception("IOException: no descriptor".into())
+    }
+    fn close(&mut self, _fd: Fd) -> IoOutcome<()> {
+        IoOutcome::Exception("IOException: no descriptor".into())
+    }
+}
+
+/// The Chirp-backed I/O of the Java Universe.
+pub struct ChirpJobIo<T: Transport> {
+    client: ChirpClient<T>,
+}
+
+impl<T: Transport> ChirpJobIo<T> {
+    /// Wrap an authenticated client.
+    pub fn new(client: ChirpClient<T>) -> Self {
+        ChirpJobIo { client }
+    }
+
+    /// The wrapped client.
+    pub fn client_mut(&mut self) -> &mut ChirpClient<T> {
+        &mut self.client
+    }
+
+    fn map_err<V>(e: IoError) -> IoOutcome<V> {
+        match e {
+            IoError::Explicit(code) => IoOutcome::Exception(format!("{code}")),
+            // The naive library's generic exception is still delivered to
+            // the program — that is precisely its flaw.
+            IoError::GenericException(code) => IoOutcome::Exception(code.as_str().to_string()),
+            IoError::Escape(se) => IoOutcome::Escape(se),
+        }
+    }
+}
+
+impl<T: Transport> JobIo for ChirpJobIo<T> {
+    fn open(&mut self, path: &str, mode: IoMode) -> IoOutcome<Fd> {
+        let m = match mode {
+            IoMode::Read => OpenMode::Read,
+            IoMode::Write => OpenMode::Write,
+            IoMode::Append => OpenMode::Append,
+        };
+        match self.client.open(path, m) {
+            Ok(fd) => IoOutcome::Ok(fd),
+            Err(e) => Self::map_err(e),
+        }
+    }
+
+    fn read_all(&mut self, fd: Fd) -> IoOutcome<Vec<u8>> {
+        match self.client.read_all(fd) {
+            Ok(d) => IoOutcome::Ok(d),
+            Err(e) => Self::map_err(e),
+        }
+    }
+
+    fn write(&mut self, fd: Fd, data: &[u8]) -> IoOutcome<()> {
+        match self.client.write(fd, data) {
+            Ok(_) => IoOutcome::Ok(()),
+            Err(e) => Self::map_err(e),
+        }
+    }
+
+    fn close(&mut self, fd: Fd) -> IoOutcome<()> {
+        match self.client.close(fd) {
+            Ok(()) => IoOutcome::Ok(()),
+            Err(e) => Self::map_err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chirp::backend::{EnvFault, MemFs};
+    use chirp::cookie::Cookie;
+    use chirp::server::ChirpServer;
+    use chirp::transport::DirectTransport;
+    use errorscope::Scope;
+
+    fn io(prep: impl FnOnce(&mut MemFs)) -> ChirpJobIo<DirectTransport<MemFs>> {
+        let mut fs = MemFs::default();
+        prep(&mut fs);
+        let server = ChirpServer::new(fs, Cookie::generate(1));
+        let mut client = ChirpClient::new(DirectTransport::new(server));
+        client.auth(Cookie::generate(1).as_bytes()).unwrap();
+        ChirpJobIo::new(client)
+    }
+
+    #[test]
+    fn chirp_io_happy_path() {
+        let mut io = io(|fs| {
+            fs.put("in", b"abc");
+        });
+        let fd = match io.open("in", IoMode::Read) {
+            IoOutcome::Ok(fd) => fd,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(io.read_all(fd), IoOutcome::Ok(b"abc".to_vec()));
+        assert_eq!(io.close(fd), IoOutcome::Ok(()));
+
+        let fd = match io.open("out", IoMode::Write) {
+            IoOutcome::Ok(fd) => fd,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(io.write(fd, b"xyz"), IoOutcome::Ok(()));
+    }
+
+    #[test]
+    fn missing_file_is_a_program_exception() {
+        let mut io = io(|_| {});
+        match io.open("ghost", IoMode::Read) {
+            IoOutcome::Exception(m) => assert!(m.contains("FileNotFound")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn offline_fs_is_an_escape() {
+        let mut io = io(|fs| {
+            fs.put("f", b"x");
+        });
+        let IoOutcome::Ok(fd) = io.open("f", IoMode::Read) else {
+            panic!()
+        };
+        io.client_mut()
+            .transport_mut()
+            .server_mut()
+            .unwrap()
+            .backend_mut()
+            .set_env_fault(Some(EnvFault::FilesystemOffline));
+        match io.read_all(fd) {
+            IoOutcome::Escape(se) => {
+                assert_eq!(se.scope, Scope::LocalResource);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_io_denies_everything() {
+        let mut io = NoIo;
+        assert!(matches!(
+            io.open("x", IoMode::Read),
+            IoOutcome::Exception(_)
+        ));
+        assert!(matches!(io.read_all(1), IoOutcome::Exception(_)));
+        assert!(matches!(io.write(1, b"d"), IoOutcome::Exception(_)));
+        assert!(matches!(io.close(1), IoOutcome::Exception(_)));
+    }
+}

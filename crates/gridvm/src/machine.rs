@@ -1,0 +1,762 @@
+//! The interpreter.
+//!
+//! [`load_and_run`] is the whole "invoke the JVM" path: check the
+//! installation, load and integrity-check the image, verify the bytecode,
+//! then interpret. Every way it can end is a [`Termination`] that knows its
+//! scope — this is the information the JVM's bare exit code destroys
+//! (Figure 4) and the wrapper preserves.
+
+use crate::config::Installation;
+use crate::image::{ProgramImage, MAGIC};
+use crate::isa::Instr;
+use crate::jvmio::{IoOutcome, JobIo};
+use crate::verify::verify;
+use errorscope::error::codes;
+use errorscope::{ErrorCode, Scope};
+
+/// How an execution attempt concluded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Termination {
+    /// The program exited by completing `main` (code 0) or by calling
+    /// `System.exit(code)`. **Program scope** — the result is the user's.
+    Completed {
+        /// The program's exit code.
+        exit_code: i32,
+    },
+    /// The program terminated with a program-generated exception. Still
+    /// **program scope**: "users wanted to see program generated errors".
+    Exception {
+        /// Exception type name, e.g. `"NullPointerException"`.
+        name: String,
+        /// Detail message.
+        message: String,
+    },
+    /// The environment failed: the program's fate says nothing about the
+    /// program. The scope tells the surrounding system who must act.
+    EnvFailure {
+        /// The invalidated scope.
+        scope: Scope,
+        /// Machine-readable condition.
+        code: ErrorCode,
+        /// Detail message.
+        message: String,
+    },
+}
+
+impl Termination {
+    /// The scope of this outcome.
+    pub fn scope(&self) -> Scope {
+        match self {
+            Termination::Completed { .. } | Termination::Exception { .. } => Scope::Program,
+            Termination::EnvFailure { scope, .. } => *scope,
+        }
+    }
+
+    /// Is this a result the user should receive (program scope)?
+    pub fn is_program_result(&self) -> bool {
+        self.scope() == Scope::Program
+    }
+}
+
+/// Everything an execution attempt produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutput {
+    /// How it ended.
+    pub termination: Termination,
+    /// Collected standard output.
+    pub stdout: String,
+    /// Instructions executed.
+    pub instructions: u64,
+}
+
+/// Run a serialised image through the full startup-and-execute path.
+pub fn load_and_run(image_bytes: &[u8], install: &Installation, io: &mut dyn JobIo) -> RunOutput {
+    // Misconfigured binary path: the VM cannot start at all.
+    if !install.can_start() {
+        return RunOutput {
+            termination: Termination::EnvFailure {
+                scope: Scope::RemoteResource,
+                code: codes::MISCONFIGURED_INSTALLATION,
+                message: format!("no such VM binary: {}", install.path),
+            },
+            stdout: String::new(),
+            instructions: 0,
+        };
+    }
+    // Corrupt image: job scope.
+    let image = match ProgramImage::from_bytes(image_bytes) {
+        Ok(img) => img,
+        Err(e) => {
+            return RunOutput {
+                termination: Termination::EnvFailure {
+                    scope: Scope::Job,
+                    code: codes::CORRUPT_IMAGE,
+                    message: e.to_string(),
+                },
+                stdout: String::new(),
+                instructions: 0,
+            }
+        }
+    };
+    if let Err(e) = verify(&image) {
+        return RunOutput {
+            termination: Termination::EnvFailure {
+                scope: Scope::Job,
+                code: codes::CORRUPT_IMAGE,
+                message: e.to_string(),
+            },
+            stdout: String::new(),
+            instructions: 0,
+        };
+    }
+    execute(&image, install, io)
+}
+
+struct Frame {
+    func: usize,
+    pc: usize,
+    locals: Vec<i64>,
+}
+
+/// Execute a loaded, verified image.
+pub fn execute(image: &ProgramImage, install: &Installation, io: &mut dyn JobIo) -> RunOutput {
+    let mut stdout = String::new();
+    let mut instructions: u64 = 0;
+    let mut stack: Vec<i64> = Vec::with_capacity(64);
+    let mut heap: Vec<Vec<i64>> = Vec::new();
+    let mut heap_words: u64 = 0;
+    let mut frames = vec![Frame {
+        func: image.entry as usize,
+        pc: 0,
+        locals: vec![0; image.functions[image.entry as usize].max_locals as usize],
+    }];
+
+    macro_rules! done {
+        ($t:expr) => {
+            return RunOutput {
+                termination: $t,
+                stdout,
+                instructions,
+            }
+        };
+    }
+    macro_rules! exception {
+        ($name:expr, $msg:expr) => {
+            done!(Termination::Exception {
+                name: $name.to_string(),
+                message: $msg.to_string(),
+            })
+        };
+    }
+    macro_rules! vm_failure {
+        ($code:expr, $msg:expr) => {
+            done!(Termination::EnvFailure {
+                scope: Scope::VirtualMachine,
+                code: $code,
+                message: $msg.to_string(),
+            })
+        };
+    }
+    macro_rules! pop {
+        () => {
+            match stack.pop() {
+                Some(v) => v,
+                None => vm_failure!(
+                    codes::VIRTUAL_MACHINE_ERROR,
+                    "operand stack underflow past the verifier"
+                ),
+            }
+        };
+    }
+
+    loop {
+        if instructions >= install.fuel {
+            vm_failure!(
+                ErrorCode::new("CpuLimitExceeded"),
+                "instruction budget exhausted; machine reclaiming CPU"
+            );
+        }
+        instructions += 1;
+
+        let (func, pc) = {
+            let f = frames.last().expect("at least one frame");
+            (f.func, f.pc)
+        };
+        let code = &image.functions[func].code;
+        if pc >= code.len() {
+            // Fell off the end of a function: implicit return.
+            frames.pop();
+            if frames.is_empty() {
+                done!(Termination::Completed { exit_code: 0 });
+            }
+            continue;
+        }
+        frames.last_mut().unwrap().pc += 1;
+        let ins = code[pc];
+
+        match ins {
+            Instr::Push(v) => stack.push(v),
+            Instr::PushNull => stack.push(0),
+            Instr::Pop => {
+                let _ = pop!();
+            }
+            Instr::Dup => {
+                let v = pop!();
+                stack.push(v);
+                stack.push(v);
+            }
+            Instr::Swap => {
+                let b = pop!();
+                let a = pop!();
+                stack.push(b);
+                stack.push(a);
+            }
+            Instr::Add => {
+                let b = pop!();
+                let a = pop!();
+                stack.push(a.wrapping_add(b));
+            }
+            Instr::Sub => {
+                let b = pop!();
+                let a = pop!();
+                stack.push(a.wrapping_sub(b));
+            }
+            Instr::Mul => {
+                let b = pop!();
+                let a = pop!();
+                stack.push(a.wrapping_mul(b));
+            }
+            Instr::Div => {
+                let b = pop!();
+                let a = pop!();
+                if b == 0 {
+                    exception!("ArithmeticException", "/ by zero");
+                }
+                stack.push(a.wrapping_div(b));
+            }
+            Instr::Mod => {
+                let b = pop!();
+                let a = pop!();
+                if b == 0 {
+                    exception!("ArithmeticException", "% by zero");
+                }
+                stack.push(a.wrapping_rem(b));
+            }
+            Instr::Neg => {
+                let v = pop!();
+                stack.push(v.wrapping_neg());
+            }
+            Instr::CmpEq => {
+                let b = pop!();
+                let a = pop!();
+                stack.push(i64::from(a == b));
+            }
+            Instr::CmpLt => {
+                let b = pop!();
+                let a = pop!();
+                stack.push(i64::from(a < b));
+            }
+            Instr::CmpGt => {
+                let b = pop!();
+                let a = pop!();
+                stack.push(i64::from(a > b));
+            }
+            Instr::Jump(t) => frames.last_mut().unwrap().pc = t as usize,
+            Instr::JumpIfZero(t) => {
+                if pop!() == 0 {
+                    frames.last_mut().unwrap().pc = t as usize;
+                }
+            }
+            Instr::JumpIfNonZero(t) => {
+                if pop!() != 0 {
+                    frames.last_mut().unwrap().pc = t as usize;
+                }
+            }
+            Instr::Load(i) => {
+                let v = frames.last().unwrap().locals[i as usize];
+                stack.push(v);
+            }
+            Instr::Store(i) => {
+                let v = pop!();
+                frames.last_mut().unwrap().locals[i as usize] = v;
+            }
+            Instr::NewArray => {
+                let size = pop!();
+                if size < 0 {
+                    exception!("NegativeArraySizeException", format!("size {size}"));
+                }
+                let words = size as u64;
+                if heap_words + words > install.heap_limit {
+                    done!(Termination::EnvFailure {
+                        scope: Scope::VirtualMachine,
+                        code: codes::OUT_OF_MEMORY,
+                        message: format!(
+                            "requested {words} words with {heap_words}/{} used",
+                            install.heap_limit
+                        ),
+                    });
+                }
+                heap_words += words;
+                heap.push(vec![0; size as usize]);
+                stack.push(heap.len() as i64); // handle = index + 1
+            }
+            Instr::ALen => {
+                let r = pop!();
+                match array(&heap, r) {
+                    Ok(a) => stack.push(a.len() as i64),
+                    Err(e) => exception!("NullPointerException", e),
+                }
+            }
+            Instr::ALoad => {
+                let idx = pop!();
+                let r = pop!();
+                let a = match array(&heap, r) {
+                    Ok(a) => a,
+                    Err(e) => exception!("NullPointerException", e),
+                };
+                if idx < 0 || idx as usize >= a.len() {
+                    exception!(
+                        "ArrayIndexOutOfBoundsException",
+                        format!("index {idx} out of bounds for length {}", a.len())
+                    );
+                }
+                stack.push(a[idx as usize]);
+            }
+            Instr::AStore => {
+                let val = pop!();
+                let idx = pop!();
+                let r = pop!();
+                if r <= 0 || r as usize > heap.len() {
+                    exception!("NullPointerException", "store through null reference");
+                }
+                let a = &mut heap[r as usize - 1];
+                if idx < 0 || idx as usize >= a.len() {
+                    exception!(
+                        "ArrayIndexOutOfBoundsException",
+                        format!("index {idx} out of bounds for length {}", a.len())
+                    );
+                }
+                a[idx as usize] = val;
+            }
+            Instr::Call(target) => {
+                if frames.len() >= install.max_call_depth {
+                    vm_failure!(
+                        ErrorCode::new("StackOverflowError"),
+                        format!("call depth limit {} reached", install.max_call_depth)
+                    );
+                }
+                let t = target as usize;
+                frames.push(Frame {
+                    func: t,
+                    pc: 0,
+                    locals: vec![0; image.functions[t].max_locals as usize],
+                });
+            }
+            Instr::Ret => {
+                frames.pop();
+                if frames.is_empty() {
+                    done!(Termination::Completed { exit_code: 0 });
+                }
+            }
+            Instr::Exit => {
+                let code = pop!();
+                done!(Termination::Completed {
+                    exit_code: code as i32
+                });
+            }
+            Instr::Halt => done!(Termination::Completed { exit_code: 0 }),
+            Instr::Throw(n) => {
+                exception!(
+                    format!("UserException{n}"),
+                    "thrown by program"
+                );
+            }
+            Instr::Print => {
+                let v = pop!();
+                stdout.push_str(&v.to_string());
+                stdout.push('\n');
+            }
+            Instr::StdCall(n) => {
+                if !install.has_stdlib() {
+                    done!(Termination::EnvFailure {
+                        scope: Scope::RemoteResource,
+                        code: codes::MISCONFIGURED_INSTALLATION,
+                        message: format!(
+                            "standard library missing from installation at {}",
+                            install.path
+                        ),
+                    });
+                }
+                let v = pop!();
+                let out = match n {
+                    0 => v.wrapping_abs(),
+                    1 => v.signum(),
+                    2 => {
+                        if v < 0 {
+                            exception!("ArithmeticException", "isqrt of negative");
+                        }
+                        (v as f64).sqrt() as i64
+                    }
+                    other => {
+                        exception!("NoSuchMethodError", format!("stdlib routine {other}"))
+                    }
+                };
+                stack.push(out);
+            }
+            Instr::IoOpen { path, mode } => {
+                let p = &image.strings[path as usize];
+                match io.open(p, mode) {
+                    IoOutcome::Ok(fd) => stack.push(i64::from(fd)),
+                    IoOutcome::Exception(m) => exception!("IOException", m),
+                    IoOutcome::Escape(se) => done!(Termination::EnvFailure {
+                        scope: se.scope,
+                        code: se.code,
+                        message: se.message,
+                    }),
+                }
+            }
+            Instr::IoReadSum => {
+                let fd = pop!();
+                match io.read_all(fd as u32) {
+                    IoOutcome::Ok(data) => {
+                        stack.push(data.iter().map(|b| i64::from(*b)).sum());
+                    }
+                    IoOutcome::Exception(m) => exception!("IOException", m),
+                    IoOutcome::Escape(se) => done!(Termination::EnvFailure {
+                        scope: se.scope,
+                        code: se.code,
+                        message: se.message,
+                    }),
+                }
+            }
+            Instr::IoWriteNum => {
+                let v = pop!();
+                let fd = pop!();
+                match io.write(fd as u32, v.to_string().as_bytes()) {
+                    IoOutcome::Ok(()) => {}
+                    IoOutcome::Exception(m) => exception!("IOException", m),
+                    IoOutcome::Escape(se) => done!(Termination::EnvFailure {
+                        scope: se.scope,
+                        code: se.code,
+                        message: se.message,
+                    }),
+                }
+            }
+            Instr::IoClose => {
+                let fd = pop!();
+                match io.close(fd as u32) {
+                    IoOutcome::Ok(()) => {}
+                    IoOutcome::Exception(m) => exception!("IOException", m),
+                    IoOutcome::Escape(se) => done!(Termination::EnvFailure {
+                        scope: se.scope,
+                        code: se.code,
+                        message: se.message,
+                    }),
+                }
+            }
+        }
+    }
+}
+
+fn array(heap: &[Vec<i64>], r: i64) -> Result<&Vec<i64>, String> {
+    if r <= 0 || r as usize > heap.len() {
+        Err("dereference of null or dangling reference".into())
+    } else {
+        Ok(&heap[r as usize - 1])
+    }
+}
+
+/// A convenience: is this byte slice even plausibly an image? (Used by the
+/// starter for cheap pre-checks without full validation.)
+pub fn looks_like_image(bytes: &[u8]) -> bool {
+    bytes.len() >= 4 && &bytes[..4] == MAGIC
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::ProgramImage;
+    use crate::jvmio::NoIo;
+
+    fn run(code: Vec<Instr>) -> RunOutput {
+        run_with(code, Installation::healthy())
+    }
+
+    fn run_with(code: Vec<Instr>, install: Installation) -> RunOutput {
+        let img = ProgramImage::single("main", 8, code);
+        load_and_run(&img.to_bytes(), &install, &mut NoIo)
+    }
+
+    #[test]
+    fn completes_main_with_exit_zero() {
+        let out = run(vec![Instr::Push(2), Instr::Push(3), Instr::Add, Instr::Print, Instr::Halt]);
+        assert_eq!(out.termination, Termination::Completed { exit_code: 0 });
+        assert_eq!(out.stdout, "5\n");
+        assert!(out.termination.is_program_result());
+    }
+
+    #[test]
+    fn falling_off_the_end_completes() {
+        let out = run(vec![Instr::Push(1), Instr::Pop]);
+        assert_eq!(out.termination, Termination::Completed { exit_code: 0 });
+    }
+
+    #[test]
+    fn system_exit_with_code() {
+        let out = run(vec![Instr::Push(42), Instr::Exit]);
+        assert_eq!(out.termination, Termination::Completed { exit_code: 42 });
+    }
+
+    #[test]
+    fn null_dereference_is_program_scope() {
+        let out = run(vec![Instr::PushNull, Instr::Push(0), Instr::ALoad, Instr::Halt]);
+        let Termination::Exception { name, .. } = &out.termination else {
+            panic!("{out:?}")
+        };
+        assert_eq!(name, "NullPointerException");
+        assert_eq!(out.termination.scope(), Scope::Program);
+    }
+
+    #[test]
+    fn array_bounds_is_program_scope() {
+        let out = run(vec![
+            Instr::Push(3),
+            Instr::NewArray,
+            Instr::Push(7),
+            Instr::ALoad,
+            Instr::Halt,
+        ]);
+        let Termination::Exception { name, message } = &out.termination else {
+            panic!("{out:?}")
+        };
+        assert_eq!(name, "ArrayIndexOutOfBoundsException");
+        assert!(message.contains("index 7"));
+    }
+
+    #[test]
+    fn divide_by_zero_is_program_scope() {
+        let out = run(vec![Instr::Push(1), Instr::Push(0), Instr::Div, Instr::Halt]);
+        let Termination::Exception { name, .. } = &out.termination else {
+            panic!()
+        };
+        assert_eq!(name, "ArithmeticException");
+    }
+
+    #[test]
+    fn user_throw_is_program_scope() {
+        let out = run(vec![Instr::Throw(3)]);
+        let Termination::Exception { name, .. } = &out.termination else {
+            panic!()
+        };
+        assert_eq!(name, "UserException3");
+    }
+
+    #[test]
+    fn heap_exhaustion_is_vm_scope() {
+        let out = run_with(
+            vec![Instr::Push(1000), Instr::NewArray, Instr::Halt],
+            Installation::healthy().with_heap_limit(100),
+        );
+        let Termination::EnvFailure { scope, code, .. } = &out.termination else {
+            panic!("{out:?}")
+        };
+        assert_eq!(*scope, Scope::VirtualMachine);
+        assert_eq!(*code, codes::OUT_OF_MEMORY);
+        assert!(!out.termination.is_program_result());
+    }
+
+    #[test]
+    fn call_depth_limit_is_vm_scope() {
+        // main calls itself forever.
+        let out = run_with(
+            vec![Instr::Call(0), Instr::Halt],
+            Installation::healthy().with_max_call_depth(16),
+        );
+        let Termination::EnvFailure { scope, code, .. } = &out.termination else {
+            panic!("{out:?}")
+        };
+        assert_eq!(*scope, Scope::VirtualMachine);
+        assert_eq!(code.as_str(), "StackOverflowError");
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_vm_scope() {
+        let out = run_with(
+            vec![Instr::Jump(0)],
+            Installation::healthy().with_fuel(1000),
+        );
+        let Termination::EnvFailure { scope, code, .. } = &out.termination else {
+            panic!("{out:?}")
+        };
+        assert_eq!(*scope, Scope::VirtualMachine);
+        assert_eq!(code.as_str(), "CpuLimitExceeded");
+        assert_eq!(out.instructions, 1000);
+    }
+
+    #[test]
+    fn bad_path_installation_is_remote_resource_scope() {
+        let out = run_with(vec![Instr::Halt], Installation::bad_path());
+        let Termination::EnvFailure { scope, code, .. } = &out.termination else {
+            panic!("{out:?}")
+        };
+        assert_eq!(*scope, Scope::RemoteResource);
+        assert_eq!(*code, codes::MISCONFIGURED_INSTALLATION);
+        assert_eq!(out.instructions, 0);
+    }
+
+    #[test]
+    fn missing_stdlib_fails_only_on_stdcall() {
+        // Trivial program: fine.
+        let out = run_with(vec![Instr::Halt], Installation::missing_stdlib());
+        assert_eq!(out.termination, Termination::Completed { exit_code: 0 });
+        // Program using the stdlib: remote-resource failure.
+        let out = run_with(
+            vec![Instr::Push(-5), Instr::StdCall(0), Instr::Print, Instr::Halt],
+            Installation::missing_stdlib(),
+        );
+        let Termination::EnvFailure { scope, .. } = &out.termination else {
+            panic!("{out:?}")
+        };
+        assert_eq!(*scope, Scope::RemoteResource);
+    }
+
+    #[test]
+    fn corrupt_image_is_job_scope() {
+        let img = ProgramImage::single("main", 0, vec![Instr::Halt]);
+        let bytes = ProgramImage::corrupt_bytes(&img.to_bytes(), 5);
+        let out = load_and_run(&bytes, &Installation::healthy(), &mut NoIo);
+        let Termination::EnvFailure { scope, code, .. } = &out.termination else {
+            panic!("{out:?}")
+        };
+        assert_eq!(*scope, Scope::Job);
+        assert_eq!(*code, codes::CORRUPT_IMAGE);
+    }
+
+    #[test]
+    fn unverifiable_image_is_job_scope() {
+        let img = ProgramImage::single("main", 0, vec![Instr::Add, Instr::Halt]);
+        let out = load_and_run(&img.to_bytes(), &Installation::healthy(), &mut NoIo);
+        let Termination::EnvFailure { scope, .. } = &out.termination else {
+            panic!("{out:?}")
+        };
+        assert_eq!(*scope, Scope::Job);
+    }
+
+    #[test]
+    fn stdlib_functions_work_when_healthy() {
+        let out = run(vec![
+            Instr::Push(-9),
+            Instr::StdCall(0), // abs -> 9
+            Instr::Print,
+            Instr::Push(-3),
+            Instr::StdCall(1), // sgn -> -1
+            Instr::Print,
+            Instr::Push(16),
+            Instr::StdCall(2), // isqrt -> 4
+            Instr::Print,
+            Instr::Halt,
+        ]);
+        assert_eq!(out.stdout, "9\n-1\n4\n");
+    }
+
+    #[test]
+    fn functions_and_loops() {
+        // main: acc = 0; for i in 1..=5 { acc += i }; print acc
+        let code = vec![
+            Instr::Push(0),           // 0
+            Instr::Store(0),          // 1
+            Instr::Push(1),           // 2
+            Instr::Store(1),          // 3
+            Instr::Load(1),           // 4 loop:
+            Instr::Push(5),           // 5
+            Instr::CmpGt,             // 6
+            Instr::JumpIfNonZero(17), // 7
+            Instr::Load(0),           // 8
+            Instr::Load(1),           // 9
+            Instr::Add,               // 10
+            Instr::Store(0),          // 11
+            Instr::Load(1),           // 12
+            Instr::Push(1),           // 13
+            Instr::Add,               // 14
+            Instr::Store(1),          // 15
+            Instr::Jump(4),           // 16
+            Instr::Load(0),           // 17
+            Instr::Print,             // 18
+            Instr::Halt,              // 19
+        ];
+        let out = run(code);
+        assert_eq!(out.stdout, "15\n");
+        assert_eq!(out.termination, Termination::Completed { exit_code: 0 });
+    }
+
+    #[test]
+    fn call_and_return() {
+        // f1 doubles top of stack; main pushes 21, calls, prints.
+        let img = ProgramImage {
+            entry: 0,
+            functions: vec![
+                crate::image::Function {
+                    name: "main".into(),
+                    max_locals: 0,
+                    args: 0,
+                    rets: 0,
+                    code: vec![
+                        Instr::Push(21),
+                        Instr::Call(1),
+                        Instr::Print,
+                        Instr::Halt,
+                    ],
+                },
+                crate::image::Function {
+                    name: "double".into(),
+                    max_locals: 0,
+                    args: 1,
+                    rets: 1,
+                    code: vec![Instr::Push(2), Instr::Mul, Instr::Ret],
+                },
+            ],
+            strings: vec![],
+        };
+        let out = load_and_run(&img.to_bytes(), &Installation::healthy(), &mut NoIo);
+        assert_eq!(out.stdout, "42\n");
+    }
+
+    #[test]
+    fn negative_array_size_is_program_exception() {
+        let out = run(vec![Instr::Push(-1), Instr::NewArray, Instr::Halt]);
+        let Termination::Exception { name, .. } = &out.termination else {
+            panic!()
+        };
+        assert_eq!(name, "NegativeArraySizeException");
+    }
+
+    #[test]
+    fn array_store_and_load() {
+        let out = run(vec![
+            Instr::Push(4),
+            Instr::NewArray,
+            Instr::Store(0), // arr
+            Instr::Load(0),
+            Instr::Push(2),
+            Instr::Push(99),
+            Instr::AStore, // arr[2] = 99
+            Instr::Load(0),
+            Instr::Push(2),
+            Instr::ALoad,
+            Instr::Print, // 99
+            Instr::Load(0),
+            Instr::ALen,
+            Instr::Print, // 4
+            Instr::Halt,
+        ]);
+        assert_eq!(out.stdout, "99\n4\n");
+    }
+
+    #[test]
+    fn looks_like_image_check() {
+        let img = ProgramImage::single("m", 0, vec![Instr::Halt]);
+        assert!(looks_like_image(&img.to_bytes()));
+        assert!(!looks_like_image(b"#!/bin/sh"));
+        assert!(!looks_like_image(b""));
+    }
+}

@@ -1,0 +1,285 @@
+//! Canned programs: one per row of Figure 4, plus realistic workloads.
+//!
+//! These are the user jobs the experiments submit. Each returns a
+//! serialised [`ProgramImage`] ready to hand to the starter.
+
+use crate::image::{Function, ProgramImage};
+use crate::isa::{Instr, IoMode};
+
+/// "The program exited by completing `main`." Computes a little and
+/// finishes. Expected: exit 0, program scope.
+pub fn completes_main() -> Vec<u8> {
+    ProgramImage::single(
+        "completes-main",
+        2,
+        vec![
+            Instr::Push(6),
+            Instr::Push(7),
+            Instr::Mul,
+            Instr::Print,
+            Instr::Halt,
+        ],
+    )
+    .to_bytes()
+}
+
+/// "The program exited by calling `System.exit(x)`."
+pub fn calls_exit(x: i64) -> Vec<u8> {
+    ProgramImage::single("calls-exit", 0, vec![Instr::Push(x), Instr::Exit]).to_bytes()
+}
+
+/// "Exception: the program de-referenced a null pointer."
+pub fn null_dereference() -> Vec<u8> {
+    ProgramImage::single(
+        "null-dereference",
+        0,
+        vec![Instr::PushNull, Instr::Push(0), Instr::ALoad, Instr::Halt],
+    )
+    .to_bytes()
+}
+
+/// An `ArrayIndexOutOfBoundsException` — the program error the paper says
+/// users *want* to see.
+pub fn index_out_of_bounds() -> Vec<u8> {
+    ProgramImage::single(
+        "index-out-of-bounds",
+        1,
+        vec![
+            Instr::Push(3),
+            Instr::NewArray,
+            Instr::Push(7),
+            Instr::ALoad,
+            Instr::Halt,
+        ],
+    )
+    .to_bytes()
+}
+
+/// "Exception: there was not enough memory for the program." Allocates an
+/// enormous array; with any realistic heap limit this is an
+/// `OutOfMemoryError` (virtual-machine scope).
+pub fn exhausts_memory() -> Vec<u8> {
+    ProgramImage::single(
+        "exhausts-memory",
+        1,
+        vec![
+            // Keep doubling allocations until the heap gives out.
+            Instr::Push(1024),        // 0: size
+            Instr::Store(0),          // 1
+            Instr::Load(0),           // 2: loop
+            Instr::NewArray,          // 3
+            Instr::Pop,               // 4
+            Instr::Load(0),           // 5
+            Instr::Push(2),           // 6
+            Instr::Mul,               // 7
+            Instr::Store(0),          // 8
+            Instr::Jump(2),           // 9
+        ],
+    )
+    .to_bytes()
+}
+
+/// A program that needs the standard library — the victim of a partially
+/// misconfigured installation.
+pub fn uses_stdlib() -> Vec<u8> {
+    ProgramImage::single(
+        "uses-stdlib",
+        0,
+        vec![
+            Instr::Push(1764),
+            Instr::StdCall(2), // isqrt -> 42
+            Instr::Print,
+            Instr::Halt,
+        ],
+    )
+    .to_bytes()
+}
+
+/// A program that reads `input.txt` and writes a summary to `output.txt`
+/// through the remote I/O channel — the victim of an offline home file
+/// system.
+pub fn reads_and_writes() -> Vec<u8> {
+    let mut img = ProgramImage {
+        entry: 0,
+        functions: vec![Function {
+            name: "reads-and-writes".into(),
+            max_locals: 1,
+            args: 0,
+            rets: 0,
+            code: vec![
+                Instr::IoOpen {
+                    path: 0,
+                    mode: IoMode::Read,
+                },                     // fd
+                Instr::Dup,            // fd fd
+                Instr::IoReadSum,      // fd sum
+                Instr::Store(0),       // fd        (sum -> local 0)
+                Instr::IoClose,        //
+                Instr::IoOpen {
+                    path: 1,
+                    mode: IoMode::Write,
+                },                     // fd
+                Instr::Dup,            // fd fd
+                Instr::Load(0),        // fd fd sum
+                Instr::IoWriteNum,     // fd
+                Instr::IoClose,        //
+                Instr::Load(0),
+                Instr::Print,
+                Instr::Halt,
+            ],
+        }],
+        strings: vec![],
+    };
+    img.strings = vec!["input.txt".into(), "output.txt".into()];
+    img.to_bytes()
+}
+
+/// "Exception: the program image was corrupt." A valid program, damaged in
+/// transit.
+pub fn corrupt_image() -> Vec<u8> {
+    ProgramImage::corrupt_bytes(&completes_main(), 9)
+}
+
+/// A CPU-bound workload: sum of `i*i` for `i` in `0..n`, printed. Useful
+/// for goodput measurements.
+pub fn cpu_bound(n: i64) -> Vec<u8> {
+    ProgramImage::single(
+        "cpu-bound",
+        2,
+        vec![
+            Instr::Push(0),        // 0  acc = 0
+            Instr::Store(0),       // 1
+            Instr::Push(0),        // 2  i = 0
+            Instr::Store(1),       // 3
+            Instr::Load(1),        // 4  loop:
+            Instr::Push(n),        // 5
+            Instr::CmpLt,          // 6  i < n ?
+            Instr::JumpIfZero(19), // 7
+            Instr::Load(0),        // 8
+            Instr::Load(1),        // 9
+            Instr::Load(1),        // 10
+            Instr::Mul,            // 11
+            Instr::Add,            // 12
+            Instr::Store(0),       // 13 acc += i*i
+            Instr::Load(1),        // 14
+            Instr::Push(1),        // 15
+            Instr::Add,            // 16
+            Instr::Store(1),       // 17 i += 1
+            Instr::Jump(4),        // 18
+            Instr::Load(0),        // 19
+            Instr::Print,          // 20
+            Instr::Halt,           // 21
+        ],
+    )
+    .to_bytes()
+}
+
+/// A program that throws a user exception — "program generated errors such
+/// as an ArrayIndexOutOfBoundsException" that must reach the user.
+pub fn throws_user_exception() -> Vec<u8> {
+    ProgramImage::single("throws", 0, vec![Instr::Throw(1)]).to_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Installation;
+    use crate::jvmio::NoIo;
+    use crate::machine::{load_and_run, Termination};
+    use errorscope::Scope;
+
+    #[test]
+    fn completes_main_runs_clean() {
+        let out = load_and_run(&completes_main(), &Installation::healthy(), &mut NoIo);
+        assert_eq!(out.termination, Termination::Completed { exit_code: 0 });
+        assert_eq!(out.stdout, "42\n");
+    }
+
+    #[test]
+    fn calls_exit_returns_its_code() {
+        let out = load_and_run(&calls_exit(7), &Installation::healthy(), &mut NoIo);
+        assert_eq!(out.termination, Termination::Completed { exit_code: 7 });
+    }
+
+    #[test]
+    fn null_dereference_raises_npe() {
+        let out = load_and_run(&null_dereference(), &Installation::healthy(), &mut NoIo);
+        assert!(
+            matches!(&out.termination, Termination::Exception { name, .. } if name == "NullPointerException")
+        );
+    }
+
+    #[test]
+    fn bounds_program_raises_aioobe() {
+        let out = load_and_run(&index_out_of_bounds(), &Installation::healthy(), &mut NoIo);
+        assert!(matches!(
+            &out.termination,
+            Termination::Exception { name, .. } if name == "ArrayIndexOutOfBoundsException"
+        ));
+    }
+
+    #[test]
+    fn memory_hog_hits_oom() {
+        let out = load_and_run(
+            &exhausts_memory(),
+            &Installation::healthy().with_heap_limit(1 << 16),
+            &mut NoIo,
+        );
+        let Termination::EnvFailure { scope, .. } = &out.termination else {
+            panic!("{out:?}")
+        };
+        assert_eq!(*scope, Scope::VirtualMachine);
+    }
+
+    #[test]
+    fn stdlib_program_fine_on_healthy_install() {
+        let out = load_and_run(&uses_stdlib(), &Installation::healthy(), &mut NoIo);
+        assert_eq!(out.stdout, "42\n");
+    }
+
+    #[test]
+    fn stdlib_program_dies_on_partial_install() {
+        let out = load_and_run(&uses_stdlib(), &Installation::missing_stdlib(), &mut NoIo);
+        let Termination::EnvFailure { scope, .. } = &out.termination else {
+            panic!("{out:?}")
+        };
+        assert_eq!(*scope, Scope::RemoteResource);
+    }
+
+    #[test]
+    fn corrupt_image_is_job_scope() {
+        let out = load_and_run(&corrupt_image(), &Installation::healthy(), &mut NoIo);
+        let Termination::EnvFailure { scope, .. } = &out.termination else {
+            panic!("{out:?}")
+        };
+        assert_eq!(*scope, Scope::Job);
+    }
+
+    #[test]
+    fn user_exception_is_program_scope() {
+        let out = load_and_run(&throws_user_exception(), &Installation::healthy(), &mut NoIo);
+        assert_eq!(out.termination.scope(), Scope::Program);
+    }
+
+    #[test]
+    fn all_programs_verify_or_fail_loading_as_intended() {
+        // Every canned program (except the deliberately corrupt one) must
+        // load and verify.
+        use crate::image::ProgramImage;
+        use crate::verify::verify;
+        for bytes in [
+            completes_main(),
+            calls_exit(1),
+            null_dereference(),
+            index_out_of_bounds(),
+            exhausts_memory(),
+            uses_stdlib(),
+            reads_and_writes(),
+            throws_user_exception(),
+        ] {
+            let img = ProgramImage::from_bytes(&bytes).expect("loads");
+            verify(&img).expect("verifies");
+        }
+        assert!(ProgramImage::from_bytes(&corrupt_image()).is_err());
+    }
+}

@@ -1,0 +1,311 @@
+//! The bytecode verifier.
+//!
+//! Static checks run before execution: jump targets in range, local and
+//! string indices valid, call targets present, and a conservative abstract
+//! stack-depth simulation that rejects code which could underflow its
+//! operand stack. A program that fails verification can never run anywhere
+//! — a **job-scope** error, like a corrupt image.
+
+use crate::image::ProgramImage;
+use crate::isa::Instr;
+use std::fmt;
+
+/// A verification failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function index.
+    pub function: usize,
+    /// Instruction index within the function (or `usize::MAX` for
+    /// function-level problems).
+    pub at: usize,
+    /// What is wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "verify error in function {} at {}: {}",
+            self.function, self.at, self.reason
+        )
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verify a whole image. Returns the first problem found.
+pub fn verify(img: &ProgramImage) -> Result<(), VerifyError> {
+    if img.entry as usize >= img.functions.len() {
+        return Err(VerifyError {
+            function: img.entry as usize,
+            at: usize::MAX,
+            reason: "entry function out of range".into(),
+        });
+    }
+    for (fi, f) in img.functions.iter().enumerate() {
+        let n = f.code.len();
+        if n == 0 {
+            return Err(VerifyError {
+                function: fi,
+                at: usize::MAX,
+                reason: "empty function body".into(),
+            });
+        }
+        for (pc, ins) in f.code.iter().enumerate() {
+            if let Some(t) = ins.branch_target() {
+                if t as usize >= n {
+                    return Err(VerifyError {
+                        function: fi,
+                        at: pc,
+                        reason: format!("jump target {t} out of range (len {n})"),
+                    });
+                }
+            }
+            match ins {
+                Instr::Load(i) | Instr::Store(i) => {
+                    if *i >= f.max_locals {
+                        return Err(VerifyError {
+                            function: fi,
+                            at: pc,
+                            reason: format!("local {i} >= max_locals {}", f.max_locals),
+                        });
+                    }
+                }
+                Instr::Call(t) => {
+                    if *t as usize >= img.functions.len() {
+                        return Err(VerifyError {
+                            function: fi,
+                            at: pc,
+                            reason: format!("call target {t} out of range"),
+                        });
+                    }
+                }
+                Instr::IoOpen { path, .. } => {
+                    if *path as usize >= img.strings.len() {
+                        return Err(VerifyError {
+                            function: fi,
+                            at: pc,
+                            reason: format!("string index {path} out of range"),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        check_stack_depths(fi, f, img)?;
+    }
+    let entry = &img.functions[img.entry as usize];
+    if entry.args != 0 {
+        return Err(VerifyError {
+            function: img.entry as usize,
+            at: usize::MAX,
+            reason: format!("entry function declares {} args; must be 0", entry.args),
+        });
+    }
+    Ok(())
+}
+
+/// Abstract interpretation of operand-stack depth: every instruction must
+/// have enough operands on every path. Depths merge by minimum, iterated to
+/// a fixed point. Each function declares its stack arity: it starts with
+/// `args` operands available, a `Call` consumes the callee's `args` and
+/// produces its `rets`, and every `Ret` must leave exactly `rets` operands.
+fn check_stack_depths(
+    fi: usize,
+    f: &crate::image::Function,
+    img: &ProgramImage,
+) -> Result<(), VerifyError> {
+    let n = f.code.len();
+    // None = unreachable so far; Some(d) = minimum observed entry depth.
+    let mut depth: Vec<Option<i64>> = vec![None; n];
+    depth[0] = Some(i64::from(f.args));
+    // Iterate to fixed point; bound iterations to avoid pathological loops.
+    for _ in 0..=n {
+        let mut changed = false;
+        for pc in 0..n {
+            let Some(d) = depth[pc] else { continue };
+            let ins = &f.code[pc];
+            let (pops, pushes) = match ins {
+                Instr::Call(t) => {
+                    let callee = &img.functions[*t as usize];
+                    (u32::from(callee.args), u32::from(callee.rets))
+                }
+                Instr::Ret => {
+                    if d != i64::from(f.rets) {
+                        return Err(VerifyError {
+                            function: fi,
+                            at: pc,
+                            reason: format!(
+                                "ret with operand depth {d}, function declares rets={}",
+                                f.rets
+                            ),
+                        });
+                    }
+                    (0, 0)
+                }
+                other => other.stack_effect(),
+            };
+            if d < pops as i64 {
+                return Err(VerifyError {
+                    function: fi,
+                    at: pc,
+                    reason: format!(
+                        "operand stack underflow: depth {d}, instruction pops {pops}"
+                    ),
+                });
+            }
+            let out = d - pops as i64 + pushes as i64;
+            let mut feed = |target: usize, val: i64, changed: &mut bool| {
+                let entry = &mut depth[target];
+                match entry {
+                    None => {
+                        *entry = Some(val);
+                        *changed = true;
+                    }
+                    Some(cur) if val < *cur => {
+                        *cur = val;
+                        *changed = true;
+                    }
+                    _ => {}
+                }
+            };
+            match ins {
+                Instr::Jump(t) => feed(*t as usize, out, &mut changed),
+                Instr::JumpIfZero(t) | Instr::JumpIfNonZero(t) => {
+                    feed(*t as usize, out, &mut changed);
+                    if pc + 1 < n {
+                        feed(pc + 1, out, &mut changed);
+                    }
+                }
+                Instr::Ret | Instr::Exit | Instr::Halt | Instr::Throw(_) => {}
+                _ => {
+                    if pc + 1 < n {
+                        feed(pc + 1, out, &mut changed);
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::{Function, ProgramImage};
+    use crate::isa::IoMode;
+
+    fn img(code: Vec<Instr>) -> ProgramImage {
+        ProgramImage::single("main", 4, code)
+    }
+
+    #[test]
+    fn valid_program_passes() {
+        let p = img(vec![
+            Instr::Push(1),
+            Instr::Push(2),
+            Instr::Add,
+            Instr::Store(0),
+            Instr::Load(0),
+            Instr::Print,
+            Instr::Halt,
+        ]);
+        assert!(verify(&p).is_ok());
+    }
+
+    #[test]
+    fn jump_out_of_range_rejected() {
+        let p = img(vec![Instr::Jump(99), Instr::Halt]);
+        let e = verify(&p).unwrap_err();
+        assert!(e.reason.contains("jump target"));
+    }
+
+    #[test]
+    fn bad_local_rejected() {
+        let p = img(vec![Instr::Load(200), Instr::Halt]);
+        assert!(verify(&p).unwrap_err().reason.contains("local"));
+        let p = img(vec![Instr::Push(1), Instr::Store(200), Instr::Halt]);
+        assert!(verify(&p).unwrap_err().reason.contains("local"));
+    }
+
+    #[test]
+    fn bad_call_target_rejected() {
+        let p = img(vec![Instr::Call(7), Instr::Halt]);
+        assert!(verify(&p).unwrap_err().reason.contains("call target"));
+    }
+
+    #[test]
+    fn bad_string_index_rejected() {
+        let p = img(vec![
+            Instr::IoOpen {
+                path: 3,
+                mode: IoMode::Read,
+            },
+            Instr::Halt,
+        ]);
+        assert!(verify(&p).unwrap_err().reason.contains("string index"));
+    }
+
+    #[test]
+    fn stack_underflow_rejected() {
+        let p = img(vec![Instr::Add, Instr::Halt]);
+        assert!(verify(&p).unwrap_err().reason.contains("underflow"));
+        let p = img(vec![Instr::Push(1), Instr::Add, Instr::Halt]);
+        assert!(verify(&p).unwrap_err().reason.contains("underflow"));
+    }
+
+    #[test]
+    fn underflow_via_branch_merge_rejected() {
+        // Path A pushes two values, path B pushes one; the merge point
+        // must assume the worse (one) and reject the Add… wait, Add pops
+        // two, so with minimum depth 1 it underflows.
+        let p = img(vec![
+            Instr::Push(0),          // 0: cond
+            Instr::JumpIfZero(4),    // 1: if 0 goto 4 (leaves depth 0)
+            Instr::Push(1),          // 2
+            Instr::Push(2),          // 3: depth 2 falls to 5? no: falls to 4
+            Instr::Push(3),          // 4: merge of depth 0 (from 1) and 2 (from 3)
+            Instr::Add,              // 5: needs 2; min is 1 -> underflow
+            Instr::Halt,
+        ]);
+        assert!(verify(&p).unwrap_err().reason.contains("underflow"));
+    }
+
+    #[test]
+    fn empty_function_rejected() {
+        let p = ProgramImage {
+            entry: 0,
+            functions: vec![Function {
+                name: "main".into(),
+                max_locals: 0,
+                args: 0,
+                rets: 0,
+                code: vec![],
+            }],
+            strings: vec![],
+        };
+        assert!(verify(&p).unwrap_err().reason.contains("empty"));
+    }
+
+    #[test]
+    fn loop_with_balanced_stack_passes() {
+        // for (i = 10; i != 0; i--) {}
+        let p = img(vec![
+            Instr::Push(10),      // 0
+            Instr::Store(0),      // 1
+            Instr::Load(0),       // 2: loop head
+            Instr::JumpIfZero(9), // 3
+            Instr::Load(0),       // 4
+            Instr::Push(1),       // 5
+            Instr::Sub,           // 6
+            Instr::Store(0),      // 7
+            Instr::Jump(2),       // 8
+            Instr::Halt,          // 9
+        ]);
+        assert!(verify(&p).is_ok());
+    }
+}

@@ -1,0 +1,297 @@
+//! Whole-algorithm tests: realistic programs written in GridVM assembler,
+//! exercising arrays, loops, functions, and the stdlib together.
+
+use gridvm::asm::assemble;
+use gridvm::jvmio::NoIo;
+use gridvm::machine::{load_and_run, Termination};
+use gridvm::prelude::*;
+
+fn run_src(src: &str) -> (Termination, String) {
+    let img = assemble(src).expect("assembles");
+    gridvm::verify::verify(&img).expect("verifies");
+    let out = load_and_run(&img.to_bytes(), &Installation::healthy(), &mut NoIo);
+    (out.termination, out.stdout)
+}
+
+#[test]
+fn sieve_of_eratosthenes() {
+    // Print the primes below 30 using a sieve in a heap array.
+    let src = r#"
+    .func main locals=3
+        push 30
+        newarray
+        store 0        ; sieve[0..30], 0 = prime
+        push 2
+        store 1        ; i = 2
+    outer:
+        load 1
+        push 30
+        cmplt
+        jz done        ; while i < 30
+        load 0
+        load 1
+        aload
+        jnz next       ; composite? skip
+        load 1
+        print          ; print prime i
+        ; mark multiples: j = i*i
+        load 1
+        load 1
+        mul
+        store 2
+    mark:
+        load 2
+        push 30
+        cmplt
+        jz next
+        load 0
+        load 2
+        push 1
+        astore         ; sieve[j] = 1
+        load 2
+        load 1
+        add
+        store 2        ; j += i
+        jump mark
+    next:
+        load 1
+        push 1
+        add
+        store 1        ; i += 1
+        jump outer
+    done:
+        halt
+    "#;
+    let (t, stdout) = run_src(src);
+    assert_eq!(t, Termination::Completed { exit_code: 0 });
+    let primes: Vec<i64> = stdout.lines().map(|l| l.parse().unwrap()).collect();
+    assert_eq!(primes, vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29]);
+}
+
+#[test]
+fn recursive_fibonacci() {
+    // fib(n) via naive recursion: fib(n) = n < 2 ? n : fib(n-1)+fib(n-2).
+    let src = r#"
+    .func fib locals=1 args=1 rets=1
+        store 0        ; n
+        load 0
+        push 2
+        cmplt
+        jz recurse
+        load 0
+        ret            ; n < 2 -> n
+    recurse:
+        load 0
+        push 1
+        sub
+        call 0         ; fib(n-1)
+        load 0
+        push 2
+        sub
+        call 0         ; fib(n-2)
+        add
+        ret
+    .func main locals=0
+        push 15
+        call 0
+        print
+        halt
+    "#;
+    let mut img = assemble(src).expect("assembles");
+    img.entry = 1; // main
+    gridvm::verify::verify(&img).expect("verifies");
+    let out = load_and_run(&img.to_bytes(), &Installation::healthy(), &mut NoIo);
+    assert_eq!(out.termination, Termination::Completed { exit_code: 0 });
+    assert_eq!(out.stdout.trim(), "610"); // fib(15)
+    // Naive recursion is expensive — the fuel meter should show it.
+    assert!(out.instructions > 10_000);
+}
+
+#[test]
+fn gcd_euclid() {
+    let src = r#"
+    .func main locals=2
+        push 252
+        store 0
+        push 105
+        store 1
+    loop:
+        load 1
+        jz done        ; while b != 0
+        load 0
+        load 1
+        mod            ; a % b
+        load 1
+        store 0        ; a = b  (old b)
+        store 1        ; b = a % b
+        jump loop
+    done:
+        load 0
+        print          ; gcd = 21
+        halt
+    "#;
+    let (t, stdout) = run_src(src);
+    assert_eq!(t, Termination::Completed { exit_code: 0 });
+    assert_eq!(stdout.trim(), "21");
+}
+
+#[test]
+fn array_reverse_in_place() {
+    let src = r#"
+    .func main locals=4
+        push 5
+        newarray
+        store 0
+        ; fill a[i] = i * 10
+        push 0
+        store 1
+    fill:
+        load 1
+        push 5
+        cmplt
+        jz rev_init
+        load 0
+        load 1
+        load 1
+        push 10
+        mul
+        astore
+        load 1
+        push 1
+        add
+        store 1
+        jump fill
+    rev_init:
+        push 0
+        store 1        ; lo = 0
+        push 4
+        store 2        ; hi = 4
+    rev:
+        load 1
+        load 2
+        cmplt
+        jz show
+        ; tmp = a[lo]
+        load 0
+        load 1
+        aload
+        store 3
+        ; a[lo] = a[hi]
+        load 0
+        load 1
+        load 0
+        load 2
+        aload
+        astore
+        ; a[hi] = tmp
+        load 0
+        load 2
+        load 3
+        astore
+        load 1
+        push 1
+        add
+        store 1
+        load 2
+        push 1
+        sub
+        store 2
+        jump rev
+    show:
+        push 0
+        store 1
+    out:
+        load 1
+        push 5
+        cmplt
+        jz fin
+        load 0
+        load 1
+        aload
+        print
+        load 1
+        push 1
+        add
+        store 1
+        jump out
+    fin:
+        halt
+    "#;
+    let (t, stdout) = run_src(src);
+    assert_eq!(t, Termination::Completed { exit_code: 0 });
+    let values: Vec<i64> = stdout.lines().map(|l| l.parse().unwrap()).collect();
+    assert_eq!(values, vec![40, 30, 20, 10, 0]);
+}
+
+#[test]
+fn stdlib_collatz_with_isqrt_checkpoints() {
+    // Collatz from 27, printing isqrt at every multiple of 1000 steps —
+    // a mixed integer/stdlib workload.
+    let src = r#"
+    .func main locals=2
+        push 27
+        store 0        ; n
+        push 0
+        store 1        ; steps
+    loop:
+        load 0
+        push 1
+        cmpeq
+        jnz done
+        load 0
+        push 2
+        mod
+        jz even
+        ; odd: n = 3n + 1
+        load 0
+        push 3
+        mul
+        push 1
+        add
+        store 0
+        jump count
+    even:
+        load 0
+        push 2
+        div
+        store 0
+    count:
+        load 1
+        push 1
+        add
+        store 1
+        jump loop
+    done:
+        load 1
+        print          ; 111 steps for 27
+        load 1
+        stdcall 2      ; isqrt(111) = 10
+        print
+        halt
+    "#;
+    let (t, stdout) = run_src(src);
+    assert_eq!(t, Termination::Completed { exit_code: 0 });
+    assert_eq!(stdout, "111\n10\n");
+}
+
+#[test]
+fn deep_recursion_hits_stack_limit_not_memory_corruption() {
+    // Unbounded recursion must end in the VM's StackOverflowError, a
+    // virtual-machine-scope failure, never UB or a panic.
+    let src = r#"
+    .func main locals=0
+        call 0
+        halt
+    "#;
+    let img = assemble(src).unwrap();
+    let out = load_and_run(
+        &img.to_bytes(),
+        &Installation::healthy().with_max_call_depth(100),
+        &mut NoIo,
+    );
+    let Termination::EnvFailure { scope, code, .. } = out.termination else {
+        panic!("expected env failure");
+    };
+    assert_eq!(scope, errorscope::Scope::VirtualMachine);
+    assert_eq!(code.as_str(), "StackOverflowError");
+}

@@ -1,0 +1,75 @@
+//! Quickstart: the error-scope theory in five minutes.
+//!
+//! Run with: `cargo run --example quickstart`
+//!
+//! Walks through the paper's core ideas: the three ways an error can be
+//! communicated, the scope lattice, the four principles, and one error's
+//! journey through the Java Universe layer stack of Figure 3.
+
+use errorscope::audit::{audit_delivery, audit_interface};
+use errorscope::prelude::*;
+
+fn main() {
+    // ── 1. Scopes form a containment lattice (§3.3) ────────────────────
+    println!("== The scope lattice ==");
+    for scope in [
+        Scope::Program,
+        Scope::VirtualMachine,
+        Scope::RemoteResource,
+        Scope::LocalResource,
+        Scope::Job,
+    ] {
+        println!(
+            "  {scope:<16} contained in {}",
+            scope.parent().map(|p| p.name()).unwrap_or("-")
+        );
+    }
+    assert!(Scope::VirtualMachine.contains(Scope::Program));
+    assert!(!Scope::Job.contains(Scope::LocalResource)); // siblings
+
+    // ── 2. Interfaces declare concise, finite error vocabularies (P4) ──
+    println!("\n== The revised FileWriter of §3.4 ==");
+    let file_writer = errorscope::interface::file_writer_revised();
+    println!("{file_writer}");
+    // "Would it be reasonable for write to throw FileNotFound? Of course
+    // not!"
+    assert_eq!(
+        file_writer.conformance("write", &codes::FILE_NOT_FOUND),
+        Conformance::MustEscape
+    );
+    assert!(audit_interface(&file_writer).is_empty()); // P4 satisfied
+
+    // ── 3. The Java Universe layer stack of Figure 3 ───────────────────
+    println!("\n== Routing errors to the manager of their scope (P3) ==");
+    let stack = java_universe_stack();
+    let examples = [
+        (codes::INDEX_OUT_OF_BOUNDS, Scope::Program, "index 7 out of bounds"),
+        (codes::OUT_OF_MEMORY, Scope::VirtualMachine, "heap exhausted"),
+        (codes::MISCONFIGURED_INSTALLATION, Scope::RemoteResource, "bad JVM path"),
+        (codes::FILESYSTEM_OFFLINE, Scope::LocalResource, "home NFS down"),
+        (codes::CORRUPT_IMAGE, Scope::Job, "checksum mismatch"),
+    ];
+    for (code, scope, msg) in examples {
+        let err = ScopedError::escaping(code.clone(), scope, "wrapper", msg);
+        let delivery = stack.propagate(err, "wrapper");
+        println!(
+            "  {:<34} [{:<16}] -> handled by {:<8} ({})",
+            code.as_str(),
+            scope.name(),
+            delivery.handled_by.unwrap_or("nobody"),
+            delivery.disposition
+        );
+        // Every delivery satisfies the principles.
+        assert!(audit_delivery(&stack, &delivery).is_empty());
+    }
+
+    // ── 4. Indeterminate scope and time (§5) ───────────────────────────
+    println!("\n== Time gives scope to indeterminate errors ==");
+    let policy = errorscope::escalate::EscalationPolicy::network_default();
+    for secs in [1u64, 90, 4000] {
+        let scope = policy.scope_at(std::time::Duration::from_secs(secs));
+        println!("  failure persisting {secs:>5}s -> {scope} scope");
+    }
+
+    println!("\nAll assertions passed: the theory holds.");
+}

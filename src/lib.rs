@@ -1,0 +1,29 @@
+//! # error-scope-grid
+//!
+//! A full reproduction of *Error Scope on a Computational Grid: Theory and
+//! Practice* (Douglas Thain and Miron Livny, HPDC 2002) as a Rust
+//! workspace:
+//!
+//! * [`errorscope`] — the paper's theory: implicit/explicit/escaping
+//!   errors, the scope lattice, the four design principles, time-based
+//!   scope escalation, result files, and a principle auditor.
+//! * [`classads`] — the ClassAd matchmaking language.
+//! * [`chirp`] — the Chirp I/O proxy protocol with finite error
+//!   vocabularies.
+//! * [`gridvm`] — a bytecode virtual machine standing in for the JVM,
+//!   with every failure mode of the paper's Figure 4.
+//! * [`desim`] — the deterministic discrete-event simulator.
+//! * [`condor`] — the Condor kernel (matchmaker, schedd, startd, shadow,
+//!   starter) and the Java Universe in both the naive and the scoped error
+//!   disciplines.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour, and the `bench`
+//! crate for the harnesses that regenerate each figure and experiment of
+//! the paper.
+
+pub use chirp;
+pub use classads;
+pub use condor;
+pub use desim;
+pub use errorscope;
+pub use gridvm;

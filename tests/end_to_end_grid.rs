@@ -1,0 +1,265 @@
+//! Integration tests: whole-pool scenarios spanning every crate.
+
+use condor::prelude::*;
+use condor::PoolBuilder as PB;
+use chirp::backend::EnvFault;
+use desim::{SimDuration, SimTime};
+use errorscope::Scope;
+use gridvm::config::SelfTestDepth;
+use gridvm::programs;
+
+fn day() -> SimTime {
+    SimTime::from_secs(24 * 3600)
+}
+
+/// A mixed workload on a mixed pool completes fully under the scoped
+/// discipline with §5's defenses on, and no incidental error ever reaches
+/// a user.
+#[test]
+fn mixed_workload_full_recovery() {
+    let jobs = vec![
+        JobSpec::java(1, "ada", programs::completes_main(), JavaMode::Scoped),
+        JobSpec::java(2, "ada", programs::calls_exit(3), JavaMode::Scoped),
+        JobSpec::java(3, "bob", programs::index_out_of_bounds(), JavaMode::Scoped),
+        JobSpec::java(4, "bob", programs::uses_stdlib(), JavaMode::Scoped),
+        JobSpec::java(5, "carol", programs::throws_user_exception(), JavaMode::Scoped),
+        JobSpec::java(6, "carol", programs::reads_and_writes(), JavaMode::Scoped)
+            .with_inputs(&["input.txt"])
+            .with_remote_io(),
+    ];
+    let report = PB::new(7)
+        .machine(MachineSpec::healthy("a", 256))
+        .machine(MachineSpec::healthy("b", 256))
+        .machine(MachineSpec::misconfigured("dead", 512))
+        .machine(MachineSpec::partially_misconfigured("half", 512))
+        .home_file("input.txt", b"hello grid")
+        .startd_policy(StartdPolicy {
+            self_test: SelfTestDepth::Thorough,
+            learn_from_failures: false,
+        })
+        .schedd_policy(ScheddPolicy {
+            avoid_chronic_hosts: true,
+            ..ScheddPolicy::default()
+        })
+        .jobs(jobs)
+        .run(day());
+
+    assert!(report.quiescent, "queue must drain");
+    assert_eq!(report.metrics.jobs_completed, 6);
+    assert_eq!(report.metrics.incidental_errors_shown_to_user, 0);
+    assert_eq!(report.metrics.postmortems, 0);
+    // The thorough self-test kept both broken machines out entirely.
+    assert_eq!(report.metrics.reschedules, 0);
+    for rec in report.jobs.values() {
+        assert_eq!(rec.attempts.len(), 1, "every job ran exactly once");
+    }
+}
+
+/// The same workload in the naive discipline: jobs still finish eventually
+/// (humans resubmit), but users see incidental errors and pay postmortem
+/// time — the paper's §2.3 experience.
+#[test]
+fn naive_discipline_costs_postmortems() {
+    let mk = |mode| {
+        (1..=8)
+            .map(move |i| {
+                JobSpec::java(i, "ada", programs::completes_main(), mode)
+                    .with_exec_time(SimDuration::from_secs(30))
+            })
+            .collect::<Vec<_>>()
+    };
+    let build = |mode| {
+        PB::new(11)
+            .machine(MachineSpec::healthy("a", 256))
+            .machine(MachineSpec::healthy("b", 256))
+            .machine(MachineSpec::healthy("c", 256))
+            .machine(MachineSpec::misconfigured("dead", 256))
+            .schedd_policy(ScheddPolicy {
+                postmortem_delay: SimDuration::from_secs(300),
+                ..ScheddPolicy::default()
+            })
+            .jobs(mk(mode))
+            .without_trace()
+            .run(day())
+    };
+    let naive = build(JavaMode::Naive);
+    let scoped = build(JavaMode::Scoped);
+
+    // Both finish the work eventually…
+    assert_eq!(naive.metrics.jobs_finished(), 8);
+    assert_eq!(scoped.metrics.jobs_completed, 8);
+    // …but only the naive one bothers humans.
+    assert!(naive.metrics.incidental_errors_shown_to_user > 0);
+    assert!(naive.metrics.postmortems > 0);
+    assert_eq!(scoped.metrics.incidental_errors_shown_to_user, 0);
+    assert_eq!(scoped.metrics.postmortems, 0);
+    // And the paper's payoff: turnaround suffers when a human is in the
+    // loop ("a human is the slowest part of any computing system").
+    let naive_makespan = naive.makespan().unwrap();
+    let scoped_makespan = scoped.makespan().unwrap();
+    assert!(
+        naive_makespan > scoped_makespan,
+        "naive {naive_makespan} should exceed scoped {scoped_makespan}"
+    );
+}
+
+/// An offline home file system during execution escapes with local-resource
+/// scope, the shadow delays, and the job succeeds once the outage ends —
+/// without burning execution attempts elsewhere.
+#[test]
+fn transient_fs_outage_is_waited_out() {
+    let report = PB::new(13)
+        .machine(MachineSpec::healthy("a", 256))
+        .machine(MachineSpec::healthy("b", 256))
+        .home_file("input.txt", b"payload")
+        .faults(FaultPlan::none().fs_fault(
+            PB::SCHEDD_ID,
+            Window::new(SimTime::from_secs(0), SimTime::from_secs(400)),
+            EnvFault::FilesystemOffline,
+        ))
+        .job(
+            JobSpec::java(1, "ada", programs::reads_and_writes(), JavaMode::Scoped)
+                .with_inputs(&["input.txt"])
+                .with_remote_io()
+                .with_exec_time(SimDuration::from_secs(60)),
+        )
+        .run(day());
+
+    assert_eq!(report.metrics.jobs_completed, 1);
+    let rec = &report.jobs[&1];
+    assert!(rec.finished.unwrap() >= SimTime::from_secs(400));
+    // The job was never marked unexecutable or shown an error.
+    assert_eq!(report.metrics.jobs_unexecutable, 0);
+    assert_eq!(report.metrics.incidental_errors_shown_to_user, 0);
+}
+
+/// A machine crash mid-run produces no report at all; the shadow's timeout
+/// gives the silence a scope and the job recovers elsewhere.
+#[test]
+fn crash_recovery_via_timeout() {
+    let report = PB::new(17)
+        .machine(MachineSpec::healthy("doomed", 1024))
+        .machine(MachineSpec::healthy("ok", 128))
+        .faults(FaultPlan::none().crash(
+            PB::FIRST_MACHINE_ID,
+            Window::new(SimTime::from_secs(30), SimTime::from_secs(900)),
+        ))
+        .job(
+            JobSpec::java(1, "ada", programs::completes_main(), JavaMode::Scoped)
+                .with_exec_time(SimDuration::from_secs(120)),
+        )
+        .run(day());
+
+    assert_eq!(report.metrics.jobs_completed, 1);
+    assert_eq!(report.metrics.vanished_attempts, 1);
+    let rec = &report.jobs[&1];
+    assert_eq!(rec.attempts[0].scope, None, "first attempt vanished");
+    assert_eq!(rec.attempts.last().unwrap().scope, Some(Scope::Program));
+}
+
+/// Corrupt images and missing inputs are job scope: one attempt, returned
+/// unexecutable, never retried across the pool.
+#[test]
+fn job_scope_errors_never_bounce() {
+    let report = PB::new(19)
+        .machine(MachineSpec::healthy("a", 256))
+        .machine(MachineSpec::healthy("b", 256))
+        .machine(MachineSpec::healthy("c", 256))
+        .job(JobSpec::java(1, "ada", programs::corrupt_image(), JavaMode::Scoped))
+        .job(
+            JobSpec::java(2, "bob", programs::completes_main(), JavaMode::Scoped)
+                .with_inputs(&["nonexistent.dat"]),
+        )
+        .run(day());
+
+    assert_eq!(report.metrics.jobs_unexecutable, 2);
+    for rec in report.jobs.values() {
+        assert_eq!(
+            rec.attempts.len(),
+            1,
+            "job-scope failures must not be retried"
+        );
+        assert!(matches!(rec.state, JobState::Unexecutable { .. }));
+    }
+}
+
+/// Determinism across the whole stack: identical seeds give identical
+/// reports, different seeds may differ.
+#[test]
+fn whole_pool_determinism() {
+    let run = |seed| {
+        PB::new(seed)
+            .machine(MachineSpec::healthy("a", 256))
+            .machine(MachineSpec::misconfigured("x", 512))
+            .schedd_policy(ScheddPolicy {
+                avoid_chronic_hosts: true,
+                ..ScheddPolicy::default()
+            })
+            .jobs((1..=5).map(|i| {
+                JobSpec::java(i, "ada", programs::completes_main(), JavaMode::Scoped)
+            }))
+            .without_trace()
+            .run(day())
+    };
+    let a = run(1);
+    let b = run(1);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.finished_at, b.finished_at);
+    assert_eq!(a.metrics.reschedules, b.metrics.reschedules);
+}
+
+/// A network partition between the schedd and a machine makes claims time
+/// out silently; healing the partition lets the job through. The paper's
+/// "escaping error communicated by breaking the connection", at pool scale.
+#[test]
+fn partition_heals_and_job_completes() {
+    let (mut world, schedd_id, machines) = PB::new(23)
+        .machine(MachineSpec::healthy("remote", 256))
+        .job(
+            JobSpec::java(1, "ada", programs::completes_main(), JavaMode::Scoped)
+                .with_exec_time(SimDuration::from_secs(30)),
+        )
+        .build();
+    let m = machines[0];
+    // Sever schedd <-> machine; matchmaking still works (matchmaker link
+    // is fine) but the claim handshake cannot complete.
+    world.net_mut().partition(schedd_id, m);
+    world.run_until(SimTime::from_secs(300));
+    {
+        let s = world.get::<condor::Schedd>(schedd_id).unwrap();
+        assert!(!s.all_done(), "job cannot run across the partition");
+        assert!(s.metrics.failed_claims > 0, "claims must have timed out");
+    }
+    // Heal and let it finish.
+    world.net_mut().heal(schedd_id, m);
+    world.run_until(SimTime::from_secs(900));
+    let s = world.get::<condor::Schedd>(schedd_id).unwrap();
+    assert!(s.all_done(), "job completes after the partition heals");
+    assert_eq!(s.metrics.jobs_completed, 1);
+}
+
+/// A partition that opens *mid-run* swallows the starter's report; the
+/// shadow's timeout classifies the silence and the job retries.
+#[test]
+fn mid_run_partition_costs_one_attempt() {
+    let (mut world, schedd_id, machines) = PB::new(29)
+        .machine(MachineSpec::healthy("flaky-net", 256))
+        .job(
+            JobSpec::java(1, "ada", programs::completes_main(), JavaMode::Scoped)
+                .with_exec_time(SimDuration::from_secs(120)),
+        )
+        .build();
+    let m = machines[0];
+    // Let the claim+activation complete, then cut the link while the job
+    // runs, and restore it after the report would have been sent.
+    world.run_until(SimTime::from_secs(60));
+    world.net_mut().partition(schedd_id, m);
+    world.run_until(SimTime::from_secs(200)); // report lost here
+    world.net_mut().heal(schedd_id, m);
+    world.run_until(SimTime::from_secs(3600));
+    let s = world.get::<condor::Schedd>(schedd_id).unwrap();
+    assert!(s.all_done());
+    assert_eq!(s.metrics.jobs_completed, 1);
+    assert_eq!(s.metrics.vanished_attempts, 1, "the lost report was noticed");
+    assert!(s.jobs[&1].attempts.len() >= 2);
+}

@@ -1,0 +1,142 @@
+//! Integration test: the full Figure 4 table, through the real VM and
+//! wrapper (gridvm + errorscope + chirp together).
+
+use chirp::backend::{EnvFault, MemFs};
+use chirp::client::ChirpClient;
+use chirp::cookie::Cookie;
+use chirp::server::ChirpServer;
+use chirp::transport::DirectTransport;
+use errorscope::resultfile::Outcome;
+use errorscope::Scope;
+use gridvm::jvmio::{ChirpJobIo, NoIo};
+use gridvm::prelude::*;
+use gridvm::programs;
+use gridvm::wrapper::{run_naive, run_wrapped};
+
+fn offline_io() -> ChirpJobIo<DirectTransport<MemFs>> {
+    let mut fs = MemFs::default();
+    fs.put("input.txt", b"data");
+    fs.set_env_fault(Some(EnvFault::FilesystemOffline));
+    let cookie = Cookie::generate(1);
+    let server = ChirpServer::new(fs, cookie.clone());
+    let mut client = ChirpClient::new(DirectTransport::new(server));
+    // Auth happens before the fault matters? No: the fault poisons
+    // everything, including auth — so inject after auth instead.
+    let _ = client.auth(cookie.as_bytes());
+    ChirpJobIo::new(client)
+}
+
+fn working_io() -> ChirpJobIo<DirectTransport<MemFs>> {
+    let mut fs = MemFs::default();
+    fs.put("input.txt", b"data");
+    let cookie = Cookie::generate(1);
+    let server = ChirpServer::new(fs, cookie.clone());
+    let mut client = ChirpClient::new(DirectTransport::new(server));
+    client.auth(cookie.as_bytes()).expect("auth");
+    ChirpJobIo::new(client)
+}
+
+/// Each row of Figure 4: (description, naive JVM exit code, true scope).
+#[test]
+fn figure4_rows_match_the_paper() {
+    let healthy = Installation::healthy();
+
+    // Row 1: "The program exited by completing main." -> Program, 0
+    let (exit, _) = run_naive(&programs::completes_main(), &healthy, &mut NoIo);
+    assert_eq!(exit.0, 0);
+    let w = run_wrapped(&programs::completes_main(), &healthy, &mut NoIo);
+    assert_eq!(w.result_file.scope(), Scope::Program);
+
+    // Row 2: "The program exited by calling System.exit(x)" -> Program, x
+    let (exit, _) = run_naive(&programs::calls_exit(42), &healthy, &mut NoIo);
+    assert_eq!(exit.0, 42);
+
+    // Row 3: null pointer -> Program, 1
+    let (exit, _) = run_naive(&programs::null_dereference(), &healthy, &mut NoIo);
+    assert_eq!(exit.0, 1);
+    let w = run_wrapped(&programs::null_dereference(), &healthy, &mut NoIo);
+    assert_eq!(w.result_file.scope(), Scope::Program);
+
+    // Row 4: not enough memory -> VirtualMachine, 1
+    let small = Installation::healthy().with_heap_limit(1 << 12);
+    let (exit, _) = run_naive(&programs::exhausts_memory(), &small, &mut NoIo);
+    assert_eq!(exit.0, 1);
+    let w = run_wrapped(&programs::exhausts_memory(), &small, &mut NoIo);
+    assert_eq!(w.result_file.scope(), Scope::VirtualMachine);
+
+    // Row 5: misconfigured installation -> RemoteResource, 1
+    let bad = Installation::bad_path();
+    let (exit, _) = run_naive(&programs::completes_main(), &bad, &mut NoIo);
+    assert_eq!(exit.0, 1);
+    let w = run_wrapped(&programs::completes_main(), &bad, &mut NoIo);
+    assert_eq!(w.result_file.scope(), Scope::RemoteResource);
+
+    // Row 6: home file system offline -> LocalResource, 1
+    let mut io = offline_io();
+    let (exit, _) = run_naive(&programs::reads_and_writes(), &healthy, &mut io);
+    assert_eq!(exit.0, 1);
+    let mut io = offline_io();
+    let w = run_wrapped(&programs::reads_and_writes(), &healthy, &mut io);
+    assert_eq!(w.result_file.scope(), Scope::LocalResource);
+
+    // Row 7: corrupt program image -> Job, 1
+    let (exit, _) = run_naive(&programs::corrupt_image(), &healthy, &mut NoIo);
+    assert_eq!(exit.0, 1);
+    let w = run_wrapped(&programs::corrupt_image(), &healthy, &mut NoIo);
+    assert_eq!(w.result_file.scope(), Scope::Job);
+}
+
+/// The crux of Figure 4: five distinct scopes, one indistinguishable naive
+/// exit code — but five distinguishable result files.
+#[test]
+fn exit_code_one_is_ambiguous_but_result_files_are_not() {
+    let healthy = Installation::healthy();
+    let small = Installation::healthy().with_heap_limit(1 << 12);
+    let bad = Installation::bad_path();
+
+    let mut scenarios: Vec<(gridvm::NaiveExit, Scope)> = Vec::new();
+    let w = run_wrapped(&programs::null_dereference(), &healthy, &mut NoIo);
+    scenarios.push((w.jvm_exit, w.result_file.scope()));
+    let w = run_wrapped(&programs::exhausts_memory(), &small, &mut NoIo);
+    scenarios.push((w.jvm_exit, w.result_file.scope()));
+    let w = run_wrapped(&programs::completes_main(), &bad, &mut NoIo);
+    scenarios.push((w.jvm_exit, w.result_file.scope()));
+    let mut io = offline_io();
+    let w = run_wrapped(&programs::reads_and_writes(), &healthy, &mut io);
+    scenarios.push((w.jvm_exit, w.result_file.scope()));
+    let w = run_wrapped(&programs::corrupt_image(), &healthy, &mut NoIo);
+    scenarios.push((w.jvm_exit, w.result_file.scope()));
+
+    // All naive exits identical…
+    assert!(scenarios.iter().all(|(e, _)| e.0 == 1));
+    // …all scopes distinct.
+    let mut scopes: Vec<Scope> = scenarios.iter().map(|(_, s)| *s).collect();
+    scopes.sort_by_key(|s| s.name());
+    scopes.dedup();
+    assert_eq!(scopes.len(), 5);
+}
+
+/// The remote I/O path works end-to-end through the proxy when healthy.
+#[test]
+fn remote_io_job_completes_through_chirp() {
+    let mut io = working_io();
+    let w = run_wrapped(&programs::reads_and_writes(), &Installation::healthy(), &mut io);
+    assert!(matches!(
+        w.result_file.outcome,
+        Outcome::Completed { exit_code: 0 }
+    ));
+    // The job printed the byte-sum of "data".
+    let expected: i64 = b"data".iter().map(|b| i64::from(*b)).sum();
+    assert_eq!(w.stdout.trim(), expected.to_string());
+    // And wrote it to the output file through the proxy.
+    let backend = io
+        .client_mut()
+        .transport_mut()
+        .server_mut()
+        .unwrap()
+        .backend_mut();
+    assert_eq!(
+        backend.get("output.txt"),
+        Some(expected.to_string().as_bytes())
+    );
+}
