@@ -62,7 +62,12 @@ fn bench_propagation(c: &mut Criterion) {
 fn bench_audit(c: &mut Criterion) {
     let stack = java_universe_stack();
     let delivery = stack.propagate(
-        ScopedError::escaping(codes::OUT_OF_MEMORY, Scope::VirtualMachine, "wrapper", "oom"),
+        ScopedError::escaping(
+            codes::OUT_OF_MEMORY,
+            Scope::VirtualMachine,
+            "wrapper",
+            "oom",
+        ),
         "wrapper",
     );
     let err = delivery.error.clone();

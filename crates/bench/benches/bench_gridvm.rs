@@ -48,5 +48,10 @@ fn bench_wrapper_overhead(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_interpreter, bench_startup, bench_wrapper_overhead);
+criterion_group!(
+    benches,
+    bench_interpreter,
+    bench_startup,
+    bench_wrapper_overhead
+);
 criterion_main!(benches);

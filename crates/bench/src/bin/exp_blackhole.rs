@@ -151,4 +151,31 @@ fn main() {
          tests the installation rather than trusting assertions, and why depth\n\
          of testing matters."
     );
+
+    export_telemetry();
+}
+
+/// A representative blind-trust run against partially broken holes — the
+/// configuration with the richest error traffic — exported to stable paths:
+/// a JSON metrics snapshot and the JSONL event stream (claims, dispatches,
+/// escapes, journey hops, reschedules, dispositions).
+fn export_telemetry() {
+    let p = Policy {
+        name: "blind trust",
+        self_test: SelfTestDepth::None,
+        avoid: false,
+    };
+    let r = pool(5, 3, true, p);
+    let snapshot = r.registry().snapshot_json();
+    std::fs::write("BENCH_blackhole.json", &snapshot).expect("write metrics snapshot");
+    let events = r.telemetry.to_jsonl();
+    std::fs::write("BENCH_blackhole.events.jsonl", &events).expect("write event stream");
+
+    obs::json::parse(&snapshot).expect("metrics snapshot is valid JSON");
+    let parsed = obs::Collector::parse_jsonl(&events).expect("event stream is valid JSONL");
+    println!(
+        "\nTelemetry: BENCH_blackhole.json (metrics snapshot) and\n\
+         BENCH_blackhole.events.jsonl ({} events) written and re-parsed cleanly.",
+        parsed.len()
+    );
 }

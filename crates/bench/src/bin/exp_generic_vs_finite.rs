@@ -50,12 +50,7 @@ fn session(server_disc: ErrorDiscipline, client_disc: ClientDiscipline, fault: E
     let observe = |op: &str, err: &IoError, tally: &mut Tally| match err {
         IoError::Explicit(e) => {
             tally.explicit_in_contract += 1;
-            let se = ScopedError::explicit(
-                ErrorCode::new(e.code_name()),
-                Scope::File,
-                "proxy",
-                "",
-            );
+            let se = ScopedError::explicit(ErrorCode::new(e.code_name()), Scope::File, "proxy", "");
             tally.violations.add_all(&audit_crossing(&decl, op, &se));
         }
         IoError::GenericException(code) => {
@@ -69,6 +64,7 @@ fn session(server_disc: ErrorDiscipline, client_disc: ClientDiscipline, fault: E
                 comm: Comm::Explicit,
                 message: String::new(),
                 trail: vec![],
+                span: obs::next_span_id(),
             };
             tally.violations.add_all(&audit_crossing(&decl, op, &se));
         }
@@ -96,9 +92,9 @@ fn session(server_disc: ErrorDiscipline, client_disc: ClientDiscipline, fault: E
     // 4. The environmental fault strikes; subsequent reads cannot be
     // expressed in the interface.
     let fd_res = c.open("in.dat", OpenMode::Read);
-    c.transport_mut()
-        .server_mut()
-        .map(|s| s.backend_mut().set_env_fault(Some(fault)));
+    if let Some(s) = c.transport_mut().server_mut() {
+        s.backend_mut().set_env_fault(Some(fault));
+    }
     match fd_res {
         Ok(fd) => {
             if let Err(e) = c.read(fd, 4) {
@@ -136,7 +132,11 @@ fn main() {
     let mut rows = Vec::new();
     for (fname, fault) in faults {
         for (dname, sd, cd) in [
-            ("finite/scoped", ErrorDiscipline::Scoped, ClientDiscipline::Scoped),
+            (
+                "finite/scoped",
+                ErrorDiscipline::Scoped,
+                ClientDiscipline::Scoped,
+            ),
             (
                 "generic/naive",
                 ErrorDiscipline::NaiveGeneric,

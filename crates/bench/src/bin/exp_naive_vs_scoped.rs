@@ -27,7 +27,10 @@ fn pool(seed: u64, faulty: usize, mode: JavaMode) -> RunReport {
             if i % 2 == 0 {
                 machines.push(MachineSpec::misconfigured(&format!("bad{i}"), 256));
             } else {
-                machines.push(MachineSpec::partially_misconfigured(&format!("half{i}"), 256));
+                machines.push(MachineSpec::partially_misconfigured(
+                    &format!("half{i}"),
+                    256,
+                ));
             }
         } else {
             machines.push(MachineSpec::healthy(&format!("ok{i}"), 256));
@@ -40,8 +43,8 @@ fn pool(seed: u64, faulty: usize, mode: JavaMode) -> RunReport {
             1 => programs::completes_main(),
             _ => programs::reads_and_writes(),
         };
-        let mut spec = JobSpec::java(i, "ada", image, mode)
-            .with_exec_time(SimDuration::from_secs(120));
+        let mut spec =
+            JobSpec::java(i, "ada", image, mode).with_exec_time(SimDuration::from_secs(120));
         if i % 3 == 2 {
             spec = spec.with_inputs(&["input.txt"]).with_remote_io();
         }
@@ -117,5 +120,32 @@ fn main() {
          incidental errors and burns human postmortem time; the scoped system shows\n\
          users only program results and recovers automatically — 'the hailstorm of\n\
          error messages abated.'"
+    );
+
+    export_telemetry();
+}
+
+/// One representative run per discipline, exported to stable paths for
+/// downstream tooling: a JSON metrics snapshot (CPU in integer
+/// microseconds) and the scoped run's JSONL event stream.
+fn export_telemetry() {
+    let naive = pool(11, 4, JavaMode::Naive);
+    let scoped = pool(11, 4, JavaMode::Scoped);
+    let snapshot = format!(
+        "{{\"naive\":{},\"scoped\":{}}}",
+        naive.registry().snapshot_json(),
+        scoped.registry().snapshot_json()
+    );
+    std::fs::write("BENCH_naive_vs_scoped.json", &snapshot).expect("write metrics snapshot");
+    let events = scoped.telemetry.to_jsonl();
+    std::fs::write("BENCH_naive_vs_scoped.events.jsonl", &events).expect("write event stream");
+
+    // Prove both artifacts parse cleanly before anything downstream tries.
+    obs::json::parse(&snapshot).expect("metrics snapshot is valid JSON");
+    let parsed = obs::Collector::parse_jsonl(&events).expect("event stream is valid JSONL");
+    println!(
+        "\nTelemetry: BENCH_naive_vs_scoped.json (metrics snapshot) and\n\
+         BENCH_naive_vs_scoped.events.jsonl ({} events) written and re-parsed cleanly.",
+        parsed.len()
     );
 }

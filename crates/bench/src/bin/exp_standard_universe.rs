@@ -30,10 +30,7 @@ fn pool(universe: Universe, period: u64, busy: u64, seed: u64) -> RunReport {
         while start < 7 * 24 * 3600 {
             plan = plan.owner_activity(
                 PoolBuilder::FIRST_MACHINE_ID + m,
-                condor::Window::new(
-                    SimTime::from_secs(start),
-                    SimTime::from_secs(start + busy),
-                ),
+                condor::Window::new(SimTime::from_secs(start), SimTime::from_secs(start + busy)),
             );
             start += period + busy;
         }
@@ -41,10 +38,12 @@ fn pool(universe: Universe, period: u64, busy: u64, seed: u64) -> RunReport {
     PoolBuilder::new(seed)
         .machines((0..MACHINES).map(|i| MachineSpec::healthy(&format!("ws{i}"), 256)))
         .faults(plan)
-        .jobs((1..=4).map(|i| JobSpec {
-            universe,
-            ..JobSpec::java(i, "ada", programs::calls_exit(0), JavaMode::Scoped)
-                .with_exec_time(SimDuration::from_secs(JOB_SECS))
+        .jobs((1..=4).map(|i| {
+            JobSpec {
+                universe,
+                ..JobSpec::java(i, "ada", programs::calls_exit(0), JavaMode::Scoped)
+                    .with_exec_time(SimDuration::from_secs(JOB_SECS))
+            }
         }))
         .without_trace()
         .run(SimTime::from_secs(14 * 24 * 3600))

@@ -121,12 +121,7 @@ fn main() {
                     "HANG on permanent failure".to_string(),
                 ),
             };
-            rows.push(vec![
-                oname.to_string(),
-                cname.to_string(),
-                result,
-                verdict,
-            ]);
+            rows.push(vec![oname.to_string(), cname.to_string(), result, verdict]);
         }
     }
     println!(

@@ -74,7 +74,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["fault", "scope", "handler (paper)", "handler (ours)", "disposition"],
+            &[
+                "fault",
+                "scope",
+                "handler (paper)",
+                "handler (ours)",
+                "disposition"
+            ],
             &rows,
         )
     );
@@ -84,7 +90,10 @@ fn main() {
     let mut rows = Vec::new();
 
     // Program scope: the exception reaches the user as a result.
-    let r = run_one(programs::index_out_of_bounds(), MachineSpec::healthy("m", 256));
+    let r = run_one(
+        programs::index_out_of_bounds(),
+        MachineSpec::healthy("m", 256),
+    );
     rows.push(practice_row("program exception", &r, 1));
 
     // Remote-resource scope: rescheduled away from the bad host.
@@ -100,7 +109,10 @@ fn main() {
 
     println!(
         "{}",
-        render_table(&["fault", "user outcome", "attempts", "env errors shown"], &rows)
+        render_table(
+            &["fault", "user outcome", "attempts", "env errors shown"],
+            &rows
+        )
     );
     println!("In every case the error reached the manager of its scope, and the");
     println!("user saw only program results — never the environment's problems.");

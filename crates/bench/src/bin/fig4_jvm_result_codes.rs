@@ -111,10 +111,7 @@ fn main() {
             run_wrapped(&row.image, &row.install, io.as_mut())
         };
         let measured_scope = w.result_file.scope().name().to_string();
-        let paper_scope_norm = row
-            .paper_scope
-            .to_ascii_lowercase()
-            .replace(' ', "-");
+        let paper_scope_norm = row.paper_scope.to_ascii_lowercase().replace(' ', "-");
         assert_eq!(
             measured_scope, paper_scope_norm,
             "scope mismatch for '{}'",

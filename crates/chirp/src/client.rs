@@ -63,9 +63,15 @@ pub struct ChirpClient<T: Transport> {
     discipline: ClientDiscipline,
     /// Requests issued, for metrics.
     pub calls: u64,
+    /// Typed per-operation telemetry, drained by the host (the starter)
+    /// into the simulation's event collector.
+    events: obs::RingBuffer<obs::Event>,
 }
 
 const LAYER: &str = "io-library";
+
+/// How many I/O op events the client retains before evicting the oldest.
+const EVENT_CAPACITY: usize = 4096;
 
 impl<T: Transport> ChirpClient<T> {
     /// A scoped-discipline client.
@@ -74,6 +80,7 @@ impl<T: Transport> ChirpClient<T> {
             transport,
             discipline: ClientDiscipline::Scoped,
             calls: 0,
+            events: obs::RingBuffer::new(EVENT_CAPACITY),
         }
     }
 
@@ -90,34 +97,40 @@ impl<T: Transport> ChirpClient<T> {
 
     /// Authenticate with the cookie read from the scratch directory.
     pub fn auth(&mut self, cookie: &[u8]) -> IoResult<()> {
-        match self.call(&Request::Auth {
+        let r = match self.call(&Request::Auth {
             cookie: cookie.to_vec(),
-        })? {
-            Response::Ok => Ok(()),
-            Response::Error(e) => Err(self.explicit(e)),
-            other => Err(self.protocol_surprise("auth", &other)),
-        }
+        }) {
+            Ok(Response::Ok) => Ok(()),
+            Ok(Response::Error(e)) => Err(self.explicit(e)),
+            Ok(other) => Err(self.protocol_surprise("auth", &other)),
+            Err(broke) => Err(broke),
+        };
+        self.finish("auth", r)
     }
 
     /// Open a file.
     pub fn open(&mut self, path: &str, mode: OpenMode) -> IoResult<Fd> {
-        match self.call(&Request::Open {
+        let r = match self.call(&Request::Open {
             path: path.to_string(),
             mode,
-        })? {
-            Response::Opened { fd } => Ok(fd),
-            Response::Error(e) => Err(self.explicit(e)),
-            other => Err(self.protocol_surprise("open", &other)),
-        }
+        }) {
+            Ok(Response::Opened { fd }) => Ok(fd),
+            Ok(Response::Error(e)) => Err(self.explicit(e)),
+            Ok(other) => Err(self.protocol_surprise("open", &other)),
+            Err(broke) => Err(broke),
+        };
+        self.finish("open", r)
     }
 
     /// Read up to `len` bytes. An empty vector means end of file.
     pub fn read(&mut self, fd: Fd, len: u32) -> IoResult<Vec<u8>> {
-        match self.call(&Request::Read { fd, len })? {
-            Response::Data { data } => Ok(data),
-            Response::Error(e) => Err(self.explicit(e)),
-            other => Err(self.protocol_surprise("read", &other)),
-        }
+        let r = match self.call(&Request::Read { fd, len }) {
+            Ok(Response::Data { data }) => Ok(data),
+            Ok(Response::Error(e)) => Err(self.explicit(e)),
+            Ok(other) => Err(self.protocol_surprise("read", &other)),
+            Err(broke) => Err(broke),
+        };
+        self.finish("read", r)
     }
 
     /// Read the whole remainder of a file.
@@ -134,85 +147,132 @@ impl<T: Transport> ChirpClient<T> {
 
     /// Write all of `data`.
     pub fn write(&mut self, fd: Fd, data: &[u8]) -> IoResult<u32> {
-        match self.call(&Request::Write {
+        let r = match self.call(&Request::Write {
             fd,
             data: data.to_vec(),
-        })? {
-            Response::Written { len } => Ok(len),
-            Response::Error(e) => Err(self.explicit(e)),
-            other => Err(self.protocol_surprise("write", &other)),
-        }
+        }) {
+            Ok(Response::Written { len }) => Ok(len),
+            Ok(Response::Error(e)) => Err(self.explicit(e)),
+            Ok(other) => Err(self.protocol_surprise("write", &other)),
+            Err(broke) => Err(broke),
+        };
+        self.finish("write", r)
     }
 
     /// Close a descriptor.
     pub fn close(&mut self, fd: Fd) -> IoResult<()> {
-        match self.call(&Request::Close { fd })? {
-            Response::Ok => Ok(()),
-            Response::Error(e) => Err(self.explicit(e)),
-            other => Err(self.protocol_surprise("close", &other)),
-        }
+        let r = match self.call(&Request::Close { fd }) {
+            Ok(Response::Ok) => Ok(()),
+            Ok(Response::Error(e)) => Err(self.explicit(e)),
+            Ok(other) => Err(self.protocol_surprise("close", &other)),
+            Err(broke) => Err(broke),
+        };
+        self.finish("close", r)
     }
 
     /// Stat a path.
     pub fn stat(&mut self, path: &str) -> IoResult<FileInfo> {
-        match self.call(&Request::Stat {
+        let r = match self.call(&Request::Stat {
             path: path.to_string(),
-        })? {
-            Response::Info(i) => Ok(i),
-            Response::Error(e) => Err(self.explicit(e)),
-            other => Err(self.protocol_surprise("stat", &other)),
-        }
+        }) {
+            Ok(Response::Info(i)) => Ok(i),
+            Ok(Response::Error(e)) => Err(self.explicit(e)),
+            Ok(other) => Err(self.protocol_surprise("stat", &other)),
+            Err(broke) => Err(broke),
+        };
+        self.finish("stat", r)
     }
 
     /// Remove a file.
     pub fn unlink(&mut self, path: &str) -> IoResult<()> {
-        match self.call(&Request::Unlink {
+        let r = match self.call(&Request::Unlink {
             path: path.to_string(),
-        })? {
-            Response::Ok => Ok(()),
-            Response::Error(e) => Err(self.explicit(e)),
-            other => Err(self.protocol_surprise("unlink", &other)),
-        }
+        }) {
+            Ok(Response::Ok) => Ok(()),
+            Ok(Response::Error(e)) => Err(self.explicit(e)),
+            Ok(other) => Err(self.protocol_surprise("unlink", &other)),
+            Err(broke) => Err(broke),
+        };
+        self.finish("unlink", r)
     }
 
     /// Fetch a whole file in one round trip.
     pub fn get_file(&mut self, path: &str) -> IoResult<Vec<u8>> {
-        match self.call(&Request::GetFile {
+        let r = match self.call(&Request::GetFile {
             path: path.to_string(),
-        })? {
-            Response::Data { data } => Ok(data),
-            Response::Error(e) => Err(self.explicit(e)),
-            other => Err(self.protocol_surprise("getfile", &other)),
-        }
+        }) {
+            Ok(Response::Data { data }) => Ok(data),
+            Ok(Response::Error(e)) => Err(self.explicit(e)),
+            Ok(other) => Err(self.protocol_surprise("getfile", &other)),
+            Err(broke) => Err(broke),
+        };
+        self.finish("getfile", r)
     }
 
     /// Store a whole file in one round trip.
     pub fn put_file(&mut self, path: &str, data: &[u8]) -> IoResult<u32> {
-        match self.call(&Request::PutFile {
+        let r = match self.call(&Request::PutFile {
             path: path.to_string(),
             data: data.to_vec(),
-        })? {
-            Response::Written { len } => Ok(len),
-            Response::Error(e) => Err(self.explicit(e)),
-            other => Err(self.protocol_surprise("putfile", &other)),
-        }
+        }) {
+            Ok(Response::Written { len }) => Ok(len),
+            Ok(Response::Error(e)) => Err(self.explicit(e)),
+            Ok(other) => Err(self.protocol_surprise("putfile", &other)),
+            Err(broke) => Err(broke),
+        };
+        self.finish("putfile", r)
     }
 
     /// Rename a file.
     pub fn rename(&mut self, from: &str, to: &str) -> IoResult<()> {
-        match self.call(&Request::Rename {
+        let r = match self.call(&Request::Rename {
             from: from.to_string(),
             to: to.to_string(),
-        })? {
-            Response::Ok => Ok(()),
-            Response::Error(e) => Err(self.explicit(e)),
-            other => Err(self.protocol_surprise("rename", &other)),
-        }
+        }) {
+            Ok(Response::Ok) => Ok(()),
+            Ok(Response::Error(e)) => Err(self.explicit(e)),
+            Ok(other) => Err(self.protocol_surprise("rename", &other)),
+            Err(broke) => Err(broke),
+        };
+        self.finish("rename", r)
+    }
+
+    /// Recorded I/O op events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &obs::Event> {
+        self.events.iter()
+    }
+
+    /// Drain the recorded op events (oldest first), leaving the log empty.
+    pub fn take_events(&mut self) -> Vec<obs::Event> {
+        let out: Vec<obs::Event> = self.events.iter().cloned().collect();
+        self.events.clear();
+        out
     }
 
     fn call(&mut self, req: &Request) -> Result<Response, IoError> {
         self.calls += 1;
         self.transport.call(req).map_err(|b| self.broken(b))
+    }
+
+    /// Record the op's outcome as a typed event and pass the result through.
+    fn finish<V>(&mut self, op: &'static str, r: IoResult<V>) -> IoResult<V> {
+        let outcome = match &r {
+            Ok(_) => obs::IoOutcome::Ok,
+            Err(IoError::Explicit(e)) => obs::IoOutcome::Error {
+                code: e.to_string(),
+            },
+            Err(IoError::GenericException(c)) => obs::IoOutcome::Error {
+                code: c.as_str().to_string(),
+            },
+            Err(IoError::Escape(se)) => obs::IoOutcome::Escaped {
+                code: se.code.as_str().to_string(),
+            },
+        };
+        self.events.push(obs::Event::IoOp {
+            op: op.to_string(),
+            outcome,
+        });
+        r
     }
 
     /// An in-vocabulary protocol error. Both disciplines deliver it
@@ -295,10 +355,8 @@ mod tests {
     ) -> ChirpClient<DirectTransport<MemFs>> {
         let mut fs = MemFs::default();
         prep(&mut fs);
-        let server =
-            ChirpServer::new(fs, Cookie::generate(1)).with_discipline(server_discipline);
-        let mut c =
-            ChirpClient::new(DirectTransport::new(server)).with_discipline(discipline);
+        let server = ChirpServer::new(fs, Cookie::generate(1)).with_discipline(server_discipline);
+        let mut c = ChirpClient::new(DirectTransport::new(server)).with_discipline(discipline);
         c.auth(Cookie::generate(1).as_bytes()).unwrap();
         c
     }
@@ -418,6 +476,42 @@ mod tests {
         let mut c = ChirpClient::new(DirectTransport::new(server));
         let err = c.auth(&[0; 32]).unwrap_err();
         assert_eq!(err, IoError::Explicit(ChirpError::NotAuthenticated));
+    }
+
+    #[test]
+    fn op_events_record_outcomes_in_order() {
+        let mut c = scoped(|fs| {
+            fs.put("f", b"x");
+        });
+        let fd = c.open("f", OpenMode::Read).unwrap();
+        let _ = c.open("ghost", OpenMode::Read); // explicit NotFound
+        c.transport_mut()
+            .server_mut()
+            .unwrap()
+            .backend_mut()
+            .set_env_fault(Some(EnvFault::FilesystemOffline));
+        let _ = c.read(fd, 1); // escapes
+        let events = c.take_events();
+        // auth (from the helper), open, open, read.
+        assert_eq!(events.len(), 4);
+        assert!(matches!(
+            &events[1],
+            obs::Event::IoOp { op, outcome: obs::IoOutcome::Ok } if op == "open"
+        ));
+        assert!(matches!(
+            &events[2],
+            obs::Event::IoOp {
+                outcome: obs::IoOutcome::Error { .. },
+                ..
+            }
+        ));
+        assert!(matches!(
+            &events[3],
+            obs::Event::IoOp { op, outcome: obs::IoOutcome::Escaped { .. } } if op == "read"
+        ));
+        // Draining empties the log.
+        assert!(c.take_events().is_empty());
+        assert_eq!(c.events().count(), 0);
     }
 
     #[test]

@@ -73,8 +73,14 @@ mod tests {
 
     #[test]
     fn deterministic_generation() {
-        assert_eq!(Cookie::generate(1).as_bytes(), Cookie::generate(1).as_bytes());
-        assert_ne!(Cookie::generate(1).as_bytes(), Cookie::generate(2).as_bytes());
+        assert_eq!(
+            Cookie::generate(1).as_bytes(),
+            Cookie::generate(1).as_bytes()
+        );
+        assert_ne!(
+            Cookie::generate(1).as_bytes(),
+            Cookie::generate(2).as_bytes()
+        );
         assert_eq!(Cookie::generate(0).as_bytes().len(), COOKIE_LEN);
     }
 

@@ -262,8 +262,7 @@ pub fn explicit_errors_of(op: &str) -> Vec<ChirpError> {
 /// suitable for auditing.
 pub fn chirp_interface() -> InterfaceDecl {
     let ops = [
-        "auth", "open", "read", "write", "close", "stat", "unlink", "rename", "getfile",
-        "putfile",
+        "auth", "open", "read", "write", "close", "stat", "unlink", "rename", "getfile", "putfile",
     ];
     let mut decl = InterfaceDecl::new("chirp");
     for op in ops {
@@ -333,7 +332,10 @@ mod tests {
             decl.conformance("write", &disk_full),
             Conformance::DeliverExplicit
         );
-        assert_eq!(decl.conformance("read", &disk_full), Conformance::MustEscape);
+        assert_eq!(
+            decl.conformance("read", &disk_full),
+            Conformance::MustEscape
+        );
     }
 
     #[test]

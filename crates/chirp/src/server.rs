@@ -253,7 +253,10 @@ impl<B: FileBackend> ChirpServer<B> {
             Ok(n) => n,
             Err(e) => return self.map_failure("getfile", e),
         };
-        match self.backend.read_at(path, 0, size.min(u64::from(u32::MAX)) as u32) {
+        match self
+            .backend
+            .read_at(path, 0, size.min(u64::from(u32::MAX)) as u32)
+        {
             Ok(data) => ServerOutcome::Reply(Response::Data { data }),
             Err(e) => self.map_failure("getfile", e),
         }

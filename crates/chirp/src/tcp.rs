@@ -16,7 +16,9 @@ use crate::backend::FileBackend;
 use crate::proto::{Request, Response};
 use crate::server::{ChirpServer, DisconnectReason, ServerOutcome};
 use crate::transport::{Broken, Transport};
-use crate::wire::{decode_request, decode_response, deframe, encode_request, encode_response, frame};
+use crate::wire::{
+    decode_request, decode_response, deframe, encode_request, encode_response, frame,
+};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::thread::JoinHandle;

@@ -19,7 +19,9 @@
 use crate::backend::FileBackend;
 use crate::proto::{Request, Response};
 use crate::server::{ChirpServer, DisconnectReason, ServerOutcome};
-use crate::wire::{decode_request, decode_response, deframe, encode_request, encode_response, frame};
+use crate::wire::{
+    decode_request, decode_response, deframe, encode_request, encode_response, frame,
+};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::sync::Arc;

@@ -282,9 +282,7 @@ mod tests {
                 data: b"hello".to_vec(),
             },
             Request::Close { fd: 7 },
-            Request::Stat {
-                path: "x/y".into(),
-            },
+            Request::Stat { path: "x/y".into() },
             Request::Unlink { path: "x".into() },
             Request::Rename {
                 from: "a".into(),
@@ -338,7 +336,9 @@ mod tests {
         assert!(decode_response(&[255, 0]).is_err()); // error code 0 invalid
         assert!(decode_response(&[250]).is_err());
         // Truncated string.
-        let mut enc = encode_request(&Request::Stat { path: "abcdef".into() });
+        let mut enc = encode_request(&Request::Stat {
+            path: "abcdef".into(),
+        });
         enc.truncate(enc.len() - 3);
         assert!(decode_request(&enc).is_err());
         // Trailing garbage.

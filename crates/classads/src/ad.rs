@@ -40,7 +40,8 @@ impl ClassAd {
     /// Insert an attribute given its expression.
     pub fn insert_expr(&mut self, name: impl Into<String>, expr: Expr) -> &mut Self {
         let display = name.into();
-        self.attrs.insert(display.to_ascii_lowercase(), (display, expr));
+        self.attrs
+            .insert(display.to_ascii_lowercase(), (display, expr));
         self
     }
 

@@ -233,9 +233,9 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let e = Expr::attr("Memory").ge(Expr::int(64)).and(
-            Expr::attr("Arch").eq(Expr::string("INTEL")),
-        );
+        let e = Expr::attr("Memory")
+            .ge(Expr::int(64))
+            .and(Expr::attr("Arch").eq(Expr::string("INTEL")));
         let s = e.to_string();
         assert_eq!(s, "((Memory >= 64) && (Arch == \"INTEL\"))");
     }

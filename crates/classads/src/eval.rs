@@ -103,11 +103,7 @@ fn resolve(env: &mut Env<'_>, current_is_target: bool, scope: AttrScope, name: &
     };
 
     for which in candidates.into_iter().flatten() {
-        let ad: Option<&ClassAd> = if which {
-            env.target
-        } else {
-            Some(env.me)
-        };
+        let ad: Option<&ClassAd> = if which { env.target } else { Some(env.me) };
         let Some(ad) = ad else { continue };
         if let Some(expr) = ad.get(name) {
             let key = (which, name.to_string());
@@ -322,7 +318,11 @@ mod tests {
             Value::TRUE
         );
         assert_eq!(
-            ev(&j, Some(&m), "TARGET.Memory >= MY.ImageSize && TARGET.OpSys == \"linux\""),
+            ev(
+                &j,
+                Some(&m),
+                "TARGET.Memory >= MY.ImageSize && TARGET.OpSys == \"linux\""
+            ),
             Value::TRUE
         );
     }
@@ -348,7 +348,10 @@ mod tests {
         let j = job();
         assert_eq!(ev(&j, Some(&m), "TARGET.HasJava =?= true"), Value::TRUE);
         assert_eq!(ev(&j, Some(&m), "TARGET.HasPvm =?= undefined"), Value::TRUE);
-        assert_eq!(ev(&j, Some(&m), "TARGET.HasPvm =!= undefined"), Value::FALSE);
+        assert_eq!(
+            ev(&j, Some(&m), "TARGET.HasPvm =!= undefined"),
+            Value::FALSE
+        );
     }
 
     #[test]
@@ -405,7 +408,10 @@ mod tests {
         assert_eq!(e("min(3, 1, 2)"), Value::Int(1));
         assert_eq!(e("max(3, 1.5)"), Value::Real(3.0));
         assert_eq!(e("strcat(\"a\", 1, true)"), Value::str("a1true"));
-        assert_eq!(e("ifThenElse(x > 3, \"big\", \"small\")"), Value::str("big"));
+        assert_eq!(
+            e("ifThenElse(x > 3, \"big\", \"small\")"),
+            Value::str("big")
+        );
         assert_eq!(e("noSuchFn(1)"), Value::Error);
         assert_eq!(e("min(undefined, 1)"), Value::Undefined);
     }
@@ -432,7 +438,10 @@ mod tests {
         let ad = ClassAd::new().with_str("AllowedUsers", "ada, bob, carol");
         let e = |s: &str| ev(&ad, None, s);
         assert_eq!(e("stringListMember(\"BOB\", AllowedUsers)"), Value::TRUE);
-        assert_eq!(e("stringListMember(\"mallory\", AllowedUsers)"), Value::FALSE);
+        assert_eq!(
+            e("stringListMember(\"mallory\", AllowedUsers)"),
+            Value::FALSE
+        );
         assert_eq!(e("stringListMember(\"ada\", nope)"), Value::Undefined);
     }
 

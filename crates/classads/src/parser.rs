@@ -273,10 +273,7 @@ mod tests {
     fn precedence_groups_correctly() {
         assert_eq!(roundtrip("1 + 2 * 3"), "(1 + (2 * 3))");
         assert_eq!(roundtrip("(1 + 2) * 3"), "((1 + 2) * 3)");
-        assert_eq!(
-            roundtrip("a && b || c && d"),
-            "((a && b) || (c && d))"
-        );
+        assert_eq!(roundtrip("a && b || c && d"), "((a && b) || (c && d))");
         assert_eq!(roundtrip("a == b + 1"), "(a == (b + 1))");
         assert_eq!(roundtrip("1 < 2 == true"), "((1 < 2) == true)");
     }
@@ -298,7 +295,10 @@ mod tests {
     #[test]
     fn keywords_are_literals() {
         assert_eq!(parse_expr("TRUE").unwrap(), Expr::boolean(true));
-        assert_eq!(parse_expr("Undefined").unwrap(), Expr::Lit(Value::Undefined));
+        assert_eq!(
+            parse_expr("Undefined").unwrap(),
+            Expr::Lit(Value::Undefined)
+        );
         assert_eq!(parse_expr("ERROR").unwrap(), Expr::Lit(Value::Error));
     }
 
@@ -311,10 +311,7 @@ mod tests {
 
     #[test]
     fn meta_operators_parse() {
-        assert_eq!(
-            roundtrip("HasJava =?= true"),
-            "(HasJava =?= true)"
-        );
+        assert_eq!(roundtrip("HasJava =?= true"), "(HasJava =?= true)");
         assert_eq!(roundtrip("x =!= undefined"), "(x =!= undefined)");
     }
 

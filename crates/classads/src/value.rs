@@ -153,9 +153,9 @@ impl Value {
             (Value::Undefined, _) | (_, Value::Undefined) => CmpOut::Undef,
             (Value::Error, _) | (_, Value::Error) => CmpOut::Err,
             (Value::Bool(a), Value::Bool(b)) => CmpOut::Ord(a.cmp(b)),
-            (Value::Str(a), Value::Str(b)) => CmpOut::Ord(
-                a.to_ascii_lowercase().cmp(&b.to_ascii_lowercase()),
-            ),
+            (Value::Str(a), Value::Str(b)) => {
+                CmpOut::Ord(a.to_ascii_lowercase().cmp(&b.to_ascii_lowercase()))
+            }
             (x, y) => match (x.as_number(), y.as_number()) {
                 (Some(a), Some(b)) => a
                     .partial_cmp(&b)
@@ -332,7 +332,10 @@ mod tests {
         assert_eq!(Int(1).is_identical(&Int(1)), Bool(true));
         // Type must match: 1 =?= 1.0 is FALSE.
         assert_eq!(Int(1).is_identical(&Real(1.0)), Bool(false));
-        assert_eq!(Value::str("LINUX").is_identical(&Value::str("linux")), Bool(true));
+        assert_eq!(
+            Value::str("LINUX").is_identical(&Value::str("linux")),
+            Bool(true)
+        );
     }
 
     #[test]
@@ -365,7 +368,10 @@ mod tests {
     fn string_equality_is_case_insensitive() {
         let a = Value::str("INTEL");
         let b = Value::str("intel");
-        assert_eq!(a.compare_with(&b, |o| o == Ordering::Equal), Value::Bool(true));
+        assert_eq!(
+            a.compare_with(&b, |o| o == Ordering::Equal),
+            Value::Bool(true)
+        );
     }
 
     #[test]

@@ -104,9 +104,7 @@ impl JobSpec {
             .with_str("Universe", universe)
             .with_int("ImageSize", self.image_size);
         let requirements = match self.universe {
-            Universe::Vanilla | Universe::Standard => {
-                "TARGET.Memory >= MY.ImageSize".to_string()
-            }
+            Universe::Vanilla | Universe::Standard => "TARGET.Memory >= MY.ImageSize".to_string(),
             Universe::Java(_) => {
                 "TARGET.Memory >= MY.ImageSize && TARGET.HasJava =?= true".to_string()
             }
@@ -275,10 +273,7 @@ mod tests {
     fn terminal_states() {
         assert!(!JobState::Idle.is_terminal());
         assert!(!JobState::Running { machine: 0 }.is_terminal());
-        assert!(!JobState::AwaitingPostmortem {
-            shown: "x".into()
-        }
-        .is_terminal());
+        assert!(!JobState::AwaitingPostmortem { shown: "x".into() }.is_terminal());
         assert!(JobState::Completed {
             result: ResultFile::completed(0)
         }

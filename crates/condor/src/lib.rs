@@ -12,6 +12,7 @@
 //! * [`faults`] — the timed fault plan (crashes, file-system outages).
 //! * [`pool`] — one-stop pool assembly and run reports.
 //! * [`metrics`] — the quantities the experiments report.
+//! * [`telemetry`] — error-journey span plumbing over the `obs` layer.
 //!
 //! The Java Universe runs in either of the paper's two disciplines
 //! ([`job::JavaMode`]): **naive** (§2.3 — exit codes and generic
@@ -43,6 +44,7 @@ pub mod msg;
 pub mod pool;
 pub mod schedd;
 pub mod startd;
+pub mod telemetry;
 
 pub use faults::{FaultPlan, Window};
 pub use job::{Attempt, JavaMode, JobId, JobRecord, JobSpec, JobState, Universe};

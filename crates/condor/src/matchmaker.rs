@@ -95,8 +95,7 @@ impl Matchmaker {
         // Expire stale machine ads — a crashed startd stops advertising and
         // silently falls out of the pool.
         let now = ctx.now;
-        self.machines
-            .retain(|_, m| now - m.fresh_at <= AD_LIFETIME);
+        self.machines.retain(|_, m| now - m.fresh_at <= AD_LIFETIME);
 
         // Greedy cycle: jobs in (schedd, id) order, each takes its
         // best-ranked compatible machine; a machine serves at most one
@@ -227,10 +226,7 @@ mod tests {
         assert_eq!(w.get::<Matchmaker>(mm).unwrap().matches_made, 1);
         // The big Java machine wins (ranked by memory); the bigger
         // machine without Java fails the job's requirements.
-        assert_eq!(
-            w.get::<AdSender>(schedd).unwrap().notified,
-            vec![(1, big)]
-        );
+        assert_eq!(w.get::<AdSender>(schedd).unwrap().notified, vec![(1, big)]);
     }
 
     #[test]
@@ -263,7 +259,11 @@ mod tests {
             MachineSpec::healthy("m", 512).ad(true),
         )));
         // The job ad arrives long after the machine ad has gone stale.
-        let mut late = AdSender::job(mm, 1, JobSpec::java(1, "ada", vec![], JavaMode::Scoped).ad());
+        let mut late = AdSender::job(
+            mm,
+            1,
+            JobSpec::java(1, "ada", vec![], JavaMode::Scoped).ad(),
+        );
         late.delay = SimDuration::from_secs(60);
         let _s = w.add_actor(Box::new(late));
         w.run_until(SimTime::from_secs(120));

@@ -1,9 +1,22 @@
 //! Pool-level accounting: the quantities the experiments report.
+//!
+//! [`Metrics`] keeps the typed counters the schedd updates as it runs, plus
+//! a log-scale CPU histogram per outcome scope. [`Metrics::registry`]
+//! projects everything into an [`obs::Registry`] (counters, gauges,
+//! histograms with per-scope labels) for the JSON metrics snapshots the
+//! experiment binaries export; [`MachineStats::register_into`] adds the
+//! per-machine view under `machine=<name>` labels.
 
 use desim::SimDuration;
 use errorscope::Scope;
-use serde::Serialize;
+use serde::{Serialize, Serializer};
 use std::collections::BTreeMap;
+
+/// Serialize a [`SimDuration`] as integer microseconds, so CPU totals
+/// survive the JSON export and efficiency is recomputable downstream.
+fn as_micros<S: Serializer>(d: &SimDuration, s: S) -> Result<S::Ok, S::Error> {
+    s.serialize_u64(d.as_micros())
+}
 
 /// Counters accumulated by the schedd over one run.
 #[derive(Debug, Clone, Default, Serialize)]
@@ -28,22 +41,28 @@ pub struct Metrics {
     pub vanished_attempts: u64,
     /// Jobs evicted by owner activity.
     pub evictions: u64,
-    /// Execution time preserved by checkpoints across evictions.
-    #[serde(skip)]
+    /// Execution time preserved by checkpoints across evictions
+    /// (microseconds in JSON).
+    #[serde(rename = "checkpointed_work_us", serialize_with = "as_micros")]
     pub checkpointed_work: SimDuration,
-    /// Execution time thrown away by evictions of non-checkpointable jobs.
-    #[serde(skip)]
+    /// Execution time thrown away by evictions of non-checkpointable jobs
+    /// (microseconds in JSON).
+    #[serde(rename = "work_lost_to_eviction_us", serialize_with = "as_micros")]
     pub work_lost_to_eviction: SimDuration,
-    /// CPU time spent on attempts that produced a program result.
-    #[serde(skip)]
+    /// CPU time spent on attempts that produced a program result
+    /// (microseconds in JSON).
+    #[serde(rename = "useful_cpu_us", serialize_with = "as_micros")]
     pub useful_cpu: SimDuration,
     /// CPU time spent on attempts that failed environmentally — the §5
-    /// black-hole waste.
-    #[serde(skip)]
+    /// black-hole waste (microseconds in JSON).
+    #[serde(rename = "wasted_cpu_us", serialize_with = "as_micros")]
     pub wasted_cpu: SimDuration,
     /// Execution outcomes by scope, as observed by the schedd (ground
     /// truth in naive mode comes from the report's accounting field).
     pub outcomes_by_scope: BTreeMap<String, u64>,
+    /// Log-scale histogram of per-attempt CPU (µs) keyed by outcome scope.
+    #[serde(skip)]
+    pub cpu_by_scope: BTreeMap<String, obs::Histogram>,
 }
 
 impl Metrics {
@@ -53,6 +72,10 @@ impl Metrics {
             .outcomes_by_scope
             .entry(scope.name().to_string())
             .or_insert(0) += 1;
+        self.cpu_by_scope
+            .entry(scope.name().to_string())
+            .or_default()
+            .record(cpu.as_micros());
         if scope == Scope::Program {
             self.useful_cpu += cpu;
         } else {
@@ -76,6 +99,48 @@ impl Metrics {
     pub fn jobs_finished(&self) -> u64 {
         self.jobs_completed + self.jobs_unexecutable + self.jobs_held
     }
+
+    /// Project the metrics into a registry. Counters are plain; outcome
+    /// counts and CPU histograms carry a `scope` label.
+    pub fn register_into(&self, reg: &mut obs::Registry) {
+        for (name, value) in [
+            ("jobs_completed", self.jobs_completed),
+            ("jobs_unexecutable", self.jobs_unexecutable),
+            ("jobs_held", self.jobs_held),
+            (
+                "incidental_errors_shown_to_user",
+                self.incidental_errors_shown_to_user,
+            ),
+            ("postmortems", self.postmortems),
+            ("reschedules", self.reschedules),
+            ("failed_claims", self.failed_claims),
+            ("vanished_attempts", self.vanished_attempts),
+            ("evictions", self.evictions),
+            ("checkpointed_work_us", self.checkpointed_work.as_micros()),
+            (
+                "work_lost_to_eviction_us",
+                self.work_lost_to_eviction.as_micros(),
+            ),
+            ("useful_cpu_us", self.useful_cpu.as_micros()),
+            ("wasted_cpu_us", self.wasted_cpu.as_micros()),
+        ] {
+            reg.counter_add(name, &[], value);
+        }
+        reg.gauge_set("cpu_efficiency", &[], self.cpu_efficiency());
+        for (scope, n) in &self.outcomes_by_scope {
+            reg.counter_add("outcomes", &[("scope", scope)], *n);
+        }
+        for (scope, hist) in &self.cpu_by_scope {
+            reg.histogram_merge("attempt_cpu_us", &[("scope", scope)], hist);
+        }
+    }
+
+    /// A fresh registry holding this metrics snapshot.
+    pub fn registry(&self) -> obs::Registry {
+        let mut reg = obs::Registry::new();
+        self.register_into(&mut reg);
+        reg
+    }
 }
 
 /// The per-machine view, extracted from startds after a run.
@@ -97,6 +162,26 @@ pub struct MachineStats {
     pub remote_resource_failures: u64,
 }
 
+impl MachineStats {
+    /// Add this machine's counters to a registry under a `machine` label.
+    pub fn register_into(&self, reg: &mut obs::Registry) {
+        let labels: &[(&str, &str)] = &[("machine", &self.name)];
+        reg.counter_add("claims_accepted", labels, self.claims_accepted);
+        reg.counter_add("claims_rejected", labels, self.claims_rejected);
+        reg.counter_add("executions", labels, self.executions);
+        reg.counter_add(
+            "remote_resource_failures",
+            labels,
+            self.remote_resource_failures,
+        );
+        reg.gauge_set(
+            "advertising_java",
+            labels,
+            if self.advertising_java { 1.0 } else { 0.0 },
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -112,6 +197,7 @@ mod tests {
         assert_eq!(m.useful_cpu, SimDuration::from_secs(60));
         assert_eq!(m.wasted_cpu, SimDuration::from_secs(40));
         assert!((m.cpu_efficiency() - 0.6).abs() < 1e-9);
+        assert_eq!(m.cpu_by_scope["remote-resource"].count(), 2);
     }
 
     #[test]
@@ -128,5 +214,45 @@ mod tests {
             ..Metrics::default()
         };
         assert_eq!(m.jobs_finished(), 6);
+    }
+
+    #[test]
+    fn serialization_keeps_cpu_as_integer_micros() {
+        let mut m = Metrics::default();
+        m.record_outcome(Scope::Program, SimDuration::from_secs(60));
+        m.record_outcome(Scope::Network, SimDuration::from_secs(30));
+        let j = serde_json::to_value(&m).unwrap();
+        assert_eq!(j["useful_cpu_us"], 60_000_000u64);
+        assert_eq!(j["wasted_cpu_us"], 30_000_000u64);
+        // Efficiency is recomputable from the JSON alone.
+        let useful = j["useful_cpu_us"].as_u64().unwrap() as f64;
+        let wasted = j["wasted_cpu_us"].as_u64().unwrap() as f64;
+        assert!((useful / (useful + wasted) - m.cpu_efficiency()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn registry_projection_carries_labels() {
+        let mut m = Metrics {
+            jobs_completed: 4,
+            ..Metrics::default()
+        };
+        m.record_outcome(Scope::Program, SimDuration::from_secs(1));
+        let mut reg = m.registry();
+        let stats = MachineStats {
+            name: "node7".into(),
+            advertising_java: true,
+            claims_accepted: 2,
+            ..MachineStats::default()
+        };
+        stats.register_into(&mut reg);
+        assert_eq!(reg.counter("jobs_completed", &[]), 4);
+        assert_eq!(reg.counter("outcomes", &[("scope", "program")]), 1);
+        assert_eq!(reg.counter("claims_accepted", &[("machine", "node7")]), 2);
+        let h = reg
+            .histogram("attempt_cpu_us", &[("scope", "program")])
+            .unwrap();
+        assert_eq!(h.count(), 1);
+        // The snapshot parses back cleanly.
+        assert!(obs::json::parse(&reg.snapshot_json()).is_ok());
     }
 }

@@ -62,6 +62,10 @@ pub enum ExecutionReport {
     Scoped {
         /// The result file read back by the starter.
         result: ResultFile,
+        /// The error's telemetry journey so far (environment failures
+        /// only): span id and trail from birth through the layers already
+        /// crossed on the execute side. The schedd appends its own hops.
+        journey: Option<errorscope::ScopedError>,
     },
     /// The machine owner reclaimed the machine; the starter evicted the
     /// job. Not an error — owner policy. For Standard-universe jobs the

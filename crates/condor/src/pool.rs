@@ -43,6 +43,9 @@ pub struct RunReport {
     pub extra_schedds: Vec<ScheddSummary>,
     /// Per-machine statistics, keyed by actor id.
     pub machines: BTreeMap<usize, MachineStats>,
+    /// The run's typed event stream: protocol events, remote I/O
+    /// operations, and error-journey spans. Survives `without_trace()`.
+    pub telemetry: obs::Collector,
     /// Virtual time when the run stopped.
     pub finished_at: SimTime,
     /// Did every job reach a terminal state?
@@ -52,6 +55,17 @@ pub struct RunReport {
 }
 
 impl RunReport {
+    /// Project the run's counters into a metrics registry: the primary
+    /// schedd's metrics plus per-machine statistics, ready for
+    /// [`obs::Registry::snapshot_json`].
+    pub fn registry(&self) -> obs::Registry {
+        let mut reg = self.metrics.registry();
+        for stats in self.machines.values() {
+            stats.register_into(&mut reg);
+        }
+        reg
+    }
+
     /// Wall-clock (virtual) completion time of the latest-finishing job.
     pub fn makespan(&self) -> Option<SimTime> {
         self.jobs.values().filter_map(|j| j.finished).max()
@@ -75,7 +89,9 @@ impl RunReport {
                 crate::job::JobState::Waiting => "waiting (retry)".to_string(),
                 crate::job::JobState::Completed { result } => format!("done: {result}"),
                 crate::job::JobState::Unexecutable { .. } => "unexecutable".to_string(),
-                crate::job::JobState::AwaitingPostmortem { .. } => "awaiting postmortem".to_string(),
+                crate::job::JobState::AwaitingPostmortem { .. } => {
+                    "awaiting postmortem".to_string()
+                }
                 crate::job::JobState::Held { .. } => "held".to_string(),
             };
             let turnaround = rec
@@ -275,6 +291,7 @@ impl PoolBuilder {
             jobs: schedd.jobs.clone(),
             extra_schedds,
             machines,
+            telemetry: world.telemetry().clone(),
             finished_at: world.now(),
             quiescent,
             events: world.events_processed(),
@@ -383,7 +400,12 @@ mod tests {
     fn corrupt_image_is_unexecutable_in_scoped_mode() {
         let report = PoolBuilder::new(3)
             .machine(MachineSpec::healthy("m1", 256))
-            .job(JobSpec::java(1, "ada", programs::corrupt_image(), JavaMode::Scoped))
+            .job(JobSpec::java(
+                1,
+                "ada",
+                programs::corrupt_image(),
+                JavaMode::Scoped,
+            ))
             .run(deadline());
         assert_eq!(report.metrics.jobs_unexecutable, 1);
         let JobState::Unexecutable { reason } = &report.jobs[&1].state else {
@@ -521,10 +543,10 @@ mod tests {
         let report = PoolBuilder::new(9)
             .machine(MachineSpec::healthy("doomed", 1024))
             .machine(MachineSpec::healthy("ok", 128))
-            .faults(
-                FaultPlan::none()
-                    .crash(PoolBuilder::FIRST_MACHINE_ID, Window::from(SimTime::from_secs(20))),
-            )
+            .faults(FaultPlan::none().crash(
+                PoolBuilder::FIRST_MACHINE_ID,
+                Window::from(SimTime::from_secs(20)),
+            ))
             .job(
                 JobSpec::java(1, "ada", programs::completes_main(), JavaMode::Scoped)
                     .with_exec_time(SimDuration::from_secs(60)),
@@ -566,7 +588,12 @@ mod tests {
                 retry_delay: SimDuration::from_secs(5),
                 ..ScheddPolicy::default()
             })
-            .job(JobSpec::java(1, "ada", programs::completes_main(), JavaMode::Scoped))
+            .job(JobSpec::java(
+                1,
+                "ada",
+                programs::completes_main(),
+                JavaMode::Scoped,
+            ))
             .run(deadline());
         assert_eq!(report.metrics.jobs_held, 1);
         assert!(matches!(report.jobs[&1].state, JobState::Held { .. }));
@@ -605,8 +632,7 @@ mod tests {
         // some jobs may exhaust their attempt budget.
         assert_eq!(with_avoid.metrics.jobs_completed, 6);
         assert_eq!(without.metrics.jobs_finished(), 6);
-        let hole_execs_with =
-            with_avoid.machines[&PoolBuilder::FIRST_MACHINE_ID].executions;
+        let hole_execs_with = with_avoid.machines[&PoolBuilder::FIRST_MACHINE_ID].executions;
         let hole_execs_without = without.machines[&PoolBuilder::FIRST_MACHINE_ID].executions;
         assert!(
             hole_execs_with < hole_execs_without,
@@ -641,15 +667,16 @@ mod tests {
 
     #[test]
     fn determinism_same_seed_same_report() {
-        let run = || {
-            PoolBuilder::new(99)
-                .machine(MachineSpec::misconfigured("b", 512))
-                .machine(MachineSpec::healthy("ok", 256))
-                .jobs((1..=4).map(|i| {
-                    JobSpec::java(i, "ada", programs::completes_main(), JavaMode::Scoped)
-                }))
-                .run(deadline())
-        };
+        let run =
+            || {
+                PoolBuilder::new(99)
+                    .machine(MachineSpec::misconfigured("b", 512))
+                    .machine(MachineSpec::healthy("ok", 256))
+                    .jobs((1..=4).map(|i| {
+                        JobSpec::java(i, "ada", programs::completes_main(), JavaMode::Scoped)
+                    }))
+                    .run(deadline())
+            };
         let a = run();
         let b = run();
         assert_eq!(a.metrics.jobs_completed, b.metrics.jobs_completed);
@@ -743,7 +770,10 @@ mod eviction_tests {
             report.machines[&PoolBuilder::FIRST_MACHINE_ID].executions,
             0
         );
-        assert_eq!(report.jobs[&1].attempts[0].machine, PoolBuilder::FIRST_MACHINE_ID + 1);
+        assert_eq!(
+            report.jobs[&1].attempts[0].machine,
+            PoolBuilder::FIRST_MACHINE_ID + 1
+        );
     }
 
     #[test]

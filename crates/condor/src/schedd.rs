@@ -207,10 +207,13 @@ impl Actor<Msg> for Schedd {
                     .map(|j| (j.spec.id, Self::ad_excluding(&j.spec, &avoided)))
                     .collect();
                 for (job, ad) in ads {
-                    ctx.send_net(self.matchmaker, Msg::JobAd {
-                        job,
-                        ad: Box::new(ad),
-                    });
+                    ctx.send_net(
+                        self.matchmaker,
+                        Msg::JobAd {
+                            job,
+                            ad: Box::new(ad),
+                        },
+                    );
                 }
                 ctx.send_self_after(ADVERTISE_PERIOD, Msg::AdvertiseTick);
             }
@@ -230,11 +233,22 @@ impl Actor<Msg> for Schedd {
                 rec.state = JobState::Claiming { machine };
                 let ad = rec.spec.ad();
                 ctx.trace(format!("claiming machine {machine} for job {job}"));
-                ctx.send_net(machine, Msg::ClaimRequest {
-                    job,
-                    ad: Box::new(ad),
+                ctx.emit(obs::Event::Claim {
+                    job: u64::from(job),
+                    machine: machine as u64,
+                    outcome: obs::ClaimOutcome::Requested,
                 });
-                ctx.send_self_after(self.policy.claim_timeout, Msg::ClaimTimeout { job, machine });
+                ctx.send_net(
+                    machine,
+                    Msg::ClaimRequest {
+                        job,
+                        ad: Box::new(ad),
+                    },
+                );
+                ctx.send_self_after(
+                    self.policy.claim_timeout,
+                    Msg::ClaimTimeout { job, machine },
+                );
             }
 
             Msg::ClaimAccept { job } => {
@@ -281,6 +295,10 @@ impl Actor<Msg> for Schedd {
                 let attempt_no = rec.attempts.len();
                 let snapshot = self.snapshot_for(&spec);
                 ctx.trace(format!("shadow activating job {job} on machine {machine}"));
+                ctx.emit(obs::Event::Dispatch {
+                    job: u64::from(job),
+                    machine: machine as u64,
+                });
                 ctx.send_net(
                     machine,
                     Msg::ActivateClaim(Box::new(Activation {
@@ -294,11 +312,14 @@ impl Actor<Msg> for Schedd {
                     })),
                 );
                 let deadline = remaining + remaining + self.policy.report_slack;
-                ctx.send_self_after(deadline, Msg::ReportTimeout {
-                    job,
-                    machine,
-                    attempt: attempt_no,
-                });
+                ctx.send_self_after(
+                    deadline,
+                    Msg::ReportTimeout {
+                        job,
+                        machine,
+                        attempt: attempt_no,
+                    },
+                );
             }
 
             Msg::ClaimReject { job, reason } => {
@@ -322,6 +343,11 @@ impl Actor<Msg> for Schedd {
                 };
                 if rec.state == (JobState::Claiming { machine }) {
                     ctx.trace(format!("claim timeout for job {job} on machine {machine}"));
+                    ctx.emit(obs::Event::Claim {
+                        job: u64::from(job),
+                        machine: machine as u64,
+                        outcome: obs::ClaimOutcome::TimedOut,
+                    });
                     self.metrics.failed_claims += 1;
                     rec.state = JobState::Idle;
                 }
@@ -353,6 +379,11 @@ impl Actor<Msg> for Schedd {
                 ctx.trace(format!(
                     "report timeout: job {job} vanished on machine {machine}"
                 ));
+                ctx.emit(obs::Event::Reschedule {
+                    job: u64::from(job),
+                    machine: machine as u64,
+                    reason: "no report: machine crashed or unreachable".into(),
+                });
                 let exec_time = rec.spec.exec_time;
                 rec.attempts.push(Attempt {
                     machine,
@@ -494,6 +525,12 @@ impl Schedd {
                     // account or because of accidental properties of the
                     // execution site."
                     self.metrics.incidental_errors_shown_to_user += 1;
+                    ctx.emit(obs::Event::Violation {
+                        principle: 3,
+                        detail: format!(
+                            "{truth_scope}-scope error delivered to user as a result: {truth_note}"
+                        ),
+                    });
                     let shown = format!("job exited with code {code}");
                     self.user_sees(ctx.now, job, shown.clone());
                     let rec = self.jobs.get_mut(&job).unwrap();
@@ -503,7 +540,7 @@ impl Schedd {
             }
 
             // ---- the scoped discipline: route by error scope ----
-            ExecutionReport::Scoped { result } => {
+            ExecutionReport::Scoped { result, journey } => {
                 let scope = result.scope();
                 let note = result.to_string();
                 {
@@ -517,7 +554,28 @@ impl Schedd {
                     });
                 }
                 self.metrics.record_outcome(scope, cpu);
-                match Disposition::for_scope(scope) {
+                // Advance the error's journey through the submission side:
+                // the startd emitted every hop up to here; the schedd emits
+                // only the hops it appends.
+                let journey = journey.map(|j| {
+                    let before = j.trail.len();
+                    let stack = errorscope::propagate::java_universe_stack();
+                    let (j, _done) = crate::telemetry::advance_journey(
+                        &stack,
+                        j,
+                        crate::telemetry::SUBMIT_SIDE_LAYERS,
+                    );
+                    crate::telemetry::emit_journey_hops(ctx, &j, before);
+                    j
+                });
+                let disposition = Disposition::for_scope(scope);
+                ctx.emit(obs::Event::Disposition {
+                    job: u64::from(job),
+                    disposition: disposition.to_string(),
+                    scope: scope.name().to_string(),
+                    span: journey.as_ref().map_or(obs::NO_SPAN, |j| j.span),
+                });
+                match disposition {
                     Disposition::ReturnCompleted => {
                         let rec = self.jobs.get_mut(&job).unwrap();
                         let text = match &result.outcome {
@@ -550,6 +608,11 @@ impl Schedd {
                         ctx.trace(format!(
                             "logged {scope}-scope error for job {job}; rescheduling"
                         ));
+                        ctx.emit(obs::Event::Reschedule {
+                            job: u64::from(job),
+                            machine: machine as u64,
+                            reason: format!("{scope}-scope error: {note}"),
+                        });
                         self.metrics.reschedules += 1;
                         if scope != Scope::LocalResource {
                             *self.chronic.entry(machine).or_insert(0) += 1;

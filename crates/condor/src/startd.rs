@@ -172,10 +172,20 @@ impl Actor<Msg> for Startd {
                 }
                 if !matches!(self.state, State::Free) {
                     self.stats.claims_rejected += 1;
-                    ctx.send_net(from, Msg::ClaimReject {
+                    self.emit_claim(
+                        ctx,
                         job,
-                        reason: "busy".into(),
-                    });
+                        obs::ClaimOutcome::Rejected {
+                            reason: "busy".into(),
+                        },
+                    );
+                    ctx.send_net(
+                        from,
+                        Msg::ClaimReject {
+                            job,
+                            reason: "busy".into(),
+                        },
+                    );
                     return;
                 }
                 // "Matched processes are individually responsible for …
@@ -183,13 +193,24 @@ impl Actor<Msg> for Startd {
                 let my_ad = self.spec.ad(self.advertising_java);
                 if !requirements_met(&my_ad, &ad) || !requirements_met(&ad, &my_ad) {
                     self.stats.claims_rejected += 1;
-                    ctx.send_net(from, Msg::ClaimReject {
+                    self.emit_claim(
+                        ctx,
                         job,
-                        reason: "requirements no longer met".into(),
-                    });
+                        obs::ClaimOutcome::Rejected {
+                            reason: "requirements no longer met".into(),
+                        },
+                    );
+                    ctx.send_net(
+                        from,
+                        Msg::ClaimReject {
+                            job,
+                            reason: "requirements no longer met".into(),
+                        },
+                    );
                     return;
                 }
                 self.stats.claims_accepted += 1;
+                self.emit_claim(ctx, job, obs::ClaimOutcome::Accepted);
                 self.state = State::Claimed { schedd: from, job };
                 ctx.trace(format!("claim accepted for job {job}"));
                 ctx.send_net(from, Msg::ClaimAccept { job });
@@ -253,18 +274,24 @@ impl Actor<Msg> for Startd {
                     return;
                 }
                 let State::Running {
-                    report, cpu, started, ..
+                    report,
+                    cpu,
+                    started,
+                    ..
                 } = std::mem::replace(&mut self.state, State::Free)
                 else {
                     unreachable!()
                 };
                 ctx.trace(format!("report for job {job}"));
-                ctx.send_net(schedd, Msg::StarterReport {
-                    job,
-                    report,
-                    cpu,
-                    started,
-                });
+                ctx.send_net(
+                    schedd,
+                    Msg::StarterReport {
+                        job,
+                        report,
+                        cpu,
+                        started,
+                    },
+                );
             }
             Msg::ReleaseClaim { job } => {
                 if let State::Claimed { job: claimed, .. } = self.state {
@@ -279,9 +306,39 @@ impl Actor<Msg> for Startd {
 }
 
 impl Startd {
+    fn emit_claim(&self, ctx: &mut Context<'_, Msg>, job: u32, outcome: obs::ClaimOutcome) {
+        ctx.emit(obs::Event::Claim {
+            job: u64::from(job),
+            machine: ctx.self_id as u64,
+            outcome,
+        });
+    }
+
+    /// Finish an environment-failure journey's execute-side leg: advance it
+    /// through the layers this daemon hosts and emit every hop accumulated
+    /// in-process so far (birth, wrapper re-expression, and the new hops).
+    fn advance_and_emit(
+        &self,
+        journey: errorscope::ScopedError,
+        ctx: &mut Context<'_, Msg>,
+    ) -> errorscope::ScopedError {
+        let stack = errorscope::propagate::java_universe_stack();
+        let (journey, _done) = crate::telemetry::advance_journey(
+            &stack,
+            journey,
+            crate::telemetry::EXECUTE_SIDE_LAYERS,
+        );
+        crate::telemetry::emit_journey_hops(ctx, &journey, 0);
+        journey
+    }
+
     /// The starter: set up the sandbox and proxy, run the VM, classify.
     /// Returns the report and the CPU time the attempt will consume.
-    fn execute(&mut self, act: &Activation, ctx: &mut Context<'_, Msg>) -> (ExecutionReport, SimDuration) {
+    fn execute(
+        &mut self,
+        act: &Activation,
+        ctx: &mut Context<'_, Msg>,
+    ) -> (ExecutionReport, SimDuration) {
         self.stats.executions += 1;
         let t0 = ctx.now;
         let t_end = t0 + act.exec_time;
@@ -292,6 +349,15 @@ impl Startd {
             let note = format!("missing input files: {:?}", act.snapshot.missing);
             if let Universe::Java(crate::job::JavaMode::Scoped) = act.universe {
                 self.react_to_scope(Scope::Job);
+                // The journey is born here, in the starter; the schedd's
+                // side appends the rest of its hops.
+                let journey = errorscope::ScopedError::escaping(
+                    codes::MISSING_INPUT,
+                    Scope::Job,
+                    "starter",
+                    note.clone(),
+                );
+                crate::telemetry::emit_journey_hops(ctx, &journey, 0);
                 return (
                     ExecutionReport::Scoped {
                         result: ResultFile::environment_failure(
@@ -299,6 +365,7 @@ impl Startd {
                             codes::MISSING_INPUT,
                             note,
                         ),
+                        journey: Some(journey),
                     },
                     FAIL_FAST_TIME,
                 );
@@ -320,8 +387,7 @@ impl Startd {
                 // No wrapper, no remote I/O: bare exit code semantics.
                 // (Standard additionally checkpoints on eviction, handled
                 // by the caller.)
-                let (_exit, out) =
-                    run_naive(&act.image, &self.spec.installation, &mut NoIo);
+                let (_exit, out) = run_naive(&act.image, &self.spec.installation, &mut NoIo);
                 self.finish(out.termination, out.stdout, out.instructions, act)
             }
             Universe::Java(mode) => {
@@ -340,25 +406,24 @@ impl Startd {
                     }
                 }
                 let (server_disc, client_disc) = match mode {
-                    crate::job::JavaMode::Naive => {
-                        (ErrorDiscipline::NaiveGeneric, ClientDiscipline::NaiveGeneric)
-                    }
+                    crate::job::JavaMode::Naive => (
+                        ErrorDiscipline::NaiveGeneric,
+                        ClientDiscipline::NaiveGeneric,
+                    ),
                     crate::job::JavaMode::Scoped => {
                         (ErrorDiscipline::Scoped, ClientDiscipline::Scoped)
                     }
                 };
                 let cookie = Cookie::generate(u64::from(act.job) ^ 0xC0FFEE);
-                let server =
-                    ChirpServer::new(fs, cookie.clone()).with_discipline(server_disc);
-                let mut client = ChirpClient::new(DirectTransport::new(server))
-                    .with_discipline(client_disc);
+                let server = ChirpServer::new(fs, cookie.clone()).with_discipline(server_disc);
+                let mut client =
+                    ChirpClient::new(DirectTransport::new(server)).with_discipline(client_disc);
                 let _ = client.auth(cookie.as_bytes());
                 let mut io = ChirpJobIo::new(client);
 
-                match mode {
+                let out = match mode {
                     crate::job::JavaMode::Naive => {
-                        let (_exit, out) =
-                            run_naive(&act.image, &self.spec.installation, &mut io);
+                        let (_exit, out) = run_naive(&act.image, &self.spec.installation, &mut io);
                         self.finish(out.termination, out.stdout, out.instructions, act)
                     }
                     crate::job::JavaMode::Scoped => {
@@ -374,9 +439,27 @@ impl Startd {
                         } else {
                             act.exec_time
                         };
-                        (ExecutionReport::Scoped { result }, cpu)
+                        let journey = w.journey.map(|j| {
+                            // The error crossed the I/O interface as an
+                            // escaping error: record the escape itself.
+                            if j.origin() == Some("io-library") {
+                                ctx.emit(obs::Event::Escape {
+                                    span: j.span,
+                                    layer: "io-library".to_string(),
+                                    code: j.code.as_str().to_string(),
+                                    scope: j.scope.name().to_string(),
+                                });
+                            }
+                            self.advance_and_emit(j, ctx)
+                        });
+                        (ExecutionReport::Scoped { result, journey }, cpu)
                     }
+                };
+                // Surface the proxy's per-operation telemetry.
+                for ev in io.client_mut().take_events() {
+                    ctx.emit(ev);
                 }
+                out
             }
         }
     }
@@ -399,9 +482,7 @@ impl Startd {
         let (code, note) = match &termination {
             Termination::Completed { exit_code } => (*exit_code, "completed".to_string()),
             Termination::Exception { name, message } => (1, format!("{name}: {message}")),
-            Termination::EnvFailure { code, message, .. } => {
-                (1, format!("{code}: {message}"))
-            }
+            Termination::EnvFailure { code, message, .. } => (1, format!("{code}: {message}")),
         };
         (
             ExecutionReport::NaiveExit {

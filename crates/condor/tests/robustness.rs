@@ -22,14 +22,20 @@ fn duplicate_match_notifications_are_idempotent() {
     let (mut world, schedd_id, machines) = one_job_pool(51);
     // Flood the schedd with duplicate / bogus match notifications.
     for _ in 0..10 {
-        world.inject(schedd_id, Msg::MatchNotify {
-            job: 1,
-            machine: machines[0],
-        });
-        world.inject(schedd_id, Msg::MatchNotify {
-            job: 99, // nonexistent job
-            machine: machines[1],
-        });
+        world.inject(
+            schedd_id,
+            Msg::MatchNotify {
+                job: 1,
+                machine: machines[0],
+            },
+        );
+        world.inject(
+            schedd_id,
+            Msg::MatchNotify {
+                job: 99, // nonexistent job
+                machine: machines[1],
+            },
+        );
     }
     world.run_until(SimTime::from_secs(600));
     let s = world.get::<Schedd>(schedd_id).unwrap();
@@ -44,22 +50,28 @@ fn stale_claim_messages_are_ignored() {
     // Bogus accepts/rejects for jobs that were never claimed.
     world.inject(schedd_id, Msg::ClaimAccept { job: 1 });
     world.inject(schedd_id, Msg::ClaimAccept { job: 77 });
-    world.inject(schedd_id, Msg::ClaimReject {
-        job: 1,
-        reason: "spoofed".into(),
-    });
-    // Bogus reports before anything ran.
-    world.inject(schedd_id, Msg::StarterReport {
-        job: 1,
-        report: condor::ExecutionReport::NaiveExit {
-            code: 0,
-            stdout: String::new(),
-            truth_scope: errorscope::Scope::Program,
-            truth_note: "forged".into(),
+    world.inject(
+        schedd_id,
+        Msg::ClaimReject {
+            job: 1,
+            reason: "spoofed".into(),
         },
-        cpu: SimDuration::from_secs(1),
-        started: SimTime::ZERO,
-    });
+    );
+    // Bogus reports before anything ran.
+    world.inject(
+        schedd_id,
+        Msg::StarterReport {
+            job: 1,
+            report: condor::ExecutionReport::NaiveExit {
+                code: 0,
+                stdout: String::new(),
+                truth_scope: errorscope::Scope::Program,
+                truth_note: "forged".into(),
+            },
+            cpu: SimDuration::from_secs(1),
+            started: SimTime::ZERO,
+        },
+    );
     world.run_until(SimTime::from_secs(600));
     let s = world.get::<Schedd>(schedd_id).unwrap();
     assert_eq!(s.metrics.jobs_completed, 1);
@@ -101,11 +113,14 @@ fn unknown_timer_messages_are_harmless() {
     }
     world.inject(schedd_id, Msg::RetryJob { job: 999 });
     world.inject(schedd_id, Msg::PostmortemDone { job: 999 });
-    world.inject(schedd_id, Msg::ReportTimeout {
-        job: 1,
-        machine: machines[0],
-        attempt: 7,
-    });
+    world.inject(
+        schedd_id,
+        Msg::ReportTimeout {
+            job: 1,
+            machine: machines[0],
+            attempt: 7,
+        },
+    );
     world.run_until(SimTime::from_secs(600));
     let s = world.get::<Schedd>(schedd_id).unwrap();
     assert_eq!(s.metrics.jobs_completed, 1);
@@ -127,17 +142,24 @@ fn busy_machine_rejects_second_claim() {
     };
     if let Some(m) = job_machine {
         let ad = JobSpec::java(2, "eve", programs::completes_main(), JavaMode::Scoped).ad();
-        world.inject(m, Msg::ClaimRequest {
-            job: 2,
-            ad: Box::new(ad),
-        });
+        world.inject(
+            m,
+            Msg::ClaimRequest {
+                job: 2,
+                ad: Box::new(ad),
+            },
+        );
         world.run_until(SimTime::from_secs(20));
         let st = world.get::<Startd>(m).unwrap();
         assert!(st.stats.claims_rejected >= 1, "busy machine must reject");
     }
     world.run_until(SimTime::from_secs(600));
     assert_eq!(
-        world.get::<Schedd>(schedd_id).unwrap().metrics.jobs_completed,
+        world
+            .get::<Schedd>(schedd_id)
+            .unwrap()
+            .metrics
+            .jobs_completed,
         1
     );
 }

@@ -9,6 +9,7 @@ use crate::net::Network;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::TraceLog;
+use obs::Collector;
 use std::any::Any;
 
 /// Identifies an actor within a [`crate::world::World`].
@@ -65,6 +66,7 @@ pub struct Context<'a, M> {
     /// The simulated network fabric (mutable: actors may inject faults).
     pub net: &'a mut Network,
     pub(crate) tracelog: &'a mut TraceLog,
+    pub(crate) collector: &'a mut Collector,
     pub(crate) actor_name: String,
     pub(crate) stop_requested: &'a mut bool,
 }
@@ -115,6 +117,15 @@ impl<'a, M> Context<'a, M> {
     pub fn trace(&mut self, text: impl Into<String>) {
         let name = self.actor_name.clone();
         self.tracelog.record(self.now, name, text);
+    }
+
+    /// Record a typed telemetry event attributed to this actor, timestamped
+    /// with the current virtual time. Unlike [`Context::trace`], emission
+    /// survives `without_trace()` worlds — the typed stream is the primary
+    /// record.
+    pub fn emit(&mut self, event: obs::Event) {
+        self.collector
+            .record(self.now.as_micros(), &self.actor_name, event);
     }
 
     /// Ask the world to stop after this handler returns.

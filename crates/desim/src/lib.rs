@@ -2,7 +2,9 @@
 //!
 //! The substrate the simulated Condor pool runs on: virtual time, a
 //! deterministic event queue, message-passing actors, a fault-injectable
-//! network model, seeded randomness, and a structured trace log.
+//! network model, seeded randomness, a structured trace log, and a typed
+//! telemetry collector (see the `obs` crate; actors record events with
+//! [`Context::emit`]).
 //!
 //! Everything is single-threaded and reproducible: the same seed and the
 //! same actor set always produce the same history, which is what lets the

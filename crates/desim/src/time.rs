@@ -159,10 +159,7 @@ mod tests {
         assert_eq!(SimTime::from_millis(3).as_micros(), 3_000);
         assert_eq!(SimTime::from_secs(2).as_secs(), 2);
         assert_eq!(SimDuration::from_secs(1).as_secs_f64(), 1.0);
-        assert_eq!(
-            SimTime::from_secs(5).as_duration(),
-            Duration::from_secs(5)
-        );
+        assert_eq!(SimTime::from_secs(5).as_duration(), Duration::from_secs(5));
     }
 
     #[test]

@@ -3,8 +3,15 @@
 //! Components append timestamped entries; the figure harnesses replay them
 //! to print the protocol sequences of Figures 1 and 2, and tests assert on
 //! them.
+//!
+//! The log is backed by the same bounded [`obs::RingBuffer`] as the typed
+//! event collector, so a long simulation holds the most recent
+//! [`TraceLog::DEFAULT_CAPACITY`] entries rather than growing without
+//! bound. [`TraceLog::evicted`] tells a consumer whether the window is
+//! complete.
 
 use crate::time::SimTime;
+use obs::RingBuffer;
 use std::fmt;
 
 /// One trace entry.
@@ -20,22 +27,43 @@ pub struct TraceEntry {
 
 impl fmt::Display for TraceEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:>12.6}s] {:<12} {}", self.at.as_secs_f64(), self.actor, self.text)
+        write!(
+            f,
+            "[{:>12.6}s] {:<12} {}",
+            self.at.as_secs_f64(),
+            self.actor,
+            self.text
+        )
     }
 }
 
-/// An append-only log of trace entries.
-#[derive(Debug, Default, Clone)]
+/// A bounded log of trace entries (oldest are evicted past capacity).
+#[derive(Debug, Clone)]
 pub struct TraceLog {
-    entries: Vec<TraceEntry>,
+    entries: RingBuffer<TraceEntry>,
     enabled: bool,
 }
 
+impl Default for TraceLog {
+    fn default() -> Self {
+        TraceLog::new()
+    }
+}
+
 impl TraceLog {
-    /// A new, enabled log.
+    /// Default capacity — far above what any current test or figure
+    /// harness records, while bounding an unattended run's memory.
+    pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+    /// A new, enabled log with the default capacity.
     pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// An enabled log retaining at most `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> Self {
         TraceLog {
-            entries: Vec::new(),
+            entries: RingBuffer::new(capacity),
             enabled: true,
         }
     }
@@ -44,12 +72,13 @@ impl TraceLog {
     /// dominate.
     pub fn disabled() -> Self {
         TraceLog {
-            entries: Vec::new(),
+            entries: RingBuffer::new(1),
             enabled: false,
         }
     }
 
-    /// Append an entry (no-op when disabled).
+    /// Append an entry (no-op when disabled; evicts the oldest entry when
+    /// at capacity).
     pub fn record(&mut self, at: SimTime, actor: impl Into<String>, text: impl Into<String>) {
         if self.enabled {
             self.entries.push(TraceEntry {
@@ -60,9 +89,9 @@ impl TraceLog {
         }
     }
 
-    /// All entries, in order of recording.
-    pub fn entries(&self) -> &[TraceEntry] {
-        &self.entries
+    /// Retained entries, in order of recording.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> + '_ {
+        self.entries.iter()
     }
 
     /// Entries whose actor matches `actor` exactly.
@@ -80,20 +109,30 @@ impl TraceLog {
         self.containing(needle).next().is_some()
     }
 
-    /// Number of entries.
+    /// Number of retained entries.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
 
-    /// True when nothing has been recorded.
+    /// True when nothing has been recorded (or everything was evicted).
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
-    /// Render the whole log, one entry per line.
+    /// How many entries were evicted to stay within capacity.
+    pub fn evicted(&self) -> u64 {
+        self.entries.evicted()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.entries.capacity()
+    }
+
+    /// Render the whole retained log, one entry per line.
     pub fn render(&self) -> String {
         let mut s = String::new();
-        for e in &self.entries {
+        for e in self.entries.iter() {
             s.push_str(&e.to_string());
             s.push('\n');
         }
@@ -109,10 +148,15 @@ mod tests {
     fn records_in_order() {
         let mut t = TraceLog::new();
         t.record(SimTime::from_secs(1), "schedd", "submit job 1");
-        t.record(SimTime::from_secs(2), "matchmaker", "match job 1 to machine 3");
+        t.record(
+            SimTime::from_secs(2),
+            "matchmaker",
+            "match job 1 to machine 3",
+        );
         assert_eq!(t.len(), 2);
-        assert_eq!(t.entries()[0].actor, "schedd");
-        assert_eq!(t.entries()[1].at, SimTime::from_secs(2));
+        let entries: Vec<&TraceEntry> = t.entries().collect();
+        assert_eq!(entries[0].actor, "schedd");
+        assert_eq!(entries[1].at, SimTime::from_secs(2));
     }
 
     #[test]
@@ -142,5 +186,19 @@ mod tests {
         assert!(r.contains("1.500000s"));
         assert!(r.contains("hello"));
         assert_eq!(r.lines().count(), 1);
+    }
+
+    #[test]
+    fn capacity_caps_growth_oldest_first() {
+        let mut t = TraceLog::with_capacity(2);
+        for i in 0..5 {
+            t.record(SimTime::from_secs(i), "a", format!("entry {i}"));
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.evicted(), 3);
+        assert_eq!(t.capacity(), 2);
+        let texts: Vec<&str> = t.entries().map(|e| e.text.as_str()).collect();
+        assert_eq!(texts, vec!["entry 3", "entry 4"]);
+        assert!(!t.has("entry 0"));
     }
 }

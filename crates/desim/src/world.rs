@@ -6,9 +6,11 @@ use crate::queue::EventQueue;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::TraceLog;
+use obs::Collector;
 
 /// A complete simulated system: a set of actors, a pending-event queue, a
-/// virtual clock, a network fabric, a random stream, and a trace log.
+/// virtual clock, a network fabric, a random stream, a trace log, and a
+/// typed event collector.
 pub struct World<M> {
     actors: Vec<Option<Box<dyn Actor<M>>>>,
     names: Vec<String>,
@@ -17,6 +19,7 @@ pub struct World<M> {
     rng: SimRng,
     net: Network,
     trace: TraceLog,
+    collector: Collector,
     started: bool,
     stop_requested: bool,
     events_processed: u64,
@@ -34,6 +37,7 @@ impl<M: 'static> World<M> {
             rng: SimRng::seed_from_u64(seed),
             net: Network::default(),
             trace: TraceLog::new(),
+            collector: Collector::new(),
             started: false,
             stop_requested: false,
             events_processed: 0,
@@ -46,15 +50,27 @@ impl<M: 'static> World<M> {
         self
     }
 
-    /// Disable tracing (for benchmarks).
+    /// Disable tracing (for benchmarks). The typed event collector stays
+    /// on — it is bounded and is the primary record; use
+    /// [`World::with_collector`] to disable or resize it.
     pub fn without_trace(mut self) -> Self {
         self.trace = TraceLog::disabled();
         self
     }
 
+    /// Replace the event collector (builder style) — e.g.
+    /// `Collector::with_capacity(n)` or `Collector::disabled()`.
+    pub fn with_collector(mut self, collector: Collector) -> Self {
+        self.collector = collector;
+        self
+    }
+
     /// Register an actor; returns its id (also its [`crate::net::HostId`]).
     pub fn add_actor(&mut self, actor: Box<dyn Actor<M>>) -> ActorId {
-        assert!(!self.started, "actors must be added before the world starts");
+        assert!(
+            !self.started,
+            "actors must be added before the world starts"
+        );
         let id = self.actors.len();
         self.names.push(actor.name());
         self.actors.push(Some(actor));
@@ -69,6 +85,17 @@ impl<M: 'static> World<M> {
     /// The trace log.
     pub fn trace(&self) -> &TraceLog {
         &self.trace
+    }
+
+    /// The typed event collector.
+    pub fn telemetry(&self) -> &Collector {
+        &self.collector
+    }
+
+    /// Mutable access to the collector (e.g. to record events from outside
+    /// any actor, or to drain it between phases).
+    pub fn telemetry_mut(&mut self) -> &mut Collector {
+        &mut self.collector
     }
 
     /// The network fabric (e.g. for injecting partitions between steps).
@@ -111,14 +138,7 @@ impl<M: 'static> World<M> {
     /// arriving after `delay`.
     pub fn inject_after(&mut self, delay: SimDuration, to: ActorId, msg: M) {
         let at = self.now + SimDuration::from_micros(delay.as_micros().max(1));
-        self.queue.push(
-            at,
-            Envelope {
-                from: to,
-                to,
-                msg,
-            },
-        );
+        self.queue.push(at, Envelope { from: to, to, msg });
     }
 
     /// Inject a message arriving as soon as possible.
@@ -141,6 +161,7 @@ impl<M: 'static> World<M> {
                 rng: &mut self.rng,
                 net: &mut self.net,
                 tracelog: &mut self.trace,
+                collector: &mut self.collector,
                 actor_name: self.names[id].clone(),
                 stop_requested: &mut self.stop_requested,
             };
@@ -181,6 +202,7 @@ impl<M: 'static> World<M> {
                 rng: &mut self.rng,
                 net: &mut self.net,
                 tracelog: &mut self.trace,
+                collector: &mut self.collector,
                 actor_name: self.names[env.to].clone(),
                 stop_requested: &mut self.stop_requested,
             };

@@ -133,8 +133,5 @@ fn relay_world_is_deterministic() {
     // Different seed: different delays, same token count.
     let (_, _, seen_a) = run(42);
     let (_, _, seen_b) = run(43);
-    assert_eq!(
-        seen_a.iter().sum::<u32>(),
-        seen_b.iter().sum::<u32>()
-    );
+    assert_eq!(seen_a.iter().sum::<u32>(), seen_b.iter().sum::<u32>());
 }

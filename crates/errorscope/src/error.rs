@@ -6,9 +6,16 @@
 //! layer it crossed and what that layer did to it. The provenance trail is
 //! what lets [`crate::audit`] verify the paper's four principles after the
 //! fact.
+//!
+//! Every error is also given a telemetry **span id** at birth
+//! ([`obs::next_span_id`]): components that move the error between
+//! processes record each hop as a timestamped `obs::Event::SpanHop`, so the
+//! journey the trail describes structurally can be replayed from the
+//! recorded event stream ([`ScopedError::trail_events`]).
 
 use crate::comm::Comm;
 use crate::scope::Scope;
+use obs::span::{next_span_id, SpanId};
 use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
 use std::fmt;
@@ -152,7 +159,11 @@ pub struct Hop {
 }
 
 /// An error with a scope, a communication mode, and a provenance trail.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Equality deliberately ignores [`span`](ScopedError::span): two errors
+/// describing the same condition compare equal even though each instance
+/// has its own telemetry identity.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScopedError {
     /// Machine-readable condition.
     pub code: ErrorCode,
@@ -164,7 +175,23 @@ pub struct ScopedError {
     pub message: String,
     /// Every layer the error has crossed, oldest first.
     pub trail: Vec<Hop>,
+    /// Telemetry span id, assigned at birth. `obs::NO_SPAN` (0) after
+    /// deserialising a record written before spans existed.
+    #[serde(default)]
+    pub span: SpanId,
 }
+
+impl PartialEq for ScopedError {
+    fn eq(&self, other: &Self) -> bool {
+        self.code == other.code
+            && self.scope == other.scope
+            && self.comm == other.comm
+            && self.message == other.message
+            && self.trail == other.trail
+    }
+}
+
+impl Eq for ScopedError {}
 
 impl ScopedError {
     /// Raise a new explicit error at `layer`.
@@ -183,6 +210,7 @@ impl ScopedError {
                 layer: layer.into(),
                 action: HopAction::Raised,
             }],
+            span: next_span_id(),
         }
     }
 
@@ -203,6 +231,7 @@ impl ScopedError {
                 layer: layer.into(),
                 action: HopAction::Raised,
             }],
+            span: next_span_id(),
         }
     }
 
@@ -312,6 +341,64 @@ impl ScopedError {
     pub fn hops(&self) -> usize {
         self.trail.len().saturating_sub(1)
     }
+
+    /// Project the whole provenance trail onto telemetry span events.
+    pub fn trail_events(&self) -> Vec<obs::Event> {
+        self.trail_events_from(0)
+    }
+
+    /// Project `trail[start..]` onto telemetry span events — used by an
+    /// actor that received the error with `start` hops already recorded and
+    /// must emit only the hops it added itself.
+    ///
+    /// The scope recorded with each hop is the error's scope *after* that
+    /// hop, reconstructed from the `Widened` transitions in the trail.
+    pub fn trail_events_from(&self, start: usize) -> Vec<obs::Event> {
+        // Scope after hop i: start from the scope before the first widening
+        // (or the final scope if none) and replay transitions forward.
+        let mut scope = self
+            .trail
+            .iter()
+            .find_map(|h| match h.action {
+                HopAction::Widened { from, .. } => Some(from),
+                _ => None,
+            })
+            .unwrap_or(self.scope);
+        let mut events = Vec::new();
+        for (i, hop) in self.trail.iter().enumerate() {
+            if let HopAction::Widened { to, .. } = hop.action {
+                scope = to;
+            }
+            if i < start {
+                continue;
+            }
+            events.push(obs::Event::SpanHop {
+                span: self.span,
+                layer: hop.layer.to_string(),
+                action: span_action(&hop.action),
+                scope: scope.name().to_string(),
+            });
+        }
+        events
+    }
+}
+
+/// The telemetry rendering of a provenance-trail action.
+pub fn span_action(action: &HopAction) -> obs::SpanAction {
+    match action {
+        HopAction::Raised => obs::SpanAction::Raised,
+        HopAction::Forwarded => obs::SpanAction::Forwarded,
+        HopAction::Widened { from, .. } => obs::SpanAction::Widened {
+            from: from.name().to_string(),
+        },
+        HopAction::Escaped => obs::SpanAction::Escaped,
+        HopAction::Reexpressed => obs::SpanAction::Reexpressed,
+        HopAction::Masked { technique } => obs::SpanAction::Masked {
+            technique: technique.to_string(),
+        },
+        HopAction::Handled => obs::SpanAction::Handled,
+        HopAction::SwallowedIntoImplicit => obs::SpanAction::Swallowed,
+    }
 }
 
 impl fmt::Display for ScopedError {
@@ -408,6 +495,75 @@ mod tests {
         let b: ErrorCode = String::from("DiskFull").into();
         assert_eq!(a, b);
         assert_eq!(a.as_str(), "DiskFull");
+    }
+
+    #[test]
+    fn spans_are_assigned_at_birth_and_ignored_by_eq() {
+        let a = sample();
+        let b = sample();
+        assert_ne!(a.span, obs::NO_SPAN);
+        assert_ne!(a.span, b.span, "each instance gets its own span");
+        assert_eq!(a, b, "equality ignores the span id");
+    }
+
+    #[test]
+    fn trail_events_cover_every_hop_with_running_scope() {
+        let e = sample()
+            .widen(Scope::Function, "caller")
+            .escape("caller")
+            .reexpress("wrapper");
+        let events = e.trail_events();
+        assert_eq!(events.len(), e.trail.len());
+        let scopes: Vec<&str> = events
+            .iter()
+            .map(|ev| match ev {
+                obs::Event::SpanHop { scope, .. } => scope.as_str(),
+                _ => panic!("trail events are span hops"),
+            })
+            .collect();
+        // Raised at file scope, widened to function, then unchanged.
+        assert_eq!(scopes, vec!["file", "function", "function", "function"]);
+        assert!(events.iter().all(|ev| ev.span() == Some(e.span)));
+        let actions: Vec<&obs::SpanAction> = events
+            .iter()
+            .map(|ev| match ev {
+                obs::Event::SpanHop { action, .. } => action,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(actions[0], &obs::SpanAction::Raised);
+        assert_eq!(
+            actions[1],
+            &obs::SpanAction::Widened {
+                from: "file".into()
+            }
+        );
+        assert_eq!(actions[3], &obs::SpanAction::Reexpressed);
+    }
+
+    #[test]
+    fn trail_events_from_skips_already_emitted_hops() {
+        let e = sample().forwarded("starter");
+        let baseline = e.trail.len();
+        let e = e.forwarded("shadow").handle("schedd");
+        let new = e.trail_events_from(baseline);
+        assert_eq!(new.len(), 2);
+        assert!(matches!(
+            &new[1],
+            obs::Event::SpanHop {
+                action: obs::SpanAction::Handled,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn legacy_json_without_span_still_parses() {
+        let mut j = serde_json::to_value(sample()).unwrap();
+        j.as_object_mut().unwrap().remove("span");
+        let back: ScopedError = serde_json::from_value(j).unwrap();
+        assert_eq!(back.span, obs::NO_SPAN);
+        assert_eq!(back, sample());
     }
 
     #[test]

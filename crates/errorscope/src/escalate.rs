@@ -59,7 +59,10 @@ impl EscalationPolicy {
             "escalation must widen: {prev_scope} -> {scope}"
         );
         if let Some(&(prev_after, _)) = self.steps.last() {
-            assert!(after > prev_after, "escalation steps must be increasing in time");
+            assert!(
+                after > prev_after,
+                "escalation steps must be increasing in time"
+            );
         }
         self.steps.push((after, scope));
         self
@@ -264,7 +267,9 @@ mod tests {
 
     #[test]
     fn per_job_deadline_is_independent_of_admin() {
-        let patient = RetryCriteria::PerJob { deadline: secs(600) };
+        let patient = RetryCriteria::PerJob {
+            deadline: secs(600),
+        };
         let hasty = RetryCriteria::PerJob { deadline: secs(5) };
         assert_eq!(patient.decide(secs(100)), RetryDecision::Retry);
         assert_eq!(hasty.decide(secs(100)), RetryDecision::GiveUp);

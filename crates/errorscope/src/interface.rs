@@ -182,7 +182,10 @@ impl fmt::Display for InterfaceDecl {
 pub fn file_writer_revised() -> InterfaceDecl {
     use crate::error::codes::*;
     InterfaceDecl::new("FileWriter")
-        .op("open", ErrorVocabulary::finite([FILE_NOT_FOUND, ACCESS_DENIED]))
+        .op(
+            "open",
+            ErrorVocabulary::finite([FILE_NOT_FOUND, ACCESS_DENIED]),
+        )
         .op("write", ErrorVocabulary::finite([DISK_FULL]))
 }
 
@@ -242,7 +245,10 @@ mod tests {
             i.conformance("write", &FILE_NOT_FOUND),
             Conformance::MustEscape
         );
-        assert_eq!(i.conformance("write", &DISK_FULL), Conformance::DeliverExplicit);
+        assert_eq!(
+            i.conformance("write", &DISK_FULL),
+            Conformance::DeliverExplicit
+        );
         // ConnectionLost was never declared: it must escape per the paper.
         assert_eq!(
             i.conformance("write", &ErrorCode::new("ConnectionLost")),
@@ -266,10 +272,7 @@ mod tests {
     #[test]
     fn undeclared_operation_has_empty_vocabulary() {
         let i = file_writer_revised();
-        assert_eq!(
-            i.conformance("seek", &DISK_FULL),
-            Conformance::MustEscape
-        );
+        assert_eq!(i.conformance("seek", &DISK_FULL), Conformance::MustEscape);
     }
 
     #[test]

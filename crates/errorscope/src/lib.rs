@@ -90,7 +90,9 @@ pub mod prelude {
     pub use crate::escalate::{EscalationPolicy, RetryCriteria, RetryDecision};
     pub use crate::interface::{Conformance, ErrorVocabulary, InterfaceDecl};
     pub use crate::mask::{maskable, replicate, retry, MaskOutcome, RetryPolicy};
-    pub use crate::propagate::{java_universe_stack, pvm_stack, rpc_stack, Delivery, Disposition, Layer, LayerStack};
+    pub use crate::propagate::{
+        java_universe_stack, pvm_stack, rpc_stack, Delivery, Disposition, Layer, LayerStack,
+    };
     pub use crate::resultfile::{Outcome, ResultFile};
     pub use crate::scope::Scope;
 }

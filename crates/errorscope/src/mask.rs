@@ -20,7 +20,7 @@
 //! absorbed, so audits can still see that a fault occurred and was
 //! handled — masking hides errors from callers, never from the record.
 
-use crate::error::{ScopedError};
+use crate::error::ScopedError;
 use crate::scope::Scope;
 
 /// May a masking layer (retry/replicate) legitimately absorb an error of
@@ -349,8 +349,7 @@ mod tests {
         };
         assert!(r.is_recovered());
         assert_eq!(r.value(), Some(1));
-        let p: MaskOutcome<i32> =
-            MaskOutcome::Propagate(transient("X", Scope::Network));
+        let p: MaskOutcome<i32> = MaskOutcome::Propagate(transient("X", Scope::Network));
         assert_eq!(p.value(), None);
     }
 }

@@ -286,7 +286,10 @@ pub fn rpc_stack() -> LayerStack {
     LayerStack::new()
         .layer(Layer::new("socket", []))
         .layer(Layer::new("rpc", []).widening(Scope::Network, Scope::Process))
-        .layer(Layer::new("callee-function", [Scope::File, Scope::Function]))
+        .layer(Layer::new(
+            "callee-function",
+            [Scope::File, Scope::Function],
+        ))
         .layer(Layer::new("process-creator", [Scope::Process]))
 }
 
@@ -407,14 +410,10 @@ mod tests {
         assert_eq!(d.handled_by, Some("user"));
         assert_eq!(d.disposition, Disposition::ReturnCompleted);
         // No layer converted or widened it along the way.
-        assert!(d
-            .error
-            .trail
-            .iter()
-            .all(|h| !matches!(
-                h.action,
-                crate::error::HopAction::Escaped | crate::error::HopAction::Widened { .. }
-            )));
+        assert!(d.error.trail.iter().all(|h| !matches!(
+            h.action,
+            crate::error::HopAction::Escaped | crate::error::HopAction::Widened { .. }
+        )));
     }
 
     #[test]
@@ -440,14 +439,14 @@ mod tests {
         use crate::interface::{ErrorVocabulary, InterfaceDecl};
         let stack = LayerStack::new()
             .layer(Layer::new("proxy", []))
-            .layer(
-                Layer::new("io-library", []).with_interface(
-                    InterfaceDecl::new("io")
-                        .op("result", ErrorVocabulary::finite([DISK_FULL])),
-                ),
-            )
+            .layer(Layer::new("io-library", []).with_interface(
+                InterfaceDecl::new("io").op("result", ErrorVocabulary::finite([DISK_FULL])),
+            ))
             .layer(Layer::new("starter", [Scope::RemoteResource]))
-            .layer(Layer::new("schedd", [Scope::Job, Scope::Pool, Scope::Network]));
+            .layer(Layer::new(
+                "schedd",
+                [Scope::Job, Scope::Pool, Scope::Network],
+            ));
         // CredentialsExpired is outside the io vocabulary: it must escape at
         // the io-library, then travel escaping until a manager absorbs it.
         let e = ScopedError::explicit(

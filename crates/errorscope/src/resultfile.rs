@@ -139,7 +139,11 @@ impl fmt::Display for ResultFile {
             Outcome::ProgramException { exception, message } => {
                 write!(f, "program-exception({exception}: {message})")
             }
-            Outcome::EnvironmentFailure { scope, code, message } => {
+            Outcome::EnvironmentFailure {
+                scope,
+                code,
+                message,
+            } => {
                 write!(f, "environment-failure({scope} scope, {code}: {message})")
             }
         }

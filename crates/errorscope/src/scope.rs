@@ -290,7 +290,10 @@ mod tests {
     fn join_of_siblings_is_common_parent() {
         assert_eq!(Scope::Job.join(Scope::LocalResource), Scope::Pool);
         assert_eq!(Scope::Program.join(Scope::Program), Scope::Program);
-        assert_eq!(Scope::Program.join(Scope::VirtualMachine), Scope::VirtualMachine);
+        assert_eq!(
+            Scope::Program.join(Scope::VirtualMachine),
+            Scope::VirtualMachine
+        );
         assert_eq!(Scope::File.join(Scope::Network), Scope::Process);
         assert_eq!(Scope::Program.join(Scope::File), Scope::Pool);
     }

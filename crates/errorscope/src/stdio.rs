@@ -115,7 +115,12 @@ mod tests {
 
     #[test]
     fn file_conditions_are_file_scope() {
-        for k in [K::NotFound, K::PermissionDenied, K::StorageFull, K::UnexpectedEof] {
+        for k in [
+            K::NotFound,
+            K::PermissionDenied,
+            K::StorageFull,
+            K::UnexpectedEof,
+        ] {
             assert_eq!(scope_of_kind(k), Scope::File, "{k:?}");
         }
     }

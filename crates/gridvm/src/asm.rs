@@ -435,12 +435,9 @@ mod tests {
     }
 
     #[test]
-    fn comments_and_blank_lines_ignored()
-    {
-        let img = assemble(
-            "; header comment\n\n.func main locals=0 ; main fn\n  halt ; done\n",
-        )
-        .unwrap();
+    fn comments_and_blank_lines_ignored() {
+        let img =
+            assemble("; header comment\n\n.func main locals=0 ; main fn\n  halt ; done\n").unwrap();
         assert_eq!(img.functions[0].code, vec![Instr::Halt]);
     }
 }

@@ -45,7 +45,13 @@ pub fn disassemble(img: &ProgramImage) -> String {
 fn sanitize(name: &str, index: usize) -> String {
     let clean: String = name
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if clean.is_empty() || !clean.chars().next().unwrap().is_alphabetic() {
         format!("fn{index}")

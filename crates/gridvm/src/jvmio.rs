@@ -5,10 +5,10 @@
 //! full path of Figure 2: program → I/O library → proxy → (shadow →) file
 //! system. [`NoIo`] is the Vanilla-style environment with no remote I/O.
 
+use crate::isa::IoMode;
 use chirp::client::{ChirpClient, IoError};
 use chirp::proto::{Fd, OpenMode};
 use chirp::transport::Transport;
-use crate::isa::IoMode;
 
 /// How an I/O instruction can conclude.
 #[derive(Debug, Clone, PartialEq)]

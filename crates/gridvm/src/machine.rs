@@ -12,7 +12,7 @@ use crate::isa::Instr;
 use crate::jvmio::{IoOutcome, JobIo};
 use crate::verify::verify;
 use errorscope::error::codes;
-use errorscope::{ErrorCode, Scope};
+use errorscope::{ErrorCode, Scope, ScopedError};
 
 /// How an execution attempt concluded.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,6 +67,10 @@ pub struct RunOutput {
     pub stdout: String,
     /// Instructions executed.
     pub instructions: u64,
+    /// When the environment failure arrived as an *escaping* error from the
+    /// I/O layer, the original [`ScopedError`] — span id and trail intact —
+    /// so the telemetry journey survives the `Termination` flattening.
+    pub env_error: Option<ScopedError>,
 }
 
 /// Run a serialised image through the full startup-and-execute path.
@@ -81,6 +85,7 @@ pub fn load_and_run(image_bytes: &[u8], install: &Installation, io: &mut dyn Job
             },
             stdout: String::new(),
             instructions: 0,
+            env_error: None,
         };
     }
     // Corrupt image: job scope.
@@ -95,6 +100,7 @@ pub fn load_and_run(image_bytes: &[u8], install: &Installation, io: &mut dyn Job
                 },
                 stdout: String::new(),
                 instructions: 0,
+                env_error: None,
             }
         }
     };
@@ -107,6 +113,7 @@ pub fn load_and_run(image_bytes: &[u8], install: &Installation, io: &mut dyn Job
             },
             stdout: String::new(),
             instructions: 0,
+            env_error: None,
         };
     }
     execute(&image, install, io)
@@ -137,6 +144,7 @@ pub fn execute(image: &ProgramImage, install: &Installation, io: &mut dyn JobIo)
                 termination: $t,
                 stdout,
                 instructions,
+                env_error: None,
             }
         };
     }
@@ -156,6 +164,23 @@ pub fn execute(image: &ProgramImage, install: &Installation, io: &mut dyn JobIo)
                 message: $msg.to_string(),
             })
         };
+    }
+    // An escaping error from the I/O layer: flatten it into the usual
+    // EnvFailure *and* keep the original so its journey can continue.
+    macro_rules! escape {
+        ($se:expr) => {{
+            let se: ScopedError = $se;
+            return RunOutput {
+                termination: Termination::EnvFailure {
+                    scope: se.scope,
+                    code: se.code.clone(),
+                    message: se.message.clone(),
+                },
+                stdout,
+                instructions,
+                env_error: Some(se),
+            };
+        }};
     }
     macro_rules! pop {
         () => {
@@ -366,10 +391,7 @@ pub fn execute(image: &ProgramImage, install: &Installation, io: &mut dyn JobIo)
             }
             Instr::Halt => done!(Termination::Completed { exit_code: 0 }),
             Instr::Throw(n) => {
-                exception!(
-                    format!("UserException{n}"),
-                    "thrown by program"
-                );
+                exception!(format!("UserException{n}"), "thrown by program");
             }
             Instr::Print => {
                 let v = pop!();
@@ -408,11 +430,7 @@ pub fn execute(image: &ProgramImage, install: &Installation, io: &mut dyn JobIo)
                 match io.open(p, mode) {
                     IoOutcome::Ok(fd) => stack.push(i64::from(fd)),
                     IoOutcome::Exception(m) => exception!("IOException", m),
-                    IoOutcome::Escape(se) => done!(Termination::EnvFailure {
-                        scope: se.scope,
-                        code: se.code,
-                        message: se.message,
-                    }),
+                    IoOutcome::Escape(se) => escape!(se),
                 }
             }
             Instr::IoReadSum => {
@@ -422,11 +440,7 @@ pub fn execute(image: &ProgramImage, install: &Installation, io: &mut dyn JobIo)
                         stack.push(data.iter().map(|b| i64::from(*b)).sum());
                     }
                     IoOutcome::Exception(m) => exception!("IOException", m),
-                    IoOutcome::Escape(se) => done!(Termination::EnvFailure {
-                        scope: se.scope,
-                        code: se.code,
-                        message: se.message,
-                    }),
+                    IoOutcome::Escape(se) => escape!(se),
                 }
             }
             Instr::IoWriteNum => {
@@ -435,11 +449,7 @@ pub fn execute(image: &ProgramImage, install: &Installation, io: &mut dyn JobIo)
                 match io.write(fd as u32, v.to_string().as_bytes()) {
                     IoOutcome::Ok(()) => {}
                     IoOutcome::Exception(m) => exception!("IOException", m),
-                    IoOutcome::Escape(se) => done!(Termination::EnvFailure {
-                        scope: se.scope,
-                        code: se.code,
-                        message: se.message,
-                    }),
+                    IoOutcome::Escape(se) => escape!(se),
                 }
             }
             Instr::IoClose => {
@@ -447,11 +457,7 @@ pub fn execute(image: &ProgramImage, install: &Installation, io: &mut dyn JobIo)
                 match io.close(fd as u32) {
                     IoOutcome::Ok(()) => {}
                     IoOutcome::Exception(m) => exception!("IOException", m),
-                    IoOutcome::Escape(se) => done!(Termination::EnvFailure {
-                        scope: se.scope,
-                        code: se.code,
-                        message: se.message,
-                    }),
+                    IoOutcome::Escape(se) => escape!(se),
                 }
             }
         }
@@ -489,7 +495,13 @@ mod tests {
 
     #[test]
     fn completes_main_with_exit_zero() {
-        let out = run(vec![Instr::Push(2), Instr::Push(3), Instr::Add, Instr::Print, Instr::Halt]);
+        let out = run(vec![
+            Instr::Push(2),
+            Instr::Push(3),
+            Instr::Add,
+            Instr::Print,
+            Instr::Halt,
+        ]);
         assert_eq!(out.termination, Termination::Completed { exit_code: 0 });
         assert_eq!(out.stdout, "5\n");
         assert!(out.termination.is_program_result());
@@ -509,7 +521,12 @@ mod tests {
 
     #[test]
     fn null_dereference_is_program_scope() {
-        let out = run(vec![Instr::PushNull, Instr::Push(0), Instr::ALoad, Instr::Halt]);
+        let out = run(vec![
+            Instr::PushNull,
+            Instr::Push(0),
+            Instr::ALoad,
+            Instr::Halt,
+        ]);
         let Termination::Exception { name, .. } = &out.termination else {
             panic!("{out:?}")
         };
@@ -535,7 +552,12 @@ mod tests {
 
     #[test]
     fn divide_by_zero_is_program_scope() {
-        let out = run(vec![Instr::Push(1), Instr::Push(0), Instr::Div, Instr::Halt]);
+        let out = run(vec![
+            Instr::Push(1),
+            Instr::Push(0),
+            Instr::Div,
+            Instr::Halt,
+        ]);
         let Termination::Exception { name, .. } = &out.termination else {
             panic!()
         };
@@ -611,7 +633,12 @@ mod tests {
         assert_eq!(out.termination, Termination::Completed { exit_code: 0 });
         // Program using the stdlib: remote-resource failure.
         let out = run_with(
-            vec![Instr::Push(-5), Instr::StdCall(0), Instr::Print, Instr::Halt],
+            vec![
+                Instr::Push(-5),
+                Instr::StdCall(0),
+                Instr::Print,
+                Instr::Halt,
+            ],
             Installation::missing_stdlib(),
         );
         let Termination::EnvFailure { scope, .. } = &out.termination else {
@@ -700,12 +727,7 @@ mod tests {
                     max_locals: 0,
                     args: 0,
                     rets: 0,
-                    code: vec![
-                        Instr::Push(21),
-                        Instr::Call(1),
-                        Instr::Print,
-                        Instr::Halt,
-                    ],
+                    code: vec![Instr::Push(21), Instr::Call(1), Instr::Print, Instr::Halt],
                 },
                 crate::image::Function {
                     name: "double".into(),

@@ -64,16 +64,16 @@ pub fn exhausts_memory() -> Vec<u8> {
         1,
         vec![
             // Keep doubling allocations until the heap gives out.
-            Instr::Push(1024),        // 0: size
-            Instr::Store(0),          // 1
-            Instr::Load(0),           // 2: loop
-            Instr::NewArray,          // 3
-            Instr::Pop,               // 4
-            Instr::Load(0),           // 5
-            Instr::Push(2),           // 6
-            Instr::Mul,               // 7
-            Instr::Store(0),          // 8
-            Instr::Jump(2),           // 9
+            Instr::Push(1024), // 0: size
+            Instr::Store(0),   // 1
+            Instr::Load(0),    // 2: loop
+            Instr::NewArray,   // 3
+            Instr::Pop,        // 4
+            Instr::Load(0),    // 5
+            Instr::Push(2),    // 6
+            Instr::Mul,        // 7
+            Instr::Store(0),   // 8
+            Instr::Jump(2),    // 9
         ],
     )
     .to_bytes()
@@ -110,19 +110,19 @@ pub fn reads_and_writes() -> Vec<u8> {
                 Instr::IoOpen {
                     path: 0,
                     mode: IoMode::Read,
-                },                     // fd
-                Instr::Dup,            // fd fd
-                Instr::IoReadSum,      // fd sum
-                Instr::Store(0),       // fd        (sum -> local 0)
-                Instr::IoClose,        //
+                }, // fd
+                Instr::Dup,       // fd fd
+                Instr::IoReadSum, // fd sum
+                Instr::Store(0),  // fd        (sum -> local 0)
+                Instr::IoClose,   //
                 Instr::IoOpen {
                     path: 1,
                     mode: IoMode::Write,
-                },                     // fd
-                Instr::Dup,            // fd fd
-                Instr::Load(0),        // fd fd sum
-                Instr::IoWriteNum,     // fd
-                Instr::IoClose,        //
+                }, // fd
+                Instr::Dup,       // fd fd
+                Instr::Load(0),   // fd fd sum
+                Instr::IoWriteNum, // fd
+                Instr::IoClose,   //
                 Instr::Load(0),
                 Instr::Print,
                 Instr::Halt,
@@ -257,7 +257,11 @@ mod tests {
 
     #[test]
     fn user_exception_is_program_scope() {
-        let out = load_and_run(&throws_user_exception(), &Installation::healthy(), &mut NoIo);
+        let out = load_and_run(
+            &throws_user_exception(),
+            &Installation::healthy(),
+            &mut NoIo,
+        );
         assert_eq!(out.termination.scope(), Scope::Program);
     }
 

@@ -63,32 +63,26 @@ pub fn verify(img: &ProgramImage) -> Result<(), VerifyError> {
                 }
             }
             match ins {
-                Instr::Load(i) | Instr::Store(i) => {
-                    if *i >= f.max_locals {
-                        return Err(VerifyError {
-                            function: fi,
-                            at: pc,
-                            reason: format!("local {i} >= max_locals {}", f.max_locals),
-                        });
-                    }
+                Instr::Load(i) | Instr::Store(i) if *i >= f.max_locals => {
+                    return Err(VerifyError {
+                        function: fi,
+                        at: pc,
+                        reason: format!("local {i} >= max_locals {}", f.max_locals),
+                    });
                 }
-                Instr::Call(t) => {
-                    if *t as usize >= img.functions.len() {
-                        return Err(VerifyError {
-                            function: fi,
-                            at: pc,
-                            reason: format!("call target {t} out of range"),
-                        });
-                    }
+                Instr::Call(t) if *t as usize >= img.functions.len() => {
+                    return Err(VerifyError {
+                        function: fi,
+                        at: pc,
+                        reason: format!("call target {t} out of range"),
+                    });
                 }
-                Instr::IoOpen { path, .. } => {
-                    if *path as usize >= img.strings.len() {
-                        return Err(VerifyError {
-                            function: fi,
-                            at: pc,
-                            reason: format!("string index {path} out of range"),
-                        });
-                    }
+                Instr::IoOpen { path, .. } if *path as usize >= img.strings.len() => {
+                    return Err(VerifyError {
+                        function: fi,
+                        at: pc,
+                        reason: format!("string index {path} out of range"),
+                    });
                 }
                 _ => {}
             }
@@ -150,9 +144,7 @@ fn check_stack_depths(
                 return Err(VerifyError {
                     function: fi,
                     at: pc,
-                    reason: format!(
-                        "operand stack underflow: depth {d}, instruction pops {pops}"
-                    ),
+                    reason: format!("operand stack underflow: depth {d}, instruction pops {pops}"),
                 });
             }
             let out = d - pops as i64 + pushes as i64;
@@ -264,12 +256,12 @@ mod tests {
         // must assume the worse (one) and reject the Add… wait, Add pops
         // two, so with minimum depth 1 it underflows.
         let p = img(vec![
-            Instr::Push(0),          // 0: cond
-            Instr::JumpIfZero(4),    // 1: if 0 goto 4 (leaves depth 0)
-            Instr::Push(1),          // 2
-            Instr::Push(2),          // 3: depth 2 falls to 5? no: falls to 4
-            Instr::Push(3),          // 4: merge of depth 0 (from 1) and 2 (from 3)
-            Instr::Add,              // 5: needs 2; min is 1 -> underflow
+            Instr::Push(0),       // 0: cond
+            Instr::JumpIfZero(4), // 1: if 0 goto 4 (leaves depth 0)
+            Instr::Push(1),       // 2
+            Instr::Push(2),       // 3: depth 2 falls to 5? no: falls to 4
+            Instr::Push(3),       // 4: merge of depth 0 (from 1) and 2 (from 3)
+            Instr::Add,           // 5: needs 2; min is 1 -> underflow
             Instr::Halt,
         ]);
         assert!(verify(&p).unwrap_err().reason.contains("underflow"));

@@ -17,6 +17,7 @@ use crate::config::Installation;
 use crate::jvmio::JobIo;
 use crate::machine::{load_and_run, RunOutput, Termination};
 use errorscope::resultfile::ResultFile;
+use errorscope::ScopedError;
 
 /// The naive attempt's entire output: the exit code of the VM process.
 /// Figure 4's middle column: completion → the program's own code; any
@@ -56,21 +57,23 @@ pub struct WrappedRun {
     pub stdout: String,
     /// Instructions executed.
     pub instructions: u64,
+    /// For environment failures, the error's telemetry journey so far: the
+    /// original escaping error (if the failure arrived from the I/O layer)
+    /// or a fresh one raised here, re-expressed by the wrapper into the
+    /// result file. The starter continues the journey from this point.
+    pub journey: Option<ScopedError>,
 }
 
 /// Execute a job under the wrapper: run it, catch everything, classify the
 /// scope, and produce the result file.
-pub fn run_wrapped(
-    image_bytes: &[u8],
-    install: &Installation,
-    io: &mut dyn JobIo,
-) -> WrappedRun {
+pub fn run_wrapped(image_bytes: &[u8], install: &Installation, io: &mut dyn JobIo) -> WrappedRun {
     let out = load_and_run(image_bytes, install, io);
     let result_file = classify(&out.termination);
     let jvm_exit = match &out.termination {
         Termination::Completed { exit_code } => NaiveExit(*exit_code),
         _ => NaiveExit(1),
     };
+    let journey = journey_for(&out);
     let result_file_bytes = result_file.to_json();
     WrappedRun {
         jvm_exit,
@@ -78,16 +81,39 @@ pub fn run_wrapped(
         result_file_bytes,
         stdout: out.stdout,
         instructions: out.instructions,
+        journey,
     }
+}
+
+/// The wrapper's contribution to the error's telemetry journey. An I/O
+/// escape already carries its span and trail from the io-library; a failure
+/// detected by the VM itself starts its journey here. Either way the
+/// wrapper's own act — catching the error and re-expressing it as a result
+/// file — is appended as the journey's latest hop.
+fn journey_for(out: &RunOutput) -> Option<ScopedError> {
+    let Termination::EnvFailure {
+        scope,
+        code,
+        message,
+    } = &out.termination
+    else {
+        return None;
+    };
+    let err = match &out.env_error {
+        Some(original) => original.clone(),
+        None => ScopedError::escaping(code.clone(), *scope, "wrapper", message.clone()),
+    };
+    Some(err.reexpress("wrapper"))
 }
 
 /// The wrapper's classification step: termination → result file.
 pub fn classify(t: &Termination) -> ResultFile {
     match t {
         Termination::Completed { exit_code } => ResultFile::completed(*exit_code),
-        Termination::Exception { name, message } => {
-            ResultFile::program_exception(errorscope::ErrorCode::owned(name.clone()), message.clone())
-        }
+        Termination::Exception { name, message } => ResultFile::program_exception(
+            errorscope::ErrorCode::owned(name.clone()),
+            message.clone(),
+        ),
         Termination::EnvFailure {
             scope,
             code,
@@ -164,10 +190,7 @@ mod tests {
     #[test]
     fn completion_reports_exit_code_in_result_file() {
         let w = run_wrapped(&programs::calls_exit(9), &healthy(), &mut NoIo);
-        assert_eq!(
-            w.result_file.outcome,
-            Outcome::Completed { exit_code: 9 }
-        );
+        assert_eq!(w.result_file.outcome, Outcome::Completed { exit_code: 9 });
         assert!(w.result_file.is_program_result());
     }
 
@@ -200,6 +223,30 @@ mod tests {
             let wrapped = run_wrapped(&prog, &healthy(), &mut NoIo);
             assert_eq!(naive, wrapped.jvm_exit);
         }
+    }
+
+    #[test]
+    fn env_failure_starts_a_journey_reexpressed_by_wrapper() {
+        let w = run_wrapped(
+            &programs::completes_main(),
+            &Installation::bad_path(),
+            &mut NoIo,
+        );
+        let j = w.journey.expect("environment failure has a journey");
+        assert_ne!(j.span, obs::NO_SPAN);
+        assert_eq!(j.scope, Scope::RemoteResource);
+        assert!(matches!(
+            j.trail.last().unwrap().action,
+            errorscope::error::HopAction::Reexpressed
+        ));
+    }
+
+    #[test]
+    fn program_results_have_no_journey() {
+        let w = run_wrapped(&programs::completes_main(), &healthy(), &mut NoIo);
+        assert!(w.journey.is_none());
+        let w = run_wrapped(&programs::null_dereference(), &healthy(), &mut NoIo);
+        assert!(w.journey.is_none());
     }
 
     #[test]

@@ -103,7 +103,7 @@ fn recursive_fibonacci() {
     let out = load_and_run(&img.to_bytes(), &Installation::healthy(), &mut NoIo);
     assert_eq!(out.termination, Termination::Completed { exit_code: 0 });
     assert_eq!(out.stdout.trim(), "610"); // fib(15)
-    // Naive recursion is expensive — the fuel meter should show it.
+                                          // Naive recursion is expensive — the fuel meter should show it.
     assert!(out.instructions > 10_000);
 }
 

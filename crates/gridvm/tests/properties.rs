@@ -10,7 +10,12 @@ use gridvm::verify::verify;
 use proptest::prelude::*;
 
 /// A strategy for arbitrary (mostly invalid) instructions.
-fn any_instr(n_instrs: u32, n_funcs: u16, n_strings: u16, max_locals: u8) -> impl Strategy<Value = Instr> {
+fn any_instr(
+    n_instrs: u32,
+    n_funcs: u16,
+    n_strings: u16,
+    max_locals: u8,
+) -> impl Strategy<Value = Instr> {
     let jump_range = 0..n_instrs.max(1);
     prop_oneof![
         (-100i64..100).prop_map(Instr::Push),

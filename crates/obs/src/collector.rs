@@ -1,0 +1,319 @@
+//! The bounded event collector and its JSONL exporter.
+
+use crate::event::Event;
+use crate::json;
+use crate::ring::RingBuffer;
+use crate::span::SpanId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One recorded event: what, when, and which actor saw it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Simulation time, microseconds.
+    pub at_us: u64,
+    /// The recording actor's name.
+    pub actor: String,
+    /// The event.
+    pub event: Event,
+}
+
+impl EventRecord {
+    /// Serialise to a single JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(96);
+        out.push_str("{\"at_us\":");
+        out.push_str(&self.at_us.to_string());
+        out.push(',');
+        json::write_key(&mut out, "actor");
+        json::write_str(&mut out, &self.actor);
+        out.push(',');
+        json::write_key(&mut out, "event");
+        self.event.write_json(&mut out);
+        out.push('}');
+        out
+    }
+
+    /// Parse one JSON line produced by [`EventRecord::to_json`].
+    pub fn from_json(line: &str) -> Result<EventRecord, String> {
+        let v = json::parse(line).map_err(|e| e.to_string())?;
+        let at_us = v
+            .get("at_us")
+            .and_then(json::Json::as_u64)
+            .ok_or("record missing \"at_us\"")?;
+        let actor = v
+            .get("actor")
+            .and_then(json::Json::as_str)
+            .ok_or("record missing \"actor\"")?
+            .to_string();
+        let event = Event::from_json(v.get("event").ok_or("record missing \"event\"")?)?;
+        Ok(EventRecord {
+            at_us,
+            actor,
+            event,
+        })
+    }
+}
+
+impl fmt::Display for EventRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>12.6}s] {:<12} {}",
+            self.at_us as f64 / 1e6,
+            self.actor,
+            self.event
+        )
+    }
+}
+
+/// A bounded, append-only store of typed events — the primary record of a
+/// simulation run. Replaces grepping the free-form trace text.
+#[derive(Debug, Clone)]
+pub struct Collector {
+    ring: RingBuffer<EventRecord>,
+    enabled: bool,
+}
+
+impl Collector {
+    /// Default capacity: plenty for every experiment in the repo while
+    /// bounding a pathological run to tens of megabytes.
+    pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+    /// A collector with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// A collector retaining at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Collector {
+            ring: RingBuffer::new(capacity),
+            enabled: true,
+        }
+    }
+
+    /// A collector that drops everything (for memory-sensitive sweeps).
+    pub fn disabled() -> Self {
+        Collector {
+            ring: RingBuffer::new(1),
+            enabled: false,
+        }
+    }
+
+    /// Is recording on?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record `event` as seen by `actor` at simulation time `at_us`.
+    pub fn record(&mut self, at_us: u64, actor: &str, event: Event) {
+        if !self.enabled {
+            return;
+        }
+        self.ring.push(EventRecord {
+            at_us,
+            actor: actor.to_string(),
+            event,
+        });
+    }
+
+    /// Recorded events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &EventRecord> + '_ {
+        self.ring.iter()
+    }
+
+    /// Retained event count.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events evicted to stay within capacity.
+    pub fn evicted(&self) -> u64 {
+        self.ring.evicted()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.ring.capacity()
+    }
+
+    /// All events belonging to `span`, in record order.
+    pub fn span(&self, span: SpanId) -> Vec<&EventRecord> {
+        self.iter()
+            .filter(|r| r.event.span() == Some(span))
+            .collect()
+    }
+
+    /// Every span id seen, with its events in record order.
+    pub fn spans(&self) -> BTreeMap<SpanId, Vec<&EventRecord>> {
+        let mut out: BTreeMap<SpanId, Vec<&EventRecord>> = BTreeMap::new();
+        for r in self.iter() {
+            if let Some(id) = r.event.span() {
+                out.entry(id).or_default().push(r);
+            }
+        }
+        out
+    }
+
+    /// Event counts by wire name, for quick summaries.
+    pub fn counts_by_kind(&self) -> BTreeMap<&'static str, u64> {
+        let mut out = BTreeMap::new();
+        for r in self.iter() {
+            *out.entry(r.event.kind()).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Export every retained event as JSON Lines (one object per line,
+    /// trailing newline included when non-empty).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in self.iter() {
+            out.push_str(&r.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a JSONL export back into records. Blank lines are skipped;
+    /// any malformed line is an error.
+    pub fn parse_jsonl(input: &str) -> Result<Vec<EventRecord>, String> {
+        let mut out = Vec::new();
+        for (i, line) in input.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            out.push(EventRecord::from_json(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+        }
+        Ok(out)
+    }
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Collector::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ClaimOutcome, IoOutcome};
+    use crate::span::SpanAction;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::Claim {
+                job: 1,
+                machine: 2,
+                outcome: ClaimOutcome::Accepted,
+            },
+            Event::Dispatch { job: 1, machine: 2 },
+            Event::SpanHop {
+                span: 11,
+                layer: "io-library".into(),
+                action: SpanAction::Raised,
+                scope: "local-resource".into(),
+            },
+            Event::SpanHop {
+                span: 11,
+                layer: "wrapper".into(),
+                action: SpanAction::Reexpressed,
+                scope: "local-resource".into(),
+            },
+            Event::IoOp {
+                op: "read".into(),
+                outcome: IoOutcome::Ok,
+            },
+            Event::Disposition {
+                job: 1,
+                disposition: "log-and-reschedule".into(),
+                scope: "local-resource".into(),
+                span: 11,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips_exactly() {
+        let mut c = Collector::new();
+        for (i, e) in sample_events().into_iter().enumerate() {
+            c.record(i as u64 * 1_000_000, "schedd", e);
+        }
+        let jsonl = c.to_jsonl();
+        let parsed = Collector::parse_jsonl(&jsonl).unwrap();
+        assert_eq!(parsed, c.iter().cloned().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        let err = Collector::parse_jsonl("{\"at_us\":1}\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+        assert!(Collector::parse_jsonl("not json\n").is_err());
+        // Blank lines are fine.
+        assert_eq!(Collector::parse_jsonl("\n\n").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn capacity_bounds_growth_and_counts_evictions() {
+        let mut c = Collector::with_capacity(3);
+        for i in 0..8u64 {
+            c.record(i, "a", Event::Dispatch { job: i, machine: 0 });
+        }
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.evicted(), 5);
+        let jobs: Vec<u64> = c
+            .iter()
+            .map(|r| match r.event {
+                Event::Dispatch { job, .. } => job,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(jobs, vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn disabled_collector_records_nothing() {
+        let mut c = Collector::disabled();
+        c.record(0, "a", Event::Dispatch { job: 1, machine: 1 });
+        assert!(c.is_empty());
+        assert!(!c.is_enabled());
+    }
+
+    #[test]
+    fn span_grouping_preserves_order() {
+        let mut c = Collector::new();
+        for (i, e) in sample_events().into_iter().enumerate() {
+            c.record(i as u64, "startd:m01", e);
+        }
+        let spans = c.spans();
+        assert_eq!(spans.len(), 1);
+        let journey = &spans[&11];
+        // Raised, reexpressed, then the disposition that closed it.
+        assert_eq!(journey.len(), 3);
+        assert!(journey.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+        assert_eq!(journey[0].event.kind(), "span-hop");
+        assert_eq!(journey[2].event.kind(), "disposition");
+        assert_eq!(c.span(11).len(), 3);
+        assert!(c.span(99).is_empty());
+    }
+
+    #[test]
+    fn display_matches_trace_shape() {
+        let r = EventRecord {
+            at_us: 1_500_000,
+            actor: "schedd".to_string(),
+            event: Event::Dispatch { job: 1, machine: 2 },
+        };
+        assert_eq!(
+            format!("{r}"),
+            "[    1.500000s] schedd       dispatch job=1 machine=2"
+        );
+    }
+}

@@ -1,0 +1,520 @@
+//! The typed event vocabulary of the grid.
+//!
+//! One [`Event`] per protocol-significant moment: the claiming handshake,
+//! job dispatch, an error escaping an interface, a reschedule, the schedd's
+//! final disposition, a remote I/O operation, a principle violation, and —
+//! the heart of the layer — a [`SpanHop`](Event::SpanHop) for every hop of
+//! an error's journey through the software stack.
+//!
+//! Events serialise to single-line JSON objects (see
+//! [`Collector::to_jsonl`](crate::Collector::to_jsonl)) and parse back via
+//! [`Event::from_json`], so an exported stream can be re-read and audited
+//! offline.
+
+use crate::json::{self, Json};
+use crate::span::{SpanAction, SpanId};
+use std::fmt;
+
+/// How a claim attempt concluded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClaimOutcome {
+    /// The schedd asked for the machine.
+    Requested,
+    /// The startd accepted.
+    Accepted,
+    /// The startd declined.
+    Rejected {
+        /// Why.
+        reason: String,
+    },
+    /// No answer arrived in time.
+    TimedOut,
+}
+
+impl ClaimOutcome {
+    fn name(&self) -> &'static str {
+        match self {
+            ClaimOutcome::Requested => "requested",
+            ClaimOutcome::Accepted => "accepted",
+            ClaimOutcome::Rejected { .. } => "rejected",
+            ClaimOutcome::TimedOut => "timed-out",
+        }
+    }
+}
+
+/// How a remote I/O operation concluded, from the library's point of view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IoOutcome {
+    /// Success.
+    Ok,
+    /// An explicit, in-vocabulary error.
+    Error {
+        /// The protocol error code.
+        code: String,
+    },
+    /// The condition escaped the interface (Principle 2).
+    Escaped {
+        /// The escaping error's code.
+        code: String,
+    },
+}
+
+impl IoOutcome {
+    fn name(&self) -> &'static str {
+        match self {
+            IoOutcome::Ok => "ok",
+            IoOutcome::Error { .. } => "error",
+            IoOutcome::Escaped { .. } => "escaped",
+        }
+    }
+}
+
+/// One typed telemetry event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A step of the claiming protocol for `job` on `machine`.
+    Claim {
+        /// Which job.
+        job: u64,
+        /// The machine (startd actor id).
+        machine: u64,
+        /// What happened.
+        outcome: ClaimOutcome,
+    },
+    /// The shadow activated a claim: `job` begins executing on `machine`.
+    Dispatch {
+        /// Which job.
+        job: u64,
+        /// The machine.
+        machine: u64,
+    },
+    /// An error escaped an interface (Principle 2 in action).
+    Escape {
+        /// The error's journey span.
+        span: SpanId,
+        /// The interface it escaped.
+        layer: String,
+        /// Machine-readable condition.
+        code: String,
+        /// The error's scope name.
+        scope: String,
+    },
+    /// The schedd put a job back in the idle queue.
+    Reschedule {
+        /// Which job.
+        job: u64,
+        /// The machine the failed attempt ran on.
+        machine: u64,
+        /// Why, human-readable.
+        reason: String,
+    },
+    /// The schedd's final ruling on an execution report.
+    Disposition {
+        /// Which job.
+        job: u64,
+        /// The disposition name (`return-completed`, `log-and-reschedule`…).
+        disposition: String,
+        /// The scope that drove the ruling.
+        scope: String,
+        /// The error journey that ended here ([`crate::NO_SPAN`] when the
+        /// outcome carried no scoped error — completions, naive exits).
+        span: SpanId,
+    },
+    /// One remote I/O operation observed at the Chirp boundary.
+    IoOp {
+        /// The operation name (`open`, `read`, `write`…).
+        op: String,
+        /// How it went.
+        outcome: IoOutcome,
+    },
+    /// An error-scope principle was violated.
+    Violation {
+        /// Which principle (1–4).
+        principle: u8,
+        /// What happened.
+        detail: String,
+    },
+    /// One hop of an error's journey through the layer stack.
+    SpanHop {
+        /// The journey this hop belongs to.
+        span: SpanId,
+        /// The layer where it happened.
+        layer: String,
+        /// What the layer did.
+        action: SpanAction,
+        /// The error's scope name *after* the action.
+        scope: String,
+    },
+}
+
+impl Event {
+    /// The event's wire name (the `type` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::Claim { .. } => "claim",
+            Event::Dispatch { .. } => "dispatch",
+            Event::Escape { .. } => "escape",
+            Event::Reschedule { .. } => "reschedule",
+            Event::Disposition { .. } => "disposition",
+            Event::IoOp { .. } => "io-op",
+            Event::Violation { .. } => "violation",
+            Event::SpanHop { .. } => "span-hop",
+        }
+    }
+
+    /// The span this event belongs to, if any.
+    pub fn span(&self) -> Option<SpanId> {
+        match self {
+            Event::Escape { span, .. } | Event::SpanHop { span, .. } => Some(*span),
+            Event::Disposition { span, .. } if *span != crate::NO_SPAN => Some(*span),
+            _ => None,
+        }
+    }
+
+    /// Append this event as a JSON object to `out`.
+    pub fn write_json(&self, out: &mut String) {
+        out.push_str("{\"type\":\"");
+        out.push_str(self.kind());
+        out.push('"');
+        let field_u64 = |out: &mut String, k: &str, v: u64| {
+            out.push(',');
+            json::write_key(out, k);
+            out.push_str(&v.to_string());
+        };
+        let field_str = |out: &mut String, k: &str, v: &str| {
+            out.push(',');
+            json::write_key(out, k);
+            json::write_str(out, v);
+        };
+        match self {
+            Event::Claim {
+                job,
+                machine,
+                outcome,
+            } => {
+                field_u64(out, "job", *job);
+                field_u64(out, "machine", *machine);
+                field_str(out, "outcome", outcome.name());
+                if let ClaimOutcome::Rejected { reason } = outcome {
+                    field_str(out, "reason", reason);
+                }
+            }
+            Event::Dispatch { job, machine } => {
+                field_u64(out, "job", *job);
+                field_u64(out, "machine", *machine);
+            }
+            Event::Escape {
+                span,
+                layer,
+                code,
+                scope,
+            } => {
+                field_u64(out, "span", *span);
+                field_str(out, "layer", layer);
+                field_str(out, "code", code);
+                field_str(out, "scope", scope);
+            }
+            Event::Reschedule {
+                job,
+                machine,
+                reason,
+            } => {
+                field_u64(out, "job", *job);
+                field_u64(out, "machine", *machine);
+                field_str(out, "reason", reason);
+            }
+            Event::Disposition {
+                job,
+                disposition,
+                scope,
+                span,
+            } => {
+                field_u64(out, "job", *job);
+                field_str(out, "disposition", disposition);
+                field_str(out, "scope", scope);
+                field_u64(out, "span", *span);
+            }
+            Event::IoOp { op, outcome } => {
+                field_str(out, "op", op);
+                field_str(out, "outcome", outcome.name());
+                match outcome {
+                    IoOutcome::Ok => {}
+                    IoOutcome::Error { code } | IoOutcome::Escaped { code } => {
+                        field_str(out, "code", code);
+                    }
+                }
+            }
+            Event::Violation { principle, detail } => {
+                field_u64(out, "principle", u64::from(*principle));
+                field_str(out, "detail", detail);
+            }
+            Event::SpanHop {
+                span,
+                layer,
+                action,
+                scope,
+            } => {
+                field_u64(out, "span", *span);
+                field_str(out, "layer", layer);
+                field_str(out, "action", action.name());
+                match action {
+                    SpanAction::Widened { from } => field_str(out, "from", from),
+                    SpanAction::Masked { technique } => field_str(out, "technique", technique),
+                    _ => {}
+                }
+                field_str(out, "scope", scope);
+            }
+        }
+        out.push('}');
+    }
+
+    /// Reconstruct an event from a parsed JSON object.
+    pub fn from_json(v: &Json) -> Result<Event, String> {
+        let kind = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or("event missing \"type\"")?;
+        let u = |k: &str| -> Result<u64, String> {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{kind} event missing integer \"{k}\""))
+        };
+        let s = |k: &str| -> Result<String, String> {
+            v.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{kind} event missing string \"{k}\""))
+        };
+        match kind {
+            "claim" => {
+                let outcome = match s("outcome")?.as_str() {
+                    "requested" => ClaimOutcome::Requested,
+                    "accepted" => ClaimOutcome::Accepted,
+                    "rejected" => ClaimOutcome::Rejected {
+                        reason: s("reason")?,
+                    },
+                    "timed-out" => ClaimOutcome::TimedOut,
+                    other => return Err(format!("unknown claim outcome {other:?}")),
+                };
+                Ok(Event::Claim {
+                    job: u("job")?,
+                    machine: u("machine")?,
+                    outcome,
+                })
+            }
+            "dispatch" => Ok(Event::Dispatch {
+                job: u("job")?,
+                machine: u("machine")?,
+            }),
+            "escape" => Ok(Event::Escape {
+                span: u("span")?,
+                layer: s("layer")?,
+                code: s("code")?,
+                scope: s("scope")?,
+            }),
+            "reschedule" => Ok(Event::Reschedule {
+                job: u("job")?,
+                machine: u("machine")?,
+                reason: s("reason")?,
+            }),
+            "disposition" => Ok(Event::Disposition {
+                job: u("job")?,
+                disposition: s("disposition")?,
+                scope: s("scope")?,
+                span: u("span")?,
+            }),
+            "io-op" => {
+                let outcome = match s("outcome")?.as_str() {
+                    "ok" => IoOutcome::Ok,
+                    "error" => IoOutcome::Error { code: s("code")? },
+                    "escaped" => IoOutcome::Escaped { code: s("code")? },
+                    other => return Err(format!("unknown io outcome {other:?}")),
+                };
+                Ok(Event::IoOp {
+                    op: s("op")?,
+                    outcome,
+                })
+            }
+            "violation" => {
+                let p = u("principle")?;
+                Ok(Event::Violation {
+                    principle: u8::try_from(p)
+                        .map_err(|_| format!("principle {p} out of range"))?,
+                    detail: s("detail")?,
+                })
+            }
+            "span-hop" => {
+                let action = match s("action")?.as_str() {
+                    "raised" => SpanAction::Raised,
+                    "forwarded" => SpanAction::Forwarded,
+                    "widened" => SpanAction::Widened { from: s("from")? },
+                    "escaped" => SpanAction::Escaped,
+                    "reexpressed" => SpanAction::Reexpressed,
+                    "masked" => SpanAction::Masked {
+                        technique: s("technique")?,
+                    },
+                    "handled" => SpanAction::Handled,
+                    "swallowed" => SpanAction::Swallowed,
+                    other => return Err(format!("unknown span action {other:?}")),
+                };
+                Ok(Event::SpanHop {
+                    span: u("span")?,
+                    layer: s("layer")?,
+                    action,
+                    scope: s("scope")?,
+                })
+            }
+            other => Err(format!("unknown event type {other:?}")),
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Claim {
+                job,
+                machine,
+                outcome,
+            } => match outcome {
+                ClaimOutcome::Rejected { reason } => {
+                    write!(f, "claim job={job} machine={machine} rejected: {reason}")
+                }
+                o => write!(f, "claim job={job} machine={machine} {}", o.name()),
+            },
+            Event::Dispatch { job, machine } => {
+                write!(f, "dispatch job={job} machine={machine}")
+            }
+            Event::Escape {
+                span,
+                layer,
+                code,
+                scope,
+            } => write!(f, "escape span={span} at {layer}: {code} [{scope}]"),
+            Event::Reschedule {
+                job,
+                machine,
+                reason,
+            } => write!(f, "reschedule job={job} from machine={machine}: {reason}"),
+            Event::Disposition {
+                job,
+                disposition,
+                scope,
+                span,
+            } => write!(
+                f,
+                "disposition job={job} {disposition} [{scope}] span={span}"
+            ),
+            Event::IoOp { op, outcome } => match outcome {
+                IoOutcome::Ok => write!(f, "io {op} ok"),
+                IoOutcome::Error { code } => write!(f, "io {op} error: {code}"),
+                IoOutcome::Escaped { code } => write!(f, "io {op} escaped: {code}"),
+            },
+            Event::Violation { principle, detail } => {
+                write!(f, "violation P{principle}: {detail}")
+            }
+            Event::SpanHop {
+                span,
+                layer,
+                action,
+                scope,
+            } => write!(f, "span={span} {action} at {layer} [{scope}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(e: Event) {
+        let mut doc = String::new();
+        e.write_json(&mut doc);
+        let parsed = Event::from_json(&json::parse(&doc).unwrap()).unwrap();
+        assert_eq!(parsed, e, "document was {doc}");
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        round_trip(Event::Claim {
+            job: 1,
+            machine: 3,
+            outcome: ClaimOutcome::Requested,
+        });
+        round_trip(Event::Claim {
+            job: 1,
+            machine: 3,
+            outcome: ClaimOutcome::Rejected {
+                reason: "busy \"again\"".into(),
+            },
+        });
+        round_trip(Event::Dispatch { job: 2, machine: 4 });
+        round_trip(Event::Escape {
+            span: 9,
+            layer: "io-library".into(),
+            code: "FilesystemOffline".into(),
+            scope: "local-resource".into(),
+        });
+        round_trip(Event::Reschedule {
+            job: 5,
+            machine: 2,
+            reason: "machine vanished".into(),
+        });
+        round_trip(Event::Disposition {
+            job: 5,
+            disposition: "log-and-reschedule".into(),
+            scope: "remote-resource".into(),
+            span: 9,
+        });
+        round_trip(Event::IoOp {
+            op: "read".into(),
+            outcome: IoOutcome::Escaped {
+                code: "ConnectionTimedOut".into(),
+            },
+        });
+        round_trip(Event::Violation {
+            principle: 1,
+            detail: "swallowed at jvm".into(),
+        });
+        round_trip(Event::SpanHop {
+            span: 7,
+            layer: "rpc".into(),
+            action: SpanAction::Widened {
+                from: "network".into(),
+            },
+            scope: "process".into(),
+        });
+        round_trip(Event::SpanHop {
+            span: 7,
+            layer: "shadow".into(),
+            action: SpanAction::Handled,
+            scope: "local-resource".into(),
+        });
+    }
+
+    #[test]
+    fn span_accessor_finds_span_events() {
+        assert_eq!(
+            Event::SpanHop {
+                span: 3,
+                layer: "x".into(),
+                action: SpanAction::Raised,
+                scope: "job".into()
+            }
+            .span(),
+            Some(3)
+        );
+        assert_eq!(Event::Dispatch { job: 1, machine: 2 }.span(), None);
+        // A no-span disposition is not part of any journey.
+        assert_eq!(
+            Event::Disposition {
+                job: 1,
+                disposition: "return-completed".into(),
+                scope: "program".into(),
+                span: crate::NO_SPAN,
+            }
+            .span(),
+            None
+        );
+    }
+}

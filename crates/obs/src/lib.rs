@@ -1,0 +1,38 @@
+//! Unified telemetry for the simulated grid.
+//!
+//! The paper's argument is about *where errors travel*; this crate records
+//! that journey as data instead of prose. It provides:
+//!
+//! * [`RingBuffer`] — the bounded storage shared by the event collector and
+//!   `desim`'s trace log, so long simulations cannot grow memory without
+//!   bound.
+//! * [`Event`] / [`EventRecord`] / [`Collector`] — typed protocol events
+//!   (claim, dispatch, escape, reschedule, disposition, I/O op, violation)
+//!   plus **error-journey spans**: every `ScopedError` hop becomes a
+//!   timestamped [`Event::SpanHop`] keyed by the span id the error received
+//!   at birth.
+//! * [`Registry`] / [`Histogram`] — named counters, gauges, and log-scale
+//!   histograms with per-scope and per-machine labels.
+//! * Exporters — a JSONL event stream ([`Collector::to_jsonl`]) and a JSON
+//!   metrics snapshot ([`Registry::snapshot_json`]) — with a hand-rolled
+//!   parser ([`json`]) so exports can be round-tripped and validated
+//!   without any external dependency.
+//!
+//! `obs` sits *below* every other crate in the workspace (including
+//! `desim`), so it is deliberately dependency-free. Timestamps are plain
+//! `u64` microseconds; the simulator's `SimTime` converts trivially.
+
+#![warn(missing_docs)]
+
+pub mod collector;
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod ring;
+pub mod span;
+
+pub use collector::{Collector, EventRecord};
+pub use event::{ClaimOutcome, Event, IoOutcome};
+pub use metrics::{Histogram, MetricKey, Registry};
+pub use ring::RingBuffer;
+pub use span::{next_span_id, SpanAction, SpanId, NO_SPAN};

@@ -1,0 +1,475 @@
+//! Named counters, gauges, and log-scale histograms.
+//!
+//! The [`Registry`] is a flat map from `(name, labels)` to a value, in the
+//! style of a Prometheus exposition: `condor::Metrics` projects itself onto
+//! one of these, with per-scope (`scope=...`) and per-machine
+//! (`machine=...`) labels, and the experiment binaries write the snapshot
+//! as JSON next to their event streams.
+//!
+//! [`Histogram`] uses power-of-two buckets over `u64` values (we feed it
+//! microsecond durations): bucket 0 holds exactly the value 0, bucket
+//! `i >= 1` holds values of bit length `i`, i.e. the range
+//! `[2^(i-1), 2^i - 1]`. Bucket 64 therefore ends at `u64::MAX`.
+
+use crate::json;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Number of histogram buckets: one for zero plus one per bit length.
+pub const BUCKETS: usize = 65;
+
+/// A log-scale histogram of `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket a value falls into: 0 for 0, else the value's bit length.
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// The inclusive `[lo, hi]` range of bucket `i`.
+    ///
+    /// # Panics
+    /// If `i >= BUCKETS`.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        assert!(i < BUCKETS, "bucket {i} out of range");
+        match i {
+            0 => (0, 0),
+            64 => (1 << 63, u64::MAX),
+            _ => (1 << (i - 1), (1 << i) - 1),
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (u128: immune to overflow even at `u64::MAX`
+    /// samples).
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest sample, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean, if any samples were recorded.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// The count in bucket `i`.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Non-empty buckets as `(index, count)`, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"count\":");
+        out.push_str(&self.count.to_string());
+        out.push_str(",\"sum\":");
+        out.push_str(&self.sum.to_string());
+        if self.count > 0 {
+            out.push_str(",\"min\":");
+            out.push_str(&self.min.to_string());
+            out.push_str(",\"max\":");
+            out.push_str(&self.max.to_string());
+        }
+        out.push_str(",\"buckets\":[");
+        for (n, (i, c)) in self.nonzero_buckets().into_iter().enumerate() {
+            if n > 0 {
+                out.push(',');
+            }
+            let (lo, hi) = Self::bucket_bounds(i);
+            out.push_str(&format!("{{\"lo\":{lo},\"hi\":{hi},\"count\":{c}}}"));
+        }
+        out.push_str("]}");
+    }
+}
+
+/// A metric identity: a name plus sorted `(key, value)` labels.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// The metric name, e.g. `jobs_completed`.
+    pub name: String,
+    /// Label pairs, kept sorted so equal label sets compare equal.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    /// A key with no labels.
+    pub fn plain(name: &str) -> Self {
+        MetricKey {
+            name: name.to_string(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// A key with labels (sorted internally).
+    pub fn labeled(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    fn write_json_fields(&self, out: &mut String) {
+        json::write_key(out, "name");
+        json::write_str(out, &self.name);
+        if !self.labels.is_empty() {
+            out.push(',');
+            json::write_key(out, "labels");
+            out.push('{');
+            for (i, (k, v)) in self.labels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json::write_key(out, k);
+                json::write_str(out, v);
+            }
+            out.push('}');
+        }
+    }
+}
+
+impl fmt::Display for MetricKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)?;
+        if !self.labels.is_empty() {
+            f.write_str("{")?;
+            for (i, (k, v)) in self.labels.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                write!(f, "{k}={v:?}")?;
+            }
+            f.write_str("}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A registry of named metrics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    counters: BTreeMap<MetricKey, u64>,
+    gauges: BTreeMap<MetricKey, f64>,
+    histograms: BTreeMap<MetricKey, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Add `delta` to a counter, creating it at zero first if needed.
+    pub fn counter_add(&mut self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        *self
+            .counters
+            .entry(MetricKey::labeled(name, labels))
+            .or_insert(0) += delta;
+    }
+
+    /// Set a gauge.
+    pub fn gauge_set(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.gauges.insert(MetricKey::labeled(name, labels), value);
+    }
+
+    /// Record a sample into a histogram, creating it if needed.
+    pub fn observe(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.histograms
+            .entry(MetricKey::labeled(name, labels))
+            .or_default()
+            .record(value);
+    }
+
+    /// Merge a whole histogram into a named histogram, creating it if
+    /// needed — for folding externally-kept histograms into a snapshot.
+    pub fn histogram_merge(&mut self, name: &str, labels: &[(&str, &str)], h: &Histogram) {
+        self.histograms
+            .entry(MetricKey::labeled(name, labels))
+            .or_default()
+            .merge(h);
+    }
+
+    /// A counter's value (0 if absent).
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.counters
+            .get(&MetricKey::labeled(name, labels))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// A gauge's value, if set.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.gauges.get(&MetricKey::labeled(name, labels)).copied()
+    }
+
+    /// A histogram, if it exists.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Histogram> {
+        self.histograms.get(&MetricKey::labeled(name, labels))
+    }
+
+    /// Iterate counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&MetricKey, u64)> + '_ {
+        self.counters.iter().map(|(k, &v)| (k, v))
+    }
+
+    /// Fold another registry into this one: counters add, gauges take the
+    /// other's value, histograms merge.
+    pub fn merge(&mut self, other: &Registry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// The whole registry as one JSON document:
+    /// `{"counters":[...],"gauges":[...],"histograms":[...]}` with entries
+    /// in sorted key order (deterministic output).
+    pub fn snapshot_json(&self) -> String {
+        let mut out = String::from("{\"counters\":[");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            k.write_json_fields(&mut out);
+            out.push(',');
+            json::write_key(&mut out, "value");
+            out.push_str(&v.to_string());
+            out.push('}');
+        }
+        out.push_str("],\"gauges\":[");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            k.write_json_fields(&mut out);
+            out.push(',');
+            json::write_key(&mut out, "value");
+            if v.is_finite() {
+                out.push_str(&format!("{v}"));
+            } else {
+                out.push_str("null");
+            }
+            out.push('}');
+        }
+        out.push_str("],\"histograms\":[");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            k.write_json_fields(&mut out);
+            out.push(',');
+            json::write_key(&mut out, "histogram");
+            h.write_json(&mut out);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact() {
+        // Zero gets its own bucket.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_bounds(0), (0, 0));
+        // Powers of two start new buckets; their predecessors end them.
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_bounds(11), (1024, 2047));
+        // The top bucket ends exactly at u64::MAX.
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_bounds(64), (1 << 63, u64::MAX));
+        // Every value lands inside its bucket's bounds.
+        for v in [0u64, 1, 2, 3, 7, 8, 1_000_000, u64::MAX / 2, u64::MAX] {
+            let (lo, hi) = Histogram::bucket_bounds(Histogram::bucket_index(v));
+            assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn histogram_handles_zero_and_max_samples() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), u128::from(u64::MAX));
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert_eq!(h.bucket_count(0), 1);
+        assert_eq!(h.bucket_count(64), 1);
+        assert_eq!(h.nonzero_buckets(), vec![(0, 1), (64, 1)]);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_extremes() {
+        let h = Histogram::new();
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    fn histogram_merge_adds_everything() {
+        let mut a = Histogram::new();
+        a.record(5);
+        let mut b = Histogram::new();
+        b.record(0);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 105);
+        assert_eq!(a.min(), Some(0));
+        assert_eq!(a.max(), Some(100));
+        // Merging an empty histogram changes nothing.
+        let snapshot = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, snapshot);
+    }
+
+    #[test]
+    fn registry_counters_and_labels() {
+        let mut r = Registry::new();
+        r.counter_add("jobs_completed", &[], 3);
+        r.counter_add("jobs_completed", &[], 1);
+        r.counter_add("outcomes_total", &[("scope", "program")], 2);
+        r.counter_add("outcomes_total", &[("scope", "job")], 1);
+        assert_eq!(r.counter("jobs_completed", &[]), 4);
+        assert_eq!(r.counter("outcomes_total", &[("scope", "program")]), 2);
+        assert_eq!(r.counter("outcomes_total", &[("scope", "pool")]), 0);
+        // Label order does not matter.
+        r.counter_add("x", &[("a", "1"), ("b", "2")], 1);
+        assert_eq!(r.counter("x", &[("b", "2"), ("a", "1")]), 1);
+    }
+
+    #[test]
+    fn snapshot_parses_and_is_deterministic() {
+        let mut r = Registry::new();
+        r.counter_add("jobs_completed", &[], 7);
+        r.counter_add("outcomes_total", &[("scope", "local-resource")], 2);
+        r.gauge_set("cpu_efficiency", &[], 0.875);
+        r.observe("attempt_cpu_us", &[("scope", "program")], 0);
+        r.observe("attempt_cpu_us", &[("scope", "program")], 120_000_000);
+        let doc = r.snapshot_json();
+        let v = crate::json::parse(&doc).expect("snapshot parses");
+        let counters = v.get("counters").unwrap().as_arr().unwrap();
+        assert_eq!(counters.len(), 2);
+        let hists = v.get("histograms").unwrap().as_arr().unwrap();
+        assert_eq!(
+            hists[0]
+                .get("histogram")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_u64(),
+            Some(2)
+        );
+        assert_eq!(doc, r.snapshot_json());
+    }
+
+    #[test]
+    fn registry_merge_folds_all_three_kinds() {
+        let mut a = Registry::new();
+        a.counter_add("c", &[], 1);
+        a.observe("h", &[], 10);
+        let mut b = Registry::new();
+        b.counter_add("c", &[], 2);
+        b.gauge_set("g", &[], 1.5);
+        b.observe("h", &[], 20);
+        a.merge(&b);
+        assert_eq!(a.counter("c", &[]), 3);
+        assert_eq!(a.gauge("g", &[]), Some(1.5));
+        assert_eq!(a.histogram("h", &[]).unwrap().count(), 2);
+    }
+}

@@ -1,0 +1,117 @@
+//! Error-journey spans.
+//!
+//! Every `ScopedError` is given a [`SpanId`] at birth; each hop the error
+//! makes (wrapper → proxy → startd → schedd → user) is recorded as a
+//! timestamped [`Event::SpanHop`](crate::Event::SpanHop) carrying that id.
+//! Grouping the event stream by span id recovers the complete journey of a
+//! single error instance, which is what span-aware auditing consumes.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A span identifier. Plain `u64` so downstream crates can embed it in
+/// serde-derived types without `obs` needing serde itself.
+pub type SpanId = u64;
+
+/// The id of "no span": errors predating span assignment, or paths (the
+/// naive discipline) where scope information is destroyed before a span
+/// could be born.
+pub const NO_SPAN: SpanId = 0;
+
+static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
+
+/// Allocate a fresh process-unique span id (never [`NO_SPAN`]).
+pub fn next_span_id() -> SpanId {
+    NEXT_SPAN.fetch_add(1, Ordering::Relaxed)
+}
+
+/// What happened to an error at one hop of its journey. This mirrors the
+/// provenance-trail actions of `errorscope::error::HopAction`, with scopes
+/// flattened to their string names so the record is self-describing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpanAction {
+    /// The error came into being at this layer.
+    Raised,
+    /// Delivered upward unchanged (explicitly, within the vocabulary).
+    Forwarded,
+    /// Reinterpreted into a wider scope in transit (§3.3).
+    Widened {
+        /// The scope before widening.
+        from: String,
+    },
+    /// Converted to the escaping mode: outside this interface's vocabulary.
+    Escaped,
+    /// Re-expressed explicitly in a richer vocabulary (e.g. the wrapper's
+    /// result file).
+    Reexpressed,
+    /// Masked by a recovery technique.
+    Masked {
+        /// The technique applied.
+        technique: String,
+    },
+    /// Consumed by the manager of its scope.
+    Handled,
+    /// Converted to an implicit error — a Principle 1 violation.
+    Swallowed,
+}
+
+impl SpanAction {
+    /// The action's wire name (the `action` field of a span-hop event).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpanAction::Raised => "raised",
+            SpanAction::Forwarded => "forwarded",
+            SpanAction::Widened { .. } => "widened",
+            SpanAction::Escaped => "escaped",
+            SpanAction::Reexpressed => "reexpressed",
+            SpanAction::Masked { .. } => "masked",
+            SpanAction::Handled => "handled",
+            SpanAction::Swallowed => "swallowed",
+        }
+    }
+}
+
+impl fmt::Display for SpanAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpanAction::Widened { from } => write!(f, "widened(from {from})"),
+            SpanAction::Masked { technique } => write!(f, "masked({technique})"),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_ids_are_unique_and_nonzero() {
+        let a = next_span_id();
+        let b = next_span_id();
+        assert_ne!(a, NO_SPAN);
+        assert_ne!(b, NO_SPAN);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn action_names_are_stable() {
+        assert_eq!(SpanAction::Raised.name(), "raised");
+        assert_eq!(
+            SpanAction::Widened {
+                from: "network".into()
+            }
+            .name(),
+            "widened"
+        );
+        assert_eq!(
+            format!(
+                "{}",
+                SpanAction::Masked {
+                    technique: "retry".into()
+                }
+            ),
+            "masked(retry)"
+        );
+    }
+}

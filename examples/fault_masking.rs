@@ -41,7 +41,10 @@ fn main() {
     else {
         panic!("expected recovery")
     };
-    println!("  recovered {value:?} after {attempts} attempts; {} errors masked", masked.len());
+    println!(
+        "  recovered {value:?} after {attempts} attempts; {} errors masked",
+        masked.len()
+    );
     for m in &masked {
         println!("    masked: {m}");
     }
@@ -130,7 +133,9 @@ fn main() {
         c.read_all(fd).map_err(to_scoped)
     });
     match out {
-        MaskOutcome::Recovered { value, attempts, .. } => {
+        MaskOutcome::Recovered {
+            value, attempts, ..
+        } => {
             println!(
                 "  read {:?} on dial {attempts} — the outage was masked from the caller",
                 String::from_utf8_lossy(&value)

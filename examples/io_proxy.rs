@@ -8,9 +8,9 @@
 //! connection* rather than inventing an in-vocabulary excuse — and the
 //! client library surfaces a scoped escape, not an IOException.
 
-use chirp::prelude::*;
 use chirp::backend::EnvFault;
 use chirp::client::IoError;
+use chirp::prelude::*;
 use errorscope::Scope;
 
 fn main() {

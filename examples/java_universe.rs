@@ -14,12 +14,30 @@ use gridvm::programs;
 
 fn main() {
     let jobs = vec![
-        ("completes main", JobSpec::java(1, "ada", programs::completes_main(), JavaMode::Scoped)),
-        ("System.exit(4)", JobSpec::java(2, "ada", programs::calls_exit(4), JavaMode::Scoped)),
-        ("null dereference", JobSpec::java(3, "bob", programs::null_dereference(), JavaMode::Scoped)),
-        ("array bounds", JobSpec::java(4, "bob", programs::index_out_of_bounds(), JavaMode::Scoped)),
-        ("needs stdlib", JobSpec::java(5, "carol", programs::uses_stdlib(), JavaMode::Scoped)),
-        ("corrupt image", JobSpec::java(6, "carol", programs::corrupt_image(), JavaMode::Scoped)),
+        (
+            "completes main",
+            JobSpec::java(1, "ada", programs::completes_main(), JavaMode::Scoped),
+        ),
+        (
+            "System.exit(4)",
+            JobSpec::java(2, "ada", programs::calls_exit(4), JavaMode::Scoped),
+        ),
+        (
+            "null dereference",
+            JobSpec::java(3, "bob", programs::null_dereference(), JavaMode::Scoped),
+        ),
+        (
+            "array bounds",
+            JobSpec::java(4, "bob", programs::index_out_of_bounds(), JavaMode::Scoped),
+        ),
+        (
+            "needs stdlib",
+            JobSpec::java(5, "carol", programs::uses_stdlib(), JavaMode::Scoped),
+        ),
+        (
+            "corrupt image",
+            JobSpec::java(6, "carol", programs::corrupt_image(), JavaMode::Scoped),
+        ),
         (
             "remote I/O",
             JobSpec::java(7, "dana", programs::reads_and_writes(), JavaMode::Scoped)
@@ -44,7 +62,12 @@ fn main() {
 
     println!("== What each user saw ==");
     for ev in &report.user_log {
-        println!("  [{:>8.1}s] job {}: {}", ev.at.as_secs_f64(), ev.job, ev.text);
+        println!(
+            "  [{:>8.1}s] job {}: {}",
+            ev.at.as_secs_f64(),
+            ev.job,
+            ev.text
+        );
     }
 
     println!("\n== Summary of all execution attempts (Figure 3's return value) ==");
@@ -64,9 +87,18 @@ fn main() {
     }
 
     println!("\n== Pool metrics ==");
-    println!("  jobs completed:            {}", report.metrics.jobs_completed);
-    println!("  jobs unexecutable:         {}", report.metrics.jobs_unexecutable);
-    println!("  reschedules (logged):      {}", report.metrics.reschedules);
+    println!(
+        "  jobs completed:            {}",
+        report.metrics.jobs_completed
+    );
+    println!(
+        "  jobs unexecutable:         {}",
+        report.metrics.jobs_unexecutable
+    );
+    println!(
+        "  reschedules (logged):      {}",
+        report.metrics.reschedules
+    );
     println!(
         "  incidental errors shown:   {}  <- the scoped discipline keeps this at zero",
         report.metrics.incidental_errors_shown_to_user

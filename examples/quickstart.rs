@@ -43,10 +43,26 @@ fn main() {
     println!("\n== Routing errors to the manager of their scope (P3) ==");
     let stack = java_universe_stack();
     let examples = [
-        (codes::INDEX_OUT_OF_BOUNDS, Scope::Program, "index 7 out of bounds"),
-        (codes::OUT_OF_MEMORY, Scope::VirtualMachine, "heap exhausted"),
-        (codes::MISCONFIGURED_INSTALLATION, Scope::RemoteResource, "bad JVM path"),
-        (codes::FILESYSTEM_OFFLINE, Scope::LocalResource, "home NFS down"),
+        (
+            codes::INDEX_OUT_OF_BOUNDS,
+            Scope::Program,
+            "index 7 out of bounds",
+        ),
+        (
+            codes::OUT_OF_MEMORY,
+            Scope::VirtualMachine,
+            "heap exhausted",
+        ),
+        (
+            codes::MISCONFIGURED_INSTALLATION,
+            Scope::RemoteResource,
+            "bad JVM path",
+        ),
+        (
+            codes::FILESYSTEM_OFFLINE,
+            Scope::LocalResource,
+            "home NFS down",
+        ),
         (codes::CORRUPT_IMAGE, Scope::Job, "checksum mismatch"),
     ];
     for (code, scope, msg) in examples {

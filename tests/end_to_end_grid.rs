@@ -1,8 +1,8 @@
 //! Integration tests: whole-pool scenarios spanning every crate.
 
+use chirp::backend::EnvFault;
 use condor::prelude::*;
 use condor::PoolBuilder as PB;
-use chirp::backend::EnvFault;
 use desim::{SimDuration, SimTime};
 use errorscope::Scope;
 use gridvm::config::SelfTestDepth;
@@ -22,7 +22,12 @@ fn mixed_workload_full_recovery() {
         JobSpec::java(2, "ada", programs::calls_exit(3), JavaMode::Scoped),
         JobSpec::java(3, "bob", programs::index_out_of_bounds(), JavaMode::Scoped),
         JobSpec::java(4, "bob", programs::uses_stdlib(), JavaMode::Scoped),
-        JobSpec::java(5, "carol", programs::throws_user_exception(), JavaMode::Scoped),
+        JobSpec::java(
+            5,
+            "carol",
+            programs::throws_user_exception(),
+            JavaMode::Scoped,
+        ),
         JobSpec::java(6, "carol", programs::reads_and_writes(), JavaMode::Scoped)
             .with_inputs(&["input.txt"])
             .with_remote_io(),
@@ -165,7 +170,12 @@ fn job_scope_errors_never_bounce() {
         .machine(MachineSpec::healthy("a", 256))
         .machine(MachineSpec::healthy("b", 256))
         .machine(MachineSpec::healthy("c", 256))
-        .job(JobSpec::java(1, "ada", programs::corrupt_image(), JavaMode::Scoped))
+        .job(JobSpec::java(
+            1,
+            "ada",
+            programs::corrupt_image(),
+            JavaMode::Scoped,
+        ))
         .job(
             JobSpec::java(2, "bob", programs::completes_main(), JavaMode::Scoped)
                 .with_inputs(&["nonexistent.dat"]),
@@ -195,9 +205,10 @@ fn whole_pool_determinism() {
                 avoid_chronic_hosts: true,
                 ..ScheddPolicy::default()
             })
-            .jobs((1..=5).map(|i| {
-                JobSpec::java(i, "ada", programs::completes_main(), JavaMode::Scoped)
-            }))
+            .jobs(
+                (1..=5)
+                    .map(|i| JobSpec::java(i, "ada", programs::completes_main(), JavaMode::Scoped)),
+            )
             .without_trace()
             .run(day())
     };
@@ -238,6 +249,204 @@ fn partition_heals_and_job_completes() {
     assert_eq!(s.metrics.jobs_completed, 1);
 }
 
+/// Build a pool that produces a rich mix of error journeys: virtual-machine
+/// scope (dead and half-broken installations), job scope (missing input),
+/// and clean completions, under the scoped discipline with no self-test so
+/// the failures actually happen.
+fn journey_rich_report() -> RunReport {
+    PB::new(41)
+        .machine(MachineSpec::healthy("ok", 256))
+        .machine(MachineSpec::misconfigured("dead", 512))
+        .machine(MachineSpec::partially_misconfigured("half", 512))
+        .home_file("input.txt", b"payload")
+        .jobs(vec![
+            JobSpec::java(1, "ada", programs::completes_main(), JavaMode::Scoped),
+            JobSpec::java(2, "ada", programs::uses_stdlib(), JavaMode::Scoped),
+            JobSpec::java(3, "bob", programs::reads_and_writes(), JavaMode::Scoped)
+                .with_inputs(&["input.txt"])
+                .with_remote_io(),
+            JobSpec::java(4, "bob", programs::completes_main(), JavaMode::Scoped)
+                .with_inputs(&["missing.dat"]),
+        ])
+        .run(day())
+}
+
+/// Tentpole acceptance: every environment failure's journey is recorded as
+/// a complete span — born with `Raised`, one hop per layer crossed, ending
+/// in `Handled` at the Figure 3 manager of its final scope — with the hops
+/// ordered in virtual time across the two daemons that emitted them.
+#[test]
+fn error_journey_spans_are_complete() {
+    use errorscope::propagate::java_universe_stack;
+    use obs::{Event, SpanAction};
+
+    let report = journey_rich_report();
+    assert_eq!(report.metrics.incidental_errors_shown_to_user, 0);
+
+    let stack = java_universe_stack();
+    let spans = report.telemetry.spans();
+    let mut completed = 0usize;
+    for (span, records) in &spans {
+        // Virtual time never runs backwards within a span, even though the
+        // startd and the schedd emit from different actors.
+        for pair in records.windows(2) {
+            assert!(
+                pair[0].at_us <= pair[1].at_us,
+                "span {span}: events out of order"
+            );
+        }
+        // Execute-side hops (machine actors) strictly precede submit-side
+        // hops (the schedd): the journey rides the execution report home.
+        let first_schedd = records.iter().position(|r| r.actor == "schedd");
+        if let Some(i) = first_schedd {
+            assert!(
+                records[i..].iter().all(|r| r.actor == "schedd"),
+                "span {span}: machine-side hop after the schedd took over"
+            );
+        }
+
+        let hops: Vec<&Event> = records
+            .iter()
+            .map(|r| &r.event)
+            .filter(|e| matches!(e, Event::SpanHop { .. }))
+            .collect();
+        assert!(!hops.is_empty(), "span {span} recorded no journey hops");
+        let Event::SpanHop { action, .. } = hops[0] else {
+            unreachable!()
+        };
+        assert_eq!(
+            *action,
+            SpanAction::Raised,
+            "span {span} must begin at the error's birth"
+        );
+        let Event::SpanHop {
+            action,
+            layer,
+            scope,
+            ..
+        } = hops[hops.len() - 1]
+        else {
+            unreachable!()
+        };
+        if *action == SpanAction::Handled {
+            completed += 1;
+            // P3, per journey: consumed exactly by the manager of its scope.
+            let s = errorscope::Scope::from_name(scope).unwrap();
+            assert_eq!(
+                stack.manager_of(s),
+                Some(layer.as_str()),
+                "span {span} handled at the wrong layer"
+            );
+            // A completed journey reaches exactly one disposition.
+            let dispositions = records
+                .iter()
+                .filter(|r| matches!(r.event, Event::Disposition { .. }))
+                .count();
+            assert_eq!(dispositions, 1, "span {span} dispositions");
+        }
+    }
+    assert!(
+        completed >= 3,
+        "expected several completed journeys, saw {completed}"
+    );
+}
+
+/// Tentpole acceptance: auditing the recorded spans reports the same
+/// P1–P4 counts as replaying each environment-failure attempt's trail
+/// through the theory stack — and both are clean for the scoped system.
+#[test]
+fn span_audit_matches_trail_audit() {
+    use errorscope::audit::{audit_delivery, audit_recorded_spans, ViolationCounts};
+    use errorscope::propagate::java_universe_stack;
+    use errorscope::{ErrorCode, ScopedError};
+
+    let report = journey_rich_report();
+    let stack = java_universe_stack();
+
+    let span_counts = audit_recorded_spans(&stack, &report.telemetry);
+
+    // The trail-based counterpart: replay every environment-failure attempt
+    // as a delivery through the same stack (program results carry no
+    // journey, so they are out of scope on both sides).
+    let mut trail_counts = ViolationCounts::default();
+    let mut deliveries = 0usize;
+    for rec in report.jobs.values() {
+        for attempt in &rec.attempts {
+            let Some(scope) = attempt.scope else { continue };
+            if scope == Scope::Program {
+                continue;
+            }
+            let err = ScopedError::escaping(
+                ErrorCode::owned(format!("Attempt:{}", attempt.note)),
+                scope,
+                "wrapper",
+                attempt.note.clone(),
+            );
+            let delivery = stack.propagate(err, "wrapper");
+            trail_counts.add_all(&audit_delivery(&stack, &delivery));
+            deliveries += 1;
+        }
+    }
+
+    assert!(
+        deliveries >= 3,
+        "expected several env deliveries, saw {deliveries}"
+    );
+    assert_eq!(
+        span_counts, trail_counts,
+        "span-based and trail-based audits must agree"
+    );
+    assert!(
+        span_counts.is_clean(),
+        "scoped system violates: {span_counts}"
+    );
+
+    // And the journeys the spans describe are the same population the
+    // attempts describe: one completed journey per environment failure.
+    let completed_spans = report
+        .telemetry
+        .spans()
+        .values()
+        .filter(|records| {
+            records.iter().any(|r| {
+                matches!(
+                    &r.event,
+                    obs::Event::SpanHop {
+                        action: obs::SpanAction::Handled,
+                        ..
+                    }
+                )
+            })
+        })
+        .count();
+    assert_eq!(completed_spans, deliveries);
+}
+
+/// The exported telemetry round-trips: JSONL event stream and JSON metrics
+/// snapshot both re-parse cleanly, with CPU counters in integer
+/// microseconds.
+#[test]
+fn telemetry_exports_parse_cleanly() {
+    let report = journey_rich_report();
+
+    let jsonl = report.telemetry.to_jsonl();
+    let parsed = obs::Collector::parse_jsonl(&jsonl).expect("JSONL must round-trip");
+    assert_eq!(parsed.len(), report.telemetry.len());
+
+    let snapshot = report.registry().snapshot_json();
+    let doc = obs::json::parse(&snapshot).expect("metrics snapshot must be valid JSON");
+    let counters = doc.get("counters").and_then(|c| c.as_arr()).unwrap();
+    let useful = counters
+        .iter()
+        .find(|c| c.get("name").and_then(|n| n.as_str()) == Some("useful_cpu_us"))
+        .expect("useful_cpu_us counter present");
+    assert_eq!(
+        useful.get("value").and_then(|v| v.as_u64()),
+        Some(report.metrics.useful_cpu.as_micros()),
+        "CPU must be exported as integer microseconds"
+    );
+}
+
 /// A partition that opens *mid-run* swallows the starter's report; the
 /// shadow's timeout classifies the silence and the job retries.
 #[test]
@@ -260,6 +469,9 @@ fn mid_run_partition_costs_one_attempt() {
     let s = world.get::<condor::Schedd>(schedd_id).unwrap();
     assert!(s.all_done());
     assert_eq!(s.metrics.jobs_completed, 1);
-    assert_eq!(s.metrics.vanished_attempts, 1, "the lost report was noticed");
+    assert_eq!(
+        s.metrics.vanished_attempts, 1,
+        "the lost report was noticed"
+    );
     assert!(s.jobs[&1].attempts.len() >= 2);
 }

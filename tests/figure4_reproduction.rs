@@ -120,7 +120,11 @@ fn exit_code_one_is_ambiguous_but_result_files_are_not() {
 #[test]
 fn remote_io_job_completes_through_chirp() {
     let mut io = working_io();
-    let w = run_wrapped(&programs::reads_and_writes(), &Installation::healthy(), &mut io);
+    let w = run_wrapped(
+        &programs::reads_and_writes(),
+        &Installation::healthy(),
+        &mut io,
+    );
     assert!(matches!(
         w.result_file.outcome,
         Outcome::Completed { exit_code: 0 }

@@ -51,13 +51,75 @@ fn every_scoped_delivery_is_violation_free() {
             deliveries += 1;
         }
     }
-    assert!(deliveries >= 4, "expected several deliveries, saw {deliveries}");
+    assert!(
+        deliveries >= 4,
+        "expected several deliveries, saw {deliveries}"
+    );
     assert!(
         counts.is_clean(),
         "scoped system must satisfy all four principles: {counts}"
     );
     // And the real pool agreed with the theory on user outcomes.
     assert_eq!(report.metrics.incidental_errors_shown_to_user, 0);
+}
+
+/// The same audit, span-native: the telemetry stream recorded during the
+/// run carries every journey, and auditing it finds the same thing the
+/// trail replay does — nothing.
+#[test]
+fn recorded_spans_audit_clean_in_scoped_mode() {
+    let report = PoolBuilder::new(97)
+        .machine(MachineSpec::misconfigured("dead", 512))
+        .machine(MachineSpec::partially_misconfigured("half", 512))
+        .machine(MachineSpec::healthy("ok", 256))
+        .jobs((1..=6).map(|i| {
+            JobSpec::java(i, "ada", programs::uses_stdlib(), JavaMode::Scoped)
+                .with_exec_time(SimDuration::from_secs(30))
+        }))
+        .without_trace()
+        .run(SimTime::from_secs(24 * 3600));
+
+    let stack = java_universe_stack();
+    let counts = errorscope::audit::audit_recorded_spans(&stack, &report.telemetry);
+    assert!(counts.is_clean(), "recorded journeys violate: {counts}");
+    // With no self-test and two broken machines, journeys definitely flowed.
+    assert!(
+        !report.telemetry.spans().is_empty(),
+        "expected recorded journeys"
+    );
+    assert_eq!(report.metrics.incidental_errors_shown_to_user, 0);
+}
+
+/// The naive baseline's signature failure is *recorded* as telemetry: one
+/// P3 violation event per incidental error delivered to a user, so the
+/// damage is countable from the event stream alone.
+#[test]
+fn naive_violations_are_recorded_as_events() {
+    let report = PoolBuilder::new(98)
+        .machine(MachineSpec::misconfigured("dead", 256))
+        .machine(MachineSpec::healthy("ok", 256))
+        .schedd_policy(ScheddPolicy {
+            postmortem_delay: SimDuration::from_secs(60),
+            max_attempts: 10,
+            ..ScheddPolicy::default()
+        })
+        .jobs((1..=4).map(|i| {
+            JobSpec::java(i, "ada", programs::completes_main(), JavaMode::Naive)
+                .with_exec_time(SimDuration::from_secs(20))
+        }))
+        .without_trace()
+        .run(SimTime::from_secs(24 * 3600));
+
+    assert!(report.metrics.incidental_errors_shown_to_user > 0);
+    let by_kind = report.telemetry.counts_by_kind();
+    assert_eq!(
+        by_kind.get("violation").copied().unwrap_or(0),
+        report.metrics.incidental_errors_shown_to_user,
+        "one violation event per incidental error shown"
+    );
+    // The naive discipline records no journeys — it throws the scope
+    // information away, which is the point.
+    assert!(report.telemetry.spans().is_empty());
 }
 
 /// Principle 4 at the protocol level: the Chirp contract is concise and
