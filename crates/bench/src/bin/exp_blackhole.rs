@@ -55,6 +55,7 @@ fn pool(seed: u64, holes: usize, partial: bool, p: Policy) -> RunReport {
         .startd_policy(StartdPolicy {
             self_test: p.self_test,
             learn_from_failures: false,
+            ..StartdPolicy::default()
         })
         .schedd_policy(ScheddPolicy {
             avoid_chronic_hosts: p.avoid,

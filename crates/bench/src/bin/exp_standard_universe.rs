@@ -108,4 +108,31 @@ fn main() {
          banks every slice and converges — the reason Condor's Standard\n\
          Universe checkpoints at all."
     );
+
+    export_telemetry();
+}
+
+/// One representative run per universe at the harshest interruption cycle
+/// (600s/600s), exported to stable paths: a JSON metrics snapshot pair and
+/// the Standard run's JSONL event stream (claims, dispatches, evictions).
+fn export_telemetry() {
+    let vanilla = pool(Universe::Vanilla, 600, 600, 31);
+    let standard = pool(Universe::Standard, 600, 600, 31);
+    let snapshot = format!(
+        "{{\"vanilla\":{},\"standard\":{}}}",
+        vanilla.registry().snapshot_json(),
+        standard.registry().snapshot_json()
+    );
+    std::fs::write("BENCH_standard_universe.json", &snapshot).expect("write metrics snapshot");
+    let events = standard.telemetry.to_jsonl();
+    std::fs::write("BENCH_standard_universe.events.jsonl", &events).expect("write event stream");
+
+    // Prove both artifacts parse cleanly before anything downstream tries.
+    obs::json::parse(&snapshot).expect("metrics snapshot is valid JSON");
+    let parsed = obs::Collector::parse_jsonl(&events).expect("event stream is valid JSONL");
+    println!(
+        "\nTelemetry: BENCH_standard_universe.json (metrics snapshot) and\n\
+         BENCH_standard_universe.events.jsonl ({} events) written and re-parsed cleanly.",
+        parsed.len()
+    );
 }

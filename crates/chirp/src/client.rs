@@ -223,6 +223,34 @@ impl<T: Transport> ChirpClient<T> {
         self.finish("putfile", r)
     }
 
+    /// Store a checkpoint image under a key in one round trip.
+    pub fn put_ckpt(&mut self, key: &str, data: &[u8]) -> IoResult<u32> {
+        let r = match self.call(&Request::PutCkpt {
+            key: key.to_string(),
+            data: data.to_vec(),
+        }) {
+            Ok(Response::Written { len }) => Ok(len),
+            Ok(Response::Error(e)) => Err(self.explicit(e)),
+            Ok(other) => Err(self.protocol_surprise("put_ckpt", &other)),
+            Err(broke) => Err(broke),
+        };
+        self.finish("put_ckpt", r)
+    }
+
+    /// Fetch a checkpoint image by key. [`ChirpError::NotFound`] is the
+    /// explicit, expected answer when no checkpoint has been taken yet.
+    pub fn get_ckpt(&mut self, key: &str) -> IoResult<Vec<u8>> {
+        let r = match self.call(&Request::GetCkpt {
+            key: key.to_string(),
+        }) {
+            Ok(Response::Data { data }) => Ok(data),
+            Ok(Response::Error(e)) => Err(self.explicit(e)),
+            Ok(other) => Err(self.protocol_surprise("get_ckpt", &other)),
+            Err(broke) => Err(broke),
+        };
+        self.finish("get_ckpt", r)
+    }
+
     /// Rename a file.
     pub fn rename(&mut self, from: &str, to: &str) -> IoResult<()> {
         let r = match self.call(&Request::Rename {
@@ -512,6 +540,19 @@ mod tests {
         // Draining empties the log.
         assert!(c.take_events().is_empty());
         assert_eq!(c.events().count(), 0);
+    }
+
+    #[test]
+    fn checkpoint_round_trip_and_missing_key() {
+        let mut c = scoped(|_| {});
+        // No checkpoint yet: explicit NotFound, not an escape.
+        let err = c.get_ckpt("ckpt/job1/attempt0").unwrap_err();
+        assert_eq!(err, IoError::Explicit(ChirpError::NotFound));
+        assert!(!err.is_escape());
+        // Store and fetch.
+        let image = vec![7u8; 96];
+        assert_eq!(c.put_ckpt("ckpt/job1/attempt0", &image).unwrap(), 96);
+        assert_eq!(c.get_ckpt("ckpt/job1/attempt0").unwrap(), image);
     }
 
     #[test]

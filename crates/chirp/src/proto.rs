@@ -115,6 +115,20 @@ pub enum Request {
         /// Contents.
         data: Vec<u8>,
     },
+    /// Store a checkpoint image under an opaque key. Semantically a
+    /// `PutFile` into the checkpoint namespace, but a distinct operation so
+    /// the checkpoint server can enforce its own vocabulary and limits.
+    PutCkpt {
+        /// Checkpoint key, e.g. `ckpt/job3/attempt1`.
+        key: String,
+        /// The serialized checkpoint image bytes (opaque to the protocol).
+        data: Vec<u8>,
+    },
+    /// Fetch a previously stored checkpoint image by key.
+    GetCkpt {
+        /// Checkpoint key to fetch.
+        key: String,
+    },
 }
 
 impl Request {
@@ -131,6 +145,8 @@ impl Request {
             Request::Rename { .. } => "rename",
             Request::GetFile { .. } => "getfile",
             Request::PutFile { .. } => "putfile",
+            Request::PutCkpt { .. } => "put_ckpt",
+            Request::GetCkpt { .. } => "get_ckpt",
         }
     }
 }
@@ -254,6 +270,13 @@ pub fn explicit_errors_of(op: &str) -> Vec<ChirpError> {
         "rename" => vec![NotFound, AccessDenied, AlreadyExists],
         "getfile" => vec![NotFound, AccessDenied],
         "putfile" => vec![AccessDenied, DiskFull],
+        // Checkpoint traffic. A missing checkpoint is an ordinary explicit
+        // answer to `get_ckpt` (first attempt of a job has none); storage
+        // refusals are explicit on `put_ckpt` so the starter can fall back
+        // to non-checkpointed execution rather than treating a full disk as
+        // an environmental catastrophe.
+        "put_ckpt" => vec![AccessDenied, DiskFull],
+        "get_ckpt" => vec![NotFound, AccessDenied],
         _ => vec![],
     }
 }
@@ -263,6 +286,7 @@ pub fn explicit_errors_of(op: &str) -> Vec<ChirpError> {
 pub fn chirp_interface() -> InterfaceDecl {
     let ops = [
         "auth", "open", "read", "write", "close", "stat", "unlink", "rename", "getfile", "putfile",
+        "put_ckpt", "get_ckpt",
     ];
     let mut decl = InterfaceDecl::new("chirp");
     for op in ops {
@@ -357,5 +381,32 @@ mod tests {
             .op(),
             "rename"
         );
+        assert_eq!(
+            Request::PutCkpt {
+                key: "ckpt/job1/attempt0".into(),
+                data: vec![]
+            }
+            .op(),
+            "put_ckpt"
+        );
+        assert_eq!(
+            Request::GetCkpt {
+                key: "ckpt/job1/attempt0".into()
+            }
+            .op(),
+            "get_ckpt"
+        );
+    }
+
+    #[test]
+    fn checkpoint_vocabularies() {
+        // A first-attempt job has no checkpoint: NotFound is an ordinary
+        // explicit answer to get_ckpt, never a disconnect.
+        let v = explicit_errors_of("get_ckpt");
+        assert!(v.contains(&ChirpError::NotFound));
+        // Storing may legitimately hit a full disk.
+        let v = explicit_errors_of("put_ckpt");
+        assert!(v.contains(&ChirpError::DiskFull));
+        assert!(!v.contains(&ChirpError::NotFound));
     }
 }

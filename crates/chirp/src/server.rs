@@ -150,6 +150,8 @@ impl<B: FileBackend> ChirpServer<B> {
             Request::Rename { from, to } => self.do_rename(from, to),
             Request::GetFile { path } => self.do_getfile(path),
             Request::PutFile { path, data } => self.do_putfile(path, data),
+            Request::PutCkpt { key, data } => self.do_put_ckpt(key, data),
+            Request::GetCkpt { key } => self.do_get_ckpt(key),
         }
     }
 
@@ -271,6 +273,36 @@ impl<B: FileBackend> ChirpServer<B> {
                 len: data.len() as u32,
             }),
             Err(e) => self.map_failure("putfile", e),
+        }
+    }
+
+    fn do_put_ckpt(&mut self, key: &str, data: &[u8]) -> ServerOutcome {
+        // A checkpoint store is a truncating whole-file write under the key.
+        // The image bytes are opaque here: integrity is the *restorer's*
+        // concern (the starter validates the CRC and version before resuming),
+        // the server only promises durable bytes-in, bytes-out.
+        if let Err(e) = self.backend.create(key) {
+            return self.map_failure("put_ckpt", e);
+        }
+        match self.backend.append(key, data) {
+            Ok(()) => ServerOutcome::Reply(Response::Written {
+                len: data.len() as u32,
+            }),
+            Err(e) => self.map_failure("put_ckpt", e),
+        }
+    }
+
+    fn do_get_ckpt(&mut self, key: &str) -> ServerOutcome {
+        let size = match self.backend.size(key) {
+            Ok(n) => n,
+            Err(e) => return self.map_failure("get_ckpt", e),
+        };
+        match self
+            .backend
+            .read_at(key, 0, size.min(u64::from(u32::MAX)) as u32)
+        {
+            Ok(data) => ServerOutcome::Reply(Response::Data { data }),
+            Err(e) => self.map_failure("get_ckpt", e),
         }
     }
 
@@ -596,6 +628,65 @@ mod tests {
         let out = s.handle(&Request::PutFile {
             path: "big".into(),
             data: vec![0; 100],
+        });
+        assert_eq!(
+            out,
+            ServerOutcome::Reply(Response::Error(ChirpError::DiskFull))
+        );
+    }
+
+    #[test]
+    fn checkpoint_store_and_fetch() {
+        let mut s = server();
+        let image = vec![0xC4u8; 128];
+        let out = s.handle(&Request::PutCkpt {
+            key: "ckpt/job7/attempt0".into(),
+            data: image.clone(),
+        });
+        assert_eq!(out, ServerOutcome::Reply(Response::Written { len: 128 }));
+        let out = s.handle(&Request::GetCkpt {
+            key: "ckpt/job7/attempt0".into(),
+        });
+        assert_eq!(out, ServerOutcome::Reply(Response::Data { data: image }));
+        // Re-put truncates: a fresh checkpoint fully replaces the old one.
+        let out = s.handle(&Request::PutCkpt {
+            key: "ckpt/job7/attempt0".into(),
+            data: vec![1; 4],
+        });
+        assert_eq!(out, ServerOutcome::Reply(Response::Written { len: 4 }));
+        let out = s.handle(&Request::GetCkpt {
+            key: "ckpt/job7/attempt0".into(),
+        });
+        assert_eq!(
+            out,
+            ServerOutcome::Reply(Response::Data { data: vec![1; 4] })
+        );
+    }
+
+    #[test]
+    fn missing_checkpoint_is_explicit_not_found() {
+        // First attempt of a job: no checkpoint exists. The answer must be
+        // an in-vocabulary explicit error, never a disconnect.
+        let mut s = server();
+        let out = s.handle(&Request::GetCkpt {
+            key: "ckpt/job99/attempt0".into(),
+        });
+        assert_eq!(
+            out,
+            ServerOutcome::Reply(Response::Error(ChirpError::NotFound))
+        );
+    }
+
+    #[test]
+    fn put_ckpt_disk_full_is_explicit() {
+        let fs = MemFs::new(16);
+        let mut s = ChirpServer::new(fs, Cookie::generate(1));
+        s.handle(&Request::Auth {
+            cookie: Cookie::generate(1).as_bytes().to_vec(),
+        });
+        let out = s.handle(&Request::PutCkpt {
+            key: "ckpt/job1/attempt0".into(),
+            data: vec![0; 1024],
         });
         assert_eq!(
             out,

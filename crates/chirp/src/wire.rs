@@ -119,6 +119,15 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             put_str(&mut b, path);
             put_bytes(&mut b, data);
         }
+        Request::PutCkpt { key, data } => {
+            b.put_u8(10);
+            put_str(&mut b, key);
+            put_bytes(&mut b, data);
+        }
+        Request::GetCkpt { key } => {
+            b.put_u8(11);
+            put_str(&mut b, key);
+        }
     }
     b.to_vec()
 }
@@ -167,6 +176,14 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
             let data = get_bytes(&mut buf)?;
             Request::PutFile { path, data }
         }
+        10 => {
+            let key = get_str(&mut buf)?;
+            let data = get_bytes(&mut buf)?;
+            Request::PutCkpt { key, data }
+        }
+        11 => Request::GetCkpt {
+            key: get_str(&mut buf)?,
+        },
         t => return Err(WireError(format!("unknown request tag {t}"))),
     };
     if buf.has_remaining() {
@@ -243,14 +260,29 @@ pub fn frame(payload: &[u8]) -> Vec<u8> {
 }
 
 /// Strip one frame from the front of `stream`, if complete. Returns the
-/// payload and the number of bytes consumed.
+/// payload and the number of bytes consumed. Applies the default
+/// [`MAX_FRAME`] cap; receivers with tighter memory budgets use
+/// [`deframe_with_limit`].
 pub fn deframe(stream: &[u8]) -> Result<Option<(Vec<u8>, usize)>, WireError> {
+    deframe_with_limit(stream, MAX_FRAME)
+}
+
+/// [`deframe`] with a caller-chosen frame cap. The length prefix is checked
+/// against `limit` *before* any payload allocation, so an oversized
+/// (checkpoint-scale) frame is an explicit protocol error — the receiver
+/// hangs up — rather than an unbounded allocation.
+pub fn deframe_with_limit(
+    stream: &[u8],
+    limit: u32,
+) -> Result<Option<(Vec<u8>, usize)>, WireError> {
     if stream.len() < 4 {
         return Ok(None);
     }
     let len = u32::from_le_bytes([stream[0], stream[1], stream[2], stream[3]]);
-    if len > MAX_FRAME {
-        return Err(WireError(format!("frame of {len} bytes exceeds limit")));
+    if len > limit {
+        return Err(WireError(format!(
+            "frame of {len} bytes exceeds limit of {limit}"
+        )));
     }
     let total = 4 + len as usize;
     if stream.len() < total {
@@ -294,6 +326,13 @@ mod tests {
             Request::PutFile {
                 path: "dest.bin".into(),
                 data: vec![9; 300],
+            },
+            Request::PutCkpt {
+                key: "ckpt/job42/attempt1".into(),
+                data: vec![0xC4; 512],
+            },
+            Request::GetCkpt {
+                key: "ckpt/job42/attempt1".into(),
             },
         ]
     }
@@ -389,6 +428,25 @@ mod tests {
     fn oversized_frame_rejected() {
         let huge = (MAX_FRAME + 1).to_le_bytes();
         assert!(deframe(&huge).is_err());
+    }
+
+    #[test]
+    fn configurable_frame_limit() {
+        let payload = encode_request(&Request::PutCkpt {
+            key: "k".into(),
+            data: vec![0; 200],
+        });
+        let framed = frame(&payload);
+        // Fits under the default cap.
+        assert!(deframe(&framed).unwrap().is_some());
+        // A tighter receiver rejects the same frame explicitly, without
+        // waiting for (or allocating) the payload.
+        let err = deframe_with_limit(&framed[..4], 64).unwrap_err();
+        assert!(err.0.contains("exceeds limit of 64"));
+        // At exactly the limit it is accepted.
+        assert!(deframe_with_limit(&framed, payload.len() as u32)
+            .unwrap()
+            .is_some());
     }
 
     #[test]

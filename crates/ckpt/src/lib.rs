@@ -1,0 +1,461 @@
+//! # ckpt — the checkpoint image format
+//!
+//! Condor's answer to "an in-between scope means the job is not ruined —
+//! try another site" is checkpointing: capture the process state, move it,
+//! resume it elsewhere. This crate is the *format* half of that subsystem:
+//! a versioned, checksum-guarded serialisation of a suspended `gridvm`
+//! machine (frames, operand stack, heap, instruction and I/O cursors,
+//! buffered stdout), bound to the program image it was taken from.
+//!
+//! The format is deliberately paranoid, because a checkpoint is the one
+//! artifact whose corruption would otherwise surface as an *implicit*
+//! error inside the resumed program — wrong answers, not error messages.
+//! Per principle P2, every way a stored image can be unusable is a typed,
+//! **explicit** [`CkptError`] detected *before* resumption:
+//!
+//! * [`CkptError::BadMagic`] / [`CkptError::Truncated`] — not a checkpoint
+//!   at all, or cut short in storage or transit.
+//! * [`CkptError::ChecksumMismatch`] — bit rot; the trailing FNV-1a
+//!   checksum over the whole body does not match.
+//! * [`CkptError::VersionMismatch`] — written by a different format
+//!   revision; resuming would misinterpret the state.
+//! * [`CkptError::ImageMismatch`] — a valid checkpoint for a *different*
+//!   program image; resuming would run the wrong program from the middle.
+//!
+//! The recovery decision (discard and cold-restart) belongs to the caller;
+//! this crate only guarantees the error is explicit and early.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Leading magic bytes of every checkpoint image.
+pub const MAGIC: &[u8; 4] = b"CKP1";
+
+/// Current format version. Bump on any layout change; images written by
+/// other versions are rejected with [`CkptError::VersionMismatch`].
+pub const VERSION: u16 = 1;
+
+/// FNV-1a over a byte slice — the same integrity primitive the program
+/// image format uses, duplicated here so the format crate stays
+/// dependency-free.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One suspended call frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameState {
+    /// Index of the function being executed.
+    pub func: u32,
+    /// Program counter within that function.
+    pub pc: u32,
+    /// Local variable slots.
+    pub locals: Vec<i64>,
+}
+
+/// A complete suspended machine: everything the interpreter needs to
+/// continue exactly where it stopped.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MachineState {
+    /// FNV-1a digest of the program image bytes this state belongs to.
+    /// Restoring against a different image is [`CkptError::ImageMismatch`].
+    pub image_digest: u64,
+    /// Instructions executed so far (the fuel cursor).
+    pub instructions: u64,
+    /// I/O operations performed so far (the I/O cursor, so a resumed run
+    /// knows how much of the I/O script has already happened).
+    pub io_ops: u64,
+    /// Heap words currently allocated.
+    pub heap_words: u64,
+    /// Standard output buffered so far.
+    pub stdout: String,
+    /// The call stack, outermost first.
+    pub frames: Vec<FrameState>,
+    /// The operand stack.
+    pub stack: Vec<i64>,
+    /// The heap: arrays addressed by handle = index + 1.
+    pub heap: Vec<Vec<i64>>,
+}
+
+/// Every way a stored checkpoint can be unusable. All of these are
+/// *explicit* errors discovered before resumption (P2): none of them may
+/// surface as a crash or wrong answer inside the resumed program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CkptError {
+    /// The bytes do not begin with the checkpoint magic.
+    BadMagic,
+    /// The image ends before its declared content does.
+    Truncated,
+    /// The trailing checksum does not match the body.
+    ChecksumMismatch,
+    /// Written by a different format version.
+    VersionMismatch {
+        /// Version found in the image.
+        found: u16,
+        /// Version this code understands.
+        expected: u16,
+    },
+    /// A valid checkpoint, but for a different program image.
+    ImageMismatch {
+        /// Digest recorded in the checkpoint.
+        found: u64,
+        /// Digest of the image being resumed.
+        expected: u64,
+    },
+    /// The state decodes but is structurally impossible for the image it
+    /// claims (dangling function index, wrong local count, …). Resuming
+    /// it would crash the interpreter — an implicit error — so it is
+    /// rejected explicitly instead.
+    Malformed(String),
+}
+
+impl std::fmt::Display for CkptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CkptError::BadMagic => write!(f, "not a checkpoint image (bad magic)"),
+            CkptError::Truncated => write!(f, "checkpoint image truncated"),
+            CkptError::ChecksumMismatch => write!(f, "checkpoint image checksum mismatch"),
+            CkptError::VersionMismatch { found, expected } => write!(
+                f,
+                "checkpoint format version {found} (this system reads version {expected})"
+            ),
+            CkptError::ImageMismatch { found, expected } => write!(
+                f,
+                "checkpoint belongs to image {found:#018x}, not {expected:#018x}"
+            ),
+            CkptError::Malformed(what) => write!(f, "checkpoint state malformed: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+/// The storage key for a checkpoint: one per (job, attempt), so a retry
+/// never silently clobbers the image an earlier resume may still need.
+pub fn key(job: u64, attempt: u32) -> String {
+    format!("ckpt/job{job}/attempt{attempt}")
+}
+
+struct Reader<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CkptError> {
+        if self.pos + n > self.b.len() {
+            return Err(CkptError::Truncated);
+        }
+        let s = &self.b[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u16(&mut self) -> Result<u16, CkptError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, CkptError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, CkptError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Result<i64, CkptError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i64s(&mut self) -> Result<Vec<i64>, CkptError> {
+        let n = self.u32()? as usize;
+        let mut v = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            v.push(self.i64()?);
+        }
+        Ok(v)
+    }
+    fn str(&mut self) -> Result<String, CkptError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CkptError::Truncated)
+    }
+}
+
+fn put_i64s(out: &mut Vec<u8>, v: &[i64]) {
+    out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+    for x in v {
+        out.extend_from_slice(&x.to_le_bytes());
+    }
+}
+
+impl MachineState {
+    /// Serialise: magic, version, state, trailing FNV-1a checksum over
+    /// everything before the checksum.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.image_digest.to_le_bytes());
+        out.extend_from_slice(&self.instructions.to_le_bytes());
+        out.extend_from_slice(&self.io_ops.to_le_bytes());
+        out.extend_from_slice(&self.heap_words.to_le_bytes());
+        out.extend_from_slice(&(self.stdout.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.stdout.as_bytes());
+        out.extend_from_slice(&(self.frames.len() as u32).to_le_bytes());
+        for fr in &self.frames {
+            out.extend_from_slice(&fr.func.to_le_bytes());
+            out.extend_from_slice(&fr.pc.to_le_bytes());
+            put_i64s(&mut out, &fr.locals);
+        }
+        put_i64s(&mut out, &self.stack);
+        out.extend_from_slice(&(self.heap.len() as u32).to_le_bytes());
+        for a in &self.heap {
+            put_i64s(&mut out, a);
+        }
+        let sum = fnv1a(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Parse and integrity-check a checkpoint image. Order of checks:
+    /// magic, length, checksum, version — so a flipped bit is reported as
+    /// corruption, not misread as an older version.
+    pub fn from_bytes(bytes: &[u8]) -> Result<MachineState, CkptError> {
+        if bytes.len() < MAGIC.len() + 2 + 8 {
+            if bytes.len() >= MAGIC.len() && &bytes[..MAGIC.len()] != MAGIC {
+                return Err(CkptError::BadMagic);
+            }
+            return Err(CkptError::Truncated);
+        }
+        if &bytes[..MAGIC.len()] != MAGIC {
+            return Err(CkptError::BadMagic);
+        }
+        let (body, sum_bytes) = bytes.split_at(bytes.len() - 8);
+        let declared = u64::from_le_bytes(sum_bytes.try_into().unwrap());
+        if fnv1a(body) != declared {
+            return Err(CkptError::ChecksumMismatch);
+        }
+        let mut r = Reader {
+            b: body,
+            pos: MAGIC.len(),
+        };
+        let version = r.u16()?;
+        if version != VERSION {
+            return Err(CkptError::VersionMismatch {
+                found: version,
+                expected: VERSION,
+            });
+        }
+        let image_digest = r.u64()?;
+        let instructions = r.u64()?;
+        let io_ops = r.u64()?;
+        let heap_words = r.u64()?;
+        let stdout = r.str()?;
+        let nframes = r.u32()? as usize;
+        let mut frames = Vec::with_capacity(nframes.min(1 << 12));
+        for _ in 0..nframes {
+            let func = r.u32()?;
+            let pc = r.u32()?;
+            let locals = r.i64s()?;
+            frames.push(FrameState { func, pc, locals });
+        }
+        let stack = r.i64s()?;
+        let nheap = r.u32()? as usize;
+        let mut heap = Vec::with_capacity(nheap.min(1 << 12));
+        for _ in 0..nheap {
+            heap.push(r.i64s()?);
+        }
+        if r.pos != body.len() {
+            return Err(CkptError::Truncated);
+        }
+        Ok(MachineState {
+            image_digest,
+            instructions,
+            io_ops,
+            heap_words,
+            stdout,
+            frames,
+            stack,
+            heap,
+        })
+    }
+
+    /// Validate this state against the digest of the image about to be
+    /// resumed.
+    pub fn check_image(&self, expected_digest: u64) -> Result<(), CkptError> {
+        if self.image_digest != expected_digest {
+            return Err(CkptError::ImageMismatch {
+                found: self.image_digest,
+                expected: expected_digest,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Flip one bit of a serialised checkpoint — the fault-injection helper
+/// the corruption experiments use. Skips the magic so the damage lands in
+/// the body (and is therefore a checksum error, not a magic error).
+pub fn corrupt_bytes(bytes: &[u8], at: usize) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    if out.len() > MAGIC.len() {
+        let span = out.len() - MAGIC.len();
+        let idx = MAGIC.len() + at % span;
+        out[idx] ^= 0x10;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MachineState {
+        MachineState {
+            image_digest: 0xdead_beef_cafe_f00d,
+            instructions: 4242,
+            io_ops: 3,
+            heap_words: 7,
+            stdout: "17\n".into(),
+            frames: vec![
+                FrameState {
+                    func: 0,
+                    pc: 9,
+                    locals: vec![1, -2, 3],
+                },
+                FrameState {
+                    func: 2,
+                    pc: 0,
+                    locals: vec![],
+                },
+            ],
+            stack: vec![5, -6],
+            heap: vec![vec![0, 1, 2], vec![], vec![9, 9]],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let s = sample();
+        let bytes = s.to_bytes();
+        assert_eq!(MachineState::from_bytes(&bytes).unwrap(), s);
+    }
+
+    #[test]
+    fn empty_state_round_trips() {
+        let s = MachineState::default();
+        assert_eq!(MachineState::from_bytes(&s.to_bytes()).unwrap(), s);
+    }
+
+    #[test]
+    fn bad_magic_is_explicit() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        assert_eq!(
+            MachineState::from_bytes(&bytes).unwrap_err(),
+            CkptError::BadMagic
+        );
+        assert_eq!(
+            MachineState::from_bytes(b"XYZQ").unwrap_err(),
+            CkptError::BadMagic
+        );
+    }
+
+    #[test]
+    fn truncation_is_explicit() {
+        let bytes = sample().to_bytes();
+        assert_eq!(
+            MachineState::from_bytes(&bytes[..3]).unwrap_err(),
+            CkptError::Truncated
+        );
+        // Cutting the tail invalidates the checksum before anything else.
+        assert_eq!(
+            MachineState::from_bytes(&bytes[..bytes.len() - 1]).unwrap_err(),
+            CkptError::ChecksumMismatch
+        );
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_caught() {
+        let bytes = sample().to_bytes();
+        for at in 0..(bytes.len() - MAGIC.len()) {
+            let bad = corrupt_bytes(&bytes, at);
+            assert!(
+                MachineState::from_bytes(&bad).is_err(),
+                "flip at {at} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_explicit() {
+        // Hand-craft a v2 image with a correct checksum.
+        let mut body = Vec::new();
+        body.extend_from_slice(MAGIC);
+        body.extend_from_slice(&2u16.to_le_bytes());
+        let sum = fnv1a(&body);
+        body.extend_from_slice(&sum.to_le_bytes());
+        assert_eq!(
+            MachineState::from_bytes(&body).unwrap_err(),
+            CkptError::VersionMismatch {
+                found: 2,
+                expected: VERSION
+            }
+        );
+    }
+
+    #[test]
+    fn image_binding_is_checked() {
+        let s = sample();
+        assert!(s.check_image(0xdead_beef_cafe_f00d).is_ok());
+        assert_eq!(
+            s.check_image(1).unwrap_err(),
+            CkptError::ImageMismatch {
+                found: 0xdead_beef_cafe_f00d,
+                expected: 1
+            }
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let s = sample();
+        let mut bytes = s.to_bytes();
+        // Splice extra bytes before the checksum and re-checksum, so only
+        // the length discipline can catch it.
+        let sum_at = bytes.len() - 8;
+        bytes.truncate(sum_at);
+        bytes.extend_from_slice(&[0, 0, 0, 0]);
+        let sum = fnv1a(&bytes);
+        bytes.extend_from_slice(&sum.to_le_bytes());
+        assert!(MachineState::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn keys_are_per_job_and_attempt() {
+        assert_eq!(key(3, 0), "ckpt/job3/attempt0");
+        assert_ne!(key(3, 1), key(3, 0));
+        assert_ne!(key(4, 0), key(3, 0));
+    }
+
+    #[test]
+    fn errors_display() {
+        for e in [
+            CkptError::BadMagic,
+            CkptError::Truncated,
+            CkptError::ChecksumMismatch,
+            CkptError::VersionMismatch {
+                found: 9,
+                expected: 1,
+            },
+            CkptError::ImageMismatch {
+                found: 1,
+                expected: 2,
+            },
+            CkptError::Malformed("frame 0 references function 9".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -204,6 +204,10 @@ pub struct JobRecord {
     /// banked from evicted attempts. Vanilla/Java evictions reset to the
     /// full execution time.
     pub progress: SimDuration,
+    /// Key of the checkpoint image stored on the checkpoint server by the
+    /// most recent evicted attempt, if one exists. `None` when no server is
+    /// configured or when the last checkpoint was discarded.
+    pub ckpt_key: Option<String>,
 }
 
 impl JobRecord {
@@ -217,6 +221,7 @@ impl JobRecord {
             finished: None,
             avoid: BTreeMap::new(),
             progress: SimDuration::ZERO,
+            ckpt_key: None,
         }
     }
 

@@ -9,6 +9,8 @@
 //! * [`job`], [`machine`] — what users submit and owners contribute.
 //! * [`msg`] — the protocol messages (the arrows of Figure 1).
 //! * [`matchmaker`], [`schedd`], [`startd`] — the daemons.
+//! * [`ckptserver`] — the checkpoint server Standard-universe jobs
+//!   migrate through.
 //! * [`faults`] — the timed fault plan (crashes, file-system outages).
 //! * [`pool`] — one-stop pool assembly and run reports.
 //! * [`metrics`] — the quantities the experiments report.
@@ -35,6 +37,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod ckptserver;
 pub mod faults;
 pub mod job;
 pub mod machine;
@@ -46,12 +49,13 @@ pub mod schedd;
 pub mod startd;
 pub mod telemetry;
 
+pub use ckptserver::{CkptServer, CkptServerStats};
 pub use faults::{FaultPlan, Window};
 pub use job::{Attempt, JavaMode, JobId, JobRecord, JobSpec, JobState, Universe};
 pub use machine::MachineSpec;
 pub use matchmaker::Matchmaker;
 pub use metrics::{MachineStats, Metrics};
-pub use msg::{Activation, ExecutionReport, FsSnapshot, Msg};
+pub use msg::{Activation, CkptAttempt, ExecutionReport, FsSnapshot, Msg, ResumeInfo, StoredCkpt};
 pub use pool::{PoolBuilder, RunReport};
 pub use schedd::{Schedd, ScheddPolicy, UserEvent};
 pub use startd::{Startd, StartdPolicy};

@@ -49,6 +49,20 @@ pub struct Metrics {
     /// (microseconds in JSON).
     #[serde(rename = "work_lost_to_eviction_us", serialize_with = "as_micros")]
     pub work_lost_to_eviction: SimDuration,
+    /// Checkpoints stored on the checkpoint server.
+    pub checkpoints_taken: u64,
+    /// Attempts that successfully resumed from a stored checkpoint.
+    pub checkpoints_restored: u64,
+    /// Stored checkpoints rejected at resume time (missing, corrupt, or
+    /// version-mismatched) — each an explicit checkpoint-scope error
+    /// followed by a cold restart.
+    pub checkpoints_discarded: u64,
+    /// Total serialized size of checkpoints stored on the server.
+    pub checkpoint_bytes: u64,
+    /// Execution time that resumed attempts did not have to redo
+    /// (microseconds in JSON).
+    #[serde(rename = "work_saved_by_checkpoint_us", serialize_with = "as_micros")]
+    pub work_saved_by_checkpoint: SimDuration,
     /// CPU time spent on attempts that produced a program result
     /// (microseconds in JSON).
     #[serde(rename = "useful_cpu_us", serialize_with = "as_micros")]
@@ -120,6 +134,14 @@ impl Metrics {
             (
                 "work_lost_to_eviction_us",
                 self.work_lost_to_eviction.as_micros(),
+            ),
+            ("checkpoints_taken", self.checkpoints_taken),
+            ("checkpoints_restored", self.checkpoints_restored),
+            ("checkpoints_discarded", self.checkpoints_discarded),
+            ("checkpoint_bytes", self.checkpoint_bytes),
+            (
+                "work_saved_by_checkpoint_us",
+                self.work_saved_by_checkpoint.as_micros(),
             ),
             ("useful_cpu_us", self.useful_cpu.as_micros()),
             ("wasted_cpu_us", self.wasted_cpu.as_micros()),

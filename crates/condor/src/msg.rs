@@ -22,6 +22,16 @@ pub struct FsSnapshot {
     pub missing: Vec<String>,
 }
 
+/// Where a previous attempt left a checkpoint, shipped with the
+/// activation so the starter can try to resume instead of restarting.
+#[derive(Debug, Clone)]
+pub struct ResumeInfo {
+    /// Checkpoint-server key of the stored image.
+    pub key: String,
+    /// Execution time the checkpoint is believed to bank.
+    pub banked: SimDuration,
+}
+
 /// Everything the starter needs to run one job.
 #[derive(Debug, Clone)]
 pub struct Activation {
@@ -39,6 +49,46 @@ pub struct Activation {
     pub does_remote_io: bool,
     /// The schedd (shadow host) this claim belongs to.
     pub schedd: usize,
+    /// Which attempt this activation is (0-based).
+    pub attempt: usize,
+    /// A checkpoint from an earlier attempt to resume from, if any.
+    pub resume: Option<ResumeInfo>,
+}
+
+/// A checkpoint the starter stored on the checkpoint server during this
+/// attempt.
+#[derive(Debug, Clone)]
+pub struct StoredCkpt {
+    /// The key it was stored under.
+    pub key: String,
+    /// Size of the serialized image.
+    pub bytes: u64,
+    /// New execution time this checkpoint banks beyond what the attempt
+    /// started with (period-floored; the tail past the last periodic
+    /// checkpoint is not in the image and is lost).
+    pub banked: SimDuration,
+}
+
+/// What became of the checkpoint the activation asked the starter to
+/// resume from. Distinguishing "resumed" from "discarded" is the heart of
+/// checkpoint scope: a bad checkpoint is an explicit, recoverable error of
+/// the checkpoint layer, never an implicit crash inside the program.
+#[derive(Debug, Clone, Default)]
+pub enum CkptAttempt {
+    /// No resume was attempted (first attempt, or no server configured).
+    #[default]
+    None,
+    /// The checkpoint validated and the job resumed from it.
+    Resumed {
+        /// Execution time the resume saved (the banked progress).
+        saved: SimDuration,
+    },
+    /// The checkpoint was rejected (missing, corrupt, or mismatched) and
+    /// the starter fell back to a cold restart.
+    Discarded {
+        /// Why it was rejected.
+        reason: String,
+    },
 }
 
 /// What the starter tells the shadow when execution concludes.
@@ -76,6 +126,10 @@ pub enum ExecutionReport {
         completed: SimDuration,
         /// Whether a checkpoint was taken (Standard universe only).
         checkpointed: bool,
+        /// The checkpoint stored on the checkpoint server, when one is
+        /// configured. `checkpointed` without `stored` is the legacy
+        /// exact-banking model.
+        stored: Option<StoredCkpt>,
     },
 }
 
@@ -185,5 +239,21 @@ pub enum Msg {
         cpu: SimDuration,
         /// When execution started (for the attempt record).
         started: SimTime,
+        /// What became of the checkpoint resume, if one was attempted.
+        ckpt: CkptAttempt,
+    },
+
+    // ---- checkpoint server (chirp over the simulated network) ----
+    /// A batch of chirp frames addressed to the checkpoint server
+    /// (an AUTHENTICATE frame followed by PUT_CKPT / GET_CKPT frames).
+    CkptRequest {
+        /// The framed request bytes.
+        frames: Vec<u8>,
+    },
+    /// The checkpoint server's framed responses, one per request frame
+    /// (fewer if the server disconnected the session mid-batch).
+    CkptResponse {
+        /// The framed response bytes.
+        frames: Vec<u8>,
     },
 }

@@ -5,6 +5,7 @@
 //! returning a [`RunReport`] with the schedd's metrics, the user log, each
 //! job's attempt history, and per-machine statistics.
 
+use crate::ckptserver::{CkptServer, CkptServerStats};
 use crate::faults::FaultPlan;
 use crate::job::{JobRecord, JobSpec};
 use crate::machine::MachineSpec;
@@ -13,6 +14,7 @@ use crate::metrics::{MachineStats, Metrics};
 use crate::msg::Msg;
 use crate::schedd::{Schedd, ScheddPolicy, UserEvent};
 use crate::startd::{Startd, StartdPolicy};
+use chirp::cookie::Cookie;
 use desim::prelude::*;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -43,6 +45,8 @@ pub struct RunReport {
     pub extra_schedds: Vec<ScheddSummary>,
     /// Per-machine statistics, keyed by actor id.
     pub machines: BTreeMap<usize, MachineStats>,
+    /// The checkpoint server's traffic counters, when the pool ran one.
+    pub ckpt_server: Option<CkptServerStats>,
     /// The run's typed event stream: protocol events, remote I/O
     /// operations, and error-journey spans. Survives `without_trace()`.
     pub telemetry: obs::Collector,
@@ -148,6 +152,8 @@ pub struct PoolBuilder {
     startd_policy: StartdPolicy,
     plan: FaultPlan,
     trace: bool,
+    ckpt_server: bool,
+    ckpt_corrupt_prefixes: Vec<String>,
 }
 
 impl PoolBuilder {
@@ -163,6 +169,8 @@ impl PoolBuilder {
             startd_policy: StartdPolicy::default(),
             plan: FaultPlan::none(),
             trace: true,
+            ckpt_server: false,
+            ckpt_corrupt_prefixes: Vec::new(),
         }
     }
 
@@ -224,6 +232,23 @@ impl PoolBuilder {
         self
     }
 
+    /// Run a checkpoint server: Standard-universe evictions ship a real
+    /// checkpoint image there, and later attempts resume from it instead
+    /// of merely trusting the schedd's progress ledger.
+    pub fn with_checkpoint_server(mut self) -> PoolBuilder {
+        self.ckpt_server = true;
+        self
+    }
+
+    /// Fault injection: corrupt every checkpoint image the server stores
+    /// for `job` (primary-schedd job ids). The corruption surfaces as an
+    /// explicit discard at resume time, never as a crash in the program.
+    pub fn corrupt_checkpoints_for(mut self, job: u32) -> PoolBuilder {
+        self.ckpt_corrupt_prefixes
+            .push(format!("ckpt/job{}/", u64::from(job)));
+        self
+    }
+
     /// Disable tracing (large sweeps).
     pub fn without_trace(mut self) -> PoolBuilder {
         self.trace = false;
@@ -273,7 +298,7 @@ impl PoolBuilder {
             let s = world.get::<Startd>(id).expect("startd present");
             machines.insert(id, s.stats.clone());
         }
-        let extra_schedds = extra_ids
+        let extra_schedds: Vec<ScheddSummary> = extra_ids
             .iter()
             .map(|id| {
                 let s = world.get::<Schedd>(*id).unwrap();
@@ -285,12 +310,16 @@ impl PoolBuilder {
                 }
             })
             .collect();
+        let ckpt_server = world
+            .get::<CkptServer>(Self::FIRST_MACHINE_ID + n_machines + extra_schedds.len())
+            .map(|s| s.stats.clone());
         RunReport {
             metrics: schedd.metrics.clone(),
             user_log: schedd.user_log.clone(),
             jobs: schedd.jobs.clone(),
             extra_schedds,
             machines,
+            ckpt_server,
             telemetry: world.telemetry().clone(),
             finished_at: world.now(),
             quiescent,
@@ -320,15 +349,20 @@ impl PoolBuilder {
         let schedd_id = world.add_actor(Box::new(schedd));
         assert_eq!(schedd_id, Self::SCHEDD_ID);
 
+        // The checkpoint server (if any) registers after machines and
+        // extra schedds, so its actor id is known before the startds that
+        // must talk to it are built.
+        let ckpt = self.ckpt_server.then(|| {
+            let id = Self::FIRST_MACHINE_ID + self.machines.len() + self.extra_schedd_jobs.len();
+            (id, Cookie::generate(self.seed ^ 0xCB0B))
+        });
         let mut machine_ids = Vec::new();
         for spec in self.machines {
-            let id = world.add_actor(Box::new(Startd::new(
-                spec,
-                self.startd_policy,
-                mm,
-                Arc::clone(&plan),
-            )));
-            machine_ids.push(id);
+            let mut startd = Startd::new(spec, self.startd_policy, mm, Arc::clone(&plan));
+            if let Some((id, cookie)) = &ckpt {
+                startd = startd.with_ckpt_server(*id, cookie.clone());
+            }
+            machine_ids.push(world.add_actor(Box::new(startd)));
         }
         for jobs in self.extra_schedd_jobs {
             let mut extra = Schedd::new(mm, self.schedd_policy, Arc::clone(&plan));
@@ -336,6 +370,14 @@ impl PoolBuilder {
                 extra.submit(job);
             }
             world.add_actor(Box::new(extra));
+        }
+        if let Some((id, cookie)) = ckpt {
+            let mut server = CkptServer::new(cookie);
+            for prefix in &self.ckpt_corrupt_prefixes {
+                server = server.corrupt_key_prefix(prefix);
+            }
+            let got = world.add_actor(Box::new(server));
+            assert_eq!(got, id, "checkpoint server id precomputed wrong");
         }
         (world, schedd_id, machine_ids)
     }
@@ -483,6 +525,7 @@ mod tests {
             .startd_policy(StartdPolicy {
                 self_test: SelfTestDepth::Trivial,
                 learn_from_failures: false,
+                ..StartdPolicy::default()
             })
             .job(
                 JobSpec::java(1, "ada", programs::completes_main(), JavaMode::Scoped)
@@ -601,6 +644,39 @@ mod tests {
     }
 
     #[test]
+    fn job_parks_exactly_at_the_attempt_budget() {
+        // The reschedule_or_hold boundary: with a budget of N, the job runs
+        // exactly N attempts — not N-1 (parked early) and not N+1 (budget
+        // overrun) — and the hold reason states the count.
+        for max_attempts in [1u32, 3] {
+            let report = PoolBuilder::new(13)
+                .machine(MachineSpec::misconfigured("b1", 256))
+                .schedd_policy(ScheddPolicy {
+                    max_attempts,
+                    retry_delay: SimDuration::from_secs(5),
+                    ..ScheddPolicy::default()
+                })
+                .job(JobSpec::java(
+                    1,
+                    "ada",
+                    programs::completes_main(),
+                    JavaMode::Scoped,
+                ))
+                .run(deadline());
+            let rec = &report.jobs[&1];
+            assert_eq!(
+                rec.attempts.len(),
+                max_attempts as usize,
+                "budget {max_attempts}: attempts must equal the budget"
+            );
+            let JobState::Held { reason } = &rec.state else {
+                panic!("budget {max_attempts}: job must be held, got {rec:?}");
+            };
+            assert!(reason.contains(&format!("{max_attempts} failed attempts")));
+        }
+    }
+
+    #[test]
     fn chronic_host_avoidance_reduces_repeat_failures() {
         // One black hole and one healthy machine, many jobs. With
         // avoidance on, the black hole is consulted at most `threshold`
@@ -651,6 +727,7 @@ mod tests {
                 self_test: SelfTestDepth::Trivial,
                 // …but the starter learns from the remote-resource failure.
                 learn_from_failures: true,
+                ..StartdPolicy::default()
             })
             .jobs((1..=3).map(|i| {
                 JobSpec::java(i, "ada", programs::uses_stdlib(), JavaMode::Scoped)
@@ -800,6 +877,153 @@ mod eviction_tests {
         assert_eq!(report.metrics.jobs_completed, 1, "{:?}", report.jobs[&1]);
         assert!(report.metrics.evictions >= 2);
         assert!(report.metrics.checkpointed_work >= SimDuration::from_secs(300));
+    }
+}
+
+#[cfg(test)]
+mod ckpt_server_tests {
+    use super::*;
+    use crate::faults::Window;
+    use crate::job::{JavaMode, JobSpec, JobState, Universe};
+    use gridvm::programs;
+
+    fn standard_job(secs: u64) -> JobSpec {
+        JobSpec {
+            universe: Universe::Standard,
+            ..JobSpec::java(1, "ada", programs::calls_exit(0), JavaMode::Scoped)
+                .with_exec_time(SimDuration::from_secs(secs))
+        }
+    }
+
+    /// One machine with a mid-run owner-activity window plus a backup
+    /// machine, and a real checkpoint server in the pool.
+    fn server_pool(seed: u64) -> PoolBuilder {
+        PoolBuilder::new(seed)
+            .machine(MachineSpec::healthy("interrupted", 1024))
+            .machine(MachineSpec::healthy("backup", 128))
+            .with_checkpoint_server()
+            .faults(FaultPlan::none().owner_activity(
+                PoolBuilder::FIRST_MACHINE_ID,
+                Window::new(SimTime::from_secs(300), SimTime::from_secs(4000)),
+            ))
+            .job(standard_job(600))
+    }
+
+    #[test]
+    fn server_eviction_stores_and_resumes_checkpoint() {
+        let report = server_pool(31).run(SimTime::from_secs(24 * 3600));
+        assert_eq!(report.metrics.jobs_completed, 1, "{:?}", report.jobs[&1]);
+        assert!(report.metrics.evictions >= 1);
+        // A real image went over the wire and came back.
+        assert!(report.metrics.checkpoints_taken >= 1);
+        assert!(report.metrics.checkpoints_restored >= 1);
+        assert!(report.metrics.checkpoint_bytes > 0);
+        assert!(report.metrics.work_saved_by_checkpoint > SimDuration::ZERO);
+        // Exact checkpointing (no period) banks everything at eviction.
+        assert_eq!(report.metrics.work_lost_to_eviction, SimDuration::ZERO);
+        let stats = report.ckpt_server.as_ref().expect("server stats");
+        assert!(stats.puts >= 1 && stats.gets >= 1);
+        assert!(stats.bytes_stored > 0);
+        assert_eq!(stats.rejected_frames, 0);
+        // The typed event stream saw the whole journey.
+        let counts = report.telemetry.counts_by_kind();
+        assert!(counts.get("ckpt-taken").copied().unwrap_or(0) >= 1);
+        assert!(counts.get("ckpt-restored").copied().unwrap_or(0) >= 1);
+        assert!(!counts.contains_key("ckpt-discarded"));
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_discarded_and_job_cold_restarts() {
+        // The server flips bits in every image stored for job 1: the resume
+        // must fail as an *explicit* checkpoint-scope error (discard event),
+        // never an implicit crash, and the job must still complete from a
+        // cold restart.
+        let report = server_pool(32)
+            .corrupt_checkpoints_for(1)
+            .run(SimTime::from_secs(48 * 3600));
+        assert_eq!(report.metrics.jobs_completed, 1, "{:?}", report.jobs[&1]);
+        assert!(report.metrics.checkpoints_taken >= 1);
+        assert!(report.metrics.checkpoints_discarded >= 1);
+        assert_eq!(report.metrics.checkpoints_restored, 0);
+        // The banked progress evaporated with the discarded image.
+        assert!(report.metrics.work_lost_to_eviction > SimDuration::ZERO);
+        let counts = report.telemetry.counts_by_kind();
+        assert!(counts.get("ckpt-discarded").copied().unwrap_or(0) >= 1);
+        // The discard is recorded in the job history, and the job finished.
+        let rec = &report.jobs[&1];
+        assert!(matches!(rec.state, JobState::Completed { .. }));
+        assert!(rec.attempts.iter().any(|a| a.note.contains("discarded")));
+    }
+
+    #[test]
+    fn periodic_checkpointing_loses_only_the_tail() {
+        // With a 240s checkpoint period and eviction at 300s, only the
+        // floored 240s is in the image; the 60s tail is honestly lost.
+        let report = server_pool(33)
+            .startd_policy(StartdPolicy {
+                ckpt_period: Some(SimDuration::from_secs(240)),
+                ..StartdPolicy::default()
+            })
+            .run(SimTime::from_secs(24 * 3600));
+        assert_eq!(report.metrics.jobs_completed, 1, "{:?}", report.jobs[&1]);
+        assert!(report.metrics.checkpoints_taken >= 1);
+        assert!(report.metrics.checkpoints_restored >= 1);
+        assert!(
+            report.metrics.work_lost_to_eviction > SimDuration::ZERO,
+            "period flooring must lose the tail past the last checkpoint"
+        );
+        assert_eq!(
+            report.metrics.checkpointed_work.as_micros() % SimDuration::from_secs(240).as_micros(),
+            0,
+            "banked progress is a multiple of the checkpoint period"
+        );
+    }
+
+    #[test]
+    fn checkpoint_resumes_count_toward_the_attempt_budget() {
+        // Resuming from a checkpoint is still a fresh attempt against the
+        // budget: a job that keeps getting evicted parks at max_attempts
+        // even though later attempts resumed banked progress.
+        let mut plan = FaultPlan::none();
+        for k in 0..30 {
+            let start = 200 + k * 400;
+            plan = plan.owner_activity(
+                PoolBuilder::FIRST_MACHINE_ID,
+                Window::new(SimTime::from_secs(start), SimTime::from_secs(start + 200)),
+            );
+        }
+        let report = PoolBuilder::new(35)
+            .machine(MachineSpec::healthy("flaky-owner", 1024))
+            .with_checkpoint_server()
+            .schedd_policy(ScheddPolicy {
+                max_attempts: 3,
+                ..ScheddPolicy::default()
+            })
+            .faults(plan)
+            .job(standard_job(5000))
+            .run(SimTime::from_secs(48 * 3600));
+        let rec = &report.jobs[&1];
+        assert!(
+            matches!(rec.state, JobState::Held { .. }),
+            "a 5000s job cannot fit in 3 eviction-bounded attempts: {rec:?}"
+        );
+        assert_eq!(rec.attempts.len(), 3, "parks exactly at the budget");
+        assert!(
+            report.metrics.checkpoints_restored >= 1,
+            "later attempts resumed from checkpoints yet still counted"
+        );
+        assert!(report.metrics.work_saved_by_checkpoint > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn server_mode_is_deterministic() {
+        let run = || server_pool(34).run(SimTime::from_secs(24 * 3600));
+        let a = run();
+        let b = run();
+        assert_eq!(a.metrics.checkpoints_taken, b.metrics.checkpoints_taken);
+        assert_eq!(a.metrics.checkpoint_bytes, b.metrics.checkpoint_bytes);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.finished_at, b.finished_at);
     }
 }
 

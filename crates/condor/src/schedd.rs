@@ -14,7 +14,7 @@
 use crate::faults::FaultPlan;
 use crate::job::{Attempt, JobId, JobRecord, JobSpec, JobState};
 use crate::metrics::Metrics;
-use crate::msg::{Activation, ExecutionReport, FsSnapshot, Msg};
+use crate::msg::{Activation, CkptAttempt, ExecutionReport, FsSnapshot, Msg, ResumeInfo};
 use desim::prelude::*;
 use errorscope::propagate::Disposition;
 use errorscope::resultfile::{Outcome, ResultFile};
@@ -293,6 +293,13 @@ impl Actor<Msg> for Schedd {
                 };
                 rec.state = JobState::Running { machine };
                 let attempt_no = rec.attempts.len();
+                // A stored checkpoint from an earlier attempt: ask the
+                // starter to resume from it.
+                let resume = rec.ckpt_key.clone().map(|key| ResumeInfo {
+                    key,
+                    banked: rec.progress,
+                });
+                let resuming = resume.is_some();
                 let snapshot = self.snapshot_for(&spec);
                 ctx.trace(format!("shadow activating job {job} on machine {machine}"));
                 ctx.emit(obs::Event::Dispatch {
@@ -309,9 +316,16 @@ impl Actor<Msg> for Schedd {
                         exec_time: remaining,
                         does_remote_io: spec.does_remote_io,
                         schedd: ctx.self_id,
+                        attempt: attempt_no,
+                        resume,
                     })),
                 );
-                let deadline = remaining + remaining + self.policy.report_slack;
+                // A resumed attempt may discard its checkpoint and cold-
+                // restart, owing the full execution time again — give the
+                // shadow timeout room for that before declaring the
+                // attempt vanished.
+                let budget = if resuming { spec.exec_time } else { remaining };
+                let deadline = budget + budget + self.policy.report_slack;
                 ctx.send_self_after(
                     deadline,
                     Msg::ReportTimeout {
@@ -358,8 +372,9 @@ impl Actor<Msg> for Schedd {
                 report,
                 cpu,
                 started,
+                ckpt,
             } => {
-                self.handle_report(job, from, report, cpu, started, ctx);
+                self.handle_report(job, from, report, cpu, started, ckpt, ctx);
             }
 
             Msg::ReportTimeout {
@@ -450,6 +465,7 @@ impl Schedd {
         report: ExecutionReport,
         cpu: SimDuration,
         started: SimTime,
+        ckpt: CkptAttempt,
         ctx: &mut Context<'_, Msg>,
     ) {
         let Some(rec) = self.jobs.get(&job) else {
@@ -459,31 +475,71 @@ impl Schedd {
             return; // late report after a timeout already acted
         }
 
+        // Settle the attempt's checkpoint-resume outcome first: it adjusts
+        // the banked progress the report's own accounting builds on.
+        let ckpt_note = match ckpt {
+            CkptAttempt::None => None,
+            CkptAttempt::Resumed { saved } => {
+                self.metrics.checkpoints_restored += 1;
+                self.metrics.work_saved_by_checkpoint += saved;
+                Some(format!("resumed from checkpoint ({saved} saved)"))
+            }
+            CkptAttempt::Discarded { reason } => {
+                // An explicit checkpoint-scope error: the image (and the
+                // progress it banked) is gone, and the attempt cold-
+                // restarted from zero.
+                self.metrics.checkpoints_discarded += 1;
+                let rec = self.jobs.get_mut(&job).unwrap();
+                self.metrics.work_lost_to_eviction += rec.progress;
+                rec.progress = SimDuration::ZERO;
+                rec.ckpt_key = None;
+                ctx.trace(format!("job {job} discarded its checkpoint: {reason}"));
+                Some(format!("checkpoint discarded ({reason}); cold-restarted"))
+            }
+        };
+        let attempts_before = self.jobs[&job].attempts.len();
+
         match report {
             // ---- owner reclaimed the machine: not an error at all ----
             ExecutionReport::Evicted {
                 completed,
                 checkpointed,
+                stored,
             } => {
                 self.metrics.evictions += 1;
                 let rec = self.jobs.get_mut(&job).unwrap();
-                if checkpointed {
+                let note = if let Some(s) = stored {
+                    // Checkpoint-server mode: bank exactly what the stored
+                    // image preserves; the tail past the last periodic
+                    // checkpoint is lost.
+                    rec.progress += s.banked;
+                    rec.ckpt_key = Some(s.key);
+                    self.metrics.checkpointed_work += s.banked;
+                    let lost = SimDuration::from_micros(
+                        completed.as_micros().saturating_sub(s.banked.as_micros()),
+                    );
+                    self.metrics.work_lost_to_eviction += lost;
+                    self.metrics.checkpoints_taken += 1;
+                    self.metrics.checkpoint_bytes += s.bytes;
+                    format!(
+                        "evicted by owner; checkpointed {} of work ({lost} lost)",
+                        s.banked
+                    )
+                } else if checkpointed {
                     rec.progress += completed;
                     self.metrics.checkpointed_work += completed;
+                    format!("evicted by owner; checkpointed {completed} of work")
                 } else {
                     self.metrics.work_lost_to_eviction += completed;
-                }
+                    format!("evicted by owner; {completed} of work lost")
+                };
                 let rec = self.jobs.get_mut(&job).unwrap();
                 rec.attempts.push(Attempt {
                     machine,
                     started,
                     ended: ctx.now,
                     scope: None,
-                    note: if checkpointed {
-                        format!("evicted by owner; checkpointed {completed} of work")
-                    } else {
-                        format!("evicted by owner; {completed} of work lost")
-                    },
+                    note,
                 });
                 ctx.trace(format!("job {job} evicted from machine {machine}"));
                 // Owner policy, not a chronic failure: reschedule without
@@ -625,6 +681,15 @@ impl Schedd {
                         self.reschedule_or_hold(job, delay, ctx);
                     }
                 }
+            }
+        }
+
+        // Fold the checkpoint-resume outcome into the attempt record so the
+        // job history shows "resumed" / "discarded" alongside the verdict.
+        if let Some(prefix) = ckpt_note {
+            let rec = self.jobs.get_mut(&job).unwrap();
+            if let Some(att) = rec.attempts.get_mut(attempts_before) {
+                att.note = format!("{prefix}; {}", att.note);
             }
         }
     }

@@ -20,12 +20,14 @@ use crate::faults::FaultPlan;
 use crate::job::Universe;
 use crate::machine::MachineSpec;
 use crate::metrics::MachineStats;
-use crate::msg::{Activation, ExecutionReport, Msg};
+use crate::msg::{Activation, CkptAttempt, ExecutionReport, Msg, StoredCkpt};
 use chirp::backend::MemFs;
 use chirp::client::{ChirpClient, ClientDiscipline};
 use chirp::cookie::Cookie;
 use chirp::server::{ChirpServer, ErrorDiscipline};
 use chirp::transport::DirectTransport;
+use chirp::wire;
+use chirp::{Request, Response};
 use classads::matchmaking::requirements_met;
 use desim::prelude::*;
 use errorscope::error::codes;
@@ -54,6 +56,12 @@ pub struct StartdPolicy {
     /// capability (the "complementary approach" applied at the execution
     /// side).
     pub learn_from_failures: bool,
+    /// Periodic-checkpoint interval for Standard-universe jobs when a
+    /// checkpoint server is configured: banked progress is floored to the
+    /// last period boundary (the work since the last periodic checkpoint
+    /// is lost at eviction). `None` checkpoints exactly at the eviction
+    /// instant.
+    pub ckpt_period: Option<SimDuration>,
 }
 
 impl Default for StartdPolicy {
@@ -61,8 +69,17 @@ impl Default for StartdPolicy {
         StartdPolicy {
             self_test: SelfTestDepth::None,
             learn_from_failures: false,
+            ckpt_period: None,
         }
     }
+}
+
+/// A checkpoint image built at eviction time, awaiting shipment to the
+/// checkpoint server when the starter winds down.
+struct PendingPut {
+    key: String,
+    image: Vec<u8>,
+    banked: SimDuration,
 }
 
 enum State {
@@ -71,12 +88,21 @@ enum State {
         schedd: ActorId,
         job: u32,
     },
+    /// Fetching a stored checkpoint from the checkpoint server before
+    /// starting a resumed activation.
+    AwaitCkpt {
+        schedd: ActorId,
+        act: Box<Activation>,
+        since: SimTime,
+    },
     Running {
         schedd: ActorId,
         job: u32,
         started: SimTime,
-        report: ExecutionReport,
+        report: Box<ExecutionReport>,
         cpu: SimDuration,
+        ckpt: CkptAttempt,
+        pending_put: Option<PendingPut>,
     },
 }
 
@@ -88,6 +114,9 @@ pub struct Startd {
     plan: Arc<FaultPlan>,
     state: State,
     advertising_java: bool,
+    /// The checkpoint server to migrate Standard-universe jobs through,
+    /// if the pool runs one.
+    ckpt_server: Option<(ActorId, Cookie)>,
     /// This actor's id, learned from the context (used as the fault-plan
     /// key).
     stats_id: usize,
@@ -114,9 +143,16 @@ impl Startd {
             plan,
             state: State::Free,
             advertising_java: false,
+            ckpt_server: None,
             stats_id: usize::MAX,
             stats,
         }
+    }
+
+    /// Point this startd at the pool's checkpoint server (builder style).
+    pub fn with_ckpt_server(mut self, server: ActorId, cookie: Cookie) -> Startd {
+        self.ckpt_server = Some((server, cookie));
+        self
     }
 
     /// Is the machine currently advertising Java capability?
@@ -155,6 +191,24 @@ impl Actor<Msg> for Startd {
                     // Crash wipes any in-flight work; the shadow's timeout
                     // is what notices.
                     self.state = State::Free;
+                } else if matches!(&self.state, State::AwaitCkpt { since, .. }
+                    if ctx.now.since(*since) >= ADVERTISE_PERIOD)
+                {
+                    // The checkpoint fetch never answered (lost on the
+                    // network, or the server is gone). An unreachable
+                    // checkpoint is the same explicit error as a corrupt
+                    // one: discard and cold-restart.
+                    let State::AwaitCkpt { schedd, act, .. } =
+                        std::mem::replace(&mut self.state, State::Free)
+                    else {
+                        unreachable!()
+                    };
+                    self.discard_and_restart(
+                        schedd,
+                        act,
+                        "checkpoint server unreachable".to_string(),
+                        ctx,
+                    );
                 } else if self.plan.owner_busy_at(ctx.self_id, ctx.now) {
                     // The owner is using the machine: withdraw from the
                     // pool (an already-running job was evicted at the
@@ -222,39 +276,74 @@ impl Actor<Msg> for Startd {
                 if schedd != from || act.job != job || self.crashed(ctx.now) {
                     return;
                 }
-                let (mut report, mut cpu) = self.execute(&act, ctx);
-                // Owner reclamation: if the owner returns before the run
-                // finishes, the job is evicted at that instant. Standard-
-                // universe jobs are checkpointed first (§2.1); everyone
-                // else loses the partial work.
-                let t_done = ctx.now + cpu;
-                if let Some(evict_at) = self.plan.owner_returns_during(ctx.self_id, ctx.now, t_done)
+                if let (Universe::Standard, Some(resume), Some((server, cookie))) =
+                    (&act.universe, &act.resume, &self.ckpt_server)
                 {
-                    let completed = evict_at - ctx.now;
-                    let checkpointed = matches!(act.universe, Universe::Standard);
-                    ctx.trace(format!(
-                        "owner returning at {evict_at}; job {job} will be evicted{}",
-                        if checkpointed { " (checkpointing)" } else { "" }
-                    ));
-                    report = ExecutionReport::Evicted {
-                        completed,
-                        checkpointed,
+                    // A previous attempt left a checkpoint: fetch it
+                    // before deciding how the run starts.
+                    let server = *server;
+                    let mut frames = wire::frame(&wire::encode_request(&Request::Auth {
+                        cookie: cookie.as_bytes().to_vec(),
+                    }));
+                    frames.extend_from_slice(&wire::frame(&wire::encode_request(
+                        &Request::GetCkpt {
+                            key: resume.key.clone(),
+                        },
+                    )));
+                    ctx.trace(format!("fetching checkpoint for job {job}"));
+                    self.state = State::AwaitCkpt {
+                        schedd,
+                        act,
+                        since: ctx.now,
                     };
-                    cpu = completed;
+                    ctx.send_net(server, Msg::CkptRequest { frames });
+                    return;
                 }
-                ctx.trace(format!("starter running job {job}"));
-                self.state = State::Running {
-                    schedd,
-                    job,
-                    started: ctx.now,
-                    report,
-                    cpu,
+                self.activate(schedd, act, None, CkptAttempt::None, SimDuration::ZERO, ctx);
+            }
+            Msg::CkptResponse { frames } => {
+                if !matches!(self.state, State::AwaitCkpt { .. }) {
+                    return; // stale response (e.g. the ack of a PUT)
+                }
+                if self.crashed(ctx.now) {
+                    self.state = State::Free;
+                    return;
+                }
+                let State::AwaitCkpt { schedd, act, .. } =
+                    std::mem::replace(&mut self.state, State::Free)
+                else {
+                    unreachable!()
                 };
-                ctx.send_self_after(cpu, Msg::ExecutionComplete { job });
+                let banked = act
+                    .resume
+                    .as_ref()
+                    .map(|r| r.banked)
+                    .unwrap_or(SimDuration::ZERO);
+                match self.validate_ckpt(&frames, &act) {
+                    Ok(machine) => {
+                        ctx.emit(obs::Event::CheckpointRestored {
+                            job: u64::from(act.job),
+                            machine: ctx.self_id as u64,
+                            saved_us: banked.as_micros(),
+                        });
+                        ctx.trace(format!(
+                            "job {} resumed from checkpoint ({banked} banked)",
+                            act.job
+                        ));
+                        self.activate(
+                            schedd,
+                            act,
+                            Some(machine),
+                            CkptAttempt::Resumed { saved: banked },
+                            banked,
+                            ctx,
+                        );
+                    }
+                    Err(reason) => self.discard_and_restart(schedd, act, reason, ctx),
+                }
             }
             Msg::ExecutionComplete { job } => {
                 let State::Running {
-                    schedd,
                     job: running,
                     started,
                     ..
@@ -274,22 +363,46 @@ impl Actor<Msg> for Startd {
                     return;
                 }
                 let State::Running {
+                    schedd,
                     report,
                     cpu,
                     started,
+                    ckpt,
+                    pending_put,
                     ..
                 } = std::mem::replace(&mut self.state, State::Free)
                 else {
                     unreachable!()
                 };
+                if let Some(put) = pending_put {
+                    if let Some((server, cookie)) = self.ckpt_server.clone() {
+                        ctx.emit(obs::Event::CheckpointTaken {
+                            job: u64::from(job),
+                            machine: ctx.self_id as u64,
+                            bytes: put.image.len() as u64,
+                            banked_us: put.banked.as_micros(),
+                        });
+                        let mut frames = wire::frame(&wire::encode_request(&Request::Auth {
+                            cookie: cookie.as_bytes().to_vec(),
+                        }));
+                        frames.extend_from_slice(&wire::frame(&wire::encode_request(
+                            &Request::PutCkpt {
+                                key: put.key,
+                                data: put.image,
+                            },
+                        )));
+                        ctx.send_net(server, Msg::CkptRequest { frames });
+                    }
+                }
                 ctx.trace(format!("report for job {job}"));
                 ctx.send_net(
                     schedd,
                     Msg::StarterReport {
                         job,
-                        report,
+                        report: *report,
                         cpu,
                         started,
+                        ckpt,
                     },
                 );
             }
@@ -306,6 +419,207 @@ impl Actor<Msg> for Startd {
 }
 
 impl Startd {
+    /// Start (or resume) an activated claim: run the starter, precompute
+    /// an owner eviction — building the checkpoint image to ship if a
+    /// checkpoint server is configured — and settle into `Running`.
+    ///
+    /// `banked_prev` is the execution time a successful resume recovered
+    /// (zero for cold starts); `act.exec_time` is the time still owed.
+    fn activate(
+        &mut self,
+        schedd: ActorId,
+        act: Box<Activation>,
+        resumed: Option<gridvm::Machine>,
+        ckpt: CkptAttempt,
+        banked_prev: SimDuration,
+        ctx: &mut Context<'_, Msg>,
+    ) {
+        let job = act.job;
+        let (mut report, mut cpu) = match resumed {
+            Some(mut m) => {
+                // Run the restored interpreter to completion for the true
+                // result — the resumed program picks up mid-execution and
+                // never observes that it migrated.
+                self.stats.executions += 1;
+                let image = gridvm::ProgramImage::from_bytes(&act.image)
+                    .expect("image validated during checkpoint restore");
+                let out = m
+                    .run(&image, &self.spec.installation, &mut NoIo, None)
+                    .expect("unbudgeted run always terminates");
+                self.finish(out.termination, out.stdout, out.instructions, &act)
+            }
+            None => self.execute(&act, ctx),
+        };
+        // Owner reclamation: if the owner returns before the run finishes,
+        // the job is evicted at that instant. Standard-universe jobs are
+        // checkpointed first (§2.1); everyone else loses the partial work.
+        let mut pending_put = None;
+        let t_done = ctx.now + cpu;
+        if let Some(evict_at) = self.plan.owner_returns_during(ctx.self_id, ctx.now, t_done) {
+            let elapsed = evict_at - ctx.now;
+            let mut checkpointed = matches!(act.universe, Universe::Standard);
+            let mut stored = None;
+            if checkpointed && self.ckpt_server.is_some() {
+                // Server mode: "checkpointed" means an image actually gets
+                // shipped, and the banked progress is floored to the
+                // periodic-checkpoint boundary — the work since the last
+                // periodic checkpoint is lost.
+                let full = act.exec_time + banked_prev;
+                let cumulative = banked_prev + elapsed;
+                let banked_cum = match self.policy.ckpt_period {
+                    Some(p) if p.as_micros() > 0 => SimDuration::from_micros(
+                        cumulative.as_micros() / p.as_micros() * p.as_micros(),
+                    ),
+                    _ => cumulative,
+                };
+                let banked_new = SimDuration::from_micros(
+                    banked_cum
+                        .as_micros()
+                        .saturating_sub(banked_prev.as_micros()),
+                );
+                if banked_cum > SimDuration::ZERO {
+                    if let Some(image) = self.build_ckpt(&act, full, banked_cum) {
+                        let key = ckpt::key(u64::from(job), act.attempt as u32);
+                        stored = Some(StoredCkpt {
+                            key: key.clone(),
+                            bytes: image.len() as u64,
+                            banked: banked_new,
+                        });
+                        pending_put = Some(PendingPut {
+                            key,
+                            image,
+                            banked: banked_cum,
+                        });
+                    }
+                }
+                checkpointed = stored.is_some();
+            }
+            ctx.trace(format!(
+                "owner returning at {evict_at}; job {job} will be evicted{}",
+                if checkpointed { " (checkpointing)" } else { "" }
+            ));
+            report = ExecutionReport::Evicted {
+                completed: elapsed,
+                checkpointed,
+                stored,
+            };
+            cpu = elapsed;
+        }
+        ctx.trace(format!("starter running job {job}"));
+        self.state = State::Running {
+            schedd,
+            job,
+            started: ctx.now,
+            report: Box::new(report),
+            cpu,
+            ckpt,
+            pending_put,
+        };
+        ctx.send_self_after(cpu, Msg::ExecutionComplete { job });
+    }
+
+    /// The resume failed: the checkpoint is explicitly discarded and the
+    /// activation falls back to a cold restart, owing the full execution
+    /// time again. This is checkpoint scope in action (P1/P2): the bad
+    /// image is caught at the checkpoint layer and never reaches the
+    /// program.
+    fn discard_and_restart(
+        &mut self,
+        schedd: ActorId,
+        mut act: Box<Activation>,
+        reason: String,
+        ctx: &mut Context<'_, Msg>,
+    ) {
+        let banked = act
+            .resume
+            .as_ref()
+            .map(|r| r.banked)
+            .unwrap_or(SimDuration::ZERO);
+        ctx.emit(obs::Event::CheckpointDiscarded {
+            job: u64::from(act.job),
+            machine: ctx.self_id as u64,
+            reason: reason.clone(),
+        });
+        ctx.trace(format!(
+            "checkpoint for job {} discarded ({reason}); cold restart",
+            act.job
+        ));
+        // The banked work is gone: the cold restart redoes it.
+        act.exec_time += banked;
+        act.resume = None;
+        self.activate(
+            schedd,
+            act,
+            None,
+            CkptAttempt::Discarded { reason },
+            SimDuration::ZERO,
+            ctx,
+        );
+    }
+
+    /// Decode the checkpoint server's response frames and rebuild the
+    /// suspended machine. Every failure mode — transport, protocol, image
+    /// integrity, state validation — comes back as a reason string; none
+    /// of them can reach the resumed program.
+    fn validate_ckpt(&self, frames: &[u8], act: &Activation) -> Result<gridvm::Machine, String> {
+        let mut rest = frames;
+        let mut last = None;
+        loop {
+            match wire::deframe(rest) {
+                Ok(Some((payload, consumed))) => {
+                    rest = &rest[consumed..];
+                    match wire::decode_response(&payload) {
+                        Ok(r) => last = Some(r),
+                        Err(e) => return Err(format!("undecodable server response: {e}")),
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => return Err(format!("bad response frame: {e}")),
+            }
+        }
+        // The last response answers the GET (the first is the auth ack).
+        let data = match last {
+            Some(Response::Data { data }) => data,
+            Some(Response::Error(e)) => return Err(format!("server error: {e}")),
+            Some(other) => return Err(format!("unexpected server response: {other:?}")),
+            None => return Err("empty response from checkpoint server".to_string()),
+        };
+        let state = ckpt::MachineState::from_bytes(&data).map_err(|e| e.to_string())?;
+        let image = gridvm::ProgramImage::from_bytes(&act.image)
+            .map_err(|e| format!("program image: {e:?}"))?;
+        gridvm::Machine::restore(state, &image, ckpt::fnv1a(&act.image)).map_err(|e| e.to_string())
+    }
+
+    /// Build the checkpoint image for an eviction: run a fresh machine for
+    /// the banked fraction of the program's total instructions and
+    /// serialize the suspended state. `None` means nothing worth storing
+    /// (no progress, an undecodable image, or a program that finished
+    /// within the budget).
+    fn build_ckpt(
+        &self,
+        act: &Activation,
+        full: SimDuration,
+        banked: SimDuration,
+    ) -> Option<Vec<u8>> {
+        if banked.as_micros() == 0 || full.as_micros() == 0 {
+            return None;
+        }
+        let image = gridvm::ProgramImage::from_bytes(&act.image).ok()?;
+        let (_exit, out) = run_naive(&act.image, &self.spec.installation, &mut NoIo);
+        if out.instructions == 0 {
+            return None;
+        }
+        let budget = (u128::from(out.instructions) * u128::from(banked.as_micros())
+            / u128::from(full.as_micros())) as u64;
+        let mut m = gridvm::Machine::new(&image);
+        if m.run(&image, &self.spec.installation, &mut NoIo, Some(budget))
+            .is_some()
+        {
+            return None; // finished inside the budget: nothing to resume
+        }
+        Some(m.snapshot(ckpt::fnv1a(&act.image)).to_bytes())
+    }
+
     fn emit_claim(&self, ctx: &mut Context<'_, Msg>, job: u32, outcome: obs::ClaimOutcome) {
         ctx.emit(obs::Event::Claim {
             job: u64::from(job),

@@ -70,6 +70,7 @@ fn stale_claim_messages_are_ignored() {
             },
             cpu: SimDuration::from_secs(1),
             started: SimTime::ZERO,
+            ckpt: condor::CkptAttempt::None,
         },
     );
     world.run_until(SimTime::from_secs(600));
@@ -95,6 +96,8 @@ fn stale_activations_do_not_run_jobs() {
             exec_time: SimDuration::from_secs(10),
             does_remote_io: false,
             schedd: 1,
+            attempt: 0,
+            resume: None,
         })),
     );
     world.run_until(SimTime::from_secs(300));

@@ -46,7 +46,7 @@ pub use config::{self_test, InstallHealth, Installation, SelfTestDepth};
 pub use image::{Function, ImageError, ProgramImage};
 pub use isa::{Instr, IoMode};
 pub use jvmio::{ChirpJobIo, IoOutcome, JobIo, NoIo};
-pub use machine::{execute, load_and_run, RunOutput, Termination};
+pub use machine::{execute, load_and_run, Machine, RunOutput, Termination};
 pub use verify::{verify, VerifyError};
 pub use wrapper::{classify, run_naive, run_wrapped, NaiveExit, WrappedRun};
 

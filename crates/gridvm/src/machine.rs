@@ -119,345 +119,490 @@ pub fn load_and_run(image_bytes: &[u8], install: &Installation, io: &mut dyn Job
     execute(&image, install, io)
 }
 
+#[derive(Debug)]
 struct Frame {
     func: usize,
     pc: usize,
     locals: Vec<i64>,
 }
 
-/// Execute a loaded, verified image.
+/// Execute a loaded, verified image from the beginning to termination.
 pub fn execute(image: &ProgramImage, install: &Installation, io: &mut dyn JobIo) -> RunOutput {
-    let mut stdout = String::new();
-    let mut instructions: u64 = 0;
-    let mut stack: Vec<i64> = Vec::with_capacity(64);
-    let mut heap: Vec<Vec<i64>> = Vec::new();
-    let mut heap_words: u64 = 0;
-    let mut frames = vec![Frame {
-        func: image.entry as usize,
-        pc: 0,
-        locals: vec![0; image.functions[image.entry as usize].max_locals as usize],
-    }];
+    Machine::new(image)
+        .run(image, install, io, None)
+        .expect("unbudgeted run always terminates")
+}
 
-    macro_rules! done {
-        ($t:expr) => {
-            return RunOutput {
-                termination: $t,
-                stdout,
-                instructions,
-                env_error: None,
-            }
-        };
+/// A suspended or running interpreter: every piece of state the execution
+/// loop used to keep in locals, lifted into a value so it can be paused,
+/// serialised into a checkpoint ([`Machine::snapshot`]) and later resumed
+/// on another machine ([`Machine::restore`]).
+#[derive(Debug)]
+pub struct Machine {
+    frames: Vec<Frame>,
+    stack: Vec<i64>,
+    heap: Vec<Vec<i64>>,
+    heap_words: u64,
+    instructions: u64,
+    io_ops: u64,
+    stdout: String,
+}
+
+impl Machine {
+    /// A fresh machine poised at the entry point of `image`.
+    pub fn new(image: &ProgramImage) -> Machine {
+        Machine {
+            frames: vec![Frame {
+                func: image.entry as usize,
+                pc: 0,
+                locals: vec![0; image.functions[image.entry as usize].max_locals as usize],
+            }],
+            stack: Vec::with_capacity(64),
+            heap: Vec::new(),
+            heap_words: 0,
+            instructions: 0,
+            io_ops: 0,
+            stdout: String::new(),
+        }
     }
-    macro_rules! exception {
-        ($name:expr, $msg:expr) => {
-            done!(Termination::Exception {
-                name: $name.to_string(),
-                message: $msg.to_string(),
-            })
-        };
+
+    /// Instructions executed so far (across all runs of this machine).
+    pub fn instructions(&self) -> u64 {
+        self.instructions
     }
-    macro_rules! vm_failure {
-        ($code:expr, $msg:expr) => {
-            done!(Termination::EnvFailure {
-                scope: Scope::VirtualMachine,
-                code: $code,
-                message: $msg.to_string(),
-            })
-        };
+
+    /// I/O operations performed so far.
+    pub fn io_ops(&self) -> u64 {
+        self.io_ops
     }
-    // An escaping error from the I/O layer: flatten it into the usual
-    // EnvFailure *and* keep the original so its journey can continue.
-    macro_rules! escape {
-        ($se:expr) => {{
-            let se: ScopedError = $se;
-            return RunOutput {
-                termination: Termination::EnvFailure {
-                    scope: se.scope,
-                    code: se.code.clone(),
-                    message: se.message.clone(),
-                },
-                stdout,
-                instructions,
-                env_error: Some(se),
+
+    /// Capture this machine's complete state as a checkpoint, bound to the
+    /// digest of the image it is executing (see [`ckpt::fnv1a`]).
+    pub fn snapshot(&self, image_digest: u64) -> ckpt::MachineState {
+        ckpt::MachineState {
+            image_digest,
+            instructions: self.instructions,
+            io_ops: self.io_ops,
+            heap_words: self.heap_words,
+            stdout: self.stdout.clone(),
+            frames: self
+                .frames
+                .iter()
+                .map(|f| ckpt::FrameState {
+                    func: f.func as u32,
+                    pc: f.pc as u32,
+                    locals: f.locals.clone(),
+                })
+                .collect(),
+            stack: self.stack.clone(),
+            heap: self.heap.clone(),
+        }
+    }
+
+    /// Rebuild a machine from checkpointed state, validating it against
+    /// the image it will resume on. Every rejection is an explicit
+    /// [`ckpt::CkptError`]; nothing that passes can make the interpreter
+    /// panic, so a corrupt checkpoint can never become an implicit error
+    /// inside the resumed program (P1/P2).
+    pub fn restore(
+        state: ckpt::MachineState,
+        image: &ProgramImage,
+        image_digest: u64,
+    ) -> Result<Machine, ckpt::CkptError> {
+        state.check_image(image_digest)?;
+        if state.frames.is_empty() {
+            return Err(ckpt::CkptError::Malformed("no call frames".into()));
+        }
+        for (i, f) in state.frames.iter().enumerate() {
+            let Some(func) = image.functions.get(f.func as usize) else {
+                return Err(ckpt::CkptError::Malformed(format!(
+                    "frame {i} references function {}",
+                    f.func
+                )));
             };
-        }};
-    }
-    macro_rules! pop {
-        () => {
-            match stack.pop() {
-                Some(v) => v,
-                None => vm_failure!(
-                    codes::VIRTUAL_MACHINE_ERROR,
-                    "operand stack underflow past the verifier"
-                ),
+            if f.locals.len() != func.max_locals as usize {
+                return Err(ckpt::CkptError::Malformed(format!(
+                    "frame {i} carries {} locals, function declares {}",
+                    f.locals.len(),
+                    func.max_locals
+                )));
             }
-        };
-    }
-
-    loop {
-        if instructions >= install.fuel {
-            vm_failure!(
-                ErrorCode::new("CpuLimitExceeded"),
-                "instruction budget exhausted; machine reclaiming CPU"
-            );
         }
-        instructions += 1;
-
-        let (func, pc) = {
-            let f = frames.last().expect("at least one frame");
-            (f.func, f.pc)
-        };
-        let code = &image.functions[func].code;
-        if pc >= code.len() {
-            // Fell off the end of a function: implicit return.
-            frames.pop();
-            if frames.is_empty() {
-                done!(Termination::Completed { exit_code: 0 });
-            }
-            continue;
+        let words: u64 = state.heap.iter().map(|a| a.len() as u64).sum();
+        if words != state.heap_words {
+            return Err(ckpt::CkptError::Malformed(format!(
+                "heap holds {words} words, header claims {}",
+                state.heap_words
+            )));
         }
-        frames.last_mut().unwrap().pc += 1;
-        let ins = code[pc];
+        Ok(Machine {
+            frames: state
+                .frames
+                .into_iter()
+                .map(|f| Frame {
+                    func: f.func as usize,
+                    pc: f.pc as usize,
+                    locals: f.locals,
+                })
+                .collect(),
+            stack: state.stack,
+            heap: state.heap,
+            heap_words: state.heap_words,
+            instructions: state.instructions,
+            io_ops: state.io_ops,
+            stdout: state.stdout,
+        })
+    }
 
-        match ins {
-            Instr::Push(v) => stack.push(v),
-            Instr::PushNull => stack.push(0),
-            Instr::Pop => {
-                let _ = pop!();
-            }
-            Instr::Dup => {
-                let v = pop!();
-                stack.push(v);
-                stack.push(v);
-            }
-            Instr::Swap => {
-                let b = pop!();
-                let a = pop!();
-                stack.push(b);
-                stack.push(a);
-            }
-            Instr::Add => {
-                let b = pop!();
-                let a = pop!();
-                stack.push(a.wrapping_add(b));
-            }
-            Instr::Sub => {
-                let b = pop!();
-                let a = pop!();
-                stack.push(a.wrapping_sub(b));
-            }
-            Instr::Mul => {
-                let b = pop!();
-                let a = pop!();
-                stack.push(a.wrapping_mul(b));
-            }
-            Instr::Div => {
-                let b = pop!();
-                let a = pop!();
-                if b == 0 {
-                    exception!("ArithmeticException", "/ by zero");
-                }
-                stack.push(a.wrapping_div(b));
-            }
-            Instr::Mod => {
-                let b = pop!();
-                let a = pop!();
-                if b == 0 {
-                    exception!("ArithmeticException", "% by zero");
-                }
-                stack.push(a.wrapping_rem(b));
-            }
-            Instr::Neg => {
-                let v = pop!();
-                stack.push(v.wrapping_neg());
-            }
-            Instr::CmpEq => {
-                let b = pop!();
-                let a = pop!();
-                stack.push(i64::from(a == b));
-            }
-            Instr::CmpLt => {
-                let b = pop!();
-                let a = pop!();
-                stack.push(i64::from(a < b));
-            }
-            Instr::CmpGt => {
-                let b = pop!();
-                let a = pop!();
-                stack.push(i64::from(a > b));
-            }
-            Instr::Jump(t) => frames.last_mut().unwrap().pc = t as usize,
-            Instr::JumpIfZero(t) => {
-                if pop!() == 0 {
-                    frames.last_mut().unwrap().pc = t as usize;
-                }
-            }
-            Instr::JumpIfNonZero(t) => {
-                if pop!() != 0 {
-                    frames.last_mut().unwrap().pc = t as usize;
-                }
-            }
-            Instr::Load(i) => {
-                let v = frames.last().unwrap().locals[i as usize];
-                stack.push(v);
-            }
-            Instr::Store(i) => {
-                let v = pop!();
-                frames.last_mut().unwrap().locals[i as usize] = v;
-            }
-            Instr::NewArray => {
-                let size = pop!();
-                if size < 0 {
-                    exception!("NegativeArraySizeException", format!("size {size}"));
-                }
-                let words = size as u64;
-                if heap_words + words > install.heap_limit {
-                    done!(Termination::EnvFailure {
-                        scope: Scope::VirtualMachine,
-                        code: codes::OUT_OF_MEMORY,
-                        message: format!(
-                            "requested {words} words with {heap_words}/{} used",
-                            install.heap_limit
-                        ),
-                    });
-                }
-                heap_words += words;
-                heap.push(vec![0; size as usize]);
-                stack.push(heap.len() as i64); // handle = index + 1
-            }
-            Instr::ALen => {
-                let r = pop!();
-                match array(&heap, r) {
-                    Ok(a) => stack.push(a.len() as i64),
-                    Err(e) => exception!("NullPointerException", e),
-                }
-            }
-            Instr::ALoad => {
-                let idx = pop!();
-                let r = pop!();
-                let a = match array(&heap, r) {
-                    Ok(a) => a,
-                    Err(e) => exception!("NullPointerException", e),
-                };
-                if idx < 0 || idx as usize >= a.len() {
-                    exception!(
-                        "ArrayIndexOutOfBoundsException",
-                        format!("index {idx} out of bounds for length {}", a.len())
-                    );
-                }
-                stack.push(a[idx as usize]);
-            }
-            Instr::AStore => {
-                let val = pop!();
-                let idx = pop!();
-                let r = pop!();
-                if r <= 0 || r as usize > heap.len() {
-                    exception!("NullPointerException", "store through null reference");
-                }
-                let a = &mut heap[r as usize - 1];
-                if idx < 0 || idx as usize >= a.len() {
-                    exception!(
-                        "ArrayIndexOutOfBoundsException",
-                        format!("index {idx} out of bounds for length {}", a.len())
-                    );
-                }
-                a[idx as usize] = val;
-            }
-            Instr::Call(target) => {
-                if frames.len() >= install.max_call_depth {
-                    vm_failure!(
-                        ErrorCode::new("StackOverflowError"),
-                        format!("call depth limit {} reached", install.max_call_depth)
-                    );
-                }
-                let t = target as usize;
-                frames.push(Frame {
-                    func: t,
-                    pc: 0,
-                    locals: vec![0; image.functions[t].max_locals as usize],
+    /// Run until termination or until `budget` further instructions have
+    /// executed. Returns `None` when the budget ran out first — the
+    /// machine is suspended mid-program and may be snapshotted or run
+    /// again. `budget: None` runs to termination (the installation's fuel
+    /// limit still applies and charges all instructions ever executed,
+    /// including those before a checkpoint).
+    pub fn run(
+        &mut self,
+        image: &ProgramImage,
+        install: &Installation,
+        io: &mut dyn JobIo,
+        budget: Option<u64>,
+    ) -> Option<RunOutput> {
+        macro_rules! done {
+            ($t:expr) => {
+                return Some(RunOutput {
+                    termination: $t,
+                    stdout: self.stdout.clone(),
+                    instructions: self.instructions,
+                    env_error: None,
+                })
+            };
+        }
+        macro_rules! exception {
+            ($name:expr, $msg:expr) => {
+                done!(Termination::Exception {
+                    name: $name.to_string(),
+                    message: $msg.to_string(),
+                })
+            };
+        }
+        macro_rules! vm_failure {
+            ($code:expr, $msg:expr) => {
+                done!(Termination::EnvFailure {
+                    scope: Scope::VirtualMachine,
+                    code: $code,
+                    message: $msg.to_string(),
+                })
+            };
+        }
+        // An escaping error from the I/O layer: flatten it into the usual
+        // EnvFailure *and* keep the original so its journey can continue.
+        macro_rules! escape {
+            ($se:expr) => {{
+                let se: ScopedError = $se;
+                return Some(RunOutput {
+                    termination: Termination::EnvFailure {
+                        scope: se.scope,
+                        code: se.code.clone(),
+                        message: se.message.clone(),
+                    },
+                    stdout: self.stdout.clone(),
+                    instructions: self.instructions,
+                    env_error: Some(se),
                 });
+            }};
+        }
+        macro_rules! pop {
+            () => {
+                match self.stack.pop() {
+                    Some(v) => v,
+                    None => vm_failure!(
+                        codes::VIRTUAL_MACHINE_ERROR,
+                        "operand stack underflow past the verifier"
+                    ),
+                }
+            };
+        }
+
+        let mut used: u64 = 0;
+        loop {
+            if let Some(b) = budget {
+                if used >= b {
+                    return None; // suspended, not terminated
+                }
             }
-            Instr::Ret => {
-                frames.pop();
-                if frames.is_empty() {
+            if self.instructions >= install.fuel {
+                vm_failure!(
+                    ErrorCode::new("CpuLimitExceeded"),
+                    "instruction budget exhausted; machine reclaiming CPU"
+                );
+            }
+            self.instructions += 1;
+            used += 1;
+
+            let (func, pc) = {
+                let f = self.frames.last().expect("at least one frame");
+                (f.func, f.pc)
+            };
+            let code = &image.functions[func].code;
+            if pc >= code.len() {
+                // Fell off the end of a function: implicit return.
+                self.frames.pop();
+                if self.frames.is_empty() {
                     done!(Termination::Completed { exit_code: 0 });
                 }
+                continue;
             }
-            Instr::Exit => {
-                let code = pop!();
-                done!(Termination::Completed {
-                    exit_code: code as i32
-                });
-            }
-            Instr::Halt => done!(Termination::Completed { exit_code: 0 }),
-            Instr::Throw(n) => {
-                exception!(format!("UserException{n}"), "thrown by program");
-            }
-            Instr::Print => {
-                let v = pop!();
-                stdout.push_str(&v.to_string());
-                stdout.push('\n');
-            }
-            Instr::StdCall(n) => {
-                if !install.has_stdlib() {
-                    done!(Termination::EnvFailure {
-                        scope: Scope::RemoteResource,
-                        code: codes::MISCONFIGURED_INSTALLATION,
-                        message: format!(
-                            "standard library missing from installation at {}",
-                            install.path
-                        ),
+            self.frames.last_mut().unwrap().pc += 1;
+            let ins = code[pc];
+
+            match ins {
+                Instr::Push(v) => self.stack.push(v),
+                Instr::PushNull => self.stack.push(0),
+                Instr::Pop => {
+                    let _ = pop!();
+                }
+                Instr::Dup => {
+                    let v = pop!();
+                    self.stack.push(v);
+                    self.stack.push(v);
+                }
+                Instr::Swap => {
+                    let b = pop!();
+                    let a = pop!();
+                    self.stack.push(b);
+                    self.stack.push(a);
+                }
+                Instr::Add => {
+                    let b = pop!();
+                    let a = pop!();
+                    self.stack.push(a.wrapping_add(b));
+                }
+                Instr::Sub => {
+                    let b = pop!();
+                    let a = pop!();
+                    self.stack.push(a.wrapping_sub(b));
+                }
+                Instr::Mul => {
+                    let b = pop!();
+                    let a = pop!();
+                    self.stack.push(a.wrapping_mul(b));
+                }
+                Instr::Div => {
+                    let b = pop!();
+                    let a = pop!();
+                    if b == 0 {
+                        exception!("ArithmeticException", "/ by zero");
+                    }
+                    self.stack.push(a.wrapping_div(b));
+                }
+                Instr::Mod => {
+                    let b = pop!();
+                    let a = pop!();
+                    if b == 0 {
+                        exception!("ArithmeticException", "% by zero");
+                    }
+                    self.stack.push(a.wrapping_rem(b));
+                }
+                Instr::Neg => {
+                    let v = pop!();
+                    self.stack.push(v.wrapping_neg());
+                }
+                Instr::CmpEq => {
+                    let b = pop!();
+                    let a = pop!();
+                    self.stack.push(i64::from(a == b));
+                }
+                Instr::CmpLt => {
+                    let b = pop!();
+                    let a = pop!();
+                    self.stack.push(i64::from(a < b));
+                }
+                Instr::CmpGt => {
+                    let b = pop!();
+                    let a = pop!();
+                    self.stack.push(i64::from(a > b));
+                }
+                Instr::Jump(t) => self.frames.last_mut().unwrap().pc = t as usize,
+                Instr::JumpIfZero(t) => {
+                    if pop!() == 0 {
+                        self.frames.last_mut().unwrap().pc = t as usize;
+                    }
+                }
+                Instr::JumpIfNonZero(t) => {
+                    if pop!() != 0 {
+                        self.frames.last_mut().unwrap().pc = t as usize;
+                    }
+                }
+                Instr::Load(i) => {
+                    let v = self.frames.last().unwrap().locals[i as usize];
+                    self.stack.push(v);
+                }
+                Instr::Store(i) => {
+                    let v = pop!();
+                    self.frames.last_mut().unwrap().locals[i as usize] = v;
+                }
+                Instr::NewArray => {
+                    let size = pop!();
+                    if size < 0 {
+                        exception!("NegativeArraySizeException", format!("size {size}"));
+                    }
+                    let words = size as u64;
+                    if self.heap_words + words > install.heap_limit {
+                        done!(Termination::EnvFailure {
+                            scope: Scope::VirtualMachine,
+                            code: codes::OUT_OF_MEMORY,
+                            message: format!(
+                                "requested {words} words with {}/{} used",
+                                self.heap_words, install.heap_limit
+                            ),
+                        });
+                    }
+                    self.heap_words += words;
+                    self.heap.push(vec![0; size as usize]);
+                    self.stack.push(self.heap.len() as i64); // handle = index + 1
+                }
+                Instr::ALen => {
+                    let r = pop!();
+                    match array(&self.heap, r) {
+                        Ok(a) => {
+                            let n = a.len() as i64;
+                            self.stack.push(n);
+                        }
+                        Err(e) => exception!("NullPointerException", e),
+                    }
+                }
+                Instr::ALoad => {
+                    let idx = pop!();
+                    let r = pop!();
+                    let a = match array(&self.heap, r) {
+                        Ok(a) => a,
+                        Err(e) => exception!("NullPointerException", e),
+                    };
+                    if idx < 0 || idx as usize >= a.len() {
+                        exception!(
+                            "ArrayIndexOutOfBoundsException",
+                            format!("index {idx} out of bounds for length {}", a.len())
+                        );
+                    }
+                    let v = a[idx as usize];
+                    self.stack.push(v);
+                }
+                Instr::AStore => {
+                    let val = pop!();
+                    let idx = pop!();
+                    let r = pop!();
+                    if r <= 0 || r as usize > self.heap.len() {
+                        exception!("NullPointerException", "store through null reference");
+                    }
+                    let a = &mut self.heap[r as usize - 1];
+                    if idx < 0 || idx as usize >= a.len() {
+                        exception!(
+                            "ArrayIndexOutOfBoundsException",
+                            format!("index {idx} out of bounds for length {}", a.len())
+                        );
+                    }
+                    a[idx as usize] = val;
+                }
+                Instr::Call(target) => {
+                    if self.frames.len() >= install.max_call_depth {
+                        vm_failure!(
+                            ErrorCode::new("StackOverflowError"),
+                            format!("call depth limit {} reached", install.max_call_depth)
+                        );
+                    }
+                    let t = target as usize;
+                    self.frames.push(Frame {
+                        func: t,
+                        pc: 0,
+                        locals: vec![0; image.functions[t].max_locals as usize],
                     });
                 }
-                let v = pop!();
-                let out = match n {
-                    0 => v.wrapping_abs(),
-                    1 => v.signum(),
-                    2 => {
-                        if v < 0 {
-                            exception!("ArithmeticException", "isqrt of negative");
+                Instr::Ret => {
+                    self.frames.pop();
+                    if self.frames.is_empty() {
+                        done!(Termination::Completed { exit_code: 0 });
+                    }
+                }
+                Instr::Exit => {
+                    let code = pop!();
+                    done!(Termination::Completed {
+                        exit_code: code as i32
+                    });
+                }
+                Instr::Halt => done!(Termination::Completed { exit_code: 0 }),
+                Instr::Throw(n) => {
+                    exception!(format!("UserException{n}"), "thrown by program");
+                }
+                Instr::Print => {
+                    let v = pop!();
+                    self.stdout.push_str(&v.to_string());
+                    self.stdout.push('\n');
+                }
+                Instr::StdCall(n) => {
+                    if !install.has_stdlib() {
+                        done!(Termination::EnvFailure {
+                            scope: Scope::RemoteResource,
+                            code: codes::MISCONFIGURED_INSTALLATION,
+                            message: format!(
+                                "standard library missing from installation at {}",
+                                install.path
+                            ),
+                        });
+                    }
+                    let v = pop!();
+                    let out = match n {
+                        0 => v.wrapping_abs(),
+                        1 => v.signum(),
+                        2 => {
+                            if v < 0 {
+                                exception!("ArithmeticException", "isqrt of negative");
+                            }
+                            (v as f64).sqrt() as i64
                         }
-                        (v as f64).sqrt() as i64
-                    }
-                    other => {
-                        exception!("NoSuchMethodError", format!("stdlib routine {other}"))
-                    }
-                };
-                stack.push(out);
-            }
-            Instr::IoOpen { path, mode } => {
-                let p = &image.strings[path as usize];
-                match io.open(p, mode) {
-                    IoOutcome::Ok(fd) => stack.push(i64::from(fd)),
-                    IoOutcome::Exception(m) => exception!("IOException", m),
-                    IoOutcome::Escape(se) => escape!(se),
+                        other => {
+                            exception!("NoSuchMethodError", format!("stdlib routine {other}"))
+                        }
+                    };
+                    self.stack.push(out);
                 }
-            }
-            Instr::IoReadSum => {
-                let fd = pop!();
-                match io.read_all(fd as u32) {
-                    IoOutcome::Ok(data) => {
-                        stack.push(data.iter().map(|b| i64::from(*b)).sum());
+                Instr::IoOpen { path, mode } => {
+                    self.io_ops += 1;
+                    let p = &image.strings[path as usize];
+                    match io.open(p, mode) {
+                        IoOutcome::Ok(fd) => self.stack.push(i64::from(fd)),
+                        IoOutcome::Exception(m) => exception!("IOException", m),
+                        IoOutcome::Escape(se) => escape!(se),
                     }
-                    IoOutcome::Exception(m) => exception!("IOException", m),
-                    IoOutcome::Escape(se) => escape!(se),
                 }
-            }
-            Instr::IoWriteNum => {
-                let v = pop!();
-                let fd = pop!();
-                match io.write(fd as u32, v.to_string().as_bytes()) {
-                    IoOutcome::Ok(()) => {}
-                    IoOutcome::Exception(m) => exception!("IOException", m),
-                    IoOutcome::Escape(se) => escape!(se),
+                Instr::IoReadSum => {
+                    self.io_ops += 1;
+                    let fd = pop!();
+                    match io.read_all(fd as u32) {
+                        IoOutcome::Ok(data) => {
+                            self.stack.push(data.iter().map(|b| i64::from(*b)).sum());
+                        }
+                        IoOutcome::Exception(m) => exception!("IOException", m),
+                        IoOutcome::Escape(se) => escape!(se),
+                    }
                 }
-            }
-            Instr::IoClose => {
-                let fd = pop!();
-                match io.close(fd as u32) {
-                    IoOutcome::Ok(()) => {}
-                    IoOutcome::Exception(m) => exception!("IOException", m),
-                    IoOutcome::Escape(se) => escape!(se),
+                Instr::IoWriteNum => {
+                    self.io_ops += 1;
+                    let v = pop!();
+                    let fd = pop!();
+                    match io.write(fd as u32, v.to_string().as_bytes()) {
+                        IoOutcome::Ok(()) => {}
+                        IoOutcome::Exception(m) => exception!("IOException", m),
+                        IoOutcome::Escape(se) => escape!(se),
+                    }
+                }
+                Instr::IoClose => {
+                    self.io_ops += 1;
+                    let fd = pop!();
+                    match io.close(fd as u32) {
+                        IoOutcome::Ok(()) => {}
+                        IoOutcome::Exception(m) => exception!("IOException", m),
+                        IoOutcome::Escape(se) => escape!(se),
+                    }
                 }
             }
         }
@@ -780,5 +925,199 @@ mod tests {
         assert!(looks_like_image(&img.to_bytes()));
         assert!(!looks_like_image(b"#!/bin/sh"));
         assert!(!looks_like_image(b""));
+    }
+
+    // A looping program big enough to interrupt anywhere: sum 1..=100,
+    // storing partial sums into an array as it goes, then print.
+    fn long_program() -> ProgramImage {
+        let code = vec![
+            Instr::Push(100),         // 0
+            Instr::NewArray,          // 1
+            Instr::Store(2),          // 2: locals[2] = arr
+            Instr::Push(0),           // 3
+            Instr::Store(0),          // 4: acc = 0
+            Instr::Push(1),           // 5
+            Instr::Store(1),          // 6: i = 1
+            Instr::Load(1),           // 7 loop:
+            Instr::Push(100),         // 8
+            Instr::CmpGt,             // 9
+            Instr::JumpIfNonZero(26), // 10
+            Instr::Load(0),           // 11
+            Instr::Load(1),           // 12
+            Instr::Add,               // 13
+            Instr::Store(0),          // 14: acc += i
+            Instr::Load(2),           // 15
+            Instr::Load(1),           // 16
+            Instr::Push(1),           // 17
+            Instr::Sub,               // 18
+            Instr::Load(0),           // 19
+            Instr::AStore,            // 20: arr[i-1] = acc
+            Instr::Load(1),           // 21
+            Instr::Push(1),           // 22
+            Instr::Add,               // 23
+            Instr::Store(1),          // 24: i += 1
+            Instr::Jump(7),           // 25
+            Instr::Load(0),           // 26
+            Instr::Print,             // 27
+            Instr::Halt,              // 28
+        ];
+        ProgramImage::single("main", 8, code)
+    }
+
+    #[test]
+    fn budgeted_run_suspends_and_resumes_to_identical_result() {
+        let img = long_program();
+        let install = Installation::healthy();
+        let straight = execute(&img, &install, &mut NoIo);
+
+        let mut m = Machine::new(&img);
+        assert!(m.run(&img, &install, &mut NoIo, Some(137)).is_none());
+        assert_eq!(m.instructions(), 137);
+        let resumed = m
+            .run(&img, &install, &mut NoIo, None)
+            .expect("second leg terminates");
+        assert_eq!(resumed, straight);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip_resumes_exactly() {
+        let img = long_program();
+        let install = Installation::healthy();
+        let digest = ckpt::fnv1a(&img.to_bytes());
+        let straight = execute(&img, &install, &mut NoIo);
+
+        for cut in [1u64, 50, 137, 300, 500] {
+            let mut m = Machine::new(&img);
+            assert!(m.run(&img, &install, &mut NoIo, Some(cut)).is_none());
+            let bytes = m.snapshot(digest).to_bytes();
+            // ... the checkpoint travels to another machine ...
+            let state = ckpt::MachineState::from_bytes(&bytes).unwrap();
+            let mut back = Machine::restore(state, &img, digest).unwrap();
+            let out = back.run(&img, &install, &mut NoIo, None).unwrap();
+            assert_eq!(out, straight, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_wrong_image_explicitly() {
+        let img = long_program();
+        let other = ProgramImage::single("other", 0, vec![Instr::Halt]);
+        let digest = ckpt::fnv1a(&img.to_bytes());
+        let other_digest = ckpt::fnv1a(&other.to_bytes());
+        let mut m = Machine::new(&img);
+        m.run(&img, &Installation::healthy(), &mut NoIo, Some(10));
+        let state = m.snapshot(digest);
+        assert!(matches!(
+            Machine::restore(state, &other, other_digest).unwrap_err(),
+            ckpt::CkptError::ImageMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn restore_rejects_structurally_impossible_state() {
+        let img = long_program();
+        let digest = ckpt::fnv1a(&img.to_bytes());
+        let mut m = Machine::new(&img);
+        m.run(&img, &Installation::healthy(), &mut NoIo, Some(10));
+
+        // Dangling function index.
+        let mut bad = m.snapshot(digest);
+        bad.frames[0].func = 99;
+        assert!(matches!(
+            Machine::restore(bad, &img, digest).unwrap_err(),
+            ckpt::CkptError::Malformed(_)
+        ));
+
+        // Wrong local count.
+        let mut bad = m.snapshot(digest);
+        bad.frames[0].locals.push(0);
+        assert!(matches!(
+            Machine::restore(bad, &img, digest).unwrap_err(),
+            ckpt::CkptError::Malformed(_)
+        ));
+
+        // Heap accounting lies.
+        let mut bad = m.snapshot(digest);
+        bad.heap_words += 1;
+        assert!(matches!(
+            Machine::restore(bad, &img, digest).unwrap_err(),
+            ckpt::CkptError::Malformed(_)
+        ));
+
+        // No frames at all.
+        let mut bad = m.snapshot(digest);
+        bad.frames.clear();
+        assert!(matches!(
+            Machine::restore(bad, &img, digest).unwrap_err(),
+            ckpt::CkptError::Malformed(_)
+        ));
+    }
+
+    #[test]
+    fn corrupt_checkpoint_bytes_never_restore() {
+        let img = long_program();
+        let digest = ckpt::fnv1a(&img.to_bytes());
+        let mut m = Machine::new(&img);
+        m.run(&img, &Installation::healthy(), &mut NoIo, Some(42));
+        let bytes = m.snapshot(digest).to_bytes();
+        for at in [0usize, 7, 23, 101] {
+            let bad = ckpt::corrupt_bytes(&bytes, at);
+            assert!(ckpt::MachineState::from_bytes(&bad).is_err());
+        }
+    }
+
+    #[test]
+    fn fuel_accounting_spans_checkpoints() {
+        // 1000 fuel total: burn 600 before the checkpoint, so only 400
+        // remain after resume — a restored machine cannot launder CPU.
+        let img = ProgramImage::single("main", 0, vec![Instr::Jump(0)]);
+        let digest = ckpt::fnv1a(&img.to_bytes());
+        let install = Installation::healthy().with_fuel(1000);
+        let mut m = Machine::new(&img);
+        assert!(m.run(&img, &install, &mut NoIo, Some(600)).is_none());
+        let state = m.snapshot(digest);
+        let mut back = Machine::restore(state, &img, digest).unwrap();
+        let out = back.run(&img, &install, &mut NoIo, None).unwrap();
+        assert_eq!(out.instructions, 1000);
+        let Termination::EnvFailure { code, .. } = &out.termination else {
+            panic!("{out:?}")
+        };
+        assert_eq!(code.as_str(), "CpuLimitExceeded");
+    }
+
+    #[test]
+    fn io_cursor_is_checkpointed() {
+        use crate::isa::IoMode;
+        let img = ProgramImage {
+            entry: 0,
+            functions: vec![crate::image::Function {
+                name: "main".into(),
+                max_locals: 1,
+                args: 0,
+                rets: 0,
+                code: vec![
+                    Instr::IoOpen {
+                        path: 0,
+                        mode: IoMode::Write,
+                    },
+                    Instr::Store(0),
+                    Instr::Load(0),
+                    Instr::Push(7),
+                    Instr::IoWriteNum,
+                    Instr::Load(0),
+                    Instr::IoClose,
+                    Instr::Halt,
+                ],
+            }],
+            strings: vec!["out.dat".into()],
+        };
+        let digest = ckpt::fnv1a(&img.to_bytes());
+        let mut m = Machine::new(&img);
+        // NoIo treats every op as a program exception, so run just far
+        // enough to perform the open.
+        let out = m.run(&img, &Installation::healthy(), &mut NoIo, Some(1));
+        assert!(out.is_some() || m.io_ops() == 1);
+        let state = m.snapshot(digest);
+        assert_eq!(state.io_ops, 1);
     }
 }

@@ -134,6 +134,37 @@ pub enum Event {
         /// What happened.
         detail: String,
     },
+    /// A checkpoint of `job` was written to the checkpoint server.
+    CheckpointTaken {
+        /// Which job.
+        job: u64,
+        /// The machine that took the checkpoint.
+        machine: u64,
+        /// Size of the serialized image.
+        bytes: u64,
+        /// Progress banked by this checkpoint, in simulated microseconds.
+        banked_us: u64,
+    },
+    /// A resumed activation restored `job` from a stored checkpoint.
+    CheckpointRestored {
+        /// Which job.
+        job: u64,
+        /// The machine that resumed it.
+        machine: u64,
+        /// Work recovered instead of recomputed, in simulated microseconds.
+        saved_us: u64,
+    },
+    /// A stored checkpoint failed validation and was discarded — an
+    /// *explicit* checkpoint-scope error. The job cold-restarts; the
+    /// corruption never surfaces inside the resumed program.
+    CheckpointDiscarded {
+        /// Which job.
+        job: u64,
+        /// The machine that rejected the image.
+        machine: u64,
+        /// The validation failure, human-readable.
+        reason: String,
+    },
     /// One hop of an error's journey through the layer stack.
     SpanHop {
         /// The journey this hop belongs to.
@@ -158,6 +189,9 @@ impl Event {
             Event::Disposition { .. } => "disposition",
             Event::IoOp { .. } => "io-op",
             Event::Violation { .. } => "violation",
+            Event::CheckpointTaken { .. } => "ckpt-taken",
+            Event::CheckpointRestored { .. } => "ckpt-restored",
+            Event::CheckpointDiscarded { .. } => "ckpt-discarded",
             Event::SpanHop { .. } => "span-hop",
         }
     }
@@ -247,6 +281,35 @@ impl Event {
             Event::Violation { principle, detail } => {
                 field_u64(out, "principle", u64::from(*principle));
                 field_str(out, "detail", detail);
+            }
+            Event::CheckpointTaken {
+                job,
+                machine,
+                bytes,
+                banked_us,
+            } => {
+                field_u64(out, "job", *job);
+                field_u64(out, "machine", *machine);
+                field_u64(out, "bytes", *bytes);
+                field_u64(out, "banked_us", *banked_us);
+            }
+            Event::CheckpointRestored {
+                job,
+                machine,
+                saved_us,
+            } => {
+                field_u64(out, "job", *job);
+                field_u64(out, "machine", *machine);
+                field_u64(out, "saved_us", *saved_us);
+            }
+            Event::CheckpointDiscarded {
+                job,
+                machine,
+                reason,
+            } => {
+                field_u64(out, "job", *job);
+                field_u64(out, "machine", *machine);
+                field_str(out, "reason", reason);
             }
             Event::SpanHop {
                 span,
@@ -343,6 +406,22 @@ impl Event {
                     detail: s("detail")?,
                 })
             }
+            "ckpt-taken" => Ok(Event::CheckpointTaken {
+                job: u("job")?,
+                machine: u("machine")?,
+                bytes: u("bytes")?,
+                banked_us: u("banked_us")?,
+            }),
+            "ckpt-restored" => Ok(Event::CheckpointRestored {
+                job: u("job")?,
+                machine: u("machine")?,
+                saved_us: u("saved_us")?,
+            }),
+            "ckpt-discarded" => Ok(Event::CheckpointDiscarded {
+                job: u("job")?,
+                machine: u("machine")?,
+                reason: s("reason")?,
+            }),
             "span-hop" => {
                 let action = match s("action")?.as_str() {
                     "raised" => SpanAction::Raised,
@@ -413,6 +492,28 @@ impl fmt::Display for Event {
             Event::Violation { principle, detail } => {
                 write!(f, "violation P{principle}: {detail}")
             }
+            Event::CheckpointTaken {
+                job,
+                machine,
+                bytes,
+                banked_us,
+            } => write!(
+                f,
+                "ckpt taken job={job} machine={machine} {bytes}B banked={banked_us}us"
+            ),
+            Event::CheckpointRestored {
+                job,
+                machine,
+                saved_us,
+            } => write!(
+                f,
+                "ckpt restored job={job} machine={machine} saved={saved_us}us"
+            ),
+            Event::CheckpointDiscarded {
+                job,
+                machine,
+                reason,
+            } => write!(f, "ckpt discarded job={job} machine={machine}: {reason}"),
             Event::SpanHop {
                 span,
                 layer,
@@ -475,6 +576,22 @@ mod tests {
         round_trip(Event::Violation {
             principle: 1,
             detail: "swallowed at jvm".into(),
+        });
+        round_trip(Event::CheckpointTaken {
+            job: 3,
+            machine: 2,
+            bytes: 4096,
+            banked_us: 1_500_000,
+        });
+        round_trip(Event::CheckpointRestored {
+            job: 3,
+            machine: 4,
+            saved_us: 1_500_000,
+        });
+        round_trip(Event::CheckpointDiscarded {
+            job: 3,
+            machine: 4,
+            reason: "checksum mismatch".into(),
         });
         round_trip(Event::SpanHop {
             span: 7,

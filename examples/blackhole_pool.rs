@@ -36,6 +36,7 @@ fn run(policy_name: &str, self_test: SelfTestDepth, avoid: bool) -> (String, Run
         .startd_policy(StartdPolicy {
             self_test,
             learn_from_failures: false,
+            ..StartdPolicy::default()
         })
         .schedd_policy(ScheddPolicy {
             avoid_chronic_hosts: avoid,

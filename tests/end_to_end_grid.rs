@@ -41,6 +41,7 @@ fn mixed_workload_full_recovery() {
         .startd_policy(StartdPolicy {
             self_test: SelfTestDepth::Thorough,
             learn_from_failures: false,
+            ..StartdPolicy::default()
         })
         .schedd_policy(ScheddPolicy {
             avoid_chronic_hosts: true,
