@@ -7,7 +7,7 @@
 //! holds the *timed* faults.
 
 use chirp::backend::EnvFault;
-use desim::SimTime;
+use desim::{SimDuration, SimTime};
 use std::sync::Arc;
 
 /// A half-open window of virtual time.
@@ -64,12 +64,76 @@ struct OwnerBusy {
     window: Window,
 }
 
+/// What a timed network fault does to the fabric while its window is open.
+/// Hosts are named by actor id ([`desim::net::HostId`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetFault {
+    /// Every link between a host in `a` and a host in `b` is severed.
+    Partition {
+        /// One side of the cut.
+        a: Vec<usize>,
+        /// The other side.
+        b: Vec<usize>,
+    },
+    /// The link `a`–`b` loses each message independently with probability
+    /// `prob`.
+    Loss {
+        /// One endpoint.
+        a: usize,
+        /// The other endpoint.
+        b: usize,
+        /// Per-message loss probability in `[0, 1]`.
+        prob: f64,
+    },
+    /// The link `a`–`b` delivers with `latency` instead of its usual one.
+    LatencySpike {
+        /// One endpoint.
+        a: usize,
+        /// The other endpoint.
+        b: usize,
+        /// The spiked base latency.
+        latency: SimDuration,
+    },
+    /// The link `a`–`b` duplicates each delivered message independently
+    /// with probability `prob`.
+    Duplication {
+        /// One endpoint.
+        a: usize,
+        /// The other endpoint.
+        b: usize,
+        /// Per-message duplication probability in `[0, 1]`.
+        prob: f64,
+    },
+}
+
+impl NetFault {
+    /// The fault's kind name, as used in `net-fault-applied` events.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            NetFault::Partition { .. } => "partition",
+            NetFault::Loss { .. } => "loss",
+            NetFault::LatencySpike { .. } => "latency",
+            NetFault::Duplication { .. } => "duplication",
+        }
+    }
+}
+
+/// One scheduled network fault: what happens, and when.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedNetFault {
+    /// When the fault is in force.
+    pub window: Window,
+    /// What it does to the fabric.
+    pub fault: NetFault,
+}
+
 /// The complete fault schedule for one run.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     fs_faults: Vec<FsFault>,
     crashes: Vec<MachineCrash>,
     owner_busy: Vec<OwnerBusy>,
+    net_faults: Vec<TimedNetFault>,
 }
 
 impl FaultPlan {
@@ -105,9 +169,85 @@ impl FaultPlan {
         self
     }
 
+    /// The links between the hosts in `a` and the hosts in `b` are severed
+    /// during `window` — "schedd↔machines 3–5 partitioned from t=100s to
+    /// t=250s", declaratively.
+    pub fn net_partition(
+        mut self,
+        a: impl IntoIterator<Item = usize>,
+        b: impl IntoIterator<Item = usize>,
+        window: Window,
+    ) -> FaultPlan {
+        self.net_faults.push(TimedNetFault {
+            window,
+            fault: NetFault::Partition {
+                a: a.into_iter().collect(),
+                b: b.into_iter().collect(),
+            },
+        });
+        self
+    }
+
+    /// The link `a`–`b` drops each message with probability `prob` during
+    /// `window`.
+    pub fn net_loss(mut self, a: usize, b: usize, prob: f64, window: Window) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&prob));
+        self.net_faults.push(TimedNetFault {
+            window,
+            fault: NetFault::Loss { a, b, prob },
+        });
+        self
+    }
+
+    /// The link `a`–`b` delivers with `latency` during `window`.
+    pub fn net_latency_spike(
+        mut self,
+        a: usize,
+        b: usize,
+        latency: SimDuration,
+        window: Window,
+    ) -> FaultPlan {
+        self.net_faults.push(TimedNetFault {
+            window,
+            fault: NetFault::LatencySpike { a, b, latency },
+        });
+        self
+    }
+
+    /// The link `a`–`b` duplicates each delivered message with probability
+    /// `prob` during `window`.
+    pub fn net_duplication(mut self, a: usize, b: usize, prob: f64, window: Window) -> FaultPlan {
+        assert!((0.0..=1.0).contains(&prob));
+        self.net_faults.push(TimedNetFault {
+            window,
+            fault: NetFault::Duplication { a, b, prob },
+        });
+        self
+    }
+
     /// Freeze into a shareable handle.
     pub fn build(self) -> Arc<FaultPlan> {
         Arc::new(self)
+    }
+
+    /// The scheduled network faults, in declaration order.
+    pub fn net_faults(&self) -> &[TimedNetFault] {
+        &self.net_faults
+    }
+
+    /// Every instant at which some network fault's window opens or closes —
+    /// the moments the fabric must be reconfigured. Sorted, deduplicated,
+    /// `SimTime::MAX` ("forever") excluded.
+    pub fn net_fault_edges(&self) -> Vec<SimTime> {
+        let mut edges: Vec<SimTime> = self
+            .net_faults
+            .iter()
+            .flat_map(|f| [f.window.from, f.window.to])
+            .filter(|t| *t != SimTime::MAX)
+            .collect();
+        edges.sort();
+        edges.dedup();
+        edges
     }
 
     /// The file-system fault (if any) affecting `schedd`'s home file system
@@ -198,6 +338,65 @@ mod tests {
     #[should_panic]
     fn empty_window_rejected() {
         let _ = Window::new(t(5), t(5));
+    }
+
+    #[test]
+    fn window_boundary_cases() {
+        // Adjacent windows share an edge but no instant: [10,20) ends
+        // exactly where [20,30) begins.
+        let first = Window::new(t(10), t(20));
+        let second = Window::new(t(20), t(30));
+        assert!(!first.contains(t(20)));
+        assert!(second.contains(t(20)));
+        // A zero-length query interval [20,20] touches only the second.
+        assert!(!first.overlaps(t(20), t(20)));
+        assert!(second.overlaps(t(20), t(20)));
+        // ...and [19,19] only the first.
+        assert!(first.overlaps(t(19), t(19)));
+        assert!(!second.overlaps(t(19), t(19)));
+
+        // "Forever" windows: SimTime::MAX is *exclusive*, so even a
+        // forever window does not contain the end of time itself, nor
+        // overlap the zero-length query sitting exactly there...
+        let forever = Window::from(t(5));
+        assert!(!forever.contains(SimTime::MAX));
+        assert!(!forever.overlaps(SimTime::MAX, SimTime::MAX));
+        // ...but it overlaps any interval that starts before it.
+        assert!(forever.overlaps(t(0), SimTime::MAX));
+        assert!(forever.overlaps(t(5), t(5)));
+        // A bounded window never overlaps a query starting at its end.
+        let w = Window::new(t(10), t(20));
+        assert!(!w.overlaps(t(20), SimTime::MAX));
+        // A window reaching MAX contains every representable instant
+        // before it.
+        let to_max = Window::new(t(10), SimTime::MAX);
+        assert!(to_max.contains(SimTime::from_micros(SimTime::MAX.as_micros() - 1)));
+    }
+
+    #[test]
+    fn net_fault_plan_and_edges() {
+        let plan = FaultPlan::none()
+            .net_partition([1], [4, 5], Window::new(t(100), t(250)))
+            .net_loss(1, 3, 0.2, Window::new(t(300), t(400)))
+            .net_latency_spike(
+                1,
+                2,
+                SimDuration::from_millis(80),
+                Window::new(t(100), t(300)),
+            )
+            .net_duplication(1, 2, 0.3, Window::from(t(50)))
+            .build();
+        assert_eq!(plan.net_faults().len(), 4);
+        assert_eq!(plan.net_faults()[0].fault.kind(), "partition");
+        assert_eq!(plan.net_faults()[1].fault.kind(), "loss");
+        assert_eq!(plan.net_faults()[2].fault.kind(), "latency");
+        assert_eq!(plan.net_faults()[3].fault.kind(), "duplication");
+        // Edges: sorted, deduplicated (100 appears twice), MAX excluded.
+        assert_eq!(
+            plan.net_fault_edges(),
+            vec![t(50), t(100), t(250), t(300), t(400)]
+        );
+        assert!(FaultPlan::none().net_fault_edges().is_empty());
     }
 
     #[test]

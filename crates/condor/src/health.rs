@@ -1,0 +1,353 @@
+//! The schedd's machine-health layer: adaptive retry and circuit breakers.
+//!
+//! Two pieces, both pure state machines so they test in isolation and stay
+//! deterministic inside the simulation:
+//!
+//! * [`RetryPolicy`] — how long to wait before re-queueing a failed job.
+//!   The fixed delay of the original kernel is one point in the space; the
+//!   partition-tolerant configuration uses exponential backoff with
+//!   deterministic jitter drawn from the world's seeded RNG, so retry
+//!   traffic during an outage grows geometrically sparser instead of
+//!   hammering a dead link at a constant rate.
+//!
+//! * [`CircuitBreaker`] — per-machine memory of consecutive
+//!   scope-of-the-machine failures. Closed (healthy) machines are matched
+//!   normally; after `threshold` consecutive failures the breaker opens and
+//!   the machine is withheld from matchmaking for `open_for`; then a single
+//!   half-open probe decides whether it closes again or re-opens (with the
+//!   hold doubled, capped). This generalizes the chronic-host ("black
+//!   hole") avoidance: where the chronic list is a permanent per-job
+//!   exclusion, the breaker is a pool-wide, self-healing one.
+
+use desim::{SimDuration, SimRng, SimTime};
+
+/// How long to wait before the n-th consecutive retry of a job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RetryPolicy {
+    /// Always the same delay (the original kernel's behavior).
+    Fixed(SimDuration),
+    /// `base * 2^level`, capped at `max`, then scaled by a uniform draw in
+    /// `[1, 1+jitter]` from the caller's RNG. With the world's seeded RNG
+    /// this is fully deterministic.
+    Backoff {
+        /// First-retry delay.
+        base: SimDuration,
+        /// Upper bound on the pre-jitter delay.
+        max: SimDuration,
+        /// Multiplicative jitter fraction (0 = none).
+        jitter: f64,
+    },
+}
+
+impl RetryPolicy {
+    /// The delay before a retry at consecutive-failure `level` (0-based:
+    /// level 0 is the first retry).
+    pub fn delay(&self, level: u32, rng: &mut SimRng) -> SimDuration {
+        match *self {
+            RetryPolicy::Fixed(d) => d,
+            RetryPolicy::Backoff { base, max, jitter } => {
+                let shift = level.min(32);
+                let scaled = base
+                    .as_micros()
+                    .saturating_mul(1u64.checked_shl(shift).unwrap_or(u64::MAX));
+                let capped = scaled.min(max.as_micros());
+                let jittered = if jitter > 0.0 {
+                    (capped as f64 * (1.0 + rng.f64() * jitter)) as u64
+                } else {
+                    capped
+                };
+                SimDuration::from_micros(jittered.max(1))
+            }
+        }
+    }
+
+    /// The base (un-jittered, level-0) delay — what the fixed-delay kernel
+    /// would use everywhere.
+    pub fn base_delay(&self) -> SimDuration {
+        match *self {
+            RetryPolicy::Fixed(d) => d,
+            RetryPolicy::Backoff { base, .. } => base,
+        }
+    }
+}
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerPolicy {
+    /// Consecutive scope-of-the-machine failures that open the breaker.
+    pub threshold: u32,
+    /// How long an open breaker withholds the machine before the half-open
+    /// probe.
+    pub open_for: SimDuration,
+    /// Cap on the doubled hold after repeated re-opens.
+    pub max_open: SimDuration,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        BreakerPolicy {
+            threshold: 3,
+            open_for: SimDuration::from_secs(60),
+            max_open: SimDuration::from_secs(600),
+        }
+    }
+}
+
+/// The breaker's state, in circuit-breaker vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow, consecutive failures are counted.
+    Closed,
+    /// Tripped: the machine is withheld until `until`.
+    Open {
+        /// When the half-open probe becomes available.
+        until: SimTime,
+    },
+    /// One probe is allowed; its outcome decides the next state.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// The state's display name, as used in `breaker-state-change` events.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open { .. } => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// A state transition worth reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// The state left behind.
+    pub from: BreakerState,
+    /// The state entered.
+    pub to: BreakerState,
+}
+
+/// One machine's circuit breaker.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    policy: BreakerPolicy,
+    state: BreakerState,
+    consecutive_failures: u32,
+    /// How many times the breaker has re-opened without an intervening
+    /// close; doubles the hold.
+    reopens: u32,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker under `policy`.
+    pub fn new(policy: BreakerPolicy) -> CircuitBreaker {
+        CircuitBreaker {
+            policy,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            reopens: 0,
+        }
+    }
+
+    /// The current state (after lazily promoting an expired `Open` to
+    /// `HalfOpen`).
+    pub fn state(&mut self, now: SimTime) -> BreakerState {
+        if let BreakerState::Open { until } = self.state {
+            if now >= until {
+                self.state = BreakerState::HalfOpen;
+            }
+        }
+        self.state
+    }
+
+    /// Should the machine be withheld from matchmaking at `now`? `HalfOpen`
+    /// admits the machine (that admission *is* the probe).
+    pub fn is_blocked(&mut self, now: SimTime) -> bool {
+        matches!(self.state(now), BreakerState::Open { .. })
+    }
+
+    fn hold(&self) -> SimDuration {
+        let scaled = self
+            .policy
+            .open_for
+            .as_micros()
+            .saturating_mul(1u64.checked_shl(self.reopens.min(32)).unwrap_or(u64::MAX));
+        SimDuration::from_micros(scaled.min(self.policy.max_open.as_micros()))
+    }
+
+    /// Record a scope-of-the-machine failure. Returns the transition if the
+    /// breaker changed state.
+    pub fn on_failure(&mut self, now: SimTime) -> Option<Transition> {
+        let from = self.state(now);
+        match from {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.policy.threshold {
+                    let to = BreakerState::Open {
+                        until: now + self.hold(),
+                    };
+                    self.state = to;
+                    Some(Transition { from, to })
+                } else {
+                    None
+                }
+            }
+            BreakerState::HalfOpen => {
+                // The probe failed: re-open, holding longer.
+                self.reopens += 1;
+                let to = BreakerState::Open {
+                    until: now + self.hold(),
+                };
+                self.state = to;
+                Some(Transition { from, to })
+            }
+            BreakerState::Open { .. } => None,
+        }
+    }
+
+    /// Record a successful execution (or any positive proof of machine
+    /// health). Returns the transition if the breaker closed.
+    pub fn on_success(&mut self, now: SimTime) -> Option<Transition> {
+        let from = self.state(now);
+        self.consecutive_failures = 0;
+        match from {
+            BreakerState::Closed => None,
+            _ => {
+                self.reopens = 0;
+                self.state = BreakerState::Closed;
+                Some(Transition {
+                    from,
+                    to: BreakerState::Closed,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    fn at(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn fixed_policy_is_flat() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let p = RetryPolicy::Fixed(secs(10));
+        assert_eq!(p.delay(0, &mut rng), secs(10));
+        assert_eq!(p.delay(7, &mut rng), secs(10));
+        assert_eq!(p.base_delay(), secs(10));
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let p = RetryPolicy::Backoff {
+            base: secs(10),
+            max: secs(100),
+            jitter: 0.0,
+        };
+        assert_eq!(p.delay(0, &mut rng), secs(10));
+        assert_eq!(p.delay(1, &mut rng), secs(20));
+        assert_eq!(p.delay(2, &mut rng), secs(40));
+        assert_eq!(p.delay(3, &mut rng), secs(80));
+        assert_eq!(p.delay(4, &mut rng), secs(100), "capped");
+        assert_eq!(p.delay(63, &mut rng), secs(100), "shift saturates");
+        assert_eq!(p.base_delay(), secs(10));
+    }
+
+    #[test]
+    fn backoff_jitter_is_bounded_and_deterministic() {
+        let p = RetryPolicy::Backoff {
+            base: secs(10),
+            max: secs(300),
+            jitter: 0.5,
+        };
+        let draw = |seed: u64| {
+            let mut rng = SimRng::seed_from_u64(seed);
+            (0..20)
+                .map(|i| p.delay(i % 4, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        let a = draw(7);
+        let b = draw(7);
+        assert_eq!(a, b, "same seed, same jitter");
+        for (i, d) in a.iter().enumerate() {
+            let level = (i as u32) % 4;
+            let lo = secs(10 * (1 << level));
+            let hi = lo.mul_f64(1.5) + SimDuration::from_micros(1);
+            assert!(*d >= lo && *d <= hi, "delay {d} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold() {
+        let mut b = CircuitBreaker::new(BreakerPolicy {
+            threshold: 3,
+            open_for: secs(60),
+            max_open: secs(600),
+        });
+        assert!(b.on_failure(at(10)).is_none());
+        assert!(b.on_failure(at(20)).is_none());
+        let tr = b.on_failure(at(30)).expect("third strike opens");
+        assert_eq!(tr.from, BreakerState::Closed);
+        assert_eq!(tr.to, BreakerState::Open { until: at(90) });
+        assert!(b.is_blocked(at(60)));
+        // Further failures while open do not retrigger.
+        assert!(b.on_failure(at(61)).is_none());
+    }
+
+    #[test]
+    fn breaker_half_open_probe_success_closes() {
+        let mut b = CircuitBreaker::new(BreakerPolicy {
+            threshold: 1,
+            open_for: secs(60),
+            max_open: secs(600),
+        });
+        b.on_failure(at(0)).expect("opens at once");
+        assert!(b.is_blocked(at(59)));
+        assert!(!b.is_blocked(at(60)), "hold elapsed: half-open admits");
+        assert_eq!(b.state(at(60)), BreakerState::HalfOpen);
+        let tr = b.on_success(at(70)).expect("probe success closes");
+        assert_eq!(tr.to, BreakerState::Closed);
+        assert!(!b.is_blocked(at(70)));
+    }
+
+    #[test]
+    fn breaker_half_open_probe_failure_reopens_longer() {
+        let mut b = CircuitBreaker::new(BreakerPolicy {
+            threshold: 1,
+            open_for: secs(60),
+            max_open: secs(100),
+        });
+        b.on_failure(at(0));
+        assert_eq!(b.state(at(60)), BreakerState::HalfOpen);
+        let tr = b.on_failure(at(60)).expect("probe failure reopens");
+        // Hold doubled 60 -> 120, capped at 100.
+        assert_eq!(tr.to, BreakerState::Open { until: at(160) });
+        assert_eq!(b.state(at(160)), BreakerState::HalfOpen);
+        // A close resets the doubling.
+        b.on_success(at(161));
+        b.on_failure(at(200));
+        assert_eq!(b.state(at(200)), BreakerState::Open { until: at(260) });
+    }
+
+    #[test]
+    fn success_resets_consecutive_failures() {
+        let mut b = CircuitBreaker::new(BreakerPolicy {
+            threshold: 2,
+            open_for: secs(60),
+            max_open: secs(600),
+        });
+        assert!(b.on_failure(at(0)).is_none());
+        assert!(b.on_success(at(1)).is_none(), "closed stays closed");
+        assert!(b.on_failure(at(2)).is_none(), "count restarted");
+        assert!(b.on_failure(at(3)).is_some());
+    }
+}

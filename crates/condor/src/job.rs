@@ -208,6 +208,17 @@ pub struct JobRecord {
     /// most recent evicted attempt, if one exists. `None` when no server is
     /// configured or when the last checkpoint was discarded.
     pub ckpt_key: Option<String>,
+    /// The current claim epoch: bumped every time the schedd opens a new
+    /// claim for this job. Messages stamped with an older epoch (late
+    /// reports, duplicated frames, resurrected partitions) are fenced.
+    pub epoch: u64,
+    /// Consecutive environmental failures since the last success — the
+    /// exponent of the retry backoff. Evictions (owner policy) do not
+    /// count.
+    pub backoff_level: u32,
+    /// When the schedd last heard from the running claim (activation or
+    /// heartbeat); drives the lease check.
+    pub last_heartbeat: SimTime,
 }
 
 impl JobRecord {
@@ -222,6 +233,9 @@ impl JobRecord {
             avoid: BTreeMap::new(),
             progress: SimDuration::ZERO,
             ckpt_key: None,
+            epoch: 0,
+            backoff_level: 0,
+            last_heartbeat: SimTime::ZERO,
         }
     }
 

@@ -11,7 +11,12 @@
 //! * [`matchmaker`], [`schedd`], [`startd`] — the daemons.
 //! * [`ckptserver`] — the checkpoint server Standard-universe jobs
 //!   migrate through.
-//! * [`faults`] — the timed fault plan (crashes, file-system outages).
+//! * [`faults`] — the timed fault plan (crashes, file-system outages,
+//!   network partitions/loss/latency/duplication windows).
+//! * [`netdriver`] — the actor that applies the plan's network faults to
+//!   the simulated fabric at window edges.
+//! * [`health`] — adaptive retry (exponential backoff with deterministic
+//!   jitter) and per-machine circuit breakers.
 //! * [`pool`] — one-stop pool assembly and run reports.
 //! * [`metrics`] — the quantities the experiments report.
 //! * [`telemetry`] — error-journey span plumbing over the `obs` layer.
@@ -39,23 +44,29 @@
 
 pub mod ckptserver;
 pub mod faults;
+pub mod health;
 pub mod job;
 pub mod machine;
 pub mod matchmaker;
 pub mod metrics;
 pub mod msg;
+pub mod netdriver;
 pub mod pool;
 pub mod schedd;
 pub mod startd;
 pub mod telemetry;
 
 pub use ckptserver::{CkptServer, CkptServerStats};
-pub use faults::{FaultPlan, Window};
+pub use faults::{FaultPlan, NetFault, TimedNetFault, Window};
+pub use health::{BreakerPolicy, BreakerState, CircuitBreaker, RetryPolicy};
 pub use job::{Attempt, JavaMode, JobId, JobRecord, JobSpec, JobState, Universe};
 pub use machine::MachineSpec;
 pub use matchmaker::Matchmaker;
 pub use metrics::{MachineStats, Metrics};
-pub use msg::{Activation, CkptAttempt, ExecutionReport, FsSnapshot, Msg, ResumeInfo, StoredCkpt};
+pub use msg::{
+    Activation, CkptAttempt, ExecutionReport, FsSnapshot, LeaseInfo, Msg, ResumeInfo, StoredCkpt,
+};
+pub use netdriver::NetFaultDriver;
 pub use pool::{PoolBuilder, RunReport};
 pub use schedd::{Schedd, ScheddPolicy, UserEvent};
 pub use startd::{Startd, StartdPolicy};
@@ -63,8 +74,10 @@ pub use startd::{Startd, StartdPolicy};
 /// Convenient glob import.
 pub mod prelude {
     pub use crate::faults::{FaultPlan, Window};
+    pub use crate::health::{BreakerPolicy, RetryPolicy};
     pub use crate::job::{JavaMode, JobSpec, JobState, Universe};
     pub use crate::machine::MachineSpec;
+    pub use crate::msg::LeaseInfo;
     pub use crate::pool::{PoolBuilder, RunReport};
     pub use crate::schedd::{ScheddPolicy, UserEvent};
     pub use crate::startd::StartdPolicy;

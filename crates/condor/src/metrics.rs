@@ -39,6 +39,14 @@ pub struct Metrics {
     pub failed_claims: u64,
     /// Execution reports that never arrived (machine crash / partition).
     pub vanished_attempts: u64,
+    /// Claim leases the schedd declared expired (no heartbeat within the
+    /// lease timeout) — silent partitions converted to explicit errors.
+    pub leases_expired: u64,
+    /// Messages fenced for carrying a stale claim epoch (late reports,
+    /// duplicated frames, resurrected partitions). Counted, never acted on.
+    pub stale_epochs_dropped: u64,
+    /// Times a per-machine circuit breaker tripped open.
+    pub breaker_opens: u64,
     /// Jobs evicted by owner activity.
     pub evictions: u64,
     /// Execution time preserved by checkpoints across evictions
@@ -129,6 +137,9 @@ impl Metrics {
             ("reschedules", self.reschedules),
             ("failed_claims", self.failed_claims),
             ("vanished_attempts", self.vanished_attempts),
+            ("leases_expired", self.leases_expired),
+            ("stale_epochs_dropped", self.stale_epochs_dropped),
+            ("breaker_opens", self.breaker_opens),
             ("evictions", self.evictions),
             ("checkpointed_work_us", self.checkpointed_work.as_micros()),
             (
@@ -182,6 +193,11 @@ pub struct MachineStats {
     /// Executions that failed with remote-resource scope (this machine's
     /// own fault).
     pub remote_resource_failures: u64,
+    /// Claim leases this startd declared expired (no heartbeat ack within
+    /// the lease timeout) — the execute-side half of the lease.
+    pub leases_expired: u64,
+    /// Messages this startd fenced for carrying a stale claim epoch.
+    pub stale_epochs_dropped: u64,
 }
 
 impl MachineStats {
@@ -196,6 +212,8 @@ impl MachineStats {
             labels,
             self.remote_resource_failures,
         );
+        reg.counter_add("leases_expired", labels, self.leases_expired);
+        reg.counter_add("stale_epochs_dropped", labels, self.stale_epochs_dropped);
         reg.gauge_set(
             "advertising_java",
             labels,

@@ -32,6 +32,18 @@ pub struct ResumeInfo {
     pub banked: SimDuration,
 }
 
+/// The lease terms a claim runs under: the startd heartbeats every
+/// `interval`; either side that goes `timeout` without hearing from the
+/// other declares the lease expired — an explicit scope-of-the-claim error
+/// in place of a silent partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseInfo {
+    /// How often the startd heartbeats while the claim is active.
+    pub interval: SimDuration,
+    /// Silence longer than this expires the lease.
+    pub timeout: SimDuration,
+}
+
 /// Everything the starter needs to run one job.
 #[derive(Debug, Clone)]
 pub struct Activation {
@@ -53,6 +65,11 @@ pub struct Activation {
     pub attempt: usize,
     /// A checkpoint from an earlier attempt to resume from, if any.
     pub resume: Option<ResumeInfo>,
+    /// The claim epoch this activation belongs to. Reports and heartbeats
+    /// echo it back; anything stamped with an older epoch is fenced.
+    pub epoch: u64,
+    /// The lease terms, when leasing is enabled.
+    pub lease: Option<LeaseInfo>,
 }
 
 /// A checkpoint the starter stored on the checkpoint server during this
@@ -174,6 +191,32 @@ pub enum Msg {
         /// Which job.
         job: JobId,
     },
+    /// Periodic (startd): send the next heartbeat for an active claim.
+    HeartbeatTick {
+        /// Which job.
+        job: JobId,
+        /// The claim epoch the tick was armed for (stale ticks are ignored).
+        epoch: u64,
+    },
+    /// Periodic (schedd): check whether a running claim's lease is still
+    /// being renewed.
+    LeaseCheck {
+        /// Which job.
+        job: JobId,
+        /// The claim epoch the check was armed for.
+        epoch: u64,
+    },
+    /// A claim was accepted but never activated; the startd frees itself
+    /// (startd self-timer).
+    ClaimExpire {
+        /// Which job.
+        job: JobId,
+        /// The claim epoch the timer was armed for.
+        epoch: u64,
+    },
+    /// The network-fault driver reached a window edge and must reconfigure
+    /// the fabric (self-timer).
+    NetFaultTick,
 
     // ---- matchmaking (Figure 1: "Matchmaking Protocol") ----
     /// A startd advertises its machine.
@@ -206,11 +249,16 @@ pub enum Msg {
         /// processes are individually responsible for … verifying that
         /// their needs are met").
         ad: Box<ClassAd>,
+        /// The claim epoch this request opens. Every later message about
+        /// the claim carries it; stale epochs are fenced.
+        epoch: u64,
     },
     /// The startd accepts the claim.
     ClaimAccept {
         /// Which job.
         job: JobId,
+        /// The epoch of the claim being accepted.
+        epoch: u64,
     },
     /// The startd declines.
     ClaimReject {
@@ -218,6 +266,8 @@ pub enum Msg {
         job: JobId,
         /// Why.
         reason: String,
+        /// The epoch of the claim being declined.
+        epoch: u64,
     },
     /// The schedd releases a claim it cannot activate (e.g. its home file
     /// system is offline at staging time).
@@ -241,6 +291,25 @@ pub enum Msg {
         started: SimTime,
         /// What became of the checkpoint resume, if one was attempted.
         ckpt: CkptAttempt,
+        /// The claim epoch of the activation this report answers. A report
+        /// from an older epoch (late, duplicated, or resurrected) is
+        /// rejected and counted, never acted on.
+        epoch: u64,
+    },
+    /// The startd renews the claim lease ("still here, still running").
+    Heartbeat {
+        /// Which job.
+        job: JobId,
+        /// The claim epoch being renewed.
+        epoch: u64,
+    },
+    /// The schedd acknowledges a heartbeat, renewing the lease on the
+    /// startd's side too.
+    HeartbeatAck {
+        /// Which job.
+        job: JobId,
+        /// The claim epoch being renewed.
+        epoch: u64,
     },
 
     // ---- checkpoint server (chirp over the simulated network) ----

@@ -50,6 +50,9 @@ pub struct RunReport {
     /// The run's typed event stream: protocol events, remote I/O
     /// operations, and error-journey spans. Survives `without_trace()`.
     pub telemetry: obs::Collector,
+    /// What the simulated fabric did to messages: per-link drop and
+    /// duplication counts.
+    pub net: desim::NetStats,
     /// Virtual time when the run stopped.
     pub finished_at: SimTime,
     /// Did every job reach a terminal state?
@@ -66,6 +69,14 @@ impl RunReport {
         let mut reg = self.metrics.registry();
         for stats in self.machines.values() {
             stats.register_into(&mut reg);
+        }
+        for (&(a, b), &n) in &self.net.dropped {
+            let link = format!("{a}-{b}");
+            reg.counter_add("net_msgs_dropped", &[("link", &link)], n);
+        }
+        for (&(a, b), &n) in &self.net.duplicated {
+            let link = format!("{a}-{b}");
+            reg.counter_add("net_msgs_duplicated", &[("link", &link)], n);
         }
         reg
     }
@@ -321,6 +332,7 @@ impl PoolBuilder {
             machines,
             ckpt_server,
             telemetry: world.telemetry().clone(),
+            net: world.net().stats().clone(),
             finished_at: world.now(),
             quiescent,
             events: world.events_processed(),
@@ -378,6 +390,13 @@ impl PoolBuilder {
             }
             let got = world.add_actor(Box::new(server));
             assert_eq!(got, id, "checkpoint server id precomputed wrong");
+        }
+        // The network-fault driver registers last: nothing addresses it, so
+        // its id never perturbs the ids the fault plan aims at.
+        if !plan.net_faults().is_empty() {
+            world.add_actor(Box::new(crate::netdriver::NetFaultDriver::new(Arc::clone(
+                &plan,
+            ))));
         }
         (world, schedd_id, machine_ids)
     }
@@ -628,7 +647,6 @@ mod tests {
             .machine(MachineSpec::misconfigured("b2", 256))
             .schedd_policy(ScheddPolicy {
                 max_attempts: 4,
-                retry_delay: SimDuration::from_secs(5),
                 ..ScheddPolicy::default()
             })
             .job(JobSpec::java(
@@ -653,7 +671,6 @@ mod tests {
                 .machine(MachineSpec::misconfigured("b1", 256))
                 .schedd_policy(ScheddPolicy {
                     max_attempts,
-                    retry_delay: SimDuration::from_secs(5),
                     ..ScheddPolicy::default()
                 })
                 .job(JobSpec::java(
@@ -1024,6 +1041,303 @@ mod ckpt_server_tests {
         assert_eq!(a.metrics.checkpoint_bytes, b.metrics.checkpoint_bytes);
         assert_eq!(a.events, b.events);
         assert_eq!(a.finished_at, b.finished_at);
+    }
+}
+
+#[cfg(test)]
+mod partition_tests {
+    use super::*;
+    use crate::faults::Window;
+    use crate::health::{BreakerPolicy, RetryPolicy};
+    use crate::job::{JavaMode, JobSpec};
+    use crate::msg::LeaseInfo;
+    use gridvm::programs;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn lease() -> Option<LeaseInfo> {
+        Some(LeaseInfo {
+            interval: SimDuration::from_secs(10),
+            timeout: SimDuration::from_secs(30),
+        })
+    }
+
+    /// A mid-run partition between the schedd and the only machine, with
+    /// leasing on: both sides turn the silence into an explicit error, the
+    /// startd frees itself, and the job completes exactly once after the
+    /// partition heals.
+    #[test]
+    fn lease_converts_partition_into_explicit_error_on_both_sides() {
+        let report = PoolBuilder::new(81)
+            .machine(MachineSpec::healthy("m1", 256))
+            .schedd_policy(ScheddPolicy {
+                lease: lease(),
+                ..ScheddPolicy::default()
+            })
+            .faults(FaultPlan::none().net_partition(
+                [PoolBuilder::SCHEDD_ID],
+                [PoolBuilder::FIRST_MACHINE_ID],
+                Window::new(t(30), t(600)),
+            ))
+            .job(
+                JobSpec::java(1, "ada", programs::completes_main(), JavaMode::Scoped)
+                    .with_exec_time(SimDuration::from_secs(120)),
+            )
+            .run(SimTime::from_secs(3600));
+        assert!(report.quiescent);
+        assert_eq!(report.metrics.jobs_completed, 1);
+        // The schedd expired the lease instead of waiting out the (much
+        // longer) report timeout…
+        assert!(report.metrics.leases_expired >= 1, "{:?}", report.metrics);
+        assert!(report.metrics.vanished_attempts >= 1);
+        // …and the startd abandoned the orphaned claim from its side.
+        let m = &report.machines[&PoolBuilder::FIRST_MACHINE_ID];
+        assert!(m.leases_expired >= 1, "{m:?}");
+        // Both sides' expirations are in the event stream.
+        let sides: Vec<String> = report
+            .telemetry
+            .iter()
+            .filter_map(|r| match &r.event {
+                obs::Event::LeaseExpired { side, .. } => Some(side.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(sides.iter().any(|s| s == "schedd"), "{sides:?}");
+        assert!(sides.iter().any(|s| s == "startd"), "{sides:?}");
+        // Exactly one attempt actually produced the program result.
+        let rec = &report.jobs[&1];
+        let programs_run = rec
+            .attempts
+            .iter()
+            .filter(|a| a.scope == Some(errorscope::Scope::Program))
+            .count();
+        assert_eq!(programs_run, 1, "{:?}", rec.attempts);
+        assert!(rec.finished.unwrap() >= t(600), "completes after the heal");
+    }
+
+    /// The same partition without leasing recovers only via the report
+    /// timeout: the lease strictly tightens detection.
+    #[test]
+    fn lease_detects_partition_before_report_timeout_would() {
+        let run = |lease: Option<LeaseInfo>| {
+            PoolBuilder::new(82)
+                .machine(MachineSpec::healthy("m1", 256))
+                .machine(MachineSpec::healthy("m2", 256))
+                .schedd_policy(ScheddPolicy {
+                    lease,
+                    ..ScheddPolicy::default()
+                })
+                .faults(FaultPlan::none().net_partition(
+                    [PoolBuilder::SCHEDD_ID],
+                    [
+                        PoolBuilder::FIRST_MACHINE_ID,
+                        PoolBuilder::FIRST_MACHINE_ID + 1,
+                    ],
+                    Window::new(t(30), t(700)),
+                ))
+                .job(
+                    JobSpec::java(1, "ada", programs::completes_main(), JavaMode::Scoped)
+                        .with_exec_time(SimDuration::from_secs(120)),
+                )
+                .run(SimTime::from_secs(7200))
+        };
+        let leased = run(lease());
+        let unleased = run(None);
+        assert_eq!(leased.metrics.jobs_completed, 1);
+        assert_eq!(unleased.metrics.jobs_completed, 1);
+        assert!(leased.metrics.leases_expired >= 1);
+        assert_eq!(unleased.metrics.leases_expired, 0);
+        // The leased schedd learned of the dead claim while the partition
+        // was still up; the unleased one needed the report timeout.
+        let first_detect = |r: &RunReport| {
+            r.telemetry
+                .iter()
+                .filter_map(|rec| match &rec.event {
+                    obs::Event::Reschedule { .. } => Some(rec.at_us),
+                    _ => None,
+                })
+                .next()
+        };
+        let (a, b) = (first_detect(&leased), first_detect(&unleased));
+        assert!(
+            a.unwrap() < b.unwrap(),
+            "lease must detect first: {a:?} vs {b:?}"
+        );
+    }
+
+    /// Total duplication on the schedd↔machine link: every frame arrives
+    /// twice, yet epoch fencing keeps execution exactly-once — duplicates
+    /// are counted, never acted on.
+    #[test]
+    fn duplicated_frames_are_fenced_not_replayed() {
+        let report = PoolBuilder::new(83)
+            .machine(MachineSpec::healthy("m1", 256))
+            .schedd_policy(ScheddPolicy {
+                lease: lease(),
+                ..ScheddPolicy::default()
+            })
+            .faults(FaultPlan::none().net_duplication(
+                PoolBuilder::SCHEDD_ID,
+                PoolBuilder::FIRST_MACHINE_ID,
+                1.0,
+                Window::from(SimTime::ZERO),
+            ))
+            .job(
+                JobSpec::java(1, "ada", programs::completes_main(), JavaMode::Scoped)
+                    .with_exec_time(SimDuration::from_secs(60)),
+            )
+            .run(SimTime::from_secs(3600));
+        assert!(report.quiescent);
+        assert_eq!(report.metrics.jobs_completed, 1);
+        let rec = &report.jobs[&1];
+        assert_eq!(rec.attempts.len(), 1, "exactly one execution: {rec:?}");
+        assert_eq!(
+            report.machines[&PoolBuilder::FIRST_MACHINE_ID].executions,
+            1
+        );
+        // The duplicate report (and any duplicate heartbeats racing the
+        // close) were fenced and counted.
+        assert!(
+            report.metrics.stale_epochs_dropped >= 1,
+            "{:?}",
+            report.metrics
+        );
+        assert!(report.net.duplicated_total() >= 1);
+        // The per-link counter is projected into the registry.
+        let reg = report.registry();
+        let link = format!(
+            "{}-{}",
+            PoolBuilder::SCHEDD_ID,
+            PoolBuilder::FIRST_MACHINE_ID
+        );
+        assert!(reg.counter("net_msgs_duplicated", &[("link", &link)]) >= 1);
+    }
+
+    /// During an outage, exponential backoff plus a circuit breaker sends
+    /// strictly fewer claim requests than the fixed-delay kernel — the
+    /// retry traffic thins out instead of hammering the dead link.
+    #[test]
+    fn backoff_and_breaker_quiet_the_outage() {
+        let outage = (t(20), t(800));
+        let run = |retry: RetryPolicy, breaker: Option<BreakerPolicy>| {
+            PoolBuilder::new(84)
+                .machine(MachineSpec::healthy("m1", 256))
+                .schedd_policy(ScheddPolicy {
+                    retry,
+                    breaker,
+                    ..ScheddPolicy::default()
+                })
+                .faults(FaultPlan::none().net_partition(
+                    [PoolBuilder::SCHEDD_ID],
+                    [PoolBuilder::FIRST_MACHINE_ID],
+                    Window::new(outage.0, outage.1),
+                ))
+                .job(
+                    JobSpec::java(1, "ada", programs::completes_main(), JavaMode::Scoped)
+                        .with_exec_time(SimDuration::from_secs(60)),
+                )
+                .run(SimTime::from_secs(7200))
+        };
+        let requests_during_outage = |r: &RunReport| {
+            r.telemetry
+                .iter()
+                .filter(|rec| {
+                    matches!(
+                        rec.event,
+                        obs::Event::Claim {
+                            outcome: obs::ClaimOutcome::Requested,
+                            ..
+                        }
+                    ) && rec.at_us >= outage.0.as_micros()
+                        && rec.at_us < outage.1.as_micros()
+                })
+                .count()
+        };
+        let fixed = run(RetryPolicy::Fixed(SimDuration::from_secs(10)), None);
+        let adaptive = run(
+            RetryPolicy::Backoff {
+                base: SimDuration::from_secs(10),
+                max: SimDuration::from_secs(60),
+                jitter: 0.1,
+            },
+            Some(BreakerPolicy::default()),
+        );
+        // Both recover once the partition heals.
+        assert_eq!(fixed.metrics.jobs_completed, 1);
+        assert_eq!(adaptive.metrics.jobs_completed, 1);
+        let (n_fixed, n_adaptive) = (
+            requests_during_outage(&fixed),
+            requests_during_outage(&adaptive),
+        );
+        assert!(
+            n_adaptive < n_fixed,
+            "backoff+breaker must send fewer claims during the outage: \
+             {n_adaptive} vs {n_fixed}"
+        );
+        assert!(adaptive.metrics.breaker_opens >= 1);
+        assert!(adaptive.telemetry.iter().any(
+            |rec| matches!(&rec.event, obs::Event::BreakerStateChange { to, .. } if to == "open")
+        ));
+    }
+
+    /// A mixed plan — partition, loss, and duplication windows — is fully
+    /// deterministic: two same-seed runs yield bit-identical snapshots.
+    #[test]
+    fn mixed_net_fault_plan_is_deterministic() {
+        let run = || {
+            PoolBuilder::new(85)
+                .machine(MachineSpec::healthy("m1", 256))
+                .machine(MachineSpec::healthy("m2", 256))
+                .schedd_policy(ScheddPolicy {
+                    lease: lease(),
+                    breaker: Some(BreakerPolicy::default()),
+                    ..ScheddPolicy::default()
+                })
+                .faults(
+                    FaultPlan::none()
+                        .net_partition(
+                            [PoolBuilder::SCHEDD_ID],
+                            [PoolBuilder::FIRST_MACHINE_ID],
+                            Window::new(t(40), t(300)),
+                        )
+                        .net_loss(
+                            PoolBuilder::SCHEDD_ID,
+                            PoolBuilder::FIRST_MACHINE_ID + 1,
+                            0.5,
+                            Window::new(t(10), t(200)),
+                        )
+                        .net_duplication(
+                            PoolBuilder::SCHEDD_ID,
+                            PoolBuilder::FIRST_MACHINE_ID + 1,
+                            1.0,
+                            Window::new(t(200), t(500)),
+                        ),
+                )
+                .jobs((1..=3).map(|i| {
+                    JobSpec::java(i, "ada", programs::completes_main(), JavaMode::Scoped)
+                        .with_exec_time(SimDuration::from_secs(60))
+                }))
+                .run(SimTime::from_secs(7200))
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.registry().snapshot_json(), b.registry().snapshot_json());
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.finished_at, b.finished_at);
+        assert_eq!(a.net, b.net);
+        assert_eq!(a.metrics.jobs_completed, 3);
+        // The loss window actually ate something, and the drop counter is
+        // projected per-link.
+        assert!(a.net.dropped_total() >= 1);
+        let reg = a.registry();
+        let link = format!(
+            "{}-{}",
+            PoolBuilder::SCHEDD_ID,
+            PoolBuilder::FIRST_MACHINE_ID + 1
+        );
+        assert!(reg.counter("net_msgs_dropped", &[("link", &link)]) >= 1);
     }
 }
 

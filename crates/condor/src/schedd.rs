@@ -12,9 +12,12 @@
 //! *user* pays for the missing scope information with postmortem time.
 
 use crate::faults::FaultPlan;
+use crate::health::{BreakerPolicy, BreakerState, CircuitBreaker, RetryPolicy};
 use crate::job::{Attempt, JobId, JobRecord, JobSpec, JobState};
 use crate::metrics::Metrics;
-use crate::msg::{Activation, CkptAttempt, ExecutionReport, FsSnapshot, Msg, ResumeInfo};
+use crate::msg::{
+    Activation, CkptAttempt, ExecutionReport, FsSnapshot, LeaseInfo, Msg, ResumeInfo,
+};
 use desim::prelude::*;
 use errorscope::propagate::Disposition;
 use errorscope::resultfile::{Outcome, ResultFile};
@@ -28,8 +31,11 @@ pub const ADVERTISE_PERIOD: SimDuration = SimDuration::from_secs(5);
 /// The schedd's configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct ScheddPolicy {
-    /// Delay before re-advertising after an environmental failure.
-    pub retry_delay: SimDuration,
+    /// How long to wait before re-advertising after an environmental
+    /// failure. The default backs off exponentially with deterministic
+    /// jitter; [`RetryPolicy::Fixed`] restores the original constant-delay
+    /// kernel.
+    pub retry: RetryPolicy,
     /// Delay before retrying after a *local-resource* failure — the home
     /// file system needs time to come back; trying another execution site
     /// would not help.
@@ -49,12 +55,25 @@ pub struct ScheddPolicy {
     /// Extra slack on top of the job's own execution time before the
     /// shadow declares the attempt vanished.
     pub report_slack: SimDuration,
+    /// Claim leasing: when set, activations carry these lease terms, the
+    /// startd heartbeats, and a missed lease converts a silent partition
+    /// into an explicit scope-of-the-claim error on both sides. `None`
+    /// falls back to the report timeout alone.
+    pub lease: Option<LeaseInfo>,
+    /// Per-machine circuit breakers over scope-of-the-machine failures —
+    /// the self-healing generalisation of chronic-host avoidance. `None`
+    /// disables them.
+    pub breaker: Option<BreakerPolicy>,
 }
 
 impl Default for ScheddPolicy {
     fn default() -> Self {
         ScheddPolicy {
-            retry_delay: SimDuration::from_secs(10),
+            retry: RetryPolicy::Backoff {
+                base: SimDuration::from_secs(10),
+                max: SimDuration::from_secs(60),
+                jitter: 0.1,
+            },
             local_resource_delay: SimDuration::from_secs(120),
             postmortem_delay: SimDuration::from_secs(600),
             max_attempts: 20,
@@ -62,6 +81,8 @@ impl Default for ScheddPolicy {
             avoid_threshold: 2,
             claim_timeout: SimDuration::from_secs(20),
             report_slack: SimDuration::from_secs(120),
+            lease: None,
+            breaker: None,
         }
     }
 }
@@ -88,6 +109,9 @@ pub struct Schedd {
     pub home_fs: BTreeMap<String, Vec<u8>>,
     /// Hosts with chronic environmental failures (machine → count).
     pub chronic: BTreeMap<usize, u32>,
+    /// Per-machine circuit breakers (populated only when the policy
+    /// enables them).
+    pub breakers: BTreeMap<usize, CircuitBreaker>,
     /// Accounting.
     pub metrics: Metrics,
     /// What the user saw, in order.
@@ -105,6 +129,7 @@ impl Schedd {
             jobs: BTreeMap::new(),
             home_fs: BTreeMap::new(),
             chronic: BTreeMap::new(),
+            breakers: BTreeMap::new(),
             metrics: Metrics::default(),
             user_log: Vec::new(),
             self_id: usize::MAX,
@@ -175,6 +200,88 @@ impl Schedd {
         }
         snap
     }
+
+    /// Machines whose breaker is open right now (withheld from matching).
+    fn breaker_blocked(&mut self, now: SimTime) -> Vec<usize> {
+        self.breakers
+            .iter_mut()
+            .filter_map(|(m, b)| b.is_blocked(now).then_some(*m))
+            .collect()
+    }
+
+    /// Feed a scope-of-the-machine failure to `machine`'s breaker.
+    fn machine_failure(&mut self, machine: usize, ctx: &mut Context<'_, Msg>) {
+        let Some(policy) = self.policy.breaker else {
+            return;
+        };
+        let breaker = self
+            .breakers
+            .entry(machine)
+            .or_insert_with(|| CircuitBreaker::new(policy));
+        if let Some(tr) = breaker.on_failure(ctx.now) {
+            if matches!(tr.to, BreakerState::Open { .. }) {
+                self.metrics.breaker_opens += 1;
+            }
+            ctx.emit(obs::Event::BreakerStateChange {
+                machine: machine as u64,
+                from: tr.from.name().to_string(),
+                to: tr.to.name().to_string(),
+            });
+            ctx.trace(format!(
+                "breaker for machine {machine}: {} -> {}",
+                tr.from.name(),
+                tr.to.name()
+            ));
+        }
+    }
+
+    /// Feed a proof of machine health to `machine`'s breaker.
+    fn machine_success(&mut self, machine: usize, ctx: &mut Context<'_, Msg>) {
+        if self.policy.breaker.is_none() {
+            return;
+        }
+        if let Some(breaker) = self.breakers.get_mut(&machine) {
+            if let Some(tr) = breaker.on_success(ctx.now) {
+                ctx.emit(obs::Event::BreakerStateChange {
+                    machine: machine as u64,
+                    from: tr.from.name().to_string(),
+                    to: tr.to.name().to_string(),
+                });
+                ctx.trace(format!("breaker for machine {machine}: closed"));
+            }
+        }
+    }
+
+    /// Count and log a message fenced for carrying a stale claim epoch.
+    fn drop_stale(
+        &mut self,
+        job: JobId,
+        kind: &str,
+        got: u64,
+        current: u64,
+        ctx: &mut Context<'_, Msg>,
+    ) {
+        self.metrics.stale_epochs_dropped += 1;
+        ctx.emit(obs::Event::StaleEpochDropped {
+            job: u64::from(job),
+            kind: kind.to_string(),
+            got,
+            current,
+        });
+        ctx.trace(format!(
+            "fenced stale {kind} for job {job}: epoch {got}, current {current}"
+        ));
+    }
+
+    /// The retry delay for `job`'s *next* environmental retry, advancing
+    /// its consecutive-failure level.
+    fn backoff_delay(&mut self, job: JobId, ctx: &mut Context<'_, Msg>) -> SimDuration {
+        let retry = self.policy.retry;
+        let rec = self.jobs.get_mut(&job).expect("job exists");
+        let delay = retry.delay(rec.backoff_level, ctx.rng);
+        rec.backoff_level += 1;
+        delay
+    }
 }
 
 impl Actor<Msg> for Schedd {
@@ -191,7 +298,7 @@ impl Actor<Msg> for Schedd {
         self.self_id = ctx.self_id;
         match msg {
             Msg::AdvertiseTick => {
-                let avoided: Vec<usize> = if self.policy.avoid_chronic_hosts {
+                let mut avoided: Vec<usize> = if self.policy.avoid_chronic_hosts {
                     self.chronic
                         .iter()
                         .filter(|(_, c)| **c >= self.policy.avoid_threshold)
@@ -200,6 +307,14 @@ impl Actor<Msg> for Schedd {
                 } else {
                     Vec::new()
                 };
+                // Breaker-open machines are withheld the same way; a
+                // half-open breaker admits the machine (the probe).
+                for m in self.breaker_blocked(ctx.now) {
+                    if !avoided.contains(&m) {
+                        avoided.push(m);
+                    }
+                }
+                avoided.sort_unstable();
                 let ads: Vec<(JobId, classads::ClassAd)> = self
                     .jobs
                     .values()
@@ -220,6 +335,10 @@ impl Actor<Msg> for Schedd {
 
             Msg::MatchNotify { job, machine } => {
                 let avoided = self.is_avoided(machine);
+                let breaker_open = self
+                    .breakers
+                    .get_mut(&machine)
+                    .is_some_and(|b| b.is_blocked(ctx.now));
                 let Some(rec) = self.jobs.get_mut(&job) else {
                     return;
                 };
@@ -230,6 +349,16 @@ impl Actor<Msg> for Schedd {
                     ctx.trace(format!("avoiding chronic host {machine} for job {job}"));
                     return; // stays idle; re-advertised next tick
                 }
+                if breaker_open {
+                    ctx.trace(format!(
+                        "breaker open for machine {machine}; job {job} stays idle"
+                    ));
+                    return;
+                }
+                // Opening a claim starts a new epoch: every message about
+                // this claim carries it, and older epochs are fenced.
+                rec.epoch += 1;
+                let epoch = rec.epoch;
                 rec.state = JobState::Claiming { machine };
                 let ad = rec.spec.ad();
                 ctx.trace(format!("claiming machine {machine} for job {job}"));
@@ -243,6 +372,7 @@ impl Actor<Msg> for Schedd {
                     Msg::ClaimRequest {
                         job,
                         ad: Box::new(ad),
+                        epoch,
                     },
                 );
                 ctx.send_self_after(
@@ -251,10 +381,15 @@ impl Actor<Msg> for Schedd {
                 );
             }
 
-            Msg::ClaimAccept { job } => {
+            Msg::ClaimAccept { job, epoch } => {
                 let Some(rec) = self.jobs.get(&job) else {
                     return;
                 };
+                if epoch != rec.epoch {
+                    let current = rec.epoch;
+                    self.drop_stale(job, "claim-accept", epoch, current, ctx);
+                    return;
+                }
                 let JobState::Claiming { machine } = rec.state else {
                     return;
                 };
@@ -274,6 +409,7 @@ impl Actor<Msg> for Schedd {
                     ctx.send_net(machine, Msg::ReleaseClaim { job });
                     self.metrics.reschedules += 1;
                     let rec = self.jobs.get_mut(&job).unwrap();
+                    rec.epoch += 1; // claim closed without activating
                     rec.state = JobState::Waiting;
                     ctx.send_self_after(self.policy.local_resource_delay, Msg::RetryJob { job });
                     return;
@@ -300,6 +436,7 @@ impl Actor<Msg> for Schedd {
                     banked: rec.progress,
                 });
                 let resuming = resume.is_some();
+                let epoch = rec.epoch;
                 let snapshot = self.snapshot_for(&spec);
                 ctx.trace(format!("shadow activating job {job} on machine {machine}"));
                 ctx.emit(obs::Event::Dispatch {
@@ -318,8 +455,18 @@ impl Actor<Msg> for Schedd {
                         schedd: ctx.self_id,
                         attempt: attempt_no,
                         resume,
+                        epoch,
+                        lease: self.policy.lease,
                     })),
                 );
+                // The lease: the shadow expects heartbeats from the
+                // activation on; silence past the timeout expires the
+                // claim long before the report timeout would.
+                if let Some(lease) = self.policy.lease {
+                    let rec = self.jobs.get_mut(&job).unwrap();
+                    rec.last_heartbeat = ctx.now;
+                    ctx.send_self_after(lease.timeout, Msg::LeaseCheck { job, epoch });
+                }
                 // A resumed attempt may discard its checkpoint and cold-
                 // restart, owing the full execution time again — give the
                 // shadow timeout room for that before declaring the
@@ -336,10 +483,15 @@ impl Actor<Msg> for Schedd {
                 );
             }
 
-            Msg::ClaimReject { job, reason } => {
-                let Some(rec) = self.jobs.get_mut(&job) else {
+            Msg::ClaimReject { job, reason, epoch } => {
+                let Some(rec) = self.jobs.get(&job) else {
                     return;
                 };
+                if epoch != rec.epoch {
+                    let current = rec.epoch;
+                    self.drop_stale(job, "claim-reject", epoch, current, ctx);
+                    return;
+                }
                 let JobState::Claiming { machine } = rec.state else {
                     return;
                 };
@@ -348,6 +500,8 @@ impl Actor<Msg> for Schedd {
                 }
                 ctx.trace(format!("claim rejected for job {job}: {reason}"));
                 self.metrics.failed_claims += 1;
+                let rec = self.jobs.get_mut(&job).unwrap();
+                rec.epoch += 1; // claim closed
                 rec.state = JobState::Idle;
             }
 
@@ -363,8 +517,38 @@ impl Actor<Msg> for Schedd {
                         outcome: obs::ClaimOutcome::TimedOut,
                     });
                     self.metrics.failed_claims += 1;
-                    rec.state = JobState::Idle;
+                    rec.epoch += 1; // a late accept is now stale
+                    rec.state = JobState::Waiting;
+                    // A silent claim is a machine-scope signal: feed the
+                    // breaker and back off instead of hammering the link.
+                    self.machine_failure(machine, ctx);
+                    let delay = self.backoff_delay(job, ctx);
+                    ctx.send_self_after(delay, Msg::RetryJob { job });
                 }
+            }
+
+            Msg::Heartbeat { job, epoch } => {
+                let Some(rec) = self.jobs.get(&job) else {
+                    return;
+                };
+                if epoch != rec.epoch {
+                    let current = rec.epoch;
+                    self.drop_stale(job, "heartbeat", epoch, current, ctx);
+                    return;
+                }
+                let JobState::Running { machine } = rec.state else {
+                    return;
+                };
+                if machine != from {
+                    return;
+                }
+                let rec = self.jobs.get_mut(&job).unwrap();
+                rec.last_heartbeat = ctx.now;
+                ctx.send_net(from, Msg::HeartbeatAck { job, epoch });
+            }
+
+            Msg::LeaseCheck { job, epoch } => {
+                self.check_lease(job, epoch, ctx);
             }
 
             Msg::StarterReport {
@@ -373,8 +557,9 @@ impl Actor<Msg> for Schedd {
                 cpu,
                 started,
                 ckpt,
+                epoch,
             } => {
-                self.handle_report(job, from, report, cpu, started, ckpt, ctx);
+                self.handle_report(job, from, report, cpu, started, ckpt, epoch, ctx);
             }
 
             Msg::ReportTimeout {
@@ -400,6 +585,7 @@ impl Actor<Msg> for Schedd {
                     reason: "no report: machine crashed or unreachable".into(),
                 });
                 let exec_time = rec.spec.exec_time;
+                rec.epoch += 1; // a late report is now stale
                 rec.attempts.push(Attempt {
                     machine,
                     started: ctx.now,
@@ -410,7 +596,9 @@ impl Actor<Msg> for Schedd {
                 self.metrics.vanished_attempts += 1;
                 self.metrics.wasted_cpu += exec_time;
                 *self.chronic.entry(machine).or_insert(0) += 1;
-                self.reschedule_or_hold(job, self.policy.retry_delay, ctx);
+                self.machine_failure(machine, ctx);
+                let delay = self.backoff_delay(job, ctx);
+                self.reschedule_or_hold(job, delay, ctx);
             }
 
             Msg::RetryJob { job } => {
@@ -457,6 +645,62 @@ impl Schedd {
         ctx.send_self_after(delay, Msg::RetryJob { job });
     }
 
+    /// The submit-side half of the lease: has the running claim been heard
+    /// from within the lease timeout? If not, the silent partition becomes
+    /// an explicit scope-of-the-claim error *now*, instead of waiting for
+    /// the much longer report timeout.
+    fn check_lease(&mut self, job: JobId, epoch: u64, ctx: &mut Context<'_, Msg>) {
+        let Some(lease) = self.policy.lease else {
+            return;
+        };
+        let Some(rec) = self.jobs.get_mut(&job) else {
+            return;
+        };
+        if epoch != rec.epoch {
+            return; // the claim already closed; this timer is stale
+        }
+        let JobState::Running { machine } = rec.state else {
+            return;
+        };
+        let silent = ctx.now.since(rec.last_heartbeat);
+        if silent < lease.timeout {
+            // Heard from within the window: re-arm for the remainder.
+            let remaining =
+                SimDuration::from_micros(lease.timeout.as_micros() - silent.as_micros());
+            ctx.send_self_after(remaining, Msg::LeaseCheck { job, epoch });
+            return;
+        }
+        ctx.trace(format!(
+            "lease expired for job {job} on machine {machine}: silent for {silent}"
+        ));
+        ctx.emit(obs::Event::LeaseExpired {
+            job: u64::from(job),
+            machine: machine as u64,
+            side: "schedd".to_string(),
+        });
+        ctx.emit(obs::Event::Reschedule {
+            job: u64::from(job),
+            machine: machine as u64,
+            reason: "lease expired: claim unreachable".into(),
+        });
+        let exec_time = rec.spec.exec_time;
+        rec.epoch += 1; // the claim is dead; its report would be stale
+        rec.attempts.push(Attempt {
+            machine,
+            started: ctx.now,
+            ended: ctx.now,
+            scope: None,
+            note: "lease expired: claim unreachable".into(),
+        });
+        self.metrics.leases_expired += 1;
+        self.metrics.vanished_attempts += 1;
+        self.metrics.wasted_cpu += exec_time;
+        *self.chronic.entry(machine).or_insert(0) += 1;
+        self.machine_failure(machine, ctx);
+        let delay = self.backoff_delay(job, ctx);
+        self.reschedule_or_hold(job, delay, ctx);
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn handle_report(
         &mut self,
@@ -466,14 +710,27 @@ impl Schedd {
         cpu: SimDuration,
         started: SimTime,
         ckpt: CkptAttempt,
+        epoch: u64,
         ctx: &mut Context<'_, Msg>,
     ) {
         let Some(rec) = self.jobs.get(&job) else {
             return;
         };
+        if epoch != rec.epoch {
+            // A report from a closed claim: a duplicated frame, a late
+            // delivery from a healed partition, or a claim the lease check
+            // already expired. Count it; never act on it.
+            let current = rec.epoch;
+            self.drop_stale(job, "report", epoch, current, ctx);
+            return;
+        }
         if rec.state != (JobState::Running { machine }) {
             return; // late report after a timeout already acted
         }
+        // The report closes the claim: anything stamped with this epoch
+        // from here on (duplicates, partition echoes) is stale.
+        let rec = self.jobs.get_mut(&job).unwrap();
+        rec.epoch += 1;
 
         // Settle the attempt's checkpoint-resume outcome first: it adjusts
         // the banked progress the report's own accounting builds on.
@@ -543,8 +800,12 @@ impl Schedd {
                 });
                 ctx.trace(format!("job {job} evicted from machine {machine}"));
                 // Owner policy, not a chronic failure: reschedule without
-                // blaming the host.
-                self.reschedule_or_hold(job, self.policy.retry_delay, ctx);
+                // blaming the host, reset the backoff, and tell the breaker
+                // the machine is demonstrably alive.
+                self.machine_success(machine, ctx);
+                let rec = self.jobs.get_mut(&job).unwrap();
+                rec.backoff_level = 0;
+                self.reschedule_or_hold(job, self.policy.retry.base_delay(), ctx);
                 let _ = cpu;
             }
 
@@ -566,6 +827,10 @@ impl Schedd {
                     });
                 }
                 self.metrics.record_outcome(truth_scope, cpu);
+                // The naive schedd believes every exit is a result, so the
+                // machine looks healthy regardless of the hidden truth — it
+                // has no scope information to feed the breaker.
+                self.machine_success(machine, ctx);
                 if truth_scope == Scope::Program {
                     let rec = self.jobs.get_mut(&job).unwrap();
                     rec.state = JobState::Completed {
@@ -633,6 +898,7 @@ impl Schedd {
                 });
                 match disposition {
                     Disposition::ReturnCompleted => {
+                        self.machine_success(machine, ctx);
                         let rec = self.jobs.get_mut(&job).unwrap();
                         let text = match &result.outcome {
                             Outcome::Completed { exit_code } => {
@@ -649,6 +915,9 @@ impl Schedd {
                         self.user_sees(ctx.now, job, text);
                     }
                     Disposition::ReturnUnexecutable => {
+                        // The machine faithfully ran the job far enough to
+                        // prove the *job* is at fault: a healthy host.
+                        self.machine_success(machine, ctx);
                         let rec = self.jobs.get_mut(&job).unwrap();
                         rec.state = JobState::Unexecutable {
                             reason: note.clone(),
@@ -670,13 +939,14 @@ impl Schedd {
                             reason: format!("{scope}-scope error: {note}"),
                         });
                         self.metrics.reschedules += 1;
-                        if scope != Scope::LocalResource {
-                            *self.chronic.entry(machine).or_insert(0) += 1;
-                        }
                         let delay = if scope == Scope::LocalResource {
+                            // Our own file system's fault, not the host's:
+                            // no blame, no backoff escalation.
                             self.policy.local_resource_delay
                         } else {
-                            self.policy.retry_delay
+                            *self.chronic.entry(machine).or_insert(0) += 1;
+                            self.machine_failure(machine, ctx);
+                            self.backoff_delay(job, ctx)
                         };
                         self.reschedule_or_hold(job, delay, ctx);
                     }

@@ -46,6 +46,10 @@ pub const ADVERTISE_PERIOD: SimDuration = SimDuration::from_secs(5);
 /// makes §5's black holes attractive: they "fail fast" and come right back
 /// for more jobs.
 pub const FAIL_FAST_TIME: SimDuration = SimDuration::from_secs(2);
+/// How long an accepted claim may sit unactivated before the startd frees
+/// itself. Without this, a partition between acceptance and activation
+/// wedges the machine forever — the claim itself needs a scope in time.
+pub const CLAIM_ACTIVATION_TIMEOUT: SimDuration = SimDuration::from_secs(60);
 
 /// The startd's configuration knobs.
 #[derive(Debug, Clone, Copy)]
@@ -87,6 +91,7 @@ enum State {
     Claimed {
         schedd: ActorId,
         job: u32,
+        epoch: u64,
     },
     /// Fetching a stored checkpoint from the checkpoint server before
     /// starting a resumed activation.
@@ -98,6 +103,11 @@ enum State {
     Running {
         schedd: ActorId,
         job: u32,
+        epoch: u64,
+        lease: Option<crate::msg::LeaseInfo>,
+        /// When the schedd last acknowledged a heartbeat (or the claim was
+        /// activated) — the execute-side half of the lease.
+        last_ack: SimTime,
         started: SimTime,
         report: Box<ExecutionReport>,
         cpu: SimDuration,
@@ -220,7 +230,7 @@ impl Actor<Msg> for Startd {
                 }
                 ctx.send_self_after(ADVERTISE_PERIOD, Msg::AdvertiseTick);
             }
-            Msg::ClaimRequest { job, ad } => {
+            Msg::ClaimRequest { job, ad, epoch } => {
                 if self.crashed(ctx.now) {
                     return; // silence; the schedd's claim timeout fires
                 }
@@ -238,6 +248,7 @@ impl Actor<Msg> for Startd {
                         Msg::ClaimReject {
                             job,
                             reason: "busy".into(),
+                            epoch,
                         },
                     );
                     return;
@@ -259,21 +270,54 @@ impl Actor<Msg> for Startd {
                         Msg::ClaimReject {
                             job,
                             reason: "requirements no longer met".into(),
+                            epoch,
                         },
                     );
                     return;
                 }
                 self.stats.claims_accepted += 1;
                 self.emit_claim(ctx, job, obs::ClaimOutcome::Accepted);
-                self.state = State::Claimed { schedd: from, job };
+                self.state = State::Claimed {
+                    schedd: from,
+                    job,
+                    epoch,
+                };
                 ctx.trace(format!("claim accepted for job {job}"));
-                ctx.send_net(from, Msg::ClaimAccept { job });
+                ctx.send_net(from, Msg::ClaimAccept { job, epoch });
+                // If the activation never arrives (lost, or the schedd gave
+                // up), free the machine instead of wedging on a dead claim.
+                ctx.send_self_after(CLAIM_ACTIVATION_TIMEOUT, Msg::ClaimExpire { job, epoch });
+            }
+            Msg::ClaimExpire { job, epoch } => {
+                if let State::Claimed {
+                    job: claimed,
+                    epoch: current,
+                    ..
+                } = self.state
+                {
+                    if claimed == job && current == epoch {
+                        ctx.trace(format!("claim for job {job} never activated; freeing"));
+                        self.state = State::Free;
+                    }
+                }
             }
             Msg::ActivateClaim(act) => {
-                let State::Claimed { schedd, job } = self.state else {
+                let State::Claimed { schedd, job, epoch } = self.state else {
                     return; // stale activation
                 };
                 if schedd != from || act.job != job || self.crashed(ctx.now) {
+                    return;
+                }
+                if act.epoch != epoch {
+                    // An activation from a claim this startd no longer
+                    // holds (a late frame from a healed partition).
+                    self.stats.stale_epochs_dropped += 1;
+                    ctx.emit(obs::Event::StaleEpochDropped {
+                        job: u64::from(job),
+                        kind: "activation".to_string(),
+                        got: act.epoch,
+                        current: epoch,
+                    });
                     return;
                 }
                 if let (Universe::Standard, Some(resume), Some((server, cookie))) =
@@ -364,6 +408,7 @@ impl Actor<Msg> for Startd {
                 }
                 let State::Running {
                     schedd,
+                    epoch,
                     report,
                     cpu,
                     started,
@@ -403,8 +448,66 @@ impl Actor<Msg> for Startd {
                         cpu,
                         started,
                         ckpt,
+                        epoch,
                     },
                 );
+            }
+            Msg::HeartbeatTick { job, epoch } => {
+                let State::Running {
+                    schedd,
+                    job: running,
+                    epoch: current,
+                    lease: Some(lease),
+                    last_ack,
+                    ..
+                } = self.state
+                else {
+                    return; // claim gone (or unleased); the loop dies with it
+                };
+                if running != job || current != epoch || self.crashed(ctx.now) {
+                    return;
+                }
+                if ctx.now.since(last_ack) >= lease.timeout {
+                    // The schedd has gone silent past the lease: this side
+                    // abandons the claim too, so both sides agree the claim
+                    // is dead — no half-orphaned execution.
+                    self.stats.leases_expired += 1;
+                    ctx.emit(obs::Event::LeaseExpired {
+                        job: u64::from(job),
+                        machine: ctx.self_id as u64,
+                        side: "startd".to_string(),
+                    });
+                    ctx.trace(format!("lease expired for job {job}; abandoning claim"));
+                    self.state = State::Free;
+                    return;
+                }
+                ctx.send_net(schedd, Msg::Heartbeat { job, epoch });
+                ctx.send_self_after(lease.interval, Msg::HeartbeatTick { job, epoch });
+            }
+            Msg::HeartbeatAck { job, epoch } => {
+                if let State::Running {
+                    job: running,
+                    epoch: current,
+                    last_ack,
+                    ..
+                } = &mut self.state
+                {
+                    if *running != job {
+                        return;
+                    }
+                    if *current != epoch {
+                        let current = *current;
+                        self.stats.stale_epochs_dropped += 1;
+                        ctx.emit(obs::Event::StaleEpochDropped {
+                            job: u64::from(job),
+                            kind: "heartbeat-ack".to_string(),
+                            got: epoch,
+                            current,
+                        });
+                        return;
+                    }
+                    *last_ack = ctx.now;
+                }
             }
             Msg::ReleaseClaim { job } => {
                 if let State::Claimed { job: claimed, .. } = self.state {
@@ -509,12 +612,22 @@ impl Startd {
         self.state = State::Running {
             schedd,
             job,
+            epoch: act.epoch,
+            lease: act.lease,
+            last_ack: ctx.now,
             started: ctx.now,
             report: Box::new(report),
             cpu,
             ckpt,
             pending_put,
         };
+        // The execute-side half of the lease: heartbeat until the claim
+        // closes (the tick dies with the Running state) or the schedd's
+        // acks stop coming.
+        if let Some(lease) = act.lease {
+            let epoch = act.epoch;
+            ctx.send_self_after(lease.interval, Msg::HeartbeatTick { job, epoch });
+        }
         ctx.send_self_after(cpu, Msg::ExecutionComplete { job });
     }
 

@@ -48,13 +48,14 @@ fn duplicate_match_notifications_are_idempotent() {
 fn stale_claim_messages_are_ignored() {
     let (mut world, schedd_id, machines) = one_job_pool(52);
     // Bogus accepts/rejects for jobs that were never claimed.
-    world.inject(schedd_id, Msg::ClaimAccept { job: 1 });
-    world.inject(schedd_id, Msg::ClaimAccept { job: 77 });
+    world.inject(schedd_id, Msg::ClaimAccept { job: 1, epoch: 0 });
+    world.inject(schedd_id, Msg::ClaimAccept { job: 77, epoch: 0 });
     world.inject(
         schedd_id,
         Msg::ClaimReject {
             job: 1,
             reason: "spoofed".into(),
+            epoch: 0,
         },
     );
     // Bogus reports before anything ran.
@@ -71,6 +72,7 @@ fn stale_claim_messages_are_ignored() {
             cpu: SimDuration::from_secs(1),
             started: SimTime::ZERO,
             ckpt: condor::CkptAttempt::None,
+            epoch: 0,
         },
     );
     world.run_until(SimTime::from_secs(600));
@@ -98,6 +100,8 @@ fn stale_activations_do_not_run_jobs() {
             schedd: 1,
             attempt: 0,
             resume: None,
+            epoch: 0,
+            lease: None,
         })),
     );
     world.run_until(SimTime::from_secs(300));
@@ -150,6 +154,7 @@ fn busy_machine_rejects_second_claim() {
             Msg::ClaimRequest {
                 job: 2,
                 ad: Box::new(ad),
+                epoch: 0,
             },
         );
         world.run_until(SimTime::from_secs(20));

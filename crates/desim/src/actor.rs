@@ -99,20 +99,6 @@ impl<'a, M> Context<'a, M> {
         self.send_after(delay, id, msg);
     }
 
-    /// Send over the simulated network. The message may be silently lost
-    /// (partition, down host, random drop); returns whether it was
-    /// dispatched, but a *correct* distributed actor should rely on its own
-    /// timeout rather than this return value — real senders don't get one.
-    pub fn send_net(&mut self, to: ActorId, msg: M) -> bool {
-        match self.net.transit(self.rng, self.self_id, to) {
-            Some(lat) => {
-                self.send_after(lat, to, msg);
-                true
-            }
-            None => false,
-        }
-    }
-
     /// Record a trace entry attributed to this actor.
     pub fn trace(&mut self, text: impl Into<String>) {
         let name = self.actor_name.clone();
@@ -131,6 +117,28 @@ impl<'a, M> Context<'a, M> {
     /// Ask the world to stop after this handler returns.
     pub fn stop_world(&mut self) {
         *self.stop_requested = true;
+    }
+}
+
+impl<'a, M: Clone> Context<'a, M> {
+    /// Send over the simulated network. The message may be silently lost
+    /// (partition, down host, random drop) or *duplicated* (delivered twice,
+    /// each copy with its own latency); returns whether at least one copy was
+    /// dispatched, but a *correct* distributed actor should rely on its own
+    /// timeout rather than this return value — real senders don't get one.
+    pub fn send_net(&mut self, to: ActorId, msg: M) -> bool {
+        match self.net.fate(self.rng, self.self_id, to) {
+            crate::net::Fate::Deliver(lat) => {
+                self.send_after(lat, to, msg);
+                true
+            }
+            crate::net::Fate::Duplicate(lat, lat2) => {
+                self.send_after(lat, to, msg.clone());
+                self.send_after(lat2, to, msg);
+                true
+            }
+            crate::net::Fate::Lost => false,
+        }
     }
 }
 

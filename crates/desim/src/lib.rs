@@ -42,7 +42,7 @@ pub mod trace;
 pub mod world;
 
 pub use actor::{Actor, ActorId, Context, Envelope};
-pub use net::Network;
+pub use net::{Fate, NetStats, Network};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

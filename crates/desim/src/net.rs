@@ -1,16 +1,20 @@
 //! A simulated network.
 //!
 //! Models the connectivity between simulated processes: per-link latency,
-//! message loss, partitions, and down hosts. Senders consult the network to
-//! learn the delivery latency of a message — or that it will never arrive,
-//! in which case the *sender's own timeout machinery* is what eventually
-//! notices, exactly as in a real distributed system. The paper's escaping
-//! error "communicated by breaking the connection" appears here as a link
-//! that stops delivering.
+//! message loss, duplication, partitions, and down hosts. Senders consult the
+//! network to learn the delivery latency of a message — or that it will never
+//! arrive, in which case the *sender's own timeout machinery* is what
+//! eventually notices, exactly as in a real distributed system. The paper's
+//! escaping error "communicated by breaking the connection" appears here as a
+//! link that stops delivering.
+//!
+//! The network also keeps per-link delivery statistics (messages dropped and
+//! duplicated), so silent loss is observable to the experimenter even though
+//! it stays invisible to the simulated actors.
 
 use crate::rng::SimRng;
 use crate::time::SimDuration;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Identifies a simulated host (by the actor id of its daemon).
 pub type HostId = usize;
@@ -23,6 +27,45 @@ fn link_key(a: HostId, b: HostId) -> (HostId, HostId) {
     }
 }
 
+/// The fate of one message offered to the network: delivered after a
+/// latency, delivered *twice* (original plus a duplicate with its own
+/// latency), or silently lost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fate {
+    /// Lost: partition, down host, or (per-link) random drop. The sender
+    /// learns only via its own timeout.
+    Lost,
+    /// Delivered once, this much later.
+    Deliver(SimDuration),
+    /// Delivered twice: the original and a duplicate frame, each with its
+    /// own latency. Duplication models retransmission at a lower layer —
+    /// the receiver must be idempotent or fence the copy.
+    Duplicate(SimDuration, SimDuration),
+}
+
+/// Per-link delivery statistics: what the network ate or multiplied.
+/// Keys are undirected `(low, high)` host pairs; `BTreeMap` keeps the
+/// projection order deterministic.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages silently lost, per link (partition, down host, or drop).
+    pub dropped: BTreeMap<(HostId, HostId), u64>,
+    /// Messages delivered twice, per link.
+    pub duplicated: BTreeMap<(HostId, HostId), u64>,
+}
+
+impl NetStats {
+    /// Total messages lost across all links.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped.values().sum()
+    }
+
+    /// Total messages duplicated across all links.
+    pub fn duplicated_total(&self) -> u64 {
+        self.duplicated.values().sum()
+    }
+}
+
 /// The simulated network fabric.
 #[derive(Debug, Clone)]
 pub struct Network {
@@ -32,6 +75,10 @@ pub struct Network {
     partitioned: HashSet<(HostId, HostId)>,
     down: HashSet<HostId>,
     drop_prob: f64,
+    link_loss: HashMap<(HostId, HostId), f64>,
+    dup_prob: f64,
+    link_dup: HashMap<(HostId, HostId), f64>,
+    stats: NetStats,
 }
 
 impl Default for Network {
@@ -50,6 +97,10 @@ impl Network {
             partitioned: HashSet::new(),
             down: HashSet::new(),
             drop_prob: 0.0,
+            link_loss: HashMap::new(),
+            dup_prob: 0.0,
+            link_dup: HashMap::new(),
+            stats: NetStats::default(),
         }
     }
 
@@ -68,9 +119,45 @@ impl Network {
         self
     }
 
+    /// Set an independent per-message duplication probability.
+    pub fn with_duplication_probability(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        self.dup_prob = p;
+        self
+    }
+
     /// Override the latency of one (undirected) link.
     pub fn set_link_latency(&mut self, a: HostId, b: HostId, latency: SimDuration) {
         self.link_latency.insert(link_key(a, b), latency);
+    }
+
+    /// Remove a per-link latency override, reverting to the default.
+    pub fn clear_link_latency(&mut self, a: HostId, b: HostId) {
+        self.link_latency.remove(&link_key(a, b));
+    }
+
+    /// Set a loss probability for one (undirected) link, overriding the
+    /// network-wide drop probability on that link.
+    pub fn set_link_loss(&mut self, a: HostId, b: HostId, p: f64) {
+        assert!((0.0..=1.0).contains(&p));
+        self.link_loss.insert(link_key(a, b), p);
+    }
+
+    /// Remove a per-link loss override.
+    pub fn clear_link_loss(&mut self, a: HostId, b: HostId) {
+        self.link_loss.remove(&link_key(a, b));
+    }
+
+    /// Set a duplication probability for one (undirected) link, overriding
+    /// the network-wide duplication probability on that link.
+    pub fn set_link_duplication(&mut self, a: HostId, b: HostId, p: f64) {
+        assert!((0.0..=1.0).contains(&p));
+        self.link_dup.insert(link_key(a, b), p);
+    }
+
+    /// Remove a per-link duplication override.
+    pub fn clear_link_duplication(&mut self, a: HostId, b: HostId) {
+        self.link_dup.remove(&link_key(a, b));
     }
 
     /// Sever one link in both directions.
@@ -103,22 +190,12 @@ impl Network {
         self.down.contains(&h)
     }
 
-    /// Decide the fate of one message from `from` to `to`: `Some(latency)`
-    /// if it will be delivered that much later, `None` if it is lost
-    /// (partition, down host, or random drop). Loss is *silent* — the
-    /// sender learns only via its own timeout, as in life.
-    pub fn transit(&self, rng: &mut SimRng, from: HostId, to: HostId) -> Option<SimDuration> {
-        if from == to {
-            // Loopback never fails and is effectively instant; one
-            // microsecond preserves causal ordering.
-            return Some(SimDuration::from_micros(1));
-        }
-        if self.is_down(from) || self.is_down(to) || self.is_partitioned(from, to) {
-            return None;
-        }
-        if self.drop_prob > 0.0 && rng.chance(self.drop_prob) {
-            return None;
-        }
+    /// Per-link delivery statistics accumulated so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    fn latency(&self, rng: &mut SimRng, from: HostId, to: HostId) -> SimDuration {
         let base = self
             .link_latency
             .get(&link_key(from, to))
@@ -130,7 +207,50 @@ impl Network {
             base
         };
         // Clamp to at least 1µs so delivery is strictly after sending.
-        Some(SimDuration::from_micros(lat.as_micros().max(1)))
+        SimDuration::from_micros(lat.as_micros().max(1))
+    }
+
+    /// Decide the full fate of one message from `from` to `to`: lost,
+    /// delivered once, or delivered twice. Loss is *silent* to the sending
+    /// actor, but the network records it in [`Network::stats`]. This is the
+    /// primitive [`crate::actor::Context::send_net`] consults.
+    pub fn fate(&mut self, rng: &mut SimRng, from: HostId, to: HostId) -> Fate {
+        if from == to {
+            // Loopback never fails and is effectively instant; one
+            // microsecond preserves causal ordering.
+            return Fate::Deliver(SimDuration::from_micros(1));
+        }
+        let key = link_key(from, to);
+        if self.is_down(from) || self.is_down(to) || self.is_partitioned(from, to) {
+            *self.stats.dropped.entry(key).or_insert(0) += 1;
+            return Fate::Lost;
+        }
+        let loss = self.link_loss.get(&key).copied().unwrap_or(self.drop_prob);
+        if loss > 0.0 && rng.chance(loss) {
+            *self.stats.dropped.entry(key).or_insert(0) += 1;
+            return Fate::Lost;
+        }
+        let lat = self.latency(rng, from, to);
+        let dup = self.link_dup.get(&key).copied().unwrap_or(self.dup_prob);
+        if dup > 0.0 && rng.chance(dup) {
+            *self.stats.duplicated.entry(key).or_insert(0) += 1;
+            // The duplicate takes its own (independent) latency draw, so the
+            // copy may arrive before *or* after the original.
+            let lat2 = self.latency(rng, from, to);
+            return Fate::Duplicate(lat, lat2);
+        }
+        Fate::Deliver(lat)
+    }
+
+    /// Decide the fate of one message from `from` to `to`: `Some(latency)`
+    /// if it will be delivered that much later, `None` if it is lost
+    /// (partition, down host, or random drop). Duplication collapses to a
+    /// single delivery here; use [`Network::fate`] to observe the copy.
+    pub fn transit(&mut self, rng: &mut SimRng, from: HostId, to: HostId) -> Option<SimDuration> {
+        match self.fate(rng, from, to) {
+            Fate::Lost => None,
+            Fate::Deliver(lat) | Fate::Duplicate(lat, _) => Some(lat),
+        }
     }
 }
 
@@ -144,7 +264,7 @@ mod tests {
 
     #[test]
     fn default_latency_applies() {
-        let net = Network::new(SimDuration::from_millis(5));
+        let mut net = Network::new(SimDuration::from_millis(5));
         let mut r = rng();
         assert_eq!(net.transit(&mut r, 1, 2), Some(SimDuration::from_millis(5)));
     }
@@ -171,6 +291,8 @@ mod tests {
             "links are undirected"
         );
         assert_eq!(net.transit(&mut r, 1, 3), Some(SimDuration::from_millis(1)));
+        net.clear_link_latency(2, 1);
+        assert_eq!(net.transit(&mut r, 1, 2), Some(SimDuration::from_millis(1)));
     }
 
     #[test]
@@ -183,6 +305,8 @@ mod tests {
         assert_eq!(net.transit(&mut r, 2, 1), None);
         net.heal(2, 1);
         assert!(net.transit(&mut r, 1, 2).is_some());
+        assert_eq!(net.stats().dropped_total(), 2);
+        assert_eq!(net.stats().dropped.get(&(1, 2)), Some(&2));
     }
 
     #[test]
@@ -199,17 +323,71 @@ mod tests {
 
     #[test]
     fn drop_probability_loses_messages() {
-        let net = Network::default().with_drop_probability(0.5);
+        let mut net = Network::default().with_drop_probability(0.5);
         let mut r = rng();
         let delivered = (0..10_000)
             .filter(|_| net.transit(&mut r, 1, 2).is_some())
             .count();
         assert!((4000..6000).contains(&delivered), "delivered={delivered}");
+        assert_eq!(net.stats().dropped_total() as usize, 10_000 - delivered);
+    }
+
+    #[test]
+    fn link_loss_overrides_global_drop_probability() {
+        let mut net = Network::default().with_drop_probability(0.0);
+        net.set_link_loss(1, 2, 1.0);
+        let mut r = rng();
+        assert_eq!(net.transit(&mut r, 2, 1), None, "lossy link is undirected");
+        assert!(
+            net.transit(&mut r, 1, 3).is_some(),
+            "other links unaffected"
+        );
+        net.clear_link_loss(1, 2);
+        assert!(net.transit(&mut r, 1, 2).is_some());
+        assert_eq!(net.stats().dropped.get(&(1, 2)), Some(&1));
+    }
+
+    #[test]
+    fn duplication_delivers_twice_and_is_counted() {
+        let mut net = Network::default().with_duplication_probability(1.0);
+        let mut r = rng();
+        match net.fate(&mut r, 1, 2) {
+            Fate::Duplicate(a, b) => {
+                assert!(a >= SimDuration::from_micros(1));
+                assert!(b >= SimDuration::from_micros(1));
+            }
+            other => panic!("expected Duplicate, got {other:?}"),
+        }
+        assert_eq!(net.stats().duplicated_total(), 1);
+        // transit() collapses the duplicate to one delivery.
+        assert!(net.transit(&mut r, 1, 2).is_some());
+        assert_eq!(net.stats().duplicated_total(), 2);
+    }
+
+    #[test]
+    fn link_duplication_overrides_global() {
+        let mut net = Network::default();
+        net.set_link_duplication(4, 5, 1.0);
+        let mut r = rng();
+        assert!(matches!(net.fate(&mut r, 5, 4), Fate::Duplicate(_, _)));
+        assert!(matches!(net.fate(&mut r, 1, 2), Fate::Deliver(_)));
+        net.clear_link_duplication(4, 5);
+        assert!(matches!(net.fate(&mut r, 4, 5), Fate::Deliver(_)));
+    }
+
+    #[test]
+    fn loopback_never_duplicates() {
+        let mut net = Network::default().with_duplication_probability(1.0);
+        let mut r = rng();
+        assert_eq!(
+            net.fate(&mut r, 6, 6),
+            Fate::Deliver(SimDuration::from_micros(1))
+        );
     }
 
     #[test]
     fn jitter_scales_latency_within_bounds() {
-        let net = Network::new(SimDuration::from_millis(10)).with_jitter(0.5);
+        let mut net = Network::new(SimDuration::from_millis(10)).with_jitter(0.5);
         let mut r = rng();
         for _ in 0..1000 {
             let l = net.transit(&mut r, 1, 2).unwrap();
@@ -220,8 +398,29 @@ mod tests {
 
     #[test]
     fn latency_is_never_zero() {
-        let net = Network::new(SimDuration::ZERO);
+        let mut net = Network::new(SimDuration::ZERO);
         let mut r = rng();
         assert_eq!(net.transit(&mut r, 1, 2), Some(SimDuration::from_micros(1)));
+    }
+
+    #[test]
+    fn identical_seeds_yield_identical_fates() {
+        // Determinism: two networks with the same configuration, driven by
+        // identically seeded RNGs, decide the same fate for every message.
+        let mk = || {
+            Network::new(SimDuration::from_millis(2))
+                .with_jitter(0.3)
+                .with_drop_probability(0.2)
+                .with_duplication_probability(0.1)
+        };
+        let (mut a, mut b) = (mk(), mk());
+        let mut ra = SimRng::seed_from_u64(99);
+        let mut rb = SimRng::seed_from_u64(99);
+        let fa: Vec<Fate> = (0..5000).map(|i| a.fate(&mut ra, 1, 2 + i % 3)).collect();
+        let fb: Vec<Fate> = (0..5000).map(|i| b.fate(&mut rb, 1, 2 + i % 3)).collect();
+        assert_eq!(fa, fb);
+        assert_eq!(a.stats(), b.stats());
+        assert!(a.stats().dropped_total() > 0);
+        assert!(a.stats().duplicated_total() > 0);
     }
 }

@@ -98,6 +98,11 @@ impl<M: 'static> World<M> {
         &mut self.collector
     }
 
+    /// The network fabric (e.g. for inspecting delivery statistics).
+    pub fn net(&self) -> &Network {
+        &self.net
+    }
+
     /// The network fabric (e.g. for injecting partitions between steps).
     pub fn net_mut(&mut self) -> &mut Network {
         &mut self.net
@@ -376,6 +381,57 @@ mod tests {
             (w.events_processed(), w.now())
         };
         assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn lossy_jittery_network_is_deterministic_across_runs() {
+        // Satellite of the partition-tolerance work: identical seeds and
+        // identical drop/jitter/duplication settings must yield identical
+        // delivery traces (arrival times included) across two runs.
+        struct Recorder {
+            arrivals: Vec<SimTime>,
+        }
+        impl Actor<Msg> for Recorder {
+            fn name(&self) -> String {
+                "recorder".into()
+            }
+            fn on_message(&mut self, _f: ActorId, m: Msg, ctx: &mut Context<'_, Msg>) {
+                if let Msg::Net(_) = m {
+                    self.arrivals.push(ctx.now);
+                }
+            }
+        }
+        let run = |seed: u64| {
+            let net = Network::new(SimDuration::from_millis(2))
+                .with_jitter(0.4)
+                .with_drop_probability(0.3)
+                .with_duplication_probability(0.2);
+            let mut w: World<Msg> = World::new(seed).with_network(net);
+            let r = w.add_actor(Box::new(Recorder { arrivals: vec![] }));
+            let s = w.add_actor(Box::new(NetSender {
+                peer: r,
+                attempts: 200,
+                delivered: 0,
+            }));
+            w.run(10_000);
+            (
+                w.get::<Recorder>(r).unwrap().arrivals.clone(),
+                w.get::<NetSender>(s).unwrap().delivered,
+                w.net().stats().clone(),
+            )
+        };
+        let (a1, d1, s1) = run(5);
+        let (a2, d2, s2) = run(5);
+        assert_eq!(a1, a2, "arrival traces must be bit-identical");
+        assert_eq!(d1, d2);
+        assert_eq!(s1, s2);
+        assert!(s1.dropped_total() > 0, "the lossy net should eat something");
+        assert!(s1.duplicated_total() > 0, "and duplicate something");
+        assert_eq!(
+            a1.len() as u64,
+            u64::from(d1) - s1.duplicated_total() + 2 * s1.duplicated_total(),
+            "every duplicate adds exactly one extra arrival"
+        );
     }
 
     #[test]

@@ -165,6 +165,51 @@ pub enum Event {
         /// The validation failure, human-readable.
         reason: String,
     },
+    /// A claim lease expired: heartbeats stopped flowing for longer than
+    /// the lease timeout, converting a *silent* partition into an explicit
+    /// scope-of-the-claim error on one side of the claim.
+    LeaseExpired {
+        /// Which job.
+        job: u64,
+        /// The machine holding (or held by) the claim.
+        machine: u64,
+        /// Which side noticed: `"schedd"` or `"startd"`.
+        side: String,
+    },
+    /// A message stamped with a stale claim epoch was rejected and counted
+    /// instead of acted on (late report, duplicated frame, resurrected
+    /// partition).
+    StaleEpochDropped {
+        /// Which job the message referred to.
+        job: u64,
+        /// What kind of message carried the stale stamp (`"report"`,
+        /// `"heartbeat"`, `"activation"`…).
+        kind: String,
+        /// The epoch stamped on the message.
+        got: u64,
+        /// The claim's current epoch at the receiver.
+        current: u64,
+    },
+    /// A per-machine circuit breaker changed state.
+    BreakerStateChange {
+        /// The machine whose health the breaker tracks.
+        machine: u64,
+        /// The state it left (`"closed"`, `"open"`, `"half-open"`).
+        from: String,
+        /// The state it entered.
+        to: String,
+    },
+    /// A scheduled network fault crossed a window edge and was applied to
+    /// (or removed from) the fabric.
+    NetFaultApplied {
+        /// The fault kind: `"partition"`, `"loss"`, `"latency"`,
+        /// `"duplication"`.
+        kind: String,
+        /// The affected link, as `"a-b"` (undirected host pair).
+        link: String,
+        /// `true` when entering the window, `false` when leaving it.
+        active: bool,
+    },
     /// One hop of an error's journey through the layer stack.
     SpanHop {
         /// The journey this hop belongs to.
@@ -192,6 +237,10 @@ impl Event {
             Event::CheckpointTaken { .. } => "ckpt-taken",
             Event::CheckpointRestored { .. } => "ckpt-restored",
             Event::CheckpointDiscarded { .. } => "ckpt-discarded",
+            Event::LeaseExpired { .. } => "lease-expired",
+            Event::StaleEpochDropped { .. } => "stale-epoch-dropped",
+            Event::BreakerStateChange { .. } => "breaker-state-change",
+            Event::NetFaultApplied { .. } => "net-fault-applied",
             Event::SpanHop { .. } => "span-hop",
         }
     }
@@ -311,6 +360,34 @@ impl Event {
                 field_u64(out, "machine", *machine);
                 field_str(out, "reason", reason);
             }
+            Event::LeaseExpired { job, machine, side } => {
+                field_u64(out, "job", *job);
+                field_u64(out, "machine", *machine);
+                field_str(out, "side", side);
+            }
+            Event::StaleEpochDropped {
+                job,
+                kind,
+                got,
+                current,
+            } => {
+                field_u64(out, "job", *job);
+                field_str(out, "kind", kind);
+                field_u64(out, "got", *got);
+                field_u64(out, "current", *current);
+            }
+            Event::BreakerStateChange { machine, from, to } => {
+                field_u64(out, "machine", *machine);
+                field_str(out, "from", from);
+                field_str(out, "to", to);
+            }
+            Event::NetFaultApplied { kind, link, active } => {
+                field_str(out, "kind", kind);
+                field_str(out, "link", link);
+                out.push(',');
+                json::write_key(out, "active");
+                out.push_str(if *active { "true" } else { "false" });
+            }
             Event::SpanHop {
                 span,
                 layer,
@@ -422,6 +499,30 @@ impl Event {
                 machine: u("machine")?,
                 reason: s("reason")?,
             }),
+            "lease-expired" => Ok(Event::LeaseExpired {
+                job: u("job")?,
+                machine: u("machine")?,
+                side: s("side")?,
+            }),
+            "stale-epoch-dropped" => Ok(Event::StaleEpochDropped {
+                job: u("job")?,
+                kind: s("kind")?,
+                got: u("got")?,
+                current: u("current")?,
+            }),
+            "breaker-state-change" => Ok(Event::BreakerStateChange {
+                machine: u("machine")?,
+                from: s("from")?,
+                to: s("to")?,
+            }),
+            "net-fault-applied" => Ok(Event::NetFaultApplied {
+                kind: s("kind")?,
+                link: s("link")?,
+                active: v
+                    .get("active")
+                    .and_then(Json::as_bool)
+                    .ok_or("net-fault-applied event missing boolean \"active\"")?,
+            }),
             "span-hop" => {
                 let action = match s("action")?.as_str() {
                     "raised" => SpanAction::Raised,
@@ -514,6 +615,29 @@ impl fmt::Display for Event {
                 machine,
                 reason,
             } => write!(f, "ckpt discarded job={job} machine={machine}: {reason}"),
+            Event::LeaseExpired { job, machine, side } => {
+                write!(
+                    f,
+                    "lease expired job={job} machine={machine} seen-by={side}"
+                )
+            }
+            Event::StaleEpochDropped {
+                job,
+                kind,
+                got,
+                current,
+            } => write!(
+                f,
+                "stale epoch dropped job={job} {kind} got={got} current={current}"
+            ),
+            Event::BreakerStateChange { machine, from, to } => {
+                write!(f, "breaker machine={machine} {from} -> {to}")
+            }
+            Event::NetFaultApplied { kind, link, active } => write!(
+                f,
+                "net fault {kind} link={link} {}",
+                if *active { "applied" } else { "cleared" }
+            ),
             Event::SpanHop {
                 span,
                 layer,
@@ -592,6 +716,32 @@ mod tests {
             job: 3,
             machine: 4,
             reason: "checksum mismatch".into(),
+        });
+        round_trip(Event::LeaseExpired {
+            job: 4,
+            machine: 6,
+            side: "schedd".into(),
+        });
+        round_trip(Event::StaleEpochDropped {
+            job: 4,
+            kind: "report".into(),
+            got: 2,
+            current: 3,
+        });
+        round_trip(Event::BreakerStateChange {
+            machine: 6,
+            from: "closed".into(),
+            to: "open".into(),
+        });
+        round_trip(Event::NetFaultApplied {
+            kind: "partition".into(),
+            link: "1-5".into(),
+            active: true,
+        });
+        round_trip(Event::NetFaultApplied {
+            kind: "loss".into(),
+            link: "1-2".into(),
+            active: false,
         });
         round_trip(Event::SpanHop {
             span: 7,
