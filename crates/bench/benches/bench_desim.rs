@@ -1,0 +1,95 @@
+//! B6 — simulator kernel throughput: the raw dispatch path (borrowed
+//! actor names, reused outbox, 4-ary event queue) under a two-actor
+//! ping-pong rally, and the event queue alone under churn.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use desim::prelude::*;
+use desim::queue::EventQueue;
+use obs::Event;
+
+#[derive(Debug, Clone)]
+enum Ball {
+    Ping(u64),
+    Pong(u64),
+}
+
+struct Player {
+    peer: ActorId,
+    serves: bool,
+}
+
+impl Actor<Ball> for Player {
+    fn name(&self) -> String {
+        if self.serves { "server" } else { "returner" }.into()
+    }
+    fn on_start(&mut self, ctx: &mut Context<'_, Ball>) {
+        if self.serves {
+            ctx.send(self.peer, Ball::Ping(0));
+        }
+    }
+    fn on_message(&mut self, _from: ActorId, msg: Ball, ctx: &mut Context<'_, Ball>) {
+        match msg {
+            Ball::Ping(n) => {
+                ctx.emit(Event::Dispatch { job: n, machine: 0 });
+                ctx.send(self.peer, Ball::Pong(n + 1));
+            }
+            Ball::Pong(n) => {
+                ctx.emit(Event::Dispatch { job: n, machine: 1 });
+                ctx.send(self.peer, Ball::Ping(n + 1));
+            }
+        }
+    }
+}
+
+/// One rally: two actors, one ball in flight, `events` deliveries.
+fn rally(events: u64) -> u64 {
+    let mut w: World<Ball> = World::new(1).without_trace();
+    let a = w.add_actor(Box::new(Player {
+        peer: 1,
+        serves: true,
+    }));
+    w.add_actor(Box::new(Player {
+        peer: a,
+        serves: false,
+    }));
+    let n = w.run(events);
+    assert_eq!(n, events, "the rally must not stall");
+    n
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("desim_dispatch");
+    g.sample_size(10);
+    g.bench_function("pingpong_1m_events", |b| {
+        b.iter(|| black_box(rally(1_000_000)))
+    });
+    g.finish();
+}
+
+fn bench_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("desim_queue");
+    // Sawtooth churn: interleaved pushes and pops with out-of-order
+    // timestamps, the access pattern the 4-ary heap sees under load.
+    g.bench_function("sawtooth_64k", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            let mut seq = 0u64;
+            for round in 0..64u64 {
+                for i in 0..1024u64 {
+                    let at = SimTime::from_micros((i * 7919 + round) % 4096);
+                    q.push(at, black_box(seq));
+                    seq += 1;
+                }
+                for _ in 0..512 {
+                    black_box(q.pop());
+                }
+            }
+            while q.pop().is_some() {}
+            black_box(q.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dispatch, bench_queue);
+criterion_main!(benches);

@@ -1,5 +1,7 @@
 //! Shared helpers for the figure/experiment harnesses.
 
+pub mod legacy;
+
 /// Render a fixed-width text table: a header row followed by data rows.
 /// Column widths are computed from the content.
 pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {

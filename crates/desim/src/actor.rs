@@ -55,6 +55,11 @@ impl<M: 'static> dyn Actor<M> {
 /// The capabilities an actor has while handling a message: learn the time,
 /// send messages (reliably or over the simulated network), draw randomness,
 /// record trace entries, and stop the world.
+///
+/// A `Context` is assembled from disjoint borrows of the [`crate::World`]
+/// for exactly one handler invocation: the actor's name is a borrowed
+/// `&str` and the outbox is the world's reusable buffer, so building one
+/// allocates nothing.
 pub struct Context<'a, M> {
     /// Current virtual time.
     pub now: SimTime,
@@ -67,7 +72,7 @@ pub struct Context<'a, M> {
     pub net: &'a mut Network,
     pub(crate) tracelog: &'a mut TraceLog,
     pub(crate) collector: &'a mut Collector,
-    pub(crate) actor_name: String,
+    pub(crate) actor_name: &'a str,
     pub(crate) stop_requested: &'a mut bool,
 }
 
@@ -100,9 +105,29 @@ impl<'a, M> Context<'a, M> {
     }
 
     /// Record a trace entry attributed to this actor.
+    ///
+    /// When the argument is built with `format!`, the formatting happens
+    /// whether or not tracing is on; prefer [`Context::trace_with`] on hot
+    /// paths so disabled-trace worlds skip it entirely.
     pub fn trace(&mut self, text: impl Into<String>) {
-        let name = self.actor_name.clone();
-        self.tracelog.record(self.now, name, text);
+        if self.tracelog.is_enabled() {
+            self.tracelog.record(self.now, self.actor_name, text);
+        }
+    }
+
+    /// Record a trace entry whose text is produced lazily. When tracing is
+    /// disabled the closure never runs, so a `trace_with(|| format!(…))`
+    /// on a hot path costs one branch and nothing else.
+    pub fn trace_with(&mut self, text: impl FnOnce() -> String) {
+        if self.tracelog.is_enabled() {
+            self.tracelog.record(self.now, self.actor_name, text());
+        }
+    }
+
+    /// Is the trace log recording? Lets callers skip building expensive
+    /// diagnostics that only exist to be traced.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracelog.is_enabled()
     }
 
     /// Record a typed telemetry event attributed to this actor, timestamped
@@ -111,7 +136,7 @@ impl<'a, M> Context<'a, M> {
     /// record.
     pub fn emit(&mut self, event: obs::Event) {
         self.collector
-            .record(self.now.as_micros(), &self.actor_name, event);
+            .record(self.now.as_micros(), self.actor_name, event);
     }
 
     /// Ask the world to stop after this handler returns.
@@ -133,12 +158,32 @@ impl<'a, M: Clone> Context<'a, M> {
                 true
             }
             crate::net::Fate::Duplicate(lat, lat2) => {
+                // Clone only for the first copy; the final copy moves.
                 self.send_after(lat, to, msg.clone());
                 self.send_after(lat2, to, msg);
                 true
             }
             crate::net::Fate::Lost => false,
         }
+    }
+
+    /// Broadcast `msg` over the simulated network to every recipient.
+    /// Clones for all but the last recipient and moves the message into
+    /// the last send, so an N-way broadcast costs N-1 clones instead of N.
+    /// Returns how many recipients had at least one copy dispatched.
+    pub fn send_net_all(&mut self, recipients: &[ActorId], msg: M) -> usize {
+        let mut delivered = 0;
+        if let Some((&last, rest)) = recipients.split_last() {
+            for &to in rest {
+                if self.send_net(to, msg.clone()) {
+                    delivered += 1;
+                }
+            }
+            if self.send_net(last, msg) {
+                delivered += 1;
+            }
+        }
+        delivered
     }
 }
 

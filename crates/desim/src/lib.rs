@@ -6,10 +6,12 @@
 //! telemetry collector (see the `obs` crate; actors record events with
 //! [`Context::emit`]).
 //!
-//! Everything is single-threaded and reproducible: the same seed and the
+//! Each world is single-threaded and reproducible: the same seed and the
 //! same actor set always produce the same history, which is what lets the
 //! test suite assert exact error-routing tables and lets every experiment
-//! in the paper reproduction be replayed bit-for-bit.
+//! in the paper reproduction be replayed bit-for-bit. Multi-seed studies
+//! fan independent worlds across threads with [`sweep`], whose merged
+//! output is bit-identical regardless of thread count.
 //!
 //! ```
 //! use desim::prelude::*;
@@ -37,6 +39,7 @@ pub mod actor;
 pub mod net;
 pub mod queue;
 pub mod rng;
+pub mod sweep;
 pub mod time;
 pub mod trace;
 pub mod world;
@@ -45,6 +48,7 @@ pub use actor::{Actor, ActorId, Context, Envelope};
 pub use net::{Fate, NetStats, Network};
 pub use queue::EventQueue;
 pub use rng::SimRng;
+pub use sweep::{run_sweep, SeedRun, Sweep};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEntry, TraceLog};
 pub use world::World;

@@ -4,10 +4,17 @@
 //! increasing sequence number breaking ties so that events scheduled at the
 //! same instant pop in FIFO order. Determinism of the whole simulator rests
 //! on this tie-break.
+//!
+//! The backing store is a hand-rolled **4-ary min-heap** rather than
+//! `std::collections::BinaryHeap`. The simulator's pop-one/push-a-few
+//! cadence spends most of its queue time sifting; a 4-ary layout halves
+//! the tree depth (fewer key comparisons resolve to fewer cache lines
+//! touched per sift) and keys compare directly as `(at, seq)` with no
+//! `Ord`-inversion wrapper.
 
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+
+const ARITY: usize = 4;
 
 struct Entry<E> {
     at: SimTime,
@@ -15,33 +22,16 @@ struct Entry<E> {
     event: E,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (and, within an
-        // instant, the first-scheduled) entry is the maximum.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+impl<E> Entry<E> {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.at, self.seq)
     }
 }
 
 /// A deterministic time-ordered event queue.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    heap: Vec<Entry<E>>,
     seq: u64,
 }
 
@@ -55,7 +45,7 @@ impl<E> EventQueue<E> {
     /// An empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: Vec::new(),
             seq: 0,
         }
     }
@@ -65,16 +55,26 @@ impl<E> EventQueue<E> {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Entry { at, seq, event });
+        self.sift_up(self.heap.len() - 1);
     }
 
     /// Remove and return the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.at, e.event))
+        if self.heap.is_empty() {
+            return None;
+        }
+        let last = self.heap.len() - 1;
+        self.heap.swap(0, last);
+        let entry = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+        Some((entry.at, entry.event))
     }
 
     /// The time of the earliest event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        self.heap.first().map(|e| e.at)
     }
 
     /// Number of pending events.
@@ -90,6 +90,40 @@ impl<E> EventQueue<E> {
     /// Drop all pending events.
     pub fn clear(&mut self) {
         self.heap.clear();
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / ARITY;
+            if self.heap[i].key() >= self.heap[parent].key() {
+                break;
+            }
+            self.heap.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let len = self.heap.len();
+        loop {
+            let first_child = i * ARITY + 1;
+            if first_child >= len {
+                break;
+            }
+            // Smallest of up to ARITY children.
+            let mut min = first_child;
+            let last_child = (first_child + ARITY).min(len);
+            for c in first_child + 1..last_child {
+                if self.heap[c].key() < self.heap[min].key() {
+                    min = c;
+                }
+            }
+            if self.heap[min].key() >= self.heap[i].key() {
+                break;
+            }
+            self.heap.swap(i, min);
+            i = min;
+        }
     }
 }
 
@@ -149,5 +183,41 @@ mod tests {
         q.push(SimTime::from_secs(5), "mid");
         assert_eq!(q.pop().unwrap().1, "mid");
         assert_eq!(q.pop().unwrap().1, "late");
+    }
+
+    #[test]
+    fn matches_reference_model_under_random_interleaving() {
+        // Differential test: a sorted-Vec model must agree with the heap
+        // on every pop across a deterministic pseudo-random push/pop mix.
+        let mut q = EventQueue::new();
+        // (at, seq, payload); seq == payload == round, the insertion index.
+        let mut model: Vec<(SimTime, u64, u64)> = Vec::new();
+        let mut state: u64 = 0x2545_F491_4F6C_DD1D;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for round in 0..2000u64 {
+            let t = SimTime::from_micros(next() % 50);
+            q.push(t, round);
+            model.push((t, round, round));
+            if next() % 3 == 0 {
+                let got = q.pop();
+                let want = model
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| (e.0, e.1))
+                    .map(|(i, _)| i);
+                let want = want.map(|i| model.remove(i));
+                assert_eq!(got, want.map(|(at, _, payload)| (at, payload)));
+            }
+        }
+        model.sort_by_key(|e| (e.0, e.1));
+        for (at, _, payload) in model {
+            assert_eq!(q.pop(), Some((at, payload)));
+        }
+        assert_eq!(q.pop(), None);
     }
 }

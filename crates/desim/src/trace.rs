@@ -77,6 +77,12 @@ impl TraceLog {
         }
     }
 
+    /// Is the log recording? Callers on hot paths check this before
+    /// formatting text that would only be discarded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
     /// Append an entry (no-op when disabled; evicts the oldest entry when
     /// at capacity).
     pub fn record(&mut self, at: SimTime, actor: impl Into<String>, text: impl Into<String>) {

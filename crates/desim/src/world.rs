@@ -20,6 +20,9 @@ pub struct World<M> {
     net: Network,
     trace: TraceLog,
     collector: Collector,
+    // Reused across dispatches: drained into the queue after each handler,
+    // keeping its capacity so steady-state dispatch allocates nothing.
+    outbox: Vec<(SimTime, Envelope<M>)>,
     started: bool,
     stop_requested: bool,
     events_processed: u64,
@@ -38,6 +41,7 @@ impl<M: 'static> World<M> {
             net: Network::default(),
             trace: TraceLog::new(),
             collector: Collector::new(),
+            outbox: Vec::new(),
             started: false,
             stop_requested: false,
             events_processed: 0,
@@ -156,24 +160,25 @@ impl<M: 'static> World<M> {
             return;
         }
         self.started = true;
-        let mut outbox = Vec::new();
         for id in 0..self.actors.len() {
             let mut actor = self.actors[id].take().expect("actor present at start");
             let mut ctx = Context {
                 now: self.now,
                 self_id: id,
-                outbox: &mut outbox,
+                outbox: &mut self.outbox,
                 rng: &mut self.rng,
                 net: &mut self.net,
                 tracelog: &mut self.trace,
                 collector: &mut self.collector,
-                actor_name: self.names[id].clone(),
+                actor_name: &self.names[id],
                 stop_requested: &mut self.stop_requested,
             };
             actor.on_start(&mut ctx);
             self.actors[id] = Some(actor);
         }
-        for (at, env) in outbox.drain(..) {
+        // drain(..) keeps send order (the queue's FIFO tie-break depends on
+        // it) while leaving the buffer's capacity for reuse.
+        for (at, env) in self.outbox.drain(..) {
             self.queue.push(at, env);
         }
     }
@@ -198,23 +203,22 @@ impl<M: 'static> World<M> {
         let Some(mut actor) = slot.take() else {
             return true; // actor is mid-dispatch (impossible single-threaded) or removed
         };
-        let mut outbox = Vec::new();
         {
             let mut ctx = Context {
                 now: self.now,
                 self_id: env.to,
-                outbox: &mut outbox,
+                outbox: &mut self.outbox,
                 rng: &mut self.rng,
                 net: &mut self.net,
                 tracelog: &mut self.trace,
                 collector: &mut self.collector,
-                actor_name: self.names[env.to].clone(),
+                actor_name: &self.names[env.to],
                 stop_requested: &mut self.stop_requested,
             };
             actor.on_message(env.from, env.msg, &mut ctx);
         }
         self.actors[env.to] = Some(actor);
-        for (when, e) in outbox {
+        for (when, e) in self.outbox.drain(..) {
             self.queue.push(when, e);
         }
         true

@@ -204,7 +204,7 @@ where
 pub fn audit_recorded_spans(stack: &LayerStack, collector: &obs::Collector) -> ViolationCounts {
     let mut counts = ViolationCounts::default();
     for (_, records) in collector.spans() {
-        let events: Vec<&obs::Event> = records.iter().map(|r| &r.event).collect();
+        let events: Vec<&obs::Event> = records.iter().map(|r| r.event).collect();
         counts.add_all(&audit_span_hops(stack, events));
     }
     counts

@@ -1,13 +1,22 @@
 //! The bounded event collector and its JSONL exporter.
+//!
+//! Recording is a hot path — every `Context::emit` in the simulator lands
+//! here — so the collector stores the recording actor's name as an
+//! interned [`Sym`](crate::Sym) rather than an owned `String`: after an
+//! actor's first event, recording allocates nothing for the name. Strings
+//! are resolved back out through [`EventRef`] views and at JSONL export.
 
 use crate::event::Event;
+use crate::intern::{Interner, Sym};
 use crate::json;
 use crate::ring::RingBuffer;
 use crate::span::SpanId;
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// One recorded event: what, when, and which actor saw it.
+/// One recorded event: what, when, and which actor saw it. This is the
+/// owned form used by the JSONL parser; live collector storage is the
+/// interned [`StoredRecord`], viewed through [`EventRef`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct EventRecord {
     /// Simulation time, microseconds.
@@ -16,6 +25,62 @@ pub struct EventRecord {
     pub actor: String,
     /// The event.
     pub event: Event,
+}
+
+/// The in-ring representation: the actor name is a symbol in the
+/// collector's interner.
+#[derive(Debug, Clone, PartialEq)]
+struct StoredRecord {
+    at_us: u64,
+    actor: Sym,
+    event: Event,
+}
+
+/// A borrowed view of one recorded event, with the actor name resolved.
+#[derive(Debug, Clone, Copy)]
+pub struct EventRef<'a> {
+    /// Simulation time, microseconds.
+    pub at_us: u64,
+    /// The recording actor's name.
+    pub actor: &'a str,
+    /// The event.
+    pub event: &'a Event,
+}
+
+impl EventRef<'_> {
+    /// An owned copy of this record.
+    pub fn to_record(&self) -> EventRecord {
+        EventRecord {
+            at_us: self.at_us,
+            actor: self.actor.to_string(),
+            event: self.event.clone(),
+        }
+    }
+
+    /// Serialise to a single JSON line (no trailing newline appended).
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"at_us\":");
+        out.push_str(&self.at_us.to_string());
+        out.push(',');
+        json::write_key(out, "actor");
+        json::write_str(out, self.actor);
+        out.push(',');
+        json::write_key(out, "event");
+        self.event.write_json(out);
+        out.push('}');
+    }
+}
+
+impl fmt::Display for EventRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>12.6}s] {:<12} {}",
+            self.at_us as f64 / 1e6,
+            self.actor,
+            self.event
+        )
+    }
 }
 
 impl EventRecord {
@@ -71,7 +136,8 @@ impl fmt::Display for EventRecord {
 /// simulation run. Replaces grepping the free-form trace text.
 #[derive(Debug, Clone)]
 pub struct Collector {
-    ring: RingBuffer<EventRecord>,
+    ring: RingBuffer<StoredRecord>,
+    actors: Interner,
     enabled: bool,
 }
 
@@ -89,6 +155,7 @@ impl Collector {
     pub fn with_capacity(capacity: usize) -> Self {
         Collector {
             ring: RingBuffer::new(capacity),
+            actors: Interner::new(),
             enabled: true,
         }
     }
@@ -97,6 +164,7 @@ impl Collector {
     pub fn disabled() -> Self {
         Collector {
             ring: RingBuffer::new(1),
+            actors: Interner::new(),
             enabled: false,
         }
     }
@@ -107,20 +175,28 @@ impl Collector {
     }
 
     /// Record `event` as seen by `actor` at simulation time `at_us`.
+    /// After `actor`'s first event, the name costs one hash lookup and no
+    /// allocation.
+    #[inline]
     pub fn record(&mut self, at_us: u64, actor: &str, event: Event) {
         if !self.enabled {
             return;
         }
-        self.ring.push(EventRecord {
+        let actor = self.actors.intern(actor);
+        self.ring.push(StoredRecord {
             at_us,
-            actor: actor.to_string(),
+            actor,
             event,
         });
     }
 
-    /// Recorded events, oldest first.
-    pub fn iter(&self) -> impl Iterator<Item = &EventRecord> + '_ {
-        self.ring.iter()
+    /// Recorded events, oldest first, with actor names resolved.
+    pub fn iter(&self) -> impl Iterator<Item = EventRef<'_>> + '_ {
+        self.ring.iter().map(|r| EventRef {
+            at_us: r.at_us,
+            actor: self.actors.resolve(r.actor),
+            event: &r.event,
+        })
     }
 
     /// Retained event count.
@@ -144,15 +220,15 @@ impl Collector {
     }
 
     /// All events belonging to `span`, in record order.
-    pub fn span(&self, span: SpanId) -> Vec<&EventRecord> {
+    pub fn span(&self, span: SpanId) -> Vec<EventRef<'_>> {
         self.iter()
             .filter(|r| r.event.span() == Some(span))
             .collect()
     }
 
     /// Every span id seen, with its events in record order.
-    pub fn spans(&self) -> BTreeMap<SpanId, Vec<&EventRecord>> {
-        let mut out: BTreeMap<SpanId, Vec<&EventRecord>> = BTreeMap::new();
+    pub fn spans(&self) -> BTreeMap<SpanId, Vec<EventRef<'_>>> {
+        let mut out: BTreeMap<SpanId, Vec<EventRef<'_>>> = BTreeMap::new();
         for r in self.iter() {
             if let Some(id) = r.event.span() {
                 out.entry(id).or_default().push(r);
@@ -171,11 +247,15 @@ impl Collector {
     }
 
     /// Export every retained event as JSON Lines (one object per line,
-    /// trailing newline included when non-empty).
+    /// trailing newline included when non-empty). Output is preallocated
+    /// from the record count and each line is written in place — no
+    /// per-record intermediate `String`.
     pub fn to_jsonl(&self) -> String {
-        let mut out = String::new();
+        // ~96 bytes is the observed median line; headroom avoids the first
+        // few doublings without over-reserving pathological streams.
+        let mut out = String::with_capacity(self.len() * 112);
         for r in self.iter() {
-            out.push_str(&r.to_json());
+            r.write_json(&mut out);
             out.push('\n');
         }
         out
@@ -248,7 +328,7 @@ mod tests {
         }
         let jsonl = c.to_jsonl();
         let parsed = Collector::parse_jsonl(&jsonl).unwrap();
-        assert_eq!(parsed, c.iter().cloned().collect::<Vec<_>>());
+        assert_eq!(parsed, c.iter().map(|r| r.to_record()).collect::<Vec<_>>());
     }
 
     #[test]
@@ -271,7 +351,7 @@ mod tests {
         let jobs: Vec<u64> = c
             .iter()
             .map(|r| match r.event {
-                Event::Dispatch { job, .. } => job,
+                Event::Dispatch { job, .. } => *job,
                 _ => unreachable!(),
             })
             .collect();

@@ -1,0 +1,277 @@
+//! String interning for hot-path telemetry.
+//!
+//! Every metric increment and every recorded event used to carry owned
+//! `String`s (metric names, label pairs, actor names), which meant an
+//! allocation — often several — per telemetry touch. An [`Interner`] maps
+//! each distinct string to a dense `u32` [`Sym`] exactly once; after the
+//! first sighting, re-interning is a single hash lookup with no
+//! allocation, and equality/hashing of keys collapses to integer work.
+//!
+//! Symbols are meaningful only relative to the interner that produced
+//! them: two interners may assign the same `Sym` to different strings.
+//! Holders of cross-interner data (e.g. [`crate::Registry::merge`])
+//! resolve through the source interner and re-intern into the
+//! destination. Interning order is deterministic — the same sequence of
+//! `intern` calls yields the same symbols — which is what lets interned
+//! telemetry stay bit-reproducible across runs and across the parallel
+//! sweep harness.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A fast multiply-rotate hasher (the FxHash construction) for the
+/// interner and metric tables. Telemetry keys are program-chosen metric
+/// and actor names, never adversarial input, so trading SipHash's
+/// flood-resistance for a few-instruction hash is free speed on the
+/// hottest path in the crate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(tail) | ((rest.len() as u64) << 56));
+        }
+    }
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// The `BuildHasher` for [`FxHasher`]-keyed tables.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` on the fast hasher — what the interner and registry use.
+pub(crate) type FastMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// An interned string: a dense index into one [`Interner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// The raw index (dense, starting at 0 in interning order).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a raw index — crate-internal, for padding slots in
+    /// fixed-size key arrays.
+    pub(crate) const fn from_raw(raw: u32) -> Sym {
+        Sym(raw)
+    }
+}
+
+/// How many hot-entry cache slots the interner keeps (power of two).
+const CACHE_SLOTS: usize = 32;
+
+/// One hot-entry cache slot: the *address and length* of a recently
+/// interned `&str`, and the symbol it mapped to. `addr == 0` marks an
+/// empty slot (a live `&str` is never null). The address is stored as a
+/// plain `usize` — it is never dereferenced, only compared — so the
+/// interner stays `Send`/`Sync`-clean and a stale address can at worst
+/// miss, never corrupt.
+#[derive(Debug, Clone, Copy)]
+struct CacheSlot {
+    addr: usize,
+    len: usize,
+    sym: Sym,
+}
+
+const EMPTY_SLOT: CacheSlot = CacheSlot {
+    addr: 0,
+    len: 0,
+    sym: Sym::from_raw(0),
+};
+
+/// A deterministic string-to-symbol table.
+///
+/// Strings are stored once; `intern` allocates only on the first sighting
+/// of a string, and `resolve` is an array index.
+///
+/// Hot paths re-intern the same few names (metric literals, actor names)
+/// millions of times, and even a fast string hash plus table probe costs
+/// more than the old code's small-string allocation did. A tiny
+/// direct-mapped cache keyed on the argument's address short-circuits
+/// that: on a hit the only work is an equality memcmp against the
+/// interned bytes. The memcmp makes the cache sound — if an address was
+/// reused for different text, the bytes differ and the slow path runs —
+/// and the symbol an intern call returns never depends on cache state, so
+/// determinism is untouched.
+#[derive(Debug, Clone)]
+pub struct Interner {
+    lookup: FastMap<Box<str>, Sym>,
+    strings: Vec<Box<str>>,
+    cache: [CacheSlot; CACHE_SLOTS],
+}
+
+impl Default for Interner {
+    fn default() -> Self {
+        Interner {
+            lookup: FastMap::default(),
+            strings: Vec::new(),
+            cache: [EMPTY_SLOT; CACHE_SLOTS],
+        }
+    }
+}
+
+#[inline]
+fn cache_index(addr: usize, len: usize) -> usize {
+    // Fibonacci hash of the address: string literals sit a few bytes apart
+    // in rodata, so low-bit shifts alone would pile neighbours into one
+    // slot. The multiply spreads those close addresses across the table.
+    let mixed = ((addr ^ len) as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (mixed >> 59) as usize & (CACHE_SLOTS - 1)
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// The symbol for `s`, allocating one if this is its first sighting.
+    #[inline]
+    pub fn intern(&mut self, s: &str) -> Sym {
+        let addr = s.as_ptr() as usize;
+        let idx = cache_index(addr, s.len());
+        let slot = self.cache[idx];
+        if slot.addr == addr
+            && slot.len == s.len()
+            && self.strings[slot.sym.index()].as_bytes() == s.as_bytes()
+        {
+            return slot.sym;
+        }
+        let sym = self.intern_slow(s);
+        self.cache[idx] = CacheSlot {
+            addr,
+            len: s.len(),
+            sym,
+        };
+        sym
+    }
+
+    fn intern_slow(&mut self, s: &str) -> Sym {
+        if let Some(&sym) = self.lookup.get(s) {
+            return sym;
+        }
+        let sym = Sym(u32::try_from(self.strings.len()).expect("interner overflow"));
+        self.strings.push(s.into());
+        self.lookup.insert(self.strings[sym.index()].clone(), sym);
+        sym
+    }
+
+    /// The symbol for `s`, if it has been interned — never allocates.
+    #[inline]
+    pub fn get(&self, s: &str) -> Option<Sym> {
+        self.lookup.get(s).copied()
+    }
+
+    /// The string behind a symbol.
+    ///
+    /// # Panics
+    /// If `sym` did not come from this interner (index out of range); a
+    /// symbol from a *different* interner with an in-range index resolves
+    /// to the wrong string, which is why symbols must never cross
+    /// interner boundaries unresolved.
+    #[inline]
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut i = Interner::new();
+        let a = i.intern("schedd");
+        let b = i.intern("startd");
+        assert_eq!(i.intern("schedd"), a);
+        assert_ne!(a, b);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::new();
+        let s = i.intern("attempt_cpu_us");
+        assert_eq!(i.resolve(s), "attempt_cpu_us");
+        assert_eq!(i.get("attempt_cpu_us"), Some(s));
+        assert_eq!(i.get("absent"), None);
+    }
+
+    #[test]
+    fn interning_order_determines_symbols() {
+        let mut x = Interner::new();
+        let mut y = Interner::new();
+        for s in ["a", "b", "c", "a", "b"] {
+            assert_eq!(x.intern(s), y.intern(s));
+        }
+    }
+
+    #[test]
+    fn empty_interner() {
+        let i = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+
+    #[test]
+    fn clone_preserves_mapping() {
+        let mut i = Interner::new();
+        let a = i.intern("x");
+        let j = i.clone();
+        assert_eq!(j.resolve(a), "x");
+        assert_eq!(j.get("x"), Some(a));
+    }
+}

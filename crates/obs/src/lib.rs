@@ -13,6 +13,10 @@
 //!   at birth.
 //! * [`Registry`] / [`Histogram`] — named counters, gauges, and log-scale
 //!   histograms with per-scope and per-machine labels.
+//! * [`Interner`] / [`Sym`] — hot-path string interning: metric keys and
+//!   event actor names are stored as dense `u32` symbols and resolved back
+//!   to strings only at export time, so steady-state telemetry allocates
+//!   nothing.
 //! * Exporters — a JSONL event stream ([`Collector::to_jsonl`]) and a JSON
 //!   metrics snapshot ([`Registry::snapshot_json`]) — with a hand-rolled
 //!   parser ([`json`]) so exports can be round-tripped and validated
@@ -26,13 +30,15 @@
 
 pub mod collector;
 pub mod event;
+pub mod intern;
 pub mod json;
 pub mod metrics;
 pub mod ring;
 pub mod span;
 
-pub use collector::{Collector, EventRecord};
+pub use collector::{Collector, EventRecord, EventRef};
 pub use event::{ClaimOutcome, Event, IoOutcome};
+pub use intern::{Interner, Sym};
 pub use metrics::{Histogram, MetricKey, Registry};
 pub use ring::RingBuffer;
-pub use span::{next_span_id, SpanAction, SpanId, NO_SPAN};
+pub use span::{next_span_id, reset_span_ids, SpanAction, SpanId, NO_SPAN};

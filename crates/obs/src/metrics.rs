@@ -6,11 +6,20 @@
 //! (`machine=...`) labels, and the experiment binaries write the snapshot
 //! as JSON next to their event streams.
 //!
+//! Internally the registry is keyed on interned symbols ([`crate::Sym`]):
+//! a metric touch interns its name and label strings (hash lookups, no
+//! allocation after first sighting) and indexes a hash map by a small
+//! integer key. Strings are resolved — and entries sorted into the
+//! historical `(name, labels)` order — only when a snapshot is exported,
+//! so [`Registry::snapshot_json`] output is byte-identical to the old
+//! string-keyed implementation.
+//!
 //! [`Histogram`] uses power-of-two buckets over `u64` values (we feed it
 //! microsecond durations): bucket 0 holds exactly the value 0, bucket
 //! `i >= 1` holds values of bit length `i`, i.e. the range
 //! `[2^(i-1), 2^i - 1]`. Bucket 64 therefore ends at `u64::MAX`.
 
+use crate::intern::{FastMap, Interner, Sym};
 use crate::json;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -221,12 +230,77 @@ impl fmt::Display for MetricKey {
     }
 }
 
+/// How many label pairs a key holds inline before spilling to the heap.
+/// Every metric in the repo today uses 0 or 1 labels; 4 leaves headroom.
+const INLINE_LABELS: usize = 4;
+
+/// The label set of an interned key. `Inline` covers the common case with
+/// zero allocation; label sets wider than [`INLINE_LABELS`] spill to a
+/// `Vec`. Construction always canonicalises (pairs sorted by symbol, spill
+/// only when the inline array cannot hold them), so derived `Eq`/`Hash`
+/// agree with label-set equality.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum LabelSyms {
+    Inline(u8, [(Sym, Sym); INLINE_LABELS]),
+    Spilled(Vec<(Sym, Sym)>),
+}
+
+/// An interned metric identity: symbols only, cheap to hash and compare.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SymKey {
+    name: Sym,
+    labels: LabelSyms,
+}
+
+impl SymKey {
+    fn label_pairs(&self) -> &[(Sym, Sym)] {
+        match &self.labels {
+            LabelSyms::Inline(n, pairs) => &pairs[..usize::from(*n)],
+            LabelSyms::Spilled(v) => v,
+        }
+    }
+}
+
+/// Hand-rolled to keep key hashing at one word per label pair plus one for
+/// the name: the derived impl feeds the hasher ~11 separate integer writes
+/// (discriminant, padding slots, each `u32` alone), and with a
+/// multiply-based hasher those writes form a serial dependency chain that
+/// dominated `counter_add`. Consistent with the derived `Eq`: the hash is
+/// a pure function of `(name, live label pairs, label count)`, and equal
+/// keys always carry identical zero padding.
+impl std::hash::Hash for SymKey {
+    #[inline]
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        let pairs = self.label_pairs();
+        state.write_u64(((self.name.index() as u64) << 8) | pairs.len() as u64);
+        for &(k, v) in pairs {
+            state.write_u64(((k.index() as u64) << 32) | v.index() as u64);
+        }
+    }
+}
+
+/// Canonicalise freshly interned label pairs: sorted by `(Sym, Sym)`.
+/// Symbols are bijective with strings, so symbol order is a total order on
+/// label pairs — any insertion order of the same label set produces the
+/// same key. (Export re-sorts by *string* order separately.)
+fn canonical_labels(pairs: &mut [(Sym, Sym)]) -> LabelSyms {
+    pairs.sort_unstable();
+    if pairs.len() <= INLINE_LABELS {
+        let mut inline = [(Sym::from_raw(0), Sym::from_raw(0)); INLINE_LABELS];
+        inline[..pairs.len()].copy_from_slice(pairs);
+        LabelSyms::Inline(pairs.len() as u8, inline)
+    } else {
+        LabelSyms::Spilled(pairs.to_vec())
+    }
+}
+
 /// A registry of named metrics.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct Registry {
-    counters: BTreeMap<MetricKey, u64>,
-    gauges: BTreeMap<MetricKey, f64>,
-    histograms: BTreeMap<MetricKey, Histogram>,
+    interner: Interner,
+    counters: FastMap<SymKey, u64>,
+    gauges: FastMap<SymKey, f64>,
+    histograms: FastMap<SymKey, Histogram>,
 }
 
 impl Registry {
@@ -235,79 +309,190 @@ impl Registry {
         Registry::default()
     }
 
+    /// Intern a key for a write: allocation-free after each string's first
+    /// sighting (label sets wider than [`INLINE_LABELS`] pairs excepted).
+    #[inline]
+    fn make_key(&mut self, name: &str, labels: &[(&str, &str)]) -> SymKey {
+        let name = self.interner.intern(name);
+        if labels.is_empty() {
+            return SymKey {
+                name,
+                labels: LabelSyms::Inline(0, [(Sym::from_raw(0), Sym::from_raw(0)); INLINE_LABELS]),
+            };
+        }
+        if labels.len() <= INLINE_LABELS {
+            let mut pairs = [(Sym::from_raw(0), Sym::from_raw(0)); INLINE_LABELS];
+            for (slot, (k, v)) in pairs.iter_mut().zip(labels) {
+                *slot = (self.interner.intern(k), self.interner.intern(v));
+            }
+            SymKey {
+                name,
+                labels: canonical_labels(&mut pairs[..labels.len()]),
+            }
+        } else {
+            let mut pairs: Vec<(Sym, Sym)> = labels
+                .iter()
+                .map(|(k, v)| (self.interner.intern(k), self.interner.intern(v)))
+                .collect();
+            SymKey {
+                name,
+                labels: canonical_labels(&mut pairs),
+            }
+        }
+    }
+
+    /// Look up a key without interning (for reads): `None` means some part
+    /// of the key has never been seen, so the metric cannot exist.
+    fn find_key(&self, name: &str, labels: &[(&str, &str)]) -> Option<SymKey> {
+        let name = self.interner.get(name)?;
+        if labels.len() <= INLINE_LABELS {
+            let mut pairs = [(Sym::from_raw(0), Sym::from_raw(0)); INLINE_LABELS];
+            for (slot, (k, v)) in pairs.iter_mut().zip(labels) {
+                *slot = (self.interner.get(k)?, self.interner.get(v)?);
+            }
+            Some(SymKey {
+                name,
+                labels: canonical_labels(&mut pairs[..labels.len()]),
+            })
+        } else {
+            let mut pairs = labels
+                .iter()
+                .map(|(k, v)| Some((self.interner.get(k)?, self.interner.get(v)?)))
+                .collect::<Option<Vec<_>>>()?;
+            Some(SymKey {
+                name,
+                labels: canonical_labels(&mut pairs),
+            })
+        }
+    }
+
+    /// Resolve an interned key back to owned strings, in the historical
+    /// `(name, sorted labels)` form — export-path only.
+    fn resolve_key(&self, key: &SymKey) -> MetricKey {
+        let mut labels: Vec<(String, String)> = key
+            .label_pairs()
+            .iter()
+            .map(|&(k, v)| {
+                (
+                    self.interner.resolve(k).to_string(),
+                    self.interner.resolve(v).to_string(),
+                )
+            })
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: self.interner.resolve(key.name).to_string(),
+            labels,
+        }
+    }
+
     /// Add `delta` to a counter, creating it at zero first if needed.
+    #[inline]
     pub fn counter_add(&mut self, name: &str, labels: &[(&str, &str)], delta: u64) {
-        *self
-            .counters
-            .entry(MetricKey::labeled(name, labels))
-            .or_insert(0) += delta;
+        let key = self.make_key(name, labels);
+        *self.counters.entry(key).or_insert(0) += delta;
     }
 
     /// Set a gauge.
     pub fn gauge_set(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
-        self.gauges.insert(MetricKey::labeled(name, labels), value);
+        let key = self.make_key(name, labels);
+        self.gauges.insert(key, value);
     }
 
     /// Record a sample into a histogram, creating it if needed.
+    #[inline]
     pub fn observe(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
-        self.histograms
-            .entry(MetricKey::labeled(name, labels))
-            .or_default()
-            .record(value);
+        let key = self.make_key(name, labels);
+        self.histograms.entry(key).or_default().record(value);
     }
 
     /// Merge a whole histogram into a named histogram, creating it if
     /// needed — for folding externally-kept histograms into a snapshot.
     pub fn histogram_merge(&mut self, name: &str, labels: &[(&str, &str)], h: &Histogram) {
-        self.histograms
-            .entry(MetricKey::labeled(name, labels))
-            .or_default()
-            .merge(h);
+        let key = self.make_key(name, labels);
+        self.histograms.entry(key).or_default().merge(h);
     }
 
     /// A counter's value (0 if absent).
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
-        self.counters
-            .get(&MetricKey::labeled(name, labels))
+        self.find_key(name, labels)
+            .and_then(|k| self.counters.get(&k))
             .copied()
             .unwrap_or(0)
     }
 
     /// A gauge's value, if set.
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
-        self.gauges.get(&MetricKey::labeled(name, labels)).copied()
+        self.gauges.get(&self.find_key(name, labels)?).copied()
     }
 
     /// A histogram, if it exists.
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Histogram> {
-        self.histograms.get(&MetricKey::labeled(name, labels))
+        self.histograms.get(&self.find_key(name, labels)?)
     }
 
-    /// Iterate counters in key order.
-    pub fn counters(&self) -> impl Iterator<Item = (&MetricKey, u64)> + '_ {
-        self.counters.iter().map(|(k, &v)| (k, v))
+    /// All counters as resolved `(key, value)` pairs in key order.
+    pub fn counters(&self) -> Vec<(MetricKey, u64)> {
+        let mut out: Vec<(MetricKey, u64)> = self
+            .counters
+            .iter()
+            .map(|(k, &v)| (self.resolve_key(k), v))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
     }
 
     /// Fold another registry into this one: counters add, gauges take the
-    /// other's value, histograms merge.
+    /// other's value, histograms merge. Symbols are resolved through the
+    /// other registry's interner and re-interned here, so registries built
+    /// in different threads (or different seed runs) merge correctly.
     pub fn merge(&mut self, other: &Registry) {
-        for (k, v) in &other.counters {
-            *self.counters.entry(k.clone()).or_insert(0) += v;
+        for (k, &v) in &other.counters {
+            let key = self.reintern_key(other, k);
+            *self.counters.entry(key).or_insert(0) += v;
         }
-        for (k, v) in &other.gauges {
-            self.gauges.insert(k.clone(), *v);
+        for (k, &v) in &other.gauges {
+            let key = self.reintern_key(other, k);
+            self.gauges.insert(key, v);
         }
         for (k, h) in &other.histograms {
-            self.histograms.entry(k.clone()).or_default().merge(h);
+            let key = self.reintern_key(other, k);
+            self.histograms.entry(key).or_default().merge(h);
         }
+    }
+
+    /// Translate a key from `other`'s symbol space into ours.
+    fn reintern_key(&mut self, other: &Registry, key: &SymKey) -> SymKey {
+        let name = self.interner.intern(other.interner.resolve(key.name));
+        let mut pairs: Vec<(Sym, Sym)> = key
+            .label_pairs()
+            .iter()
+            .map(|&(k, v)| {
+                (
+                    self.interner.intern(other.interner.resolve(k)),
+                    self.interner.intern(other.interner.resolve(v)),
+                )
+            })
+            .collect();
+        SymKey {
+            name,
+            labels: canonical_labels(&mut pairs),
+        }
+    }
+
+    /// A map keyed on resolved strings — the canonical form used for
+    /// sorted export and cross-interner equality.
+    fn sorted<'a, V>(&'a self, map: &'a FastMap<SymKey, V>) -> BTreeMap<MetricKey, &'a V> {
+        map.iter().map(|(k, v)| (self.resolve_key(k), v)).collect()
     }
 
     /// The whole registry as one JSON document:
     /// `{"counters":[...],"gauges":[...],"histograms":[...]}` with entries
-    /// in sorted key order (deterministic output).
+    /// in sorted key order (deterministic output, byte-identical to the
+    /// pre-interning string-keyed registry).
     pub fn snapshot_json(&self) -> String {
         let mut out = String::from("{\"counters\":[");
-        for (i, (k, v)) in self.counters.iter().enumerate() {
+        for (i, (k, v)) in self.sorted(&self.counters).iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -319,7 +504,7 @@ impl Registry {
             out.push('}');
         }
         out.push_str("],\"gauges\":[");
-        for (i, (k, v)) in self.gauges.iter().enumerate() {
+        for (i, (k, v)) in self.sorted(&self.gauges).iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -335,7 +520,7 @@ impl Registry {
             out.push('}');
         }
         out.push_str("],\"histograms\":[");
-        for (i, (k, h)) in self.histograms.iter().enumerate() {
+        for (i, (k, h)) in self.sorted(&self.histograms).iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -348,6 +533,17 @@ impl Registry {
         }
         out.push_str("]}");
         out
+    }
+}
+
+/// Equality over *resolved* content: two registries are equal when they
+/// hold the same metrics with the same values, regardless of the order
+/// their interners learned the strings in.
+impl PartialEq for Registry {
+    fn eq(&self, other: &Self) -> bool {
+        self.sorted(&self.counters) == other.sorted(&other.counters)
+            && self.sorted(&self.gauges) == other.sorted(&other.gauges)
+            && self.sorted(&self.histograms) == other.sorted(&other.histograms)
     }
 }
 
@@ -456,6 +652,62 @@ mod tests {
             Some(2)
         );
         assert_eq!(doc, r.snapshot_json());
+    }
+
+    #[test]
+    fn wide_label_sets_spill_and_still_canonicalise() {
+        let mut r = Registry::new();
+        let labels: Vec<(&str, &str)> = vec![
+            ("e", "5"),
+            ("a", "1"),
+            ("c", "3"),
+            ("b", "2"),
+            ("d", "4"),
+            ("f", "6"),
+        ];
+        r.counter_add("wide", &labels, 2);
+        let mut reversed = labels.clone();
+        reversed.reverse();
+        r.counter_add("wide", &reversed, 3);
+        assert_eq!(r.counter("wide", &labels), 5);
+        assert_eq!(r.counter("wide", &reversed), 5);
+        // Export sorts by string order and parses cleanly.
+        let doc = r.snapshot_json();
+        assert!(crate::json::parse(&doc).is_ok());
+        assert!(doc.contains("\"a\":\"1\",\"b\":\"2\",\"c\":\"3\""));
+    }
+
+    #[test]
+    fn equality_and_merge_cross_interner_order() {
+        // Same content, interned in opposite orders: must be equal, and
+        // snapshots must be byte-identical.
+        let mut a = Registry::new();
+        a.counter_add("x", &[], 1);
+        a.counter_add("y", &[("scope", "job")], 2);
+        let mut b = Registry::new();
+        b.counter_add("y", &[("scope", "job")], 2);
+        b.counter_add("x", &[], 1);
+        assert_eq!(a, b);
+        assert_eq!(a.snapshot_json(), b.snapshot_json());
+        // Merging re-interns through the source registry's table.
+        let mut m = Registry::new();
+        m.counter_add("z", &[], 10);
+        m.merge(&a);
+        assert_eq!(m.counter("x", &[]), 1);
+        assert_eq!(m.counter("y", &[("scope", "job")]), 2);
+        assert_eq!(m.counter("z", &[]), 10);
+    }
+
+    #[test]
+    fn counters_iterate_resolved_and_sorted() {
+        let mut r = Registry::new();
+        r.counter_add("zeta", &[], 1);
+        r.counter_add("alpha", &[("m", "1")], 2);
+        let counters = r.counters();
+        assert_eq!(counters.len(), 2);
+        assert_eq!(counters[0].0.name, "alpha");
+        assert_eq!(counters[1].0.name, "zeta");
+        assert_eq!(counters[0].1, 2);
     }
 
     #[test]

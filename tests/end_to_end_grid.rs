@@ -308,7 +308,7 @@ fn error_journey_spans_are_complete() {
 
         let hops: Vec<&Event> = records
             .iter()
-            .map(|r| &r.event)
+            .map(|r| r.event)
             .filter(|e| matches!(e, Event::SpanHop { .. }))
             .collect();
         assert!(!hops.is_empty(), "span {span} recorded no journey hops");
