@@ -1,0 +1,96 @@
+//! Minimal offline stand-in for criterion: enough API surface to type-check
+//! and lint the bench targets without the real crate. Benchmarks "run" by
+//! executing each routine once.
+
+use std::fmt::Display;
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new<S: Display, P: Display>(name: S, param: P) -> Self {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+    pub fn from_parameter<P: Display>(param: P) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+pub struct Bencher;
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let _ = black_box(f());
+    }
+}
+
+pub struct BenchmarkGroup;
+
+impl BenchmarkGroup {
+    pub fn throughput(&mut self, _t: Throughput) {}
+    pub fn sample_size(&mut self, _n: usize) {}
+    pub fn bench_function<S: Display, F: FnMut(&mut Bencher)>(&mut self, _id: S, mut f: F) {
+        f(&mut Bencher);
+    }
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        _id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        f(&mut Bencher, input);
+    }
+    pub fn finish(self) {}
+}
+
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    pub fn benchmark_group<S: Display>(&mut self, _name: S) -> BenchmarkGroup {
+        BenchmarkGroup
+    }
+    pub fn bench_function<S: Display, F: FnMut(&mut Bencher)>(&mut self, _id: S, mut f: F) {
+        f(&mut Bencher);
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion;
+            $($target(&mut c);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let _ = $config;
+            let mut c = $crate::Criterion;
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

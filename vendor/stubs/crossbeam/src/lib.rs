@@ -1,0 +1,43 @@
+//! Functional stand-in for crossbeam (offline container): channels over
+//! std::sync::mpsc.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+    #[derive(Debug)]
+    pub struct RecvError;
+
+    #[derive(Clone)]
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, v: T) -> Result<(), SendError<T>> {
+            self.0.send(v).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.lock().unwrap().recv().map_err(|_| RecvError)
+        }
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            self.0.lock().unwrap().try_recv().map_err(|_| RecvError)
+        }
+    }
+
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        bounded(1 << 20)
+    }
+}

@@ -1,0 +1,32 @@
+//! Functional stand-in for parking_lot (offline container) over std::sync.
+use std::sync::{Mutex as StdMutex, MutexGuard, RwLock as StdRwLock};
+
+#[derive(Debug, Default)]
+pub struct Mutex<T>(StdMutex<T>);
+
+impl<T> Mutex<T> {
+    pub fn new(v: T) -> Mutex<T> {
+        Mutex(StdMutex::new(v))
+    }
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0.lock().unwrap_or_else(|p| p.into_inner())
+    }
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct RwLock<T>(StdRwLock<T>);
+
+impl<T> RwLock<T> {
+    pub fn new(v: T) -> RwLock<T> {
+        RwLock(StdRwLock::new(v))
+    }
+    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(|p| p.into_inner())
+    }
+    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(|p| p.into_inner())
+    }
+}

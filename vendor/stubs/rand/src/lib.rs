@@ -1,0 +1,208 @@
+//! Offline stand-in for the `rand` crate (0.8 API surface used by this
+//! workspace), implementing the same draw algorithms as rand 0.8.5 so that
+//! seeded streams match builds that use the published crate:
+//!
+//! - `SeedableRng::seed_from_u64` uses rand_core 0.6's PCG32-based seed
+//!   expansion (same constants, 4-byte chunks).
+//! - Integer `gen_range` uses rand 0.8.5's widening-multiply rejection
+//!   method (`sample_single_inclusive`): per-type large-draw widths
+//!   (u32 draws for ≤32-bit types, u64 for 64-bit), the modulus zone for
+//!   8/16-bit types and the shift approximation otherwise.
+//! - Float `gen_range` uses the [1,2)-mantissa technique with the same
+//!   expression ordering; `gen::<f64>()` is the 53-bit multiply method.
+//! - `gen_bool` is Bernoulli with a 2^64 fixed-point threshold.
+//!
+//! The raw ChaCha stream underneath (see `vendor/stubs/rand_chacha`) is
+//! vector-verified; this layer reimplements the published algorithms from
+//! the rand 0.8.5 sources. Integer and raw draws are bit-exact; float
+//! draws follow the same technique but last-ulp rounding has not been
+//! vector-verified against the real crate.
+use std::ops::{Range, RangeInclusive};
+
+#[derive(Debug)]
+pub struct Error;
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("rng error")
+    }
+}
+impl std::error::Error for Error {}
+
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+    fn from_seed(seed: Self::Seed) -> Self;
+    /// rand_core 0.6's default: expand the state through PCG32 and copy
+    /// the output words into the seed, 4 bytes at a time.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            let n = chunk.len();
+            chunk.copy_from_slice(&x.to_le_bytes()[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub trait Standard: Sized {
+    fn gen_from<R: RngCore + ?Sized>(r: &mut R) -> Self;
+}
+impl Standard for f64 {
+    fn gen_from<R: RngCore + ?Sized>(r: &mut R) -> f64 {
+        (r.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl Standard for u64 {
+    fn gen_from<R: RngCore + ?Sized>(r: &mut R) -> u64 {
+        r.next_u64()
+    }
+}
+impl Standard for u32 {
+    fn gen_from<R: RngCore + ?Sized>(r: &mut R) -> u32 {
+        r.next_u32()
+    }
+}
+impl Standard for bool {
+    fn gen_from<R: RngCore + ?Sized>(r: &mut R) -> bool {
+        r.next_u32() & (1 << 31) != 0
+    }
+}
+
+pub trait SampleRange {
+    type Output;
+    fn sample_from<R: RngCore + ?Sized>(self, r: &mut R) -> Self::Output;
+}
+
+#[inline]
+fn wmul32(a: u32, b: u32) -> (u32, u32) {
+    let t = u64::from(a) * u64::from(b);
+    ((t >> 32) as u32, t as u32)
+}
+#[inline]
+fn wmul64(a: u64, b: u64) -> (u64, u64) {
+    let t = u128::from(a) * u128::from(b);
+    ((t >> 64) as u64, t as u64)
+}
+
+// rand 0.8.5 `uniform_int_impl!` sample_single_inclusive; the exclusive
+// form delegates with `high - 1`, exactly as upstream does.
+macro_rules! uniform_int {
+    ($ty:ty, $unsigned:ty, $u_large:ty, $wmul:ident, $draw:expr) => {
+        impl SampleRange for Range<$ty> {
+            type Output = $ty;
+            fn sample_from<R: RngCore + ?Sized>(self, r: &mut R) -> $ty {
+                assert!(self.start < self.end, "empty range");
+                (self.start..=self.end - 1).sample_from(r)
+            }
+        }
+        impl SampleRange for RangeInclusive<$ty> {
+            type Output = $ty;
+            fn sample_from<R: RngCore + ?Sized>(self, r: &mut R) -> $ty {
+                let (low, high) = (*self.start(), *self.end());
+                assert!(low <= high, "empty range");
+                let draw: fn(&mut R) -> $u_large = $draw;
+                let range = high.wrapping_sub(low).wrapping_add(1) as $unsigned as $u_large;
+                if range == 0 {
+                    // Wrapped around: the range covers the whole type.
+                    return draw(r) as $ty;
+                }
+                let zone = if <$unsigned>::MAX <= u16::MAX as $unsigned {
+                    let ints_to_reject = (<$u_large>::MAX - range + 1) % range;
+                    <$u_large>::MAX - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $u_large = draw(r);
+                    let (hi, lo) = $wmul(v, range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_int!(i8, u8, u32, wmul32, |r| r.next_u32());
+uniform_int!(i16, u16, u32, wmul32, |r| r.next_u32());
+uniform_int!(i32, u32, u32, wmul32, |r| r.next_u32());
+uniform_int!(i64, u64, u64, wmul64, |r| r.next_u64());
+uniform_int!(u8, u8, u32, wmul32, |r| r.next_u32());
+uniform_int!(u16, u16, u32, wmul32, |r| r.next_u32());
+uniform_int!(u32, u32, u32, wmul32, |r| r.next_u32());
+uniform_int!(u64, u64, u64, wmul64, |r| r.next_u64());
+#[cfg(target_pointer_width = "64")]
+uniform_int!(isize, usize, u64, wmul64, |r| r.next_u64());
+#[cfg(target_pointer_width = "64")]
+uniform_int!(usize, usize, u64, wmul64, |r| r.next_u64());
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample_from<R: RngCore + ?Sized>(self, r: &mut R) -> f64 {
+        let (low, high) = (self.start, self.end);
+        assert!(low < high, "empty range");
+        let mut scale = high - low;
+        assert!(scale.is_finite(), "range overflow");
+        loop {
+            // A value in [1, 2): 52 random mantissa bits under exponent 0.
+            let value1_2 = f64::from_bits((r.next_u64() >> 12) | (1023u64 << 52));
+            let value0_scale = value1_2 * scale - scale;
+            let res = value0_scale + low;
+            if res < high {
+                return res;
+            }
+            // Rounding pushed the result up to `high`: shrink scale by one
+            // ulp and redraw (upstream's decrease_masked edge path).
+            scale = f64::from_bits(scale.to_bits() - 1);
+        }
+    }
+}
+
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::gen_from(self)
+    }
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+    /// Bernoulli with a 2^64 fixed-point threshold, as rand 0.8.5:
+    /// `p == 1.0` returns true without drawing; otherwise one u64 draw.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} is outside range [0.0, 1.0]");
+        if p == 1.0 {
+            return true;
+        }
+        let p_int = (p * 2.0f64.powi(64)) as u64;
+        self.next_u64() < p_int
+    }
+}
+impl<T: RngCore + ?Sized> Rng for T {}
+
+pub mod rngs {
+    pub use super::*;
+}

@@ -1,0 +1,167 @@
+//! Offline stand-in for the `rand_chacha` crate with a real ChaCha core.
+//!
+//! Unlike a generic stub, this is a from-scratch implementation of the
+//! ChaCha stream cipher (the original djb variant: 64-bit block counter in
+//! state words 12..13, 64-bit stream id in words 14..15) wrapped in the
+//! same buffering discipline as `rand_core::block::BlockRng` with a
+//! four-block (64 × u32) buffer — exactly what `rand_chacha` 0.3.x uses.
+//! Seeded output is therefore bit-identical to the published crate for the
+//! API surface below (`from_seed`, `next_u32`, `next_u64`, `fill_bytes`),
+//! so experiment artifacts produced under this vendored build reproduce on
+//! builds that use the real `rand_chacha` from crates.io.
+//!
+//! Fidelity is pinned by `crates/desim/tests/chacha_vectors.rs`, which
+//! asserts the keystream against published ChaCha test vectors
+//! (RFC 7539 / draft-strombergson TC1) — the same vectors the real crate
+//! tests against — plus the `BlockRng` word-consumption edge cases.
+
+use rand::{RngCore, SeedableRng};
+
+/// `b"expand 32-byte k"` as little-endian words.
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// Words buffered per refill: 4 ChaCha blocks, as in `rand_chacha`'s
+/// `BlockRng<ChaChaXCore>` (`BUF_BLOCKS = 4`).
+const BUF_WORDS: usize = 64;
+
+#[inline(always)]
+fn quarter(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $doc_rounds:literal, $double_rounds:expr) => {
+        #[doc = concat!("ChaCha with ", $doc_rounds, " rounds, stream-compatible with `rand_chacha`.")]
+        #[derive(Clone, Debug)]
+        pub struct $name {
+            seed: [u8; 32],
+            key: [u32; 8],
+            counter: u64,
+            stream: u64,
+            buf: [u32; BUF_WORDS],
+            /// Next unconsumed word in `buf`; `BUF_WORDS` means empty.
+            index: usize,
+        }
+
+        impl $name {
+            /// The seed this generator was constructed from.
+            pub fn get_seed(&self) -> [u8; 32] {
+                self.seed
+            }
+
+            /// Refill the buffer with the next four blocks, as the real
+            /// crate's `generate` does (counters `c..c+4`, output words in
+            /// block order).
+            fn generate(&mut self) {
+                for block in 0..4 {
+                    let mut st = [0u32; 16];
+                    st[..4].copy_from_slice(&SIGMA);
+                    st[4..12].copy_from_slice(&self.key);
+                    st[12] = self.counter as u32;
+                    st[13] = (self.counter >> 32) as u32;
+                    st[14] = self.stream as u32;
+                    st[15] = (self.stream >> 32) as u32;
+                    let mut w = st;
+                    for _ in 0..$double_rounds {
+                        quarter(&mut w, 0, 4, 8, 12);
+                        quarter(&mut w, 1, 5, 9, 13);
+                        quarter(&mut w, 2, 6, 10, 14);
+                        quarter(&mut w, 3, 7, 11, 15);
+                        quarter(&mut w, 0, 5, 10, 15);
+                        quarter(&mut w, 1, 6, 11, 12);
+                        quarter(&mut w, 2, 7, 8, 13);
+                        quarter(&mut w, 3, 4, 9, 14);
+                    }
+                    for i in 0..16 {
+                        self.buf[block * 16 + i] = w[i].wrapping_add(st[i]);
+                    }
+                    self.counter = self.counter.wrapping_add(1);
+                }
+            }
+
+            fn generate_and_set(&mut self, index: usize) {
+                self.generate();
+                self.index = index;
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+            fn from_seed(seed: [u8; 32]) -> Self {
+                let mut key = [0u32; 8];
+                for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+                    *k = u32::from_le_bytes(chunk.try_into().unwrap());
+                }
+                $name {
+                    seed,
+                    key,
+                    counter: 0,
+                    stream: 0,
+                    buf: [0; BUF_WORDS],
+                    index: BUF_WORDS,
+                }
+            }
+        }
+
+        // Word-consumption semantics below mirror `rand_core`'s `BlockRng`
+        // exactly (including a next_u64 split across a buffer refill, and
+        // full-word consumption of a partial trailing word in fill_bytes) —
+        // required for cross-build bit-identical streams under mixed
+        // next_u32/next_u64/fill_bytes call patterns.
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.index >= BUF_WORDS {
+                    self.generate_and_set(0);
+                }
+                let v = self.buf[self.index];
+                self.index += 1;
+                v
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                let index = self.index;
+                if index < BUF_WORDS - 1 {
+                    self.index += 2;
+                    u64::from(self.buf[index + 1]) << 32 | u64::from(self.buf[index])
+                } else if index >= BUF_WORDS {
+                    self.generate_and_set(2);
+                    u64::from(self.buf[1]) << 32 | u64::from(self.buf[0])
+                } else {
+                    let lo = u64::from(self.buf[BUF_WORDS - 1]);
+                    self.generate_and_set(1);
+                    u64::from(self.buf[0]) << 32 | lo
+                }
+            }
+
+            fn fill_bytes(&mut self, dest: &mut [u8]) {
+                let mut read = 0;
+                while read < dest.len() {
+                    if self.index >= BUF_WORDS {
+                        self.generate_and_set(0);
+                    }
+                    let avail = &self.buf[self.index..];
+                    let byte_len = (avail.len() * 4).min(dest.len() - read);
+                    let words = (byte_len + 3) / 4;
+                    let mut le = [0u8; 4 * BUF_WORDS];
+                    for (i, w) in avail[..words].iter().enumerate() {
+                        le[i * 4..i * 4 + 4].copy_from_slice(&w.to_le_bytes());
+                    }
+                    dest[read..read + byte_len].copy_from_slice(&le[..byte_len]);
+                    self.index += words;
+                    read += byte_len;
+                }
+            }
+        }
+    };
+}
+
+chacha_rng!(ChaCha8Rng, "8", 4);
+chacha_rng!(ChaCha12Rng, "12", 6);
+chacha_rng!(ChaCha20Rng, "20", 10);

@@ -1,0 +1,378 @@
+//! Functional offline stand-in for serde, sufficient for this workspace.
+//! Data model: a self-describing `Content` tree. The derive macro builds
+//! and consumes `Content`; serde_json renders/parses it as JSON with the
+//! same conventions as real serde (externally tagged enums, newtype
+//! structs as their inner value, struct field order preserved).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::borrow::Cow;
+use std::collections::{BTreeMap, BTreeSet};
+use std::marker::PhantomData;
+
+/// Self-describing serialized value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    Map(Vec<(String, Content)>),
+}
+
+/// Uninhabited error for infallible serializers.
+#[derive(Debug)]
+pub enum Impossible {}
+
+impl std::fmt::Display for Impossible {
+    fn fmt(&self, _f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {}
+    }
+}
+impl std::error::Error for Impossible {}
+
+pub trait Serializer: Sized {
+    type Ok;
+    type Error;
+    fn serialize_content(self, c: Content) -> Result<Self::Ok, Self::Error>;
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::Bool(v))
+    }
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::U64(v))
+    }
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::I64(v))
+    }
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::F64(v))
+    }
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::Str(v.to_string()))
+    }
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_content(Content::Null)
+    }
+}
+
+/// Serializer that yields the `Content` tree itself.
+pub struct ContentSerializer;
+
+impl Serializer for ContentSerializer {
+    type Ok = Content;
+    type Error = Impossible;
+    fn serialize_content(self, c: Content) -> Result<Content, Impossible> {
+        Ok(c)
+    }
+}
+
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Serialize any value to its `Content` tree (infallible).
+pub fn to_content<T: ?Sized + Serialize>(v: &T) -> Content {
+    match v.serialize(ContentSerializer) {
+        Ok(c) => c,
+        Err(e) => match e {},
+    }
+}
+
+pub mod de {
+    /// Error constructor required of deserializer error types.
+    pub trait Error: Sized {
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+pub trait Deserializer<'de>: Sized {
+    type Error: de::Error;
+    fn take_content(self) -> Result<Content, Self::Error>;
+}
+
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+pub mod ser {
+    pub use super::{Serialize, Serializer};
+}
+
+/// Deserializer over an owned `Content` tree.
+pub struct ContentDeserializer<E> {
+    content: Content,
+    _marker: PhantomData<E>,
+}
+
+impl<E> ContentDeserializer<E> {
+    pub fn new(content: Content) -> Self {
+        ContentDeserializer {
+            content,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<'de, E: de::Error> Deserializer<'de> for ContentDeserializer<E> {
+    type Error = E;
+    fn take_content(self) -> Result<Content, E> {
+        Ok(self.content)
+    }
+}
+
+/// Deserialize a value out of a `Content` tree.
+pub fn from_content<'de, T: Deserialize<'de>, E: de::Error>(c: Content) -> Result<T, E> {
+    T::deserialize(ContentDeserializer::<E>::new(c))
+}
+
+// ---- Serialize impls for std types ----------------------------------------
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_u64(*self as u64)
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                if *self >= 0 {
+                    s.serialize_u64(*self as u64)
+                } else {
+                    s.serialize_i64(*self as i64)
+                }
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(*self)
+    }
+}
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(*self as f64)
+    }
+}
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bool(*self)
+    }
+}
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+impl Serialize for Cow<'_, str> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_str(self)
+    }
+}
+impl<T: ?Sized + Serialize> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => v.serialize(s),
+            None => s.serialize_none(),
+        }
+    }
+}
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Seq(self.iter().map(|v| to_content(v)).collect()))
+    }
+}
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Seq(self.iter().map(|v| to_content(v)).collect()))
+    }
+}
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Seq(self.iter().map(|v| to_content(v)).collect()))
+    }
+}
+impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), to_content(v)))
+                .collect(),
+        ))
+    }
+}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Seq(vec![to_content(&self.0), to_content(&self.1)]))
+    }
+}
+impl Serialize for std::time::Duration {
+    // Real serde renders Duration as a {"secs": .., "nanos": ..} map.
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_content(Content::Map(vec![
+            ("secs".to_string(), Content::U64(self.as_secs())),
+            ("nanos".to_string(), Content::U64(self.subsec_nanos() as u64)),
+        ]))
+    }
+}
+
+// ---- Deserialize impls for std types --------------------------------------
+
+fn want<E: de::Error>(what: &str, got: &Content) -> E {
+    E::custom(format_args!("expected {what}, got {got:?}"))
+}
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.take_content()? {
+                    Content::U64(v) => Ok(v as $t),
+                    Content::I64(v) if v >= 0 => Ok(v as $t),
+                    c => Err(want("unsigned integer", &c)),
+                }
+            }
+        }
+    )*};
+}
+de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.take_content()? {
+                    Content::U64(v) => Ok(v as $t),
+                    Content::I64(v) => Ok(v as $t),
+                    c => Err(want("integer", &c)),
+                }
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::F64(v) => Ok(v),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            c => Err(want("number", &c)),
+        }
+    }
+}
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Bool(v) => Ok(v),
+            c => Err(want("bool", &c)),
+        }
+    }
+}
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Str(v) => Ok(v),
+            c => Err(want("string", &c)),
+        }
+    }
+}
+impl<'de> Deserialize<'de> for Cow<'static, str> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Str(v) => Ok(Cow::Owned(v)),
+            c => Err(want("string", &c)),
+        }
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Null => Ok(None),
+            c => Ok(Some(from_content(c)?)),
+        }
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Seq(items) => items.into_iter().map(from_content).collect(),
+            c => Err(want("sequence", &c)),
+        }
+    }
+}
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Seq(items) => items.into_iter().map(from_content).collect(),
+            c => Err(want("sequence", &c)),
+        }
+    }
+}
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Map(items) => items
+                .into_iter()
+                .map(|(k, v)| Ok((k, from_content(v)?)))
+                .collect(),
+            c => Err(want("map", &c)),
+        }
+    }
+}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Seq(items) if items.len() == 2 => {
+                let mut it = items.into_iter();
+                Ok((
+                    from_content(it.next().unwrap())?,
+                    from_content(it.next().unwrap())?,
+                ))
+            }
+            c => Err(want("2-tuple", &c)),
+        }
+    }
+}
+impl<'de> Deserialize<'de> for std::time::Duration {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_content()? {
+            Content::Map(items) => {
+                let mut secs = 0u64;
+                let mut nanos = 0u32;
+                for (k, v) in items {
+                    match (k.as_str(), v) {
+                        ("secs", Content::U64(s)) => secs = s,
+                        ("nanos", Content::U64(n)) => nanos = n as u32,
+                        _ => return Err(de::Error::custom("bad Duration field")),
+                    }
+                }
+                Ok(std::time::Duration::new(secs, nanos))
+            }
+            c => Err(want("Duration map", &c)),
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! Functional serde derive stand-in: hand-rolled token parsing (no syn),
+//! generating impls over the stub serde's `Content` data model. Supports
+//! the shapes this workspace uses: named-field structs, newtype structs,
+//! enums with unit / named-field / newtype variants, and the field
+//! attributes rename / serialize_with / skip / default.
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    rename: Option<String>,
+    serialize_with: Option<String>,
+    skip: bool,
+    default: bool,
+}
+
+#[derive(Clone)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+impl Field {
+    fn wire(&self) -> String {
+        self.attrs.rename.clone().unwrap_or_else(|| self.name.clone())
+    }
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<Field>),
+    Newtype,
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    NamedStruct(Vec<Field>),
+    NewtypeStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+fn strip_quotes(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// Parse one `#[serde(...)]` attribute group's inner tokens into attrs.
+fn parse_serde_attr(stream: TokenStream, attrs: &mut FieldAttrs) {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Ident(id) => {
+                let key = id.to_string();
+                let has_value = matches!(toks.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=');
+                let value = if has_value {
+                    match &toks[i + 2] {
+                        TokenTree::Literal(l) => Some(strip_quotes(&l.to_string())),
+                        t => panic!("serde attr {key}: expected literal, got {t}"),
+                    }
+                } else {
+                    None
+                };
+                match key.as_str() {
+                    "rename" => attrs.rename = value,
+                    "serialize_with" => attrs.serialize_with = value,
+                    "skip" => attrs.skip = true,
+                    "default" => attrs.default = true,
+                    other => panic!("serde attr `{other}` not supported by stub derive"),
+                }
+                i += if has_value { 3 } else { 1 };
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            t => panic!("unexpected token in serde attr: {t}"),
+        }
+    }
+}
+
+/// Consume leading attributes at `toks[*i..]`, folding `#[serde(..)]` into
+/// the returned attrs and skipping everything else (docs etc.).
+fn eat_attrs(toks: &[TokenTree], i: &mut usize) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let TokenTree::Group(g) = &toks[*i + 1] else {
+                    panic!("# not followed by group")
+                };
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(id)) = inner.first() {
+                    if id.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.get(1) {
+                            parse_serde_attr(args.stream(), &mut attrs);
+                        }
+                    }
+                }
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+    attrs
+}
+
+/// Skip `pub`, `pub(crate)`, etc. at `toks[*i..]`.
+fn eat_vis(toks: &[TokenTree], i: &mut usize) {
+    if matches!(&toks[*i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Skip a type at `toks[*i..]`: everything until a top-level `,` (tracking
+/// `<...>` nesting by hand; bracketed/parenthesized groups are single
+/// token trees so their commas are invisible here).
+fn eat_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => return,
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let attrs = eat_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        eat_vis(&toks, &mut i);
+        let TokenTree::Ident(name) = &toks[i] else {
+            panic!("expected field name, got {}", toks[i])
+        };
+        i += 1; // name
+        i += 1; // ':'
+        eat_type(&toks, &mut i);
+        i += 1; // ',' (or past end)
+        fields.push(Field {
+            name: name.to_string(),
+            attrs,
+        });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let _attrs = eat_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let TokenTree::Ident(name) = &toks[i] else {
+            panic!("expected variant name, got {}", toks[i])
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Newtype
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            kind,
+        });
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    loop {
+        match &toks[i] {
+            TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => break,
+            _ => i += 1,
+        }
+    }
+    let is_struct = matches!(&toks[i], TokenTree::Ident(id) if id.to_string() == "struct");
+    i += 1;
+    let TokenTree::Ident(name) = &toks[i] else {
+        panic!("expected type name")
+    };
+    let name = name.to_string();
+    i += 1;
+    // No generics in this workspace's derived types; find the body group.
+    let shape = loop {
+        match &toks[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                break if is_struct {
+                    Shape::NamedStruct(parse_named_fields(g.stream()))
+                } else {
+                    Shape::Enum(parse_variants(g.stream()))
+                };
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis && is_struct => {
+                break Shape::NewtypeStruct;
+            }
+            _ => i += 1,
+        }
+    };
+    Input { name, shape }
+}
+
+// ---- codegen ---------------------------------------------------------------
+
+fn ser_named_fields(fields: &[Field], access: &str) -> String {
+    // `access` is a prefix like "&self." or "" (enum bindings).
+    let mut out = String::from("let mut m: Vec<(String, ::serde::Content)> = Vec::new();\n");
+    for f in fields {
+        if f.attrs.skip {
+            continue;
+        }
+        let wire = f.wire();
+        let name = &f.name;
+        let value = match &f.attrs.serialize_with {
+            Some(path) => format!(
+                "match {path}(&{access}{name}, ::serde::ContentSerializer) {{ Ok(c) => c, Err(e) => match e {{}} }}"
+            ),
+            None => format!("::serde::to_content(&{access}{name})"),
+        };
+        out.push_str(&format!("m.push((\"{wire}\".to_string(), {value}));\n"));
+    }
+    out
+}
+
+fn de_named_fields(fields: &[Field], ty: &str) -> String {
+    // Expects `inner` (a Content) in scope; builds the braced field list.
+    let mut out = format!(
+        "let mut m = match inner {{ ::serde::Content::Map(m) => m, c => return Err(<D::Error as ::serde::de::Error>::custom(format!(\"expected map for {ty}, got {{:?}}\", c))) }};\n"
+    );
+    out.push_str("let _ = &mut m;\n");
+    out.push_str(&format!("Ok({ty} {{\n"));
+    for f in fields {
+        let name = &f.name;
+        if f.attrs.skip {
+            out.push_str(&format!("{name}: ::core::default::Default::default(),\n"));
+            continue;
+        }
+        let wire = f.wire();
+        let missing = if f.attrs.default {
+            "::core::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return Err(<D::Error as ::serde::de::Error>::custom(\"missing field `{wire}` in {ty}\"))"
+            )
+        };
+        out.push_str(&format!(
+            "{name}: match m.iter().position(|kv| kv.0 == \"{wire}\") {{ Some(i) => ::serde::from_content(m.remove(i).1)?, None => {missing} }},\n"
+        ));
+    }
+    out.push_str("})\n");
+    out
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let mut b = ser_named_fields(fields, "self.");
+            b.push_str("serializer.serialize_content(::serde::Content::Map(m))");
+            b
+        }
+        Shape::NewtypeStruct => {
+            "serializer.serialize_content(::serde::to_content(&self.0))".to_string()
+        }
+        Shape::Enum(variants) => {
+            let mut b = String::from("match self {\n");
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => b.push_str(&format!(
+                        "{name}::{vname} => serializer.serialize_content(::serde::Content::Str(\"{vname}\".to_string())),\n"
+                    )),
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let binds = binds.join(", ");
+                        let inner = ser_named_fields(fields, "");
+                        b.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{ {inner} serializer.serialize_content(::serde::Content::Map(vec![(\"{vname}\".to_string(), ::serde::Content::Map(m))])) }},\n"
+                        ));
+                    }
+                    VariantKind::Newtype => b.push_str(&format!(
+                        "{name}::{vname}(x) => serializer.serialize_content(::serde::Content::Map(vec![(\"{vname}\".to_string(), ::serde::to_content(x))])),\n"
+                    )),
+                }
+            }
+            b.push_str("}\n");
+            b
+        }
+    };
+    format!(
+        "#[automatically_derived]\n#[allow(unused_mut, unused_variables, clippy::all)]\nimpl ::serde::Serialize for {name} {{\n  fn serialize<S: ::serde::Serializer>(&self, serializer: S) -> ::core::result::Result<S::Ok, S::Error> {{\n{body}\n  }}\n}}"
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let mut b = String::from("let inner = deserializer.take_content()?;\n");
+            b.push_str(&de_named_fields(fields, name));
+            b
+        }
+        Shape::NewtypeStruct => format!(
+            "let inner = deserializer.take_content()?;\nOk({name}(::serde::from_content(inner)?))"
+        ),
+        Shape::Enum(variants) => {
+            let mut str_arms = String::new();
+            let mut map_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => str_arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}),\n"
+                    )),
+                    VariantKind::Named(fields) => {
+                        let build = de_named_fields(fields, &format!("{name}::{vname}"));
+                        map_arms.push_str(&format!("\"{vname}\" => {{ {build} }},\n"));
+                    }
+                    VariantKind::Newtype => map_arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}(::serde::from_content(inner)?)),\n"
+                    )),
+                }
+            }
+            format!(
+                "match deserializer.take_content()? {{\n\
+                   ::serde::Content::Str(tag) => match tag.as_str() {{\n{str_arms}\
+                     other => Err(<D::Error as ::serde::de::Error>::custom(format!(\"unknown {name} variant `{{}}`\", other))),\n\
+                   }},\n\
+                   ::serde::Content::Map(mut mm) if mm.len() == 1 => {{\n\
+                     let (tag, inner) = mm.remove(0);\n\
+                     match tag.as_str() {{\n{map_arms}\
+                       other => Err(<D::Error as ::serde::de::Error>::custom(format!(\"unknown {name} variant `{{}}`\", other))),\n\
+                     }}\n\
+                   }},\n\
+                   c => Err(<D::Error as ::serde::de::Error>::custom(format!(\"bad {name} value {{:?}}\", c))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n#[allow(unused_mut, unused_variables, clippy::all)]\nimpl<'de> ::serde::Deserialize<'de> for {name} {{\n  fn deserialize<D: ::serde::Deserializer<'de>>(deserializer: D) -> ::core::result::Result<Self, D::Error> {{\n{body}\n  }}\n}}"
+    )
+    .parse()
+    .unwrap()
+}

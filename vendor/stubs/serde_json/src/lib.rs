@@ -1,0 +1,456 @@
+//! Functional offline stand-in for serde_json over the stub serde's
+//! `Content` data model. Preserves struct field order, renders integers
+//! without a decimal point, externally-tagged enums — matching real
+//! serde_json for the shapes this workspace serializes.
+use serde::Content;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+#[derive(Debug)]
+pub struct Error(pub String);
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+impl std::error::Error for Error {}
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+pub type Map<K, V> = BTreeMap<K, V>;
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map<String, Value>),
+}
+
+impl Value {
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => Some(*n as u64),
+            _ => None,
+        }
+    }
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+    pub fn as_object_mut(&mut self) -> Option<&mut Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+impl IndexMut<&str> for Value {
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        match self {
+            Value::Object(m) => m.entry(key.to_string()).or_insert(Value::Null),
+            _ => panic!("not an object"),
+        }
+    }
+}
+impl Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Array(v) => &v[i],
+            _ => panic!("not an array"),
+        }
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+impl PartialEq<i64> for Value {
+    fn eq(&self, other: &i64) -> bool {
+        self.as_f64() == Some(*other as f64)
+    }
+}
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+// ---- Content <-> Value -----------------------------------------------------
+
+fn content_to_value(c: Content) -> Value {
+    match c {
+        Content::Null => Value::Null,
+        Content::Bool(b) => Value::Bool(b),
+        Content::U64(v) => Value::Number(v as f64),
+        Content::I64(v) => Value::Number(v as f64),
+        Content::F64(v) => Value::Number(v),
+        Content::Str(s) => Value::String(s),
+        Content::Seq(items) => Value::Array(items.into_iter().map(content_to_value).collect()),
+        Content::Map(items) => Value::Object(
+            items
+                .into_iter()
+                .map(|(k, v)| (k, content_to_value(v)))
+                .collect(),
+        ),
+    }
+}
+
+fn value_to_content(v: Value) -> Content {
+    match v {
+        Value::Null => Content::Null,
+        Value::Bool(b) => Content::Bool(b),
+        Value::Number(n) => {
+            if n >= 0.0 && n.fract() == 0.0 {
+                Content::U64(n as u64)
+            } else if n.fract() == 0.0 {
+                Content::I64(n as i64)
+            } else {
+                Content::F64(n)
+            }
+        }
+        Value::String(s) => Content::Str(s),
+        Value::Array(items) => Content::Seq(items.into_iter().map(value_to_content).collect()),
+        Value::Object(m) => Content::Map(
+            m.into_iter()
+                .map(|(k, v)| (k, value_to_content(v)))
+                .collect(),
+        ),
+    }
+}
+
+// ---- JSON writer -----------------------------------------------------------
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_content(c: &Content, out: &mut String) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => out.push_str(&v.to_string()),
+        Content::Str(s) => escape_into(s, out),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_content(item, out);
+            }
+            out.push(']');
+        }
+        Content::Map(items) => {
+            out.push('{');
+            for (i, (k, v)) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_into(k, out);
+                out.push(':');
+                write_content(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+// ---- JSON parser -----------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: &str) -> Result<T> {
+        Err(Error(format!("{msg} at byte {}", self.pos)))
+    }
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected `{}`", b as char))
+        }
+    }
+    fn parse_value(&mut self) -> Result<Content> {
+        match self.peek() {
+            Some(b'{') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Content::Map(items));
+                }
+                loop {
+                    let key = match self.peek() {
+                        Some(b'"') => self.parse_string()?,
+                        _ => return self.err("expected object key"),
+                    };
+                    self.expect(b':')?;
+                    let val = self.parse_value()?;
+                    items.push((key, val));
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Content::Map(items));
+                        }
+                        _ => return self.err("expected `,` or `}`"),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Content::Seq(items));
+                        }
+                        _ => return self.err("expected `,` or `]`"),
+                    }
+                }
+            }
+            Some(b'"') => Ok(Content::Str(self.parse_string()?)),
+            Some(b't') => self.parse_lit("true", Content::Bool(true)),
+            Some(b'f') => self.parse_lit("false", Content::Bool(false)),
+            Some(b'n') => self.parse_lit("null", Content::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => self.err("unexpected character"),
+        }
+    }
+    fn parse_lit(&mut self, lit: &str, val: Content) -> Result<Content> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(val)
+        } else {
+            self.err(&format!("expected `{lit}`"))
+        }
+    }
+    fn parse_number(&mut self) -> Result<Content> {
+        self.skip_ws();
+        let start = self.pos;
+        let mut float = false;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| Error(e.to_string()))?;
+        if float {
+            text.parse::<f64>()
+                .map(Content::F64)
+                .map_err(|e| Error(e.to_string()))
+        } else if let Ok(v) = text.parse::<u64>() {
+            Ok(Content::U64(v))
+        } else {
+            text.parse::<i64>()
+                .map(Content::I64)
+                .map_err(|e| Error(e.to_string()))
+        }
+    }
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error("bad \\u escape".into()))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| Error(e.to_string()))?,
+                                16,
+                            )
+                            .map_err(|e| Error(e.to_string()))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: find the full char.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|e| Error(e.to_string()))?;
+                    let ch = rest.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+fn parse_content(bytes: &[u8]) -> Result<Content> {
+    let mut p = Parser { bytes, pos: 0 };
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing characters");
+    }
+    Ok(v)
+}
+
+// ---- public API ------------------------------------------------------------
+
+pub fn to_string<T: ?Sized + serde::Serialize>(v: &T) -> Result<String> {
+    let mut out = String::new();
+    write_content(&serde::to_content(v), &mut out);
+    Ok(out)
+}
+
+pub fn to_string_pretty<T: ?Sized + serde::Serialize>(v: &T) -> Result<String> {
+    to_string(v)
+}
+
+pub fn from_str<'a, T: serde::Deserialize<'a>>(s: &'a str) -> Result<T> {
+    serde::from_content(parse_content(s.as_bytes())?)
+}
+
+pub fn from_slice<'a, T: serde::Deserialize<'a>>(s: &'a [u8]) -> Result<T> {
+    serde::from_content(parse_content(s)?)
+}
+
+pub fn to_value<T: serde::Serialize>(v: T) -> Result<Value> {
+    Ok(content_to_value(serde::to_content(&v)))
+}
+
+pub fn from_value<T: for<'de> serde::Deserialize<'de>>(v: Value) -> Result<T> {
+    serde::from_content(value_to_content(v))
+}
+
+impl serde::Serialize for Value {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> std::result::Result<S::Ok, S::Error> {
+        s.serialize_content(value_to_content(self.clone()))
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Value {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> std::result::Result<Self, D::Error> {
+        Ok(content_to_value(d.take_content()?))
+    }
+}
