@@ -52,6 +52,40 @@ fn bench_eval(c: &mut Criterion) {
     g.finish();
 }
 
+/// The interpreter walks both ASTs per pair; the compiled path runs the
+/// pre-lowered slot programs with a reused scratch stack. Same values, no
+/// per-pair allocation.
+fn bench_compiled_vs_interpreted(c: &mut Criterion) {
+    let j = job();
+    let m = machine(3);
+    let cj = CompiledAd::compile(&j);
+    let cm = CompiledAd::compile(&m);
+    let mut g = c.benchmark_group("symmetric_match_kernel");
+    g.bench_function("interpreted", |b| {
+        b.iter(|| black_box(symmetric_match(black_box(&j), black_box(&m))))
+    });
+    g.bench_function("compiled", |b| {
+        let mut scratch = Scratch::new();
+        b.iter(|| {
+            black_box(symmetric_match_compiled(
+                black_box(&cj),
+                black_box(&cm),
+                &mut scratch,
+            ))
+        })
+    });
+    g.bench_function("compiled_including_compile", |b| {
+        // What one-shot matching would pay if ads changed every cycle.
+        let mut scratch = Scratch::new();
+        b.iter(|| {
+            let cj = CompiledAd::compile(black_box(&j));
+            let cm = CompiledAd::compile(black_box(&m));
+            black_box(symmetric_match_compiled(&cj, &cm, &mut scratch))
+        })
+    });
+    g.finish();
+}
+
 fn bench_matchmaking_scale(c: &mut Criterion) {
     let mut g = c.benchmark_group("best_match_pool");
     for n in [10usize, 100, 1000] {
@@ -64,5 +98,11 @@ fn bench_matchmaking_scale(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_parse, bench_eval, bench_matchmaking_scale);
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_eval,
+    bench_compiled_vs_interpreted,
+    bench_matchmaking_scale
+);
 criterion_main!(benches);

@@ -12,7 +12,7 @@ use crate::value::{ArithOp, Value};
 use std::cmp::Ordering;
 
 /// Maximum attribute-reference chain depth before declaring a cycle.
-const MAX_DEPTH: usize = 64;
+pub(crate) const MAX_DEPTH: usize = 64;
 
 struct Env<'a> {
     me: &'a ClassAd,
@@ -74,7 +74,9 @@ fn eval_in(env: &mut Env<'_>, current_is_target: bool, expr: &Expr) -> Value {
     }
 }
 
-fn apply_bin(op: BinOp, a: &Value, b: &Value) -> Value {
+// Shared with the compiled evaluator (`crate::compile`), which must apply
+// bit-identical operator semantics.
+pub(crate) fn apply_bin(op: BinOp, a: &Value, b: &Value) -> Value {
     match op {
         BinOp::Or => a.or(b),
         BinOp::And => a.and(b),
@@ -120,8 +122,9 @@ fn resolve(env: &mut Env<'_>, current_is_target: bool, scope: AttrScope, name: &
     Value::Undefined
 }
 
-/// Builtin functions. Unknown functions evaluate to `Error`.
-fn call_builtin(name: &str, args: &[Value]) -> Value {
+/// Builtin functions. Unknown functions evaluate to `Error`. Shared with
+/// the compiled evaluator.
+pub(crate) fn call_builtin(name: &str, args: &[Value]) -> Value {
     match (name, args.len()) {
         ("isundefined", 1) => Value::Bool(args[0].is_undefined()),
         ("iserror", 1) => Value::Bool(args[0].is_error()),

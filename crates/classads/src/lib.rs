@@ -15,6 +15,10 @@
 //!   to `[ name = expr; … ]` syntax.
 //! * [`mod@eval`] — evaluation of expressions against a (self, target) ad pair
 //!   with cycle detection.
+//! * [`mod@compile`] — lowering of ads to flat instruction programs with
+//!   slot-resolved attribute references and constant folding; evaluation is
+//!   value-identical to the interpreter but allocation-free on the hot
+//!   path, for pool-scale matchmaking.
 //! * [`matchmaking`] — symmetric two-way `Requirements` matching and
 //!   `Rank`-based candidate ordering.
 //!
@@ -41,6 +45,7 @@
 
 pub mod ad;
 pub mod ast;
+pub mod compile;
 pub mod eval;
 pub mod lexer;
 pub mod matchmaking;
@@ -49,6 +54,7 @@ pub mod value;
 
 pub use ad::ClassAd;
 pub use ast::{AttrScope, BinOp, Expr, UnOp};
+pub use compile::{symmetric_match_compiled, CompiledAd, Scratch};
 pub use eval::{eval, eval_attr};
 pub use matchmaking::{best_match, rank, requirements_met, symmetric_match, MatchResult};
 pub use parser::{parse_expr, ParseError};
@@ -58,6 +64,7 @@ pub use value::Value;
 pub mod prelude {
     pub use crate::ad::ClassAd;
     pub use crate::ast::Expr;
+    pub use crate::compile::{symmetric_match_compiled, CompiledAd, Scratch};
     pub use crate::eval::{eval, eval_attr};
     pub use crate::matchmaking::{
         best_match, rank, requirements_met, symmetric_match, MatchResult,

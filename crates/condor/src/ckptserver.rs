@@ -102,7 +102,7 @@ impl Actor<Msg> for CkptServer {
                 Ok(None) => break,
                 Err(e) => {
                     self.stats.rejected_frames += 1;
-                    ctx.trace(format!("rejected frame: {e}"));
+                    ctx.trace_with(|| format!("rejected frame: {e}"));
                     break;
                 }
             };
@@ -111,7 +111,7 @@ impl Actor<Msg> for CkptServer {
                 Ok(req) => req,
                 Err(e) => {
                     self.stats.rejected_frames += 1;
-                    ctx.trace(format!("undecodable request: {e}"));
+                    ctx.trace_with(|| format!("undecodable request: {e}"));
                     break;
                 }
             };
@@ -121,7 +121,7 @@ impl Actor<Msg> for CkptServer {
                     out.extend_from_slice(&wire::frame(&wire::encode_response(&resp)));
                 }
                 ServerOutcome::Disconnect(reason) => {
-                    ctx.trace(format!("disconnect: {reason:?}"));
+                    ctx.trace_with(|| format!("disconnect: {reason:?}"));
                     break;
                 }
             }

@@ -61,7 +61,7 @@ pub use faults::{FaultPlan, NetFault, TimedNetFault, Window};
 pub use health::{BreakerPolicy, BreakerState, CircuitBreaker, RetryPolicy};
 pub use job::{Attempt, JavaMode, JobId, JobRecord, JobSpec, JobState, Universe};
 pub use machine::MachineSpec;
-pub use matchmaker::Matchmaker;
+pub use matchmaker::{MatchEngine, Matchmaker, MatchmakerStats};
 pub use metrics::{MachineStats, Metrics};
 pub use msg::{
     Activation, CkptAttempt, ExecutionReport, FsSnapshot, LeaseInfo, Msg, ResumeInfo, StoredCkpt,

@@ -101,12 +101,14 @@ impl NetFaultDriver {
                 link: Self::link_label(&tf.fault),
                 active: should,
             });
-            ctx.trace(format!(
-                "net fault {} {} on {}",
-                tf.fault.kind(),
-                if should { "applied" } else { "cleared" },
-                Self::link_label(&tf.fault),
-            ));
+            ctx.trace_with(|| {
+                format!(
+                    "net fault {} {} on {}",
+                    tf.fault.kind(),
+                    if should { "applied" } else { "cleared" },
+                    Self::link_label(&tf.fault),
+                )
+            });
         }
     }
 }

@@ -9,7 +9,7 @@ use crate::ckptserver::{CkptServer, CkptServerStats};
 use crate::faults::FaultPlan;
 use crate::job::{JobRecord, JobSpec};
 use crate::machine::MachineSpec;
-use crate::matchmaker::Matchmaker;
+use crate::matchmaker::{Matchmaker, MatchmakerStats};
 use crate::metrics::{MachineStats, Metrics};
 use crate::msg::Msg;
 use crate::schedd::{Schedd, ScheddPolicy, UserEvent};
@@ -47,6 +47,9 @@ pub struct RunReport {
     pub machines: BTreeMap<usize, MachineStats>,
     /// The checkpoint server's traffic counters, when the pool ran one.
     pub ckpt_server: Option<CkptServerStats>,
+    /// The matchmaker's negotiation counters (pairs evaluated, cache hits,
+    /// cycles, …).
+    pub matchmaker: MatchmakerStats,
     /// The run's typed event stream: protocol events, remote I/O
     /// operations, and error-journey spans. Survives `without_trace()`.
     pub telemetry: obs::Collector,
@@ -70,6 +73,9 @@ impl RunReport {
         for stats in self.machines.values() {
             stats.register_into(&mut reg);
         }
+        // Deterministic matchmaker counters only: the wall-clock cycle
+        // histogram stays out so same-seed snapshots remain byte-identical.
+        self.matchmaker.register_into(&mut reg);
         for (&(a, b), &n) in &self.net.dropped {
             let link = format!("{a}-{b}");
             reg.counter_add("net_msgs_dropped", &[("link", &link)], n);
@@ -324,6 +330,10 @@ impl PoolBuilder {
         let ckpt_server = world
             .get::<CkptServer>(Self::FIRST_MACHINE_ID + n_machines + extra_schedds.len())
             .map(|s| s.stats.clone());
+        let matchmaker = world
+            .get::<Matchmaker>(Self::MATCHMAKER_ID)
+            .map(|m| m.stats().clone())
+            .unwrap_or_default();
         RunReport {
             metrics: schedd.metrics.clone(),
             user_log: schedd.user_log.clone(),
@@ -331,6 +341,7 @@ impl PoolBuilder {
             extra_schedds,
             machines,
             ckpt_server,
+            matchmaker,
             telemetry: world.telemetry().clone(),
             net: world.net().stats().clone(),
             finished_at: world.now(),

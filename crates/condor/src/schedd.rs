@@ -227,11 +227,13 @@ impl Schedd {
                 from: tr.from.name().to_string(),
                 to: tr.to.name().to_string(),
             });
-            ctx.trace(format!(
-                "breaker for machine {machine}: {} -> {}",
-                tr.from.name(),
-                tr.to.name()
-            ));
+            ctx.trace_with(|| {
+                format!(
+                    "breaker for machine {machine}: {} -> {}",
+                    tr.from.name(),
+                    tr.to.name()
+                )
+            });
         }
     }
 
@@ -247,7 +249,7 @@ impl Schedd {
                     from: tr.from.name().to_string(),
                     to: tr.to.name().to_string(),
                 });
-                ctx.trace(format!("breaker for machine {machine}: closed"));
+                ctx.trace_with(|| format!("breaker for machine {machine}: closed"));
             }
         }
     }
@@ -268,9 +270,9 @@ impl Schedd {
             got,
             current,
         });
-        ctx.trace(format!(
-            "fenced stale {kind} for job {job}: epoch {got}, current {current}"
-        ));
+        ctx.trace_with(|| {
+            format!("fenced stale {kind} for job {job}: epoch {got}, current {current}")
+        });
     }
 
     /// The retry delay for `job`'s *next* environmental retry, advancing
@@ -346,13 +348,13 @@ impl Actor<Msg> for Schedd {
                     return;
                 }
                 if avoided {
-                    ctx.trace(format!("avoiding chronic host {machine} for job {job}"));
+                    ctx.trace_with(|| format!("avoiding chronic host {machine} for job {job}"));
                     return; // stays idle; re-advertised next tick
                 }
                 if breaker_open {
-                    ctx.trace(format!(
-                        "breaker open for machine {machine}; job {job} stays idle"
-                    ));
+                    ctx.trace_with(|| {
+                        format!("breaker open for machine {machine}; job {job} stays idle")
+                    });
                     return;
                 }
                 // Opening a claim starts a new epoch: every message about
@@ -361,7 +363,7 @@ impl Actor<Msg> for Schedd {
                 let epoch = rec.epoch;
                 rec.state = JobState::Claiming { machine };
                 let ad = rec.spec.ad();
-                ctx.trace(format!("claiming machine {machine} for job {job}"));
+                ctx.trace_with(|| format!("claiming machine {machine} for job {job}"));
                 ctx.emit(obs::Event::Claim {
                     job: u64::from(job),
                     machine: machine as u64,
@@ -403,9 +405,9 @@ impl Actor<Msg> for Schedd {
                 if self.plan.fs_fault_at(ctx.self_id, ctx.now).is_some()
                     && !self.jobs[&job].spec.inputs.is_empty()
                 {
-                    ctx.trace(format!(
-                        "staging failed for job {job}: home file system offline"
-                    ));
+                    ctx.trace_with(|| {
+                        format!("staging failed for job {job}: home file system offline")
+                    });
                     ctx.send_net(machine, Msg::ReleaseClaim { job });
                     self.metrics.reschedules += 1;
                     let rec = self.jobs.get_mut(&job).unwrap();
@@ -438,7 +440,7 @@ impl Actor<Msg> for Schedd {
                 let resuming = resume.is_some();
                 let epoch = rec.epoch;
                 let snapshot = self.snapshot_for(&spec);
-                ctx.trace(format!("shadow activating job {job} on machine {machine}"));
+                ctx.trace_with(|| format!("shadow activating job {job} on machine {machine}"));
                 ctx.emit(obs::Event::Dispatch {
                     job: u64::from(job),
                     machine: machine as u64,
@@ -498,7 +500,7 @@ impl Actor<Msg> for Schedd {
                 if machine != from {
                     return;
                 }
-                ctx.trace(format!("claim rejected for job {job}: {reason}"));
+                ctx.trace_with(|| format!("claim rejected for job {job}: {reason}"));
                 self.metrics.failed_claims += 1;
                 let rec = self.jobs.get_mut(&job).unwrap();
                 rec.epoch += 1; // claim closed
@@ -510,7 +512,7 @@ impl Actor<Msg> for Schedd {
                     return;
                 };
                 if rec.state == (JobState::Claiming { machine }) {
-                    ctx.trace(format!("claim timeout for job {job} on machine {machine}"));
+                    ctx.trace_with(|| format!("claim timeout for job {job} on machine {machine}"));
                     ctx.emit(obs::Event::Claim {
                         job: u64::from(job),
                         machine: machine as u64,
@@ -576,9 +578,9 @@ impl Actor<Msg> for Schedd {
                 // The claim evaporated: machine crash or partition. An
                 // escaping error whose only representation is silence —
                 // time gives it scope (§5).
-                ctx.trace(format!(
-                    "report timeout: job {job} vanished on machine {machine}"
-                ));
+                ctx.trace_with(|| {
+                    format!("report timeout: job {job} vanished on machine {machine}")
+                });
                 ctx.emit(obs::Event::Reschedule {
                     job: u64::from(job),
                     machine: machine as u64,
@@ -617,7 +619,7 @@ impl Actor<Msg> for Schedd {
                     return;
                 }
                 self.metrics.postmortems += 1;
-                ctx.trace(format!("user resubmits job {job} after postmortem"));
+                ctx.trace_with(|| format!("user resubmits job {job} after postmortem"));
                 self.reschedule_or_hold(job, SimDuration::from_micros(1), ctx);
             }
 
@@ -670,9 +672,9 @@ impl Schedd {
             ctx.send_self_after(remaining, Msg::LeaseCheck { job, epoch });
             return;
         }
-        ctx.trace(format!(
-            "lease expired for job {job} on machine {machine}: silent for {silent}"
-        ));
+        ctx.trace_with(|| {
+            format!("lease expired for job {job} on machine {machine}: silent for {silent}")
+        });
         ctx.emit(obs::Event::LeaseExpired {
             job: u64::from(job),
             machine: machine as u64,
@@ -750,7 +752,7 @@ impl Schedd {
                 self.metrics.work_lost_to_eviction += rec.progress;
                 rec.progress = SimDuration::ZERO;
                 rec.ckpt_key = None;
-                ctx.trace(format!("job {job} discarded its checkpoint: {reason}"));
+                ctx.trace_with(|| format!("job {job} discarded its checkpoint: {reason}"));
                 Some(format!("checkpoint discarded ({reason}); cold-restarted"))
             }
         };
@@ -798,7 +800,7 @@ impl Schedd {
                     scope: None,
                     note,
                 });
-                ctx.trace(format!("job {job} evicted from machine {machine}"));
+                ctx.trace_with(|| format!("job {job} evicted from machine {machine}"));
                 // Owner policy, not a chronic failure: reschedule without
                 // blaming the host, reset the backoff, and tell the breaker
                 // the machine is demonstrably alive.
@@ -930,9 +932,9 @@ impl Schedd {
                         // "Anything in between causes it to log the error
                         // and then attempt to execute the program at a new
                         // site."
-                        ctx.trace(format!(
-                            "logged {scope}-scope error for job {job}; rescheduling"
-                        ));
+                        ctx.trace_with(|| {
+                            format!("logged {scope}-scope error for job {job}; rescheduling")
+                        });
                         ctx.emit(obs::Event::Reschedule {
                             job: u64::from(job),
                             machine: machine as u64,

@@ -186,10 +186,12 @@ impl Actor<Msg> for Startd {
         self.advertising_java =
             self.spec.asserts_java && self_test(&self.spec.installation, self.policy.self_test);
         self.stats.advertising_java = self.advertising_java;
-        ctx.trace(format!(
-            "self-test depth {:?}: advertising_java={}",
-            self.policy.self_test, self.advertising_java
-        ));
+        ctx.trace_with(|| {
+            format!(
+                "self-test depth {:?}: advertising_java={}",
+                self.policy.self_test, self.advertising_java
+            )
+        });
         ctx.send_self_after(ADVERTISE_PERIOD, Msg::AdvertiseTick);
     }
 
@@ -282,7 +284,7 @@ impl Actor<Msg> for Startd {
                     job,
                     epoch,
                 };
-                ctx.trace(format!("claim accepted for job {job}"));
+                ctx.trace_with(|| format!("claim accepted for job {job}"));
                 ctx.send_net(from, Msg::ClaimAccept { job, epoch });
                 // If the activation never arrives (lost, or the schedd gave
                 // up), free the machine instead of wedging on a dead claim.
@@ -296,7 +298,7 @@ impl Actor<Msg> for Startd {
                 } = self.state
                 {
                     if claimed == job && current == epoch {
-                        ctx.trace(format!("claim for job {job} never activated; freeing"));
+                        ctx.trace_with(|| format!("claim for job {job} never activated; freeing"));
                         self.state = State::Free;
                     }
                 }
@@ -334,7 +336,7 @@ impl Actor<Msg> for Startd {
                             key: resume.key.clone(),
                         },
                     )));
-                    ctx.trace(format!("fetching checkpoint for job {job}"));
+                    ctx.trace_with(|| format!("fetching checkpoint for job {job}"));
                     self.state = State::AwaitCkpt {
                         schedd,
                         act,
@@ -370,10 +372,9 @@ impl Actor<Msg> for Startd {
                             machine: ctx.self_id as u64,
                             saved_us: banked.as_micros(),
                         });
-                        ctx.trace(format!(
-                            "job {} resumed from checkpoint ({banked} banked)",
-                            act.job
-                        ));
+                        ctx.trace_with(|| {
+                            format!("job {} resumed from checkpoint ({banked} banked)", act.job)
+                        });
                         self.activate(
                             schedd,
                             act,
@@ -402,7 +403,7 @@ impl Actor<Msg> for Startd {
                     // The machine died mid-run: no report, ever. The claim
                     // evaporates; the shadow's timeout is the escaping
                     // error's only witness.
-                    ctx.trace(format!("crashed during job {job}; report lost"));
+                    ctx.trace_with(|| format!("crashed during job {job}; report lost"));
                     self.state = State::Free;
                     return;
                 }
@@ -439,7 +440,7 @@ impl Actor<Msg> for Startd {
                         ctx.send_net(server, Msg::CkptRequest { frames });
                     }
                 }
-                ctx.trace(format!("report for job {job}"));
+                ctx.trace_with(|| format!("report for job {job}"));
                 ctx.send_net(
                     schedd,
                     Msg::StarterReport {
@@ -477,7 +478,7 @@ impl Actor<Msg> for Startd {
                         machine: ctx.self_id as u64,
                         side: "startd".to_string(),
                     });
-                    ctx.trace(format!("lease expired for job {job}; abandoning claim"));
+                    ctx.trace_with(|| format!("lease expired for job {job}; abandoning claim"));
                     self.state = State::Free;
                     return;
                 }
@@ -597,10 +598,12 @@ impl Startd {
                 }
                 checkpointed = stored.is_some();
             }
-            ctx.trace(format!(
-                "owner returning at {evict_at}; job {job} will be evicted{}",
-                if checkpointed { " (checkpointing)" } else { "" }
-            ));
+            ctx.trace_with(|| {
+                format!(
+                    "owner returning at {evict_at}; job {job} will be evicted{}",
+                    if checkpointed { " (checkpointing)" } else { "" }
+                )
+            });
             report = ExecutionReport::Evicted {
                 completed: elapsed,
                 checkpointed,
@@ -608,7 +611,7 @@ impl Startd {
             };
             cpu = elapsed;
         }
-        ctx.trace(format!("starter running job {job}"));
+        ctx.trace_with(|| format!("starter running job {job}"));
         self.state = State::Running {
             schedd,
             job,
@@ -653,10 +656,12 @@ impl Startd {
             machine: ctx.self_id as u64,
             reason: reason.clone(),
         });
-        ctx.trace(format!(
-            "checkpoint for job {} discarded ({reason}); cold restart",
-            act.job
-        ));
+        ctx.trace_with(|| {
+            format!(
+                "checkpoint for job {} discarded ({reason}); cold restart",
+                act.job
+            )
+        });
         // The banked work is gone: the cold restart redoes it.
         act.exec_time += banked;
         act.resume = None;

@@ -88,6 +88,15 @@ pub enum Event {
         /// The machine.
         machine: u64,
     },
+    /// The matchmaker paired `job` with `machine` in a negotiation cycle
+    /// and notified the schedd ("notifies schedds and startds of
+    /// compatible partners", §2.1).
+    Match {
+        /// Which job.
+        job: u64,
+        /// The machine (startd actor id).
+        machine: u64,
+    },
     /// An error escaped an interface (Principle 2 in action).
     Escape {
         /// The error's journey span.
@@ -229,6 +238,7 @@ impl Event {
         match self {
             Event::Claim { .. } => "claim",
             Event::Dispatch { .. } => "dispatch",
+            Event::Match { .. } => "match",
             Event::Escape { .. } => "escape",
             Event::Reschedule { .. } => "reschedule",
             Event::Disposition { .. } => "disposition",
@@ -282,7 +292,7 @@ impl Event {
                     field_str(out, "reason", reason);
                 }
             }
-            Event::Dispatch { job, machine } => {
+            Event::Dispatch { job, machine } | Event::Match { job, machine } => {
                 field_u64(out, "job", *job);
                 field_u64(out, "machine", *machine);
             }
@@ -446,6 +456,10 @@ impl Event {
                 job: u("job")?,
                 machine: u("machine")?,
             }),
+            "match" => Ok(Event::Match {
+                job: u("job")?,
+                machine: u("machine")?,
+            }),
             "escape" => Ok(Event::Escape {
                 span: u("span")?,
                 layer: s("layer")?,
@@ -565,6 +579,9 @@ impl fmt::Display for Event {
             Event::Dispatch { job, machine } => {
                 write!(f, "dispatch job={job} machine={machine}")
             }
+            Event::Match { job, machine } => {
+                write!(f, "match job={job} machine={machine}")
+            }
             Event::Escape {
                 span,
                 layer,
@@ -674,6 +691,7 @@ mod tests {
             },
         });
         round_trip(Event::Dispatch { job: 2, machine: 4 });
+        round_trip(Event::Match { job: 2, machine: 4 });
         round_trip(Event::Escape {
             span: 9,
             layer: "io-library".into(),
