@@ -77,6 +77,10 @@ fn plan() -> FaultPlan {
 }
 
 fn pool(mode: Mode, seed: u64) -> RunReport {
+    pool_with_plan(mode, seed, plan())
+}
+
+fn pool_with_plan(mode: Mode, seed: u64, plan: FaultPlan) -> RunReport {
     let policy = match mode {
         Mode::Naive => ScheddPolicy {
             retry: RetryPolicy::Fixed(SimDuration::from_secs(10)),
@@ -101,7 +105,7 @@ fn pool(mode: Mode, seed: u64) -> RunReport {
     PoolBuilder::new(seed)
         .machines((0..MACHINES).map(|i| MachineSpec::healthy(&format!("ws{i}"), 256)))
         .schedd_policy(policy)
-        .faults(plan())
+        .faults(plan)
         .jobs((1..=JOBS).map(|i| {
             JobSpec::java(i, "ada", programs::completes_main(), JavaMode::Scoped)
                 .with_exec_time(SimDuration::from_secs(JOB_SECS))
@@ -134,6 +138,10 @@ fn requests_during_outage(r: &RunReport) -> usize {
 }
 
 fn main() {
+    if std::env::args().any(|a| a == "--localize") {
+        verify_localization();
+        return;
+    }
     println!(
         "E7: partition-tolerant scheduling — naive vs lease+backoff+breaker\n\
          {MACHINES} machines, {JOBS} jobs x {JOB_SECS}s; partition cuts the schedd off\n\
@@ -276,6 +284,32 @@ fn verify_determinism() {
          ({} events, finished at {}us)\n",
         a.events,
         a.finished_at.as_micros()
+    );
+}
+
+/// `--localize`: cross-check with the post-mortem analyzer. A seed-41
+/// adaptive run under the fault plan is diffed against a same-seed run
+/// with no faults at all; the analyzer must name one of the partitioned
+/// link's endpoints from the event streams alone (the plan's own labels
+/// are the ground truth, and `NetFaultApplied` events are filtered from
+/// the analyzer's view).
+fn verify_localization() {
+    let faulty = pool(Mode::Adaptive, 41);
+    let reference = pool_with_plan(Mode::Adaptive, 41, FaultPlan::none());
+    let fs = obs_analyze::Stream::from_collector(&faulty.telemetry).expect("complete stream");
+    let rs = obs_analyze::Stream::from_collector(&reference.telemetry).expect("complete stream");
+    let loc = obs_analyze::localize(&fs, &rs);
+    let accepted = plan().accepted_culprits();
+    let culprit = loc.culprit.as_deref().expect("a culprit must be named");
+    assert!(
+        accepted.contains(&culprit.to_string()),
+        "analyzer named {culprit} ({}), accepted: {accepted:?}",
+        loc.fault_class
+    );
+    println!(
+        "localization: analyzer named {culprit} ({}) — in the plan's \
+         ground-truth set {accepted:?}",
+        loc.fault_class
     );
 }
 

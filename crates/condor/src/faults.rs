@@ -127,6 +127,47 @@ pub struct TimedNetFault {
     pub fault: NetFault,
 }
 
+/// Ground truth for one injected fault: what kind of failure it is, and
+/// which culprit names a correct post-mortem localization may produce.
+///
+/// Culprit strings use the vocabulary the `obs-analyze` localizer emits —
+/// `"machine:<actor id>"` for a faulty host, `"link:<actor id>"` for a
+/// broken path to that host, and `"ckpt-server"` for corrupted checkpoint
+/// storage. Network faults label every endpoint of the severed links, so
+/// naming any one of them counts as correct: a partition has two ends and
+/// the symptoms do not say which side moved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultLabel {
+    /// The fault's kind (`"partition"`, `"loss"`, `"black-hole"`,
+    /// `"corrupt-checkpoint"`…).
+    pub kind: String,
+    /// Every culprit name an exact localization may report.
+    pub culprits: Vec<String>,
+}
+
+/// The culprit name for a faulty machine (by actor id).
+pub fn culprit_machine(id: usize) -> String {
+    format!("machine:{id}")
+}
+
+/// The culprit name for a broken network path to host `id`.
+pub fn culprit_link(id: usize) -> String {
+    format!("link:{id}")
+}
+
+/// The culprit name for corrupted checkpoint storage.
+pub const CULPRIT_CKPT_SERVER: &str = "ckpt-server";
+
+fn link_label(kind: &str, hosts: impl IntoIterator<Item = usize>) -> FaultLabel {
+    let mut culprits: Vec<String> = hosts.into_iter().map(culprit_link).collect();
+    culprits.sort();
+    culprits.dedup();
+    FaultLabel {
+        kind: kind.to_string(),
+        culprits,
+    }
+}
+
 /// The complete fault schedule for one run.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
@@ -134,6 +175,7 @@ pub struct FaultPlan {
     crashes: Vec<MachineCrash>,
     owner_busy: Vec<OwnerBusy>,
     net_faults: Vec<TimedNetFault>,
+    labels: Vec<FaultLabel>,
 }
 
 impl FaultPlan {
@@ -178,12 +220,13 @@ impl FaultPlan {
         b: impl IntoIterator<Item = usize>,
         window: Window,
     ) -> FaultPlan {
+        let a: Vec<usize> = a.into_iter().collect();
+        let b: Vec<usize> = b.into_iter().collect();
+        self.labels
+            .push(link_label("partition", a.iter().chain(&b).copied()));
         self.net_faults.push(TimedNetFault {
             window,
-            fault: NetFault::Partition {
-                a: a.into_iter().collect(),
-                b: b.into_iter().collect(),
-            },
+            fault: NetFault::Partition { a, b },
         });
         self
     }
@@ -192,6 +235,7 @@ impl FaultPlan {
     /// `window`.
     pub fn net_loss(mut self, a: usize, b: usize, prob: f64, window: Window) -> FaultPlan {
         assert!((0.0..=1.0).contains(&prob));
+        self.labels.push(link_label("loss", [a, b]));
         self.net_faults.push(TimedNetFault {
             window,
             fault: NetFault::Loss { a, b, prob },
@@ -207,6 +251,7 @@ impl FaultPlan {
         latency: SimDuration,
         window: Window,
     ) -> FaultPlan {
+        self.labels.push(link_label("latency", [a, b]));
         self.net_faults.push(TimedNetFault {
             window,
             fault: NetFault::LatencySpike { a, b, latency },
@@ -218,11 +263,46 @@ impl FaultPlan {
     /// `prob` during `window`.
     pub fn net_duplication(mut self, a: usize, b: usize, prob: f64, window: Window) -> FaultPlan {
         assert!((0.0..=1.0).contains(&prob));
+        self.labels.push(link_label("duplication", [a, b]));
         self.net_faults.push(TimedNetFault {
             window,
             fault: NetFault::Duplication { a, b, prob },
         });
         self
+    }
+
+    /// Declare ground truth for a fault the plan cannot see — a statically
+    /// misconfigured machine, a corrupting checkpoint server — so a
+    /// campaign built from this plan is self-describing: the localizer's
+    /// verdict can be checked against [`FaultPlan::ground_truth`] without
+    /// the harness keeping a side table.
+    pub fn expect(mut self, kind: &str, culprits: impl IntoIterator<Item = String>) -> FaultPlan {
+        self.labels.push(FaultLabel {
+            kind: kind.to_string(),
+            culprits: culprits.into_iter().collect(),
+        });
+        self
+    }
+
+    /// Ground-truth labels for every declared fault: the timed network
+    /// faults label themselves (any endpoint of a severed link is an
+    /// acceptable culprit); machine-level and checkpoint faults are added
+    /// via [`FaultPlan::expect`].
+    pub fn ground_truth(&self) -> &[FaultLabel] {
+        &self.labels
+    }
+
+    /// Every culprit name any declared fault accepts — the union of
+    /// [`FaultPlan::ground_truth`]'s label sets.
+    pub fn accepted_culprits(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .labels
+            .iter()
+            .flat_map(|l| l.culprits.iter().cloned())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
     }
 
     /// Freeze into a shareable handle.
@@ -397,6 +477,36 @@ mod tests {
             vec![t(50), t(100), t(250), t(300), t(400)]
         );
         assert!(FaultPlan::none().net_fault_edges().is_empty());
+    }
+
+    #[test]
+    fn plans_are_self_describing() {
+        let plan = FaultPlan::none()
+            .net_partition([1], [4, 5], Window::new(t(100), t(250)))
+            .net_loss(1, 3, 0.2, Window::new(t(300), t(400)))
+            .expect("black-hole", [culprit_machine(2)])
+            .expect("corrupt-checkpoint", [CULPRIT_CKPT_SERVER.to_string()])
+            .build();
+        let labels = plan.ground_truth();
+        assert_eq!(labels.len(), 4);
+        assert_eq!(labels[0].kind, "partition");
+        assert_eq!(labels[0].culprits, vec!["link:1", "link:4", "link:5"]);
+        assert_eq!(labels[1].culprits, vec!["link:1", "link:3"]);
+        assert_eq!(labels[2].culprits, vec!["machine:2"]);
+        assert_eq!(labels[3].culprits, vec!["ckpt-server"]);
+        assert_eq!(
+            plan.accepted_culprits(),
+            vec![
+                "ckpt-server",
+                "link:1",
+                "link:3",
+                "link:4",
+                "link:5",
+                "machine:2"
+            ]
+        );
+        // An unlabeled plan accepts nothing.
+        assert!(FaultPlan::none().accepted_culprits().is_empty());
     }
 
     #[test]

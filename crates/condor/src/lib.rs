@@ -57,7 +57,10 @@ pub mod startd;
 pub mod telemetry;
 
 pub use ckptserver::{CkptServer, CkptServerStats};
-pub use faults::{FaultPlan, NetFault, TimedNetFault, Window};
+pub use faults::{
+    culprit_link, culprit_machine, FaultLabel, FaultPlan, NetFault, TimedNetFault, Window,
+    CULPRIT_CKPT_SERVER,
+};
 pub use health::{BreakerPolicy, BreakerState, CircuitBreaker, RetryPolicy};
 pub use job::{Attempt, JavaMode, JobId, JobRecord, JobSpec, JobState, Universe};
 pub use machine::MachineSpec;
@@ -73,7 +76,7 @@ pub use startd::{Startd, StartdPolicy};
 
 /// Convenient glob import.
 pub mod prelude {
-    pub use crate::faults::{FaultPlan, Window};
+    pub use crate::faults::{FaultLabel, FaultPlan, Window};
     pub use crate::health::{BreakerPolicy, RetryPolicy};
     pub use crate::job::{JavaMode, JobSpec, JobState, Universe};
     pub use crate::machine::MachineSpec;

@@ -76,6 +76,14 @@ impl RunReport {
         // Deterministic matchmaker counters only: the wall-clock cycle
         // histogram stays out so same-seed snapshots remain byte-identical.
         self.matchmaker.register_into(&mut reg);
+        // Stream completeness: a non-zero drop count means the event ring
+        // evicted old records and the exported stream is only a suffix.
+        reg.counter_add("events_dropped", &[], self.telemetry.evicted());
+        reg.counter_add(
+            "events_recorded",
+            &[],
+            self.telemetry.len() as u64 + self.telemetry.evicted(),
+        );
         for (&(a, b), &n) in &self.net.dropped {
             let link = format!("{a}-{b}");
             reg.counter_add("net_msgs_dropped", &[("link", &link)], n);

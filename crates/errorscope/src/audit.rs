@@ -152,9 +152,9 @@ pub fn audit_delivery(stack: &LayerStack, delivery: &Delivery) -> Vec<Violation>
 /// the journey terminates in a `Handled` hop, by comparing the handling
 /// layer against `stack.manager_of` for the scope recorded on that hop.
 /// Journeys still in flight (no terminal hop) yield no P3 verdict.
-pub fn audit_span_hops<'a, I>(stack: &LayerStack, hops: I) -> Vec<Violation>
+pub fn audit_span_hops<'a, S: 'a, I>(stack: &LayerStack, hops: I) -> Vec<Violation>
 where
-    I: IntoIterator<Item = &'a obs::Event>,
+    I: IntoIterator<Item = &'a obs::Event<S>>,
 {
     use crate::scope::Scope;
     use obs::SpanAction;
@@ -204,7 +204,7 @@ where
 pub fn audit_recorded_spans(stack: &LayerStack, collector: &obs::Collector) -> ViolationCounts {
     let mut counts = ViolationCounts::default();
     for (_, records) in collector.spans() {
-        let events: Vec<&obs::Event> = records.iter().map(|r| r.event).collect();
+        let events: Vec<&obs::Event<obs::Sym>> = records.iter().map(|r| r.event).collect();
         counts.add_all(&audit_span_hops(stack, events));
     }
     counts

@@ -1,0 +1,42 @@
+//! Post-mortem analysis of recorded event streams.
+//!
+//! The paper's thesis is that an error must be *propagated to the program
+//! that knows what to do about it*; the runtime crates prove that forward,
+//! while a run is alive. This crate proves it backward: given the
+//! `.events.jsonl` stream a run exported, it reconstructs what happened —
+//! and given a second, fault-free stream from the same seed, it names the
+//! component that broke.
+//!
+//! Three layers, each built on the one below:
+//!
+//! * [`Stream`] — a parsed, completeness-checked event stream. Truncated
+//!   streams (the collector's ring evicted events) are refused: a causal
+//!   analysis over a silent suffix would be a lie.
+//! * [`causal_chains`] — per-job timelines: every Match / Claim /
+//!   Dispatch / IoOp / Escape / Reschedule / Disposition a job touched, in
+//!   order, stitched to error-journey spans via their span ids.
+//! * [`journeys`] — per-span, scope-annotated error journeys: which
+//!   daemon first saw the error, which interfaces it escaped, which scope
+//!   managed it, and the final disposition, with every hop classified
+//!   into the detection / containment / recovery phases of the resilience
+//!   pattern taxonomy.
+//! * [`localize`] — reference diffing in the style of message-passing
+//!   fault localization: find the first (actor, event) where the faulty
+//!   trajectory leaves the reference trajectory, then walk the evidence
+//!   forward to name the culpable machine, link, or checkpoint store.
+//!
+//! Culprits are plain strings — `"machine:4"`, `"link:4"`,
+//! `"ckpt-server"` — so the crate needs no knowledge of the simulator's
+//! types; `condor::FaultPlan::ground_truth` speaks the same vocabulary.
+
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod journey;
+pub mod localize;
+pub mod stream;
+
+pub use chain::{causal_chains, JobChain};
+pub use journey::{journeys, Journey, JourneyHop, Phase};
+pub use localize::{first_divergence, localize, render_report, Divergence, Localization};
+pub use stream::Stream;

@@ -1,0 +1,537 @@
+//! Reference-diff fault localization: name the actor that broke.
+//!
+//! The simulator is deterministic — two runs from the same seed produce
+//! byte-identical event streams. So when one run carries an injected
+//! fault and the other does not, the *first record where the streams
+//! disagree* marks the instant the fault became observable, and every
+//! error-scope event after it is evidence. Walking that evidence forward
+//! classifies the fault and names the culprit in the shared vocabulary
+//! `condor::FaultPlan::ground_truth` speaks: `"machine:{id}"` for a host
+//! that accepts work and breaks it, `"link:{id}"` for the path to a host
+//! that cannot be reached, `"ckpt-server"` for a corrupt checkpoint
+//! store.
+//!
+//! The evidence classes, in decision priority:
+//!
+//! 1. **corrupt-checkpoint** — any `CheckpointDiscarded`: the store
+//!    handed back an image that failed validation. Highest priority
+//!    because discards never happen for network or host faults.
+//! 2. **unreachable** — `LeaseExpired` and timed-out `Claim`s name a
+//!    machine nobody can talk to; the fault is the *path*, so the
+//!    culprit is `link:{id}`.
+//! 3. **faulty-machine** — `Reschedule`s against a machine with *zero*
+//!    unreachable evidence: the host is perfectly reachable and keeps
+//!    breaking jobs (black hole, bad installation).
+//! 4. **degraded-link** — stale-epoch drops without lease loss: frames
+//!    arrive late or duplicated but the link still works.
+//!
+//! `NetFaultApplied` events are the injector's own answer key, so the
+//! diff and the evidence walk both ignore them — the localizer must earn
+//! its verdict from the protocol's behavior alone.
+
+use crate::chain::causal_chains;
+use crate::journey::journeys;
+use crate::stream::Stream;
+use obs::{ClaimOutcome, Event, EventRecord};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The first record where a faulty stream leaves its reference.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Index into the filtered (injector-event-free) record sequence.
+    pub index: usize,
+    /// Simulation time of the divergence.
+    pub at_us: u64,
+    /// The actor whose record diverged.
+    pub actor: String,
+    /// The faulty stream's record at the divergence point, if it has one
+    /// (`None` when the faulty stream is a strict prefix).
+    pub faulty: Option<EventRecord>,
+    /// The reference stream's record at the same point.
+    pub reference: Option<EventRecord>,
+}
+
+/// A localization verdict.
+#[derive(Debug, Clone)]
+pub struct Localization {
+    /// The named culprit — `"machine:{id}"`, `"link:{id}"`,
+    /// `"ckpt-server"` — or `None` when inconclusive.
+    pub culprit: Option<String>,
+    /// The fault class the evidence supports (`"corrupt-checkpoint"`,
+    /// `"unreachable"`, `"faulty-machine"`, `"degraded-link"`,
+    /// `"no-fault"`, `"inconclusive"`).
+    pub fault_class: String,
+    /// Where the faulty stream left the reference, if anywhere.
+    pub divergence: Option<Divergence>,
+    /// Human-readable evidence lines supporting the verdict.
+    pub evidence: Vec<String>,
+    /// How many evidence events support the verdict.
+    pub score: u64,
+}
+
+/// Events the diff and evidence walk must not see: the fault injector's
+/// own bookkeeping would hand the localizer the answer.
+fn is_injector_event(e: &Event) -> bool {
+    matches!(e, Event::NetFaultApplied { .. })
+}
+
+fn filtered(stream: &Stream) -> Vec<&EventRecord> {
+    stream
+        .records
+        .iter()
+        .filter(|r| !is_injector_event(&r.event))
+        .collect()
+}
+
+/// Find the first record where `faulty` disagrees with `reference`,
+/// comparing record-by-record after dropping injector events from both.
+/// Returns `None` when the streams are identical.
+pub fn first_divergence(faulty: &Stream, reference: &Stream) -> Option<Divergence> {
+    let f = filtered(faulty);
+    let r = filtered(reference);
+    let n = f.len().max(r.len());
+    for i in 0..n {
+        let fr = f.get(i).copied();
+        let rr = r.get(i).copied();
+        if fr != rr {
+            let probe = fr.or(rr).expect("at least one stream has a record here");
+            return Some(Divergence {
+                index: i,
+                at_us: probe.at_us,
+                actor: probe.actor.clone(),
+                faulty: fr.cloned(),
+                reference: rr.cloned(),
+            });
+        }
+    }
+    None
+}
+
+/// Per-machine evidence tallies over the post-divergence window.
+#[derive(Default)]
+struct MachineEvidence {
+    lease_expiries: u64,
+    claim_timeouts: u64,
+    reschedules: u64,
+    first_at_us: u64,
+}
+
+impl MachineEvidence {
+    fn unreachable(&self) -> u64 {
+        self.lease_expiries + self.claim_timeouts
+    }
+}
+
+/// Diff `faulty` against `reference`, walk the evidence forward from the
+/// divergence point, and name the culpable actor.
+pub fn localize(faulty: &Stream, reference: &Stream) -> Localization {
+    let divergence = first_divergence(faulty, reference);
+    let Some(div) = &divergence else {
+        return Localization {
+            culprit: None,
+            fault_class: "no-fault".to_string(),
+            divergence: None,
+            evidence: vec!["streams are identical after filtering injector events".to_string()],
+            score: 0,
+        };
+    };
+
+    // Evidence window: everything from the divergence onward. The chains
+    // give stale-epoch drops (which carry only a job id) a machine.
+    let chains = causal_chains(faulty);
+    let mut machines: BTreeMap<u64, MachineEvidence> = BTreeMap::new();
+    let mut ckpt_discards: u64 = 0;
+    let mut ckpt_first: Option<&EventRecord> = None;
+    let mut stale: BTreeMap<u64, u64> = BTreeMap::new();
+
+    fn touch(
+        machines: &mut BTreeMap<u64, MachineEvidence>,
+        m: u64,
+        at: u64,
+    ) -> &mut MachineEvidence {
+        machines.entry(m).or_insert_with(|| MachineEvidence {
+            first_at_us: at,
+            ..Default::default()
+        })
+    }
+
+    for r in faulty.records.iter().filter(|r| r.at_us >= div.at_us) {
+        match &r.event {
+            Event::CheckpointDiscarded { .. } => {
+                ckpt_discards += 1;
+                ckpt_first.get_or_insert(r);
+            }
+            Event::LeaseExpired { machine, .. } => {
+                touch(&mut machines, *machine, r.at_us).lease_expiries += 1;
+            }
+            Event::Claim {
+                machine,
+                outcome: ClaimOutcome::TimedOut,
+                ..
+            } => {
+                touch(&mut machines, *machine, r.at_us).claim_timeouts += 1;
+            }
+            Event::Reschedule { machine, .. } => {
+                touch(&mut machines, *machine, r.at_us).reschedules += 1;
+            }
+            Event::StaleEpochDropped { job, .. } => {
+                if let Some(m) = chains.get(job).and_then(|c| c.machine_at(r.at_us)) {
+                    *stale.entry(m).or_insert(0) += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // 1. Corrupt checkpoints trump everything: no other fault class
+    //    produces a validation failure at restore time.
+    if ckpt_discards > 0 {
+        let mut evidence = vec![format!(
+            "{ckpt_discards} checkpoint image(s) failed validation and were discarded"
+        )];
+        if let Some(first) = ckpt_first {
+            if let Event::CheckpointDiscarded {
+                job,
+                machine,
+                reason,
+            } = &first.event
+            {
+                evidence.push(format!(
+                    "first discard: job {job} on machine {machine} at {:.3}s ({reason})",
+                    first.at_us as f64 / 1e6
+                ));
+            }
+        }
+        return Localization {
+            culprit: Some("ckpt-server".to_string()),
+            fault_class: "corrupt-checkpoint".to_string(),
+            divergence,
+            evidence,
+            score: ckpt_discards,
+        };
+    }
+
+    // 2. Unreachable: pick the machine with the most lease/claim silence.
+    //    Ties break to the earliest first evidence, then the lowest id.
+    let best_unreachable = machines
+        .iter()
+        .filter(|(_, ev)| ev.unreachable() > 0)
+        .max_by(|(am, a), (bm, b)| {
+            a.unreachable()
+                .cmp(&b.unreachable())
+                .then(b.first_at_us.cmp(&a.first_at_us))
+                .then(bm.cmp(am))
+        });
+    if let Some((&m, ev)) = best_unreachable {
+        return Localization {
+            culprit: Some(format!("link:{m}")),
+            fault_class: "unreachable".to_string(),
+            divergence,
+            evidence: vec![format!(
+                "machine {m}: {} lease expiries, {} timed-out claims \
+                 (first at {:.3}s) — the host went silent, so the path is at fault",
+                ev.lease_expiries,
+                ev.claim_timeouts,
+                ev.first_at_us as f64 / 1e6
+            )],
+            score: ev.unreachable(),
+        };
+    }
+
+    // 3. Faulty machine: reachable (zero silence evidence) but jobs keep
+    //    bouncing off it.
+    let best_faulty = machines
+        .iter()
+        .filter(|(_, ev)| ev.reschedules > 0 && ev.unreachable() == 0)
+        .max_by(|(am, a), (bm, b)| {
+            a.reschedules
+                .cmp(&b.reschedules)
+                .then(b.first_at_us.cmp(&a.first_at_us))
+                .then(bm.cmp(am))
+        });
+    if let Some((&m, ev)) = best_faulty {
+        return Localization {
+            culprit: Some(format!("machine:{m}")),
+            fault_class: "faulty-machine".to_string(),
+            divergence,
+            evidence: vec![format!(
+                "machine {m}: {} reschedules with zero unreachability evidence \
+                 (first at {:.3}s) — the host answers but breaks the jobs it runs",
+                ev.reschedules,
+                ev.first_at_us as f64 / 1e6
+            )],
+            score: ev.reschedules,
+        };
+    }
+
+    // 4. Degraded link: traffic arrives, but late or duplicated.
+    if let Some((&m, &n)) = stale
+        .iter()
+        .max_by(|(am, a), (bm, b)| a.cmp(b).then(bm.cmp(am)))
+    {
+        return Localization {
+            culprit: Some(format!("link:{m}")),
+            fault_class: "degraded-link".to_string(),
+            divergence,
+            evidence: vec![format!(
+                "{n} stale-epoch drop(s) attributed to machine {m} — frames \
+                 arrive late or duplicated, but the link still carries traffic"
+            )],
+            score: n,
+        };
+    }
+
+    Localization {
+        culprit: None,
+        fault_class: "inconclusive".to_string(),
+        divergence,
+        evidence: vec![
+            "streams diverge but no error-scope evidence follows the divergence".to_string(),
+        ],
+        score: 0,
+    }
+}
+
+/// Render a full post-mortem report: the verdict, the divergence, the
+/// evidence, and the scope-annotated error journeys behind it.
+pub fn render_report(faulty: &Stream, loc: &Localization) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== post-mortem fault localization ==");
+    let _ = writeln!(
+        out,
+        "stream: {} events, {} actors, {} dropped",
+        faulty.records.len(),
+        faulty.actors().len(),
+        faulty.dropped()
+    );
+    for w in &faulty.warnings {
+        let _ = writeln!(out, "warning: {w}");
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "verdict: {} (culprit: {})",
+        loc.fault_class,
+        loc.culprit.as_deref().unwrap_or("none")
+    );
+    for e in &loc.evidence {
+        let _ = writeln!(out, "  evidence: {e}");
+    }
+    match &loc.divergence {
+        Some(d) => {
+            let _ = writeln!(
+                out,
+                "\ndivergence at record #{} ({:.3}s, actor {}):",
+                d.index,
+                d.at_us as f64 / 1e6,
+                d.actor
+            );
+            let describe = |r: &Option<EventRecord>| match r {
+                Some(r) => format!("{} {:?}", r.event.kind(), r.event.span()),
+                None => "(stream ended)".to_string(),
+            };
+            let _ = writeln!(out, "  faulty:    {}", describe(&d.faulty));
+            let _ = writeln!(out, "  reference: {}", describe(&d.reference));
+        }
+        None => {
+            let _ = writeln!(out, "\nno divergence: the streams agree");
+        }
+    }
+
+    let chains = causal_chains(faulty);
+    let _ = writeln!(out, "\ncausal chains: {} job(s)", chains.len());
+    for (job, chain) in chains.iter().take(8) {
+        let _ = writeln!(
+            out,
+            "  job {job}: {} step(s), spans {:?}",
+            chain.steps.len(),
+            chain.spans
+        );
+    }
+    if chains.len() > 8 {
+        let _ = writeln!(out, "  … and {} more", chains.len() - 8);
+    }
+
+    let js = journeys(faulty);
+    let _ = writeln!(out, "\nerror journeys: {}", js.len());
+    for j in js.iter().take(8) {
+        out.push_str(&j.render());
+    }
+    if js.len() > 8 {
+        let _ = writeln!(out, "… and {} more", js.len() - 8);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::Collector;
+
+    fn stream(events: Vec<(u64, &str, Event)>) -> Stream {
+        let mut c = Collector::new();
+        for (at, actor, e) in events {
+            c.record(at, actor, e);
+        }
+        Stream::from_collector(&c).unwrap()
+    }
+
+    fn base() -> Vec<(u64, &'static str, Event)> {
+        vec![
+            (1_000_000, "matchmaker", Event::Match { job: 1, machine: 2 }),
+            (
+                2_000_000,
+                "schedd",
+                Event::Claim {
+                    job: 1,
+                    machine: 2,
+                    outcome: ClaimOutcome::Accepted,
+                },
+            ),
+            (3_000_000, "schedd", Event::Dispatch { job: 1, machine: 2 }),
+        ]
+    }
+
+    #[test]
+    fn identical_streams_have_no_divergence() {
+        let a = stream(base());
+        let b = stream(base());
+        assert!(first_divergence(&a, &b).is_none());
+        let loc = localize(&a, &b);
+        assert_eq!(loc.fault_class, "no-fault");
+        assert!(loc.culprit.is_none());
+    }
+
+    #[test]
+    fn injector_events_are_invisible_to_the_diff() {
+        let mut faulty = base();
+        faulty.insert(
+            0,
+            (
+                500_000,
+                "netdriver",
+                Event::NetFaultApplied {
+                    kind: "partition".into(),
+                    link: "1-2".into(),
+                    active: true,
+                },
+            ),
+        );
+        let a = stream(faulty);
+        let b = stream(base());
+        assert!(first_divergence(&a, &b).is_none());
+    }
+
+    #[test]
+    fn lease_silence_names_the_link() {
+        let mut faulty = base();
+        faulty.push((
+            10_000_000,
+            "schedd",
+            Event::LeaseExpired {
+                job: 1,
+                machine: 2,
+                side: "schedd".into(),
+            },
+        ));
+        faulty.push((
+            10_500_000,
+            "schedd",
+            Event::Reschedule {
+                job: 1,
+                machine: 2,
+                reason: "lease expired".into(),
+            },
+        ));
+        let a = stream(faulty);
+        let b = stream(base());
+        let loc = localize(&a, &b);
+        assert_eq!(loc.fault_class, "unreachable");
+        assert_eq!(loc.culprit.as_deref(), Some("link:2"));
+        let report = render_report(&a, &loc);
+        assert!(report.contains("verdict: unreachable (culprit: link:2)"));
+    }
+
+    #[test]
+    fn reschedules_without_silence_name_the_machine() {
+        let mut faulty = base();
+        for i in 0..3u64 {
+            faulty.push((
+                10_000_000 + i * 1_000_000,
+                "schedd",
+                Event::Reschedule {
+                    job: 1,
+                    machine: 2,
+                    reason: "program exited abnormally".into(),
+                },
+            ));
+        }
+        let a = stream(faulty);
+        let b = stream(base());
+        let loc = localize(&a, &b);
+        assert_eq!(loc.fault_class, "faulty-machine");
+        assert_eq!(loc.culprit.as_deref(), Some("machine:2"));
+        assert_eq!(loc.score, 3);
+    }
+
+    #[test]
+    fn checkpoint_discards_trump_other_evidence() {
+        let mut faulty = base();
+        faulty.push((
+            9_000_000,
+            "startd:m0",
+            Event::CheckpointDiscarded {
+                job: 1,
+                machine: 2,
+                reason: "digest mismatch".into(),
+            },
+        ));
+        faulty.push((
+            10_000_000,
+            "schedd",
+            Event::LeaseExpired {
+                job: 1,
+                machine: 2,
+                side: "schedd".into(),
+            },
+        ));
+        let a = stream(faulty);
+        let b = stream(base());
+        let loc = localize(&a, &b);
+        assert_eq!(loc.fault_class, "corrupt-checkpoint");
+        assert_eq!(loc.culprit.as_deref(), Some("ckpt-server"));
+    }
+
+    #[test]
+    fn stale_epochs_alone_name_a_degraded_link() {
+        let mut faulty = base();
+        faulty.push((
+            10_000_000,
+            "schedd",
+            Event::StaleEpochDropped {
+                job: 1,
+                kind: "report".into(),
+                got: 1,
+                current: 2,
+            },
+        ));
+        let a = stream(faulty);
+        let b = stream(base());
+        let loc = localize(&a, &b);
+        assert_eq!(loc.fault_class, "degraded-link");
+        assert_eq!(loc.culprit.as_deref(), Some("link:2"));
+    }
+
+    #[test]
+    fn prefix_truncation_is_a_divergence() {
+        let mut longer = base();
+        longer.push((10_000_000, "schedd", Event::Dispatch { job: 2, machine: 3 }));
+        let a = stream(base());
+        let b = stream(longer);
+        let d = first_divergence(&a, &b).expect("length mismatch diverges");
+        assert_eq!(d.index, 3);
+        assert!(d.faulty.is_none());
+        assert!(d.reference.is_some());
+    }
+}

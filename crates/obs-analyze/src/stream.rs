@@ -1,0 +1,122 @@
+//! Stream ingestion: parse an exported `.events.jsonl`, check it is
+//! complete, and refuse to analyze a truncated record.
+
+use obs::{Collector, EventRecord, StreamMeta};
+use std::collections::BTreeSet;
+
+/// A parsed, completeness-checked event stream.
+#[derive(Debug, Clone)]
+pub struct Stream {
+    /// Stream headers found in the export (one per concatenated export;
+    /// empty for legacy headerless streams).
+    pub meta: Vec<StreamMeta>,
+    /// The records, in recorded order.
+    pub records: Vec<EventRecord>,
+    /// Loud, non-fatal caveats — e.g. "no stream header: completeness
+    /// cannot be verified".
+    pub warnings: Vec<String>,
+}
+
+impl Stream {
+    /// Parse a JSONL export. Returns an error for malformed lines and for
+    /// *truncated* streams — any header reporting `dropped > 0` — because
+    /// a causal analysis that silently starts mid-run would blame the
+    /// wrong actor. Headerless streams parse with a warning instead: they
+    /// predate drop accounting, so completeness is unverifiable.
+    pub fn parse(input: &str) -> Result<Stream, String> {
+        let (meta, records) = Collector::parse_jsonl_with_meta(input)?;
+        let dropped: u64 = meta.iter().map(|m| m.dropped).sum();
+        if dropped > 0 {
+            return Err(format!(
+                "refusing truncated stream: {dropped} events were dropped by the \
+                 collector ring; the exported stream is a suffix of the run, not \
+                 the run (re-run with a larger capacity)"
+            ));
+        }
+        let mut warnings = Vec::new();
+        if meta.is_empty() {
+            warnings.push(
+                "stream has no header: cannot verify that no events were dropped".to_string(),
+            );
+        }
+        Ok(Stream {
+            meta,
+            records,
+            warnings,
+        })
+    }
+
+    /// Build a stream straight from a live collector (the in-process
+    /// path experiments use). Refuses truncated collectors for the same
+    /// reason [`Stream::parse`] refuses truncated exports.
+    pub fn from_collector(c: &Collector) -> Result<Stream, String> {
+        if c.evicted() > 0 {
+            return Err(format!(
+                "refusing truncated stream: the collector evicted {} events \
+                 (capacity {}); raise the capacity before analyzing",
+                c.evicted(),
+                c.capacity()
+            ));
+        }
+        Ok(Stream {
+            meta: vec![c.stream_meta()],
+            records: c.iter().map(|r| r.to_record()).collect(),
+            warnings: Vec::new(),
+        })
+    }
+
+    /// Every actor name that recorded at least one event.
+    pub fn actors(&self) -> BTreeSet<&str> {
+        self.records.iter().map(|r| r.actor.as_str()).collect()
+    }
+
+    /// Total events dropped according to the stream headers (always zero
+    /// for streams this crate accepted; useful when reporting).
+    pub fn dropped(&self) -> u64 {
+        self.meta.iter().map(|m| m.dropped).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::Event;
+
+    fn collector_with(n: u64, capacity: usize) -> Collector {
+        let mut c = Collector::with_capacity(capacity);
+        for i in 0..n {
+            c.record(i, "schedd", Event::Dispatch { job: i, machine: 2 });
+        }
+        c
+    }
+
+    #[test]
+    fn complete_streams_parse() {
+        let c = collector_with(5, 64);
+        let s = Stream::parse(&c.to_jsonl_with_meta()).unwrap();
+        assert_eq!(s.records.len(), 5);
+        assert_eq!(s.meta.len(), 1);
+        assert!(s.warnings.is_empty());
+        assert_eq!(s.dropped(), 0);
+        assert!(s.actors().contains("schedd"));
+    }
+
+    #[test]
+    fn truncated_streams_are_refused() {
+        let c = collector_with(10, 4);
+        assert!(c.evicted() > 0);
+        let err = Stream::parse(&c.to_jsonl_with_meta()).unwrap_err();
+        assert!(err.contains("truncated"), "{err}");
+        let err = Stream::from_collector(&c).unwrap_err();
+        assert!(err.contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn headerless_streams_warn() {
+        let c = collector_with(3, 64);
+        let s = Stream::parse(&c.to_jsonl()).unwrap();
+        assert_eq!(s.records.len(), 3);
+        assert_eq!(s.warnings.len(), 1);
+        assert!(s.warnings[0].contains("no header"));
+    }
+}

@@ -27,33 +27,37 @@ pub struct EventRecord {
     pub event: Event,
 }
 
-/// The in-ring representation: the actor name is a symbol in the
-/// collector's interner.
+/// The in-ring representation: the actor name *and* the event's hot
+/// string fields are symbols in the collector's interner.
 #[derive(Debug, Clone, PartialEq)]
 struct StoredRecord {
     at_us: u64,
     actor: Sym,
-    event: Event,
+    event: Event<Sym>,
 }
 
 /// A borrowed view of one recorded event, with the actor name resolved.
+/// The event itself stays in its interned form; [`EventRef::to_record`]
+/// resolves it fully when an owned copy is needed.
 #[derive(Debug, Clone, Copy)]
 pub struct EventRef<'a> {
     /// Simulation time, microseconds.
     pub at_us: u64,
     /// The recording actor's name.
     pub actor: &'a str,
-    /// The event.
-    pub event: &'a Event,
+    /// The event, hot string fields interned.
+    pub event: &'a Event<Sym>,
+    /// The interner the event's symbols resolve through.
+    strings: &'a Interner,
 }
 
 impl EventRef<'_> {
-    /// An owned copy of this record.
+    /// An owned copy of this record, with every symbol resolved.
     pub fn to_record(&self) -> EventRecord {
         EventRecord {
             at_us: self.at_us,
             actor: self.actor.to_string(),
-            event: self.event.clone(),
+            event: self.event.resolve_strings(self.strings),
         }
     }
 
@@ -66,7 +70,7 @@ impl EventRef<'_> {
         json::write_str(out, self.actor);
         out.push(',');
         json::write_key(out, "event");
-        self.event.write_json(out);
+        self.event.write_json_with(self.strings, out);
         out.push('}');
     }
 }
@@ -78,8 +82,53 @@ impl fmt::Display for EventRef<'_> {
             "[{:>12.6}s] {:<12} {}",
             self.at_us as f64 / 1e6,
             self.actor,
-            self.event
+            self.event.resolve_strings(self.strings)
         )
+    }
+}
+
+/// Stream-level accounting emitted as the first line of a
+/// [`Collector::to_jsonl_with_meta`] export. Without it a truncated
+/// stream — one whose ring evicted old events to stay within capacity —
+/// is indistinguishable from a complete one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamMeta {
+    /// Events retained in (and exported from) the stream.
+    pub events: u64,
+    /// Events evicted before export: non-zero means the stream is a
+    /// *suffix* of the run, not the whole run.
+    pub dropped: u64,
+    /// The ring capacity the collector ran with.
+    pub capacity: u64,
+}
+
+impl StreamMeta {
+    /// Serialise as the one-line stream header.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"stream\":{{\"events\":{},\"dropped\":{},\"capacity\":{}}}}}",
+            self.events, self.dropped, self.capacity
+        )
+    }
+
+    /// Parse a line previously produced by [`StreamMeta::to_json`].
+    /// Returns `Ok(None)` when the line is not a stream header at all.
+    pub fn from_json(line: &str) -> Result<Option<StreamMeta>, String> {
+        let v = json::parse(line).map_err(|e| e.to_string())?;
+        let Some(stream) = v.get("stream") else {
+            return Ok(None);
+        };
+        let u = |k: &str| -> Result<u64, String> {
+            stream
+                .get(k)
+                .and_then(json::Json::as_u64)
+                .ok_or_else(|| format!("stream header missing integer \"{k}\""))
+        };
+        Ok(Some(StreamMeta {
+            events: u("events")?,
+            dropped: u("dropped")?,
+            capacity: u("capacity")?,
+        }))
     }
 }
 
@@ -176,13 +225,16 @@ impl Collector {
 
     /// Record `event` as seen by `actor` at simulation time `at_us`.
     /// After `actor`'s first event, the name costs one hash lookup and no
-    /// allocation.
+    /// allocation; the event's hot string fields (escape layers, scopes,
+    /// dispositions, reschedule reasons) are interned the same way, so a
+    /// retained record stores `u32` symbols instead of heap strings.
     #[inline]
     pub fn record(&mut self, at_us: u64, actor: &str, event: Event) {
         if !self.enabled {
             return;
         }
         let actor = self.actors.intern(actor);
+        let event = event.intern_strings(&mut self.actors);
         self.ring.push(StoredRecord {
             at_us,
             actor,
@@ -196,6 +248,7 @@ impl Collector {
             at_us: r.at_us,
             actor: self.actors.resolve(r.actor),
             event: &r.event,
+            strings: &self.actors,
         })
     }
 
@@ -261,17 +314,59 @@ impl Collector {
         out
     }
 
-    /// Parse a JSONL export back into records. Blank lines are skipped;
-    /// any malformed line is an error.
+    /// Stream-level accounting for this collector: how many events are
+    /// retained, how many were dropped to stay within capacity, and the
+    /// capacity itself.
+    pub fn stream_meta(&self) -> StreamMeta {
+        StreamMeta {
+            events: self.len() as u64,
+            dropped: self.evicted(),
+            capacity: self.capacity() as u64,
+        }
+    }
+
+    /// Like [`Collector::to_jsonl`], with a [`StreamMeta`] header line
+    /// prepended so consumers can tell a complete stream from a truncated
+    /// one. [`Collector::parse_jsonl`] skips the header; use
+    /// [`Collector::parse_jsonl_with_meta`] to read it back.
+    pub fn to_jsonl_with_meta(&self) -> String {
+        let mut out = self.stream_meta().to_json();
+        out.push('\n');
+        out.push_str(&self.to_jsonl());
+        out
+    }
+
+    /// Parse a JSONL export back into records. Blank lines and stream
+    /// header lines are skipped (so concatenated and headered exports both
+    /// parse); any malformed line is an error.
     pub fn parse_jsonl(input: &str) -> Result<Vec<EventRecord>, String> {
+        Self::parse_jsonl_with_meta(input).map(|(_, records)| records)
+    }
+
+    /// Parse a JSONL export, returning every stream header encountered
+    /// (one per concatenated export, in order; empty for legacy headerless
+    /// streams) alongside the records.
+    pub fn parse_jsonl_with_meta(
+        input: &str,
+    ) -> Result<(Vec<StreamMeta>, Vec<EventRecord>), String> {
+        let mut meta = Vec::new();
         let mut out = Vec::new();
         for (i, line) in input.lines().enumerate() {
             if line.trim().is_empty() {
                 continue;
             }
-            out.push(EventRecord::from_json(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+            let fail = |e: String| format!("line {}: {e}", i + 1);
+            // Headers are recognised by the exact prefix the writer emits,
+            // so record lines are never parsed twice.
+            if line.starts_with("{\"stream\":") {
+                if let Some(m) = StreamMeta::from_json(line).map_err(fail)? {
+                    meta.push(m);
+                    continue;
+                }
+            }
+            out.push(EventRecord::from_json(line).map_err(fail)?);
         }
-        Ok(out)
+        Ok((meta, out))
     }
 }
 
@@ -356,6 +451,82 @@ mod tests {
             })
             .collect();
         assert_eq!(jobs, vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn meta_header_round_trips_and_is_skipped() {
+        let mut c = Collector::with_capacity(3);
+        for i in 0..8u64 {
+            c.record(i, "a", Event::Dispatch { job: i, machine: 0 });
+        }
+        let meta = c.stream_meta();
+        assert_eq!(
+            meta,
+            StreamMeta {
+                events: 3,
+                dropped: 5,
+                capacity: 3
+            }
+        );
+        let jsonl = c.to_jsonl_with_meta();
+        assert!(jsonl.starts_with("{\"stream\":{\"events\":3,\"dropped\":5,\"capacity\":3}}\n"));
+        // The header is invisible to the plain parser…
+        let plain = Collector::parse_jsonl(&jsonl).unwrap();
+        assert_eq!(plain.len(), 3);
+        // …and recovered by the meta-aware one, even for concatenated
+        // streams (the sweep harness glues per-seed exports together).
+        let twice = format!("{jsonl}{jsonl}");
+        let (metas, records) = Collector::parse_jsonl_with_meta(&twice).unwrap();
+        assert_eq!(metas, vec![meta, meta]);
+        assert_eq!(records.len(), 6);
+        // Headerless legacy streams parse with no meta.
+        let (metas, records) = Collector::parse_jsonl_with_meta(&c.to_jsonl()).unwrap();
+        assert!(metas.is_empty());
+        assert_eq!(records.len(), 3);
+    }
+
+    #[test]
+    fn interned_hot_fields_resolve_and_export_identically() {
+        let mut c = Collector::new();
+        c.record(
+            5,
+            "startd:m1",
+            Event::Escape {
+                span: 3,
+                layer: "io-library".into(),
+                code: "FilesystemOffline".into(),
+                scope: "local-resource".into(),
+            },
+        );
+        c.record(
+            9,
+            "schedd",
+            Event::Reschedule {
+                job: 1,
+                machine: 2,
+                reason: "remote-resource-scope error: jvm missing".into(),
+            },
+        );
+        // The stored form resolves back to exactly what was recorded…
+        let records: Vec<EventRecord> = c.iter().map(|r| r.to_record()).collect();
+        assert_eq!(
+            records[0].event,
+            Event::Escape {
+                span: 3,
+                layer: "io-library".into(),
+                code: "FilesystemOffline".into(),
+                scope: "local-resource".into(),
+            }
+        );
+        // …and the export round-trips byte-identically through the parser.
+        let jsonl = c.to_jsonl();
+        let reparsed = Collector::parse_jsonl(&jsonl).unwrap();
+        let mut rewritten = String::new();
+        for r in &reparsed {
+            rewritten.push_str(&r.to_json());
+            rewritten.push('\n');
+        }
+        assert_eq!(rewritten, jsonl);
     }
 
     #[test]

@@ -11,9 +11,36 @@
 //! [`Event::from_json`], so an exported stream can be re-read and audited
 //! offline.
 
+use crate::intern::{Interner, Sym};
 use crate::json::{self, Json};
 use crate::span::{SpanAction, SpanId};
 use std::fmt;
+
+/// Resolves one of an event's interned-or-owned string fields to `&str`.
+///
+/// The event enum is generic over its hot string fields ([`Event<S>`]);
+/// serialization is written once against this trait so the owned form
+/// (`S = String`, resolver [`PlainStr`]) and the collector's interned form
+/// (`S = Sym`, resolver [`Interner`]) produce byte-identical JSON.
+pub(crate) trait ResolveStr<S> {
+    /// The text behind `s`.
+    fn str<'a>(&'a self, s: &'a S) -> &'a str;
+}
+
+/// The trivial resolver for `Event<String>`: the field *is* the text.
+pub(crate) struct PlainStr;
+
+impl ResolveStr<String> for PlainStr {
+    fn str<'a>(&'a self, s: &'a String) -> &'a str {
+        s
+    }
+}
+
+impl ResolveStr<Sym> for Interner {
+    fn str<'a>(&'a self, s: &'a Sym) -> &'a str {
+        self.resolve(*s)
+    }
+}
 
 /// How a claim attempt concluded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,8 +97,16 @@ impl IoOutcome {
 }
 
 /// One typed telemetry event.
+///
+/// The type is generic over its *hot* string fields — the ones written on
+/// every escape/reschedule/disposition the scheduler emits. Constructed
+/// events use the default `S = String`; inside the [`Collector`]
+/// (crate::Collector) those fields are interned and stored as
+/// `Event<Sym>`, so a retained record carries three `u32`s where it used
+/// to carry three heap strings. Cold fields (rejection reasons, span-hop
+/// layers, violation details) stay owned in both forms.
 #[derive(Debug, Clone, PartialEq)]
-pub enum Event {
+pub enum Event<S = String> {
     /// A step of the claiming protocol for `job` on `machine`.
     Claim {
         /// Which job.
@@ -102,11 +137,11 @@ pub enum Event {
         /// The error's journey span.
         span: SpanId,
         /// The interface it escaped.
-        layer: String,
+        layer: S,
         /// Machine-readable condition.
-        code: String,
+        code: S,
         /// The error's scope name.
-        scope: String,
+        scope: S,
     },
     /// The schedd put a job back in the idle queue.
     Reschedule {
@@ -115,16 +150,16 @@ pub enum Event {
         /// The machine the failed attempt ran on.
         machine: u64,
         /// Why, human-readable.
-        reason: String,
+        reason: S,
     },
     /// The schedd's final ruling on an execution report.
     Disposition {
         /// Which job.
         job: u64,
         /// The disposition name (`return-completed`, `log-and-reschedule`…).
-        disposition: String,
+        disposition: S,
         /// The scope that drove the ruling.
-        scope: String,
+        scope: S,
         /// The error journey that ended here ([`crate::NO_SPAN`] when the
         /// outcome carried no scoped error — completions, naive exits).
         span: SpanId,
@@ -232,7 +267,7 @@ pub enum Event {
     },
 }
 
-impl Event {
+impl<S> Event<S> {
     /// The event's wire name (the `type` field).
     pub fn kind(&self) -> &'static str {
         match self {
@@ -264,8 +299,122 @@ impl Event {
         }
     }
 
-    /// Append this event as a JSON object to `out`.
-    pub fn write_json(&self, out: &mut String) {
+    /// Rebuild the event with every hot string field mapped through `f`,
+    /// leaving all other fields untouched. This is the one exhaustive
+    /// match both directions of the `String`↔[`Sym`] conversion share.
+    pub fn map_strings<T>(self, mut f: impl FnMut(S) -> T) -> Event<T> {
+        match self {
+            Event::Claim {
+                job,
+                machine,
+                outcome,
+            } => Event::Claim {
+                job,
+                machine,
+                outcome,
+            },
+            Event::Dispatch { job, machine } => Event::Dispatch { job, machine },
+            Event::Match { job, machine } => Event::Match { job, machine },
+            Event::Escape {
+                span,
+                layer,
+                code,
+                scope,
+            } => Event::Escape {
+                span,
+                layer: f(layer),
+                code: f(code),
+                scope: f(scope),
+            },
+            Event::Reschedule {
+                job,
+                machine,
+                reason,
+            } => Event::Reschedule {
+                job,
+                machine,
+                reason: f(reason),
+            },
+            Event::Disposition {
+                job,
+                disposition,
+                scope,
+                span,
+            } => Event::Disposition {
+                job,
+                disposition: f(disposition),
+                scope: f(scope),
+                span,
+            },
+            Event::IoOp { op, outcome } => Event::IoOp { op, outcome },
+            Event::Violation { principle, detail } => Event::Violation { principle, detail },
+            Event::CheckpointTaken {
+                job,
+                machine,
+                bytes,
+                banked_us,
+            } => Event::CheckpointTaken {
+                job,
+                machine,
+                bytes,
+                banked_us,
+            },
+            Event::CheckpointRestored {
+                job,
+                machine,
+                saved_us,
+            } => Event::CheckpointRestored {
+                job,
+                machine,
+                saved_us,
+            },
+            Event::CheckpointDiscarded {
+                job,
+                machine,
+                reason,
+            } => Event::CheckpointDiscarded {
+                job,
+                machine,
+                reason,
+            },
+            Event::LeaseExpired { job, machine, side } => {
+                Event::LeaseExpired { job, machine, side }
+            }
+            Event::StaleEpochDropped {
+                job,
+                kind,
+                got,
+                current,
+            } => Event::StaleEpochDropped {
+                job,
+                kind,
+                got,
+                current,
+            },
+            Event::BreakerStateChange { machine, from, to } => {
+                Event::BreakerStateChange { machine, from, to }
+            }
+            Event::NetFaultApplied { kind, link, active } => {
+                Event::NetFaultApplied { kind, link, active }
+            }
+            Event::SpanHop {
+                span,
+                layer,
+                action,
+                scope,
+            } => Event::SpanHop {
+                span,
+                layer,
+                action,
+                scope,
+            },
+        }
+    }
+
+    /// Append this event as a JSON object to `out`, resolving hot string
+    /// fields through `res`. The byte output is identical for the owned
+    /// and interned instantiations.
+    pub(crate) fn write_json_with<R: ResolveStr<S>>(&self, res: &R, out: &mut String) {
         out.push_str("{\"type\":\"");
         out.push_str(self.kind());
         out.push('"');
@@ -303,9 +452,9 @@ impl Event {
                 scope,
             } => {
                 field_u64(out, "span", *span);
-                field_str(out, "layer", layer);
-                field_str(out, "code", code);
-                field_str(out, "scope", scope);
+                field_str(out, "layer", res.str(layer));
+                field_str(out, "code", res.str(code));
+                field_str(out, "scope", res.str(scope));
             }
             Event::Reschedule {
                 job,
@@ -314,7 +463,7 @@ impl Event {
             } => {
                 field_u64(out, "job", *job);
                 field_u64(out, "machine", *machine);
-                field_str(out, "reason", reason);
+                field_str(out, "reason", res.str(reason));
             }
             Event::Disposition {
                 job,
@@ -323,8 +472,8 @@ impl Event {
                 span,
             } => {
                 field_u64(out, "job", *job);
-                field_str(out, "disposition", disposition);
-                field_str(out, "scope", scope);
+                field_str(out, "disposition", res.str(disposition));
+                field_str(out, "scope", res.str(scope));
                 field_u64(out, "span", *span);
             }
             Event::IoOp { op, outcome } => {
@@ -416,6 +565,19 @@ impl Event {
             }
         }
         out.push('}');
+    }
+}
+
+impl Event {
+    /// Append this event as a JSON object to `out`.
+    pub fn write_json(&self, out: &mut String) {
+        self.write_json_with(&PlainStr, out)
+    }
+
+    /// Intern the hot string fields into `interner`, producing the
+    /// collector's compact storage form.
+    pub fn intern_strings(self, interner: &mut Interner) -> Event<Sym> {
+        self.map_strings(|s| interner.intern(&s))
     }
 
     /// Reconstruct an event from a parsed JSON object.
@@ -563,6 +725,15 @@ impl Event {
     }
 }
 
+impl Event<Sym> {
+    /// Resolve the hot string fields back out of `interner`, producing an
+    /// owned event equal to the one originally recorded.
+    pub fn resolve_strings(&self, interner: &Interner) -> Event {
+        self.clone()
+            .map_strings(|s| interner.resolve(s).to_string())
+    }
+}
+
 impl fmt::Display for Event {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -674,6 +845,24 @@ mod tests {
         e.write_json(&mut doc);
         let parsed = Event::from_json(&json::parse(&doc).unwrap()).unwrap();
         assert_eq!(parsed, e, "document was {doc}");
+
+        // Byte identity: re-serializing the parsed event reproduces the
+        // original document exactly, so the parser can never drift from
+        // the writer.
+        let mut redoc = String::new();
+        parsed.write_json(&mut redoc);
+        assert_eq!(redoc, doc, "reserialization must be byte-identical");
+
+        // The interned form serializes to the same bytes, and resolving
+        // it recovers the original event.
+        let mut interner = Interner::new();
+        let interned = e.clone().intern_strings(&mut interner);
+        let mut idoc = String::new();
+        interned.write_json_with(&interner, &mut idoc);
+        assert_eq!(idoc, doc, "interned serialization must be byte-identical");
+        assert_eq!(interned.resolve_strings(&interner), e);
+        assert_eq!(interned.kind(), e.kind());
+        assert_eq!(interned.span(), e.span());
     }
 
     #[test]
@@ -779,27 +968,22 @@ mod tests {
 
     #[test]
     fn span_accessor_finds_span_events() {
-        assert_eq!(
-            Event::SpanHop {
-                span: 3,
-                layer: "x".into(),
-                action: SpanAction::Raised,
-                scope: "job".into()
-            }
-            .span(),
-            Some(3)
-        );
-        assert_eq!(Event::Dispatch { job: 1, machine: 2 }.span(), None);
+        let hop: Event = Event::SpanHop {
+            span: 3,
+            layer: "x".into(),
+            action: SpanAction::Raised,
+            scope: "job".into(),
+        };
+        assert_eq!(hop.span(), Some(3));
+        let dispatch: Event = Event::Dispatch { job: 1, machine: 2 };
+        assert_eq!(dispatch.span(), None);
         // A no-span disposition is not part of any journey.
-        assert_eq!(
-            Event::Disposition {
-                job: 1,
-                disposition: "return-completed".into(),
-                scope: "program".into(),
-                span: crate::NO_SPAN,
-            }
-            .span(),
-            None
-        );
+        let no_span: Event = Event::Disposition {
+            job: 1,
+            disposition: "return-completed".into(),
+            scope: "program".into(),
+            span: crate::NO_SPAN,
+        };
+        assert_eq!(no_span.span(), None);
     }
 }

@@ -36,7 +36,7 @@ pub mod metrics;
 pub mod ring;
 pub mod span;
 
-pub use collector::{Collector, EventRecord, EventRef};
+pub use collector::{Collector, EventRecord, EventRef, StreamMeta};
 pub use event::{ClaimOutcome, Event, IoOutcome};
 pub use intern::{Interner, Sym};
 pub use metrics::{Histogram, MetricKey, Registry};
