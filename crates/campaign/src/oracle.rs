@@ -1,0 +1,358 @@
+//! The error-scope oracle: the paper's four principles as machine-checked
+//! invariants over an exported event stream.
+//!
+//! The oracle re-derives every expectation from the theory crate itself
+//! ([`errorscope::propagate::java_universe_stack`] names each scope's
+//! manager, [`Disposition::for_scope`] names each scope's ruling), so it
+//! shares no code path with the schedd's decision logic it is judging: a
+//! kernel that routed an error to the wrong layer, ruled the wrong
+//! disposition, narrowed a scope, or let a job evaporate is caught here
+//! no matter which fault schedule provoked it. The naive-mode negative
+//! control in `gen::negative_control_pool` proves the teeth are real.
+
+use condor::prelude::{JobState, RunReport};
+use errorscope::propagate::{java_universe_stack, Disposition};
+use errorscope::Scope;
+use obs::{Event, SpanAction};
+use obs_analyze::{journeys, Stream};
+use std::fmt;
+
+/// One invariant breach, pinned to a principle and (when the evidence is
+/// a single event) a stream timestamp.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Which paper principle (1–4) the breach falls under.
+    pub principle: u8,
+    /// Short invariant name, stable for reports.
+    pub invariant: &'static str,
+    /// Stream time of the offending event, when there is one.
+    pub at_us: Option<u64>,
+    /// What happened.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.at_us {
+            Some(t) => write!(
+                f,
+                "P{} {} at {:.3}s: {}",
+                self.principle,
+                self.invariant,
+                t as f64 / 1e6,
+                self.detail
+            ),
+            None => write!(f, "P{} {}: {}", self.principle, self.invariant, self.detail),
+        }
+    }
+}
+
+/// The liveness facts the stream alone cannot carry: whether the run
+/// drained, and which jobs (if any) never reached a terminal state the
+/// user can act on.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Did the simulator go quiescent before the deadline?
+    pub quiescent: bool,
+    /// Jobs that ended anywhere other than `Completed`/`Unexecutable`.
+    pub unfinished: Vec<String>,
+}
+
+impl RunSummary {
+    /// Summarize a pool run. `Held` and `AwaitingPostmortem` count as
+    /// unfinished: the work is lost to the queue even though the schedd
+    /// considers them settled.
+    pub fn of(report: &RunReport) -> RunSummary {
+        let mut unfinished = Vec::new();
+        for (id, rec) in &report.jobs {
+            match &rec.state {
+                JobState::Completed { .. } | JobState::Unexecutable { .. } => {}
+                other => unfinished.push(format!("job {id} ended {other:?}")),
+            }
+        }
+        RunSummary {
+            quiescent: report.quiescent,
+            unfinished,
+        }
+    }
+}
+
+/// Check every invariant over `stream` and `summary`; an empty result is
+/// a verdict, not an absence of opinion.
+pub fn check(stream: &Stream, summary: &RunSummary) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let stack = java_universe_stack();
+
+    for r in &stream.records {
+        match &r.event {
+            // P1: an explicit error must never be converted back to an
+            // implicit one. The kernel's own audit layer also reports
+            // principle breaches as first-class events; surface those
+            // under their own numbering.
+            Event::SpanHop {
+                action: SpanAction::Swallowed,
+                layer,
+                scope,
+                ..
+            } => out.push(Violation {
+                principle: 1,
+                invariant: "explicit-stays-explicit",
+                at_us: Some(r.at_us),
+                detail: format!("{layer} swallowed an explicit {scope}-scope error"),
+            }),
+            Event::Violation {
+                principle, detail, ..
+            } => out.push(Violation {
+                principle: *principle,
+                invariant: "kernel-self-report",
+                at_us: Some(r.at_us),
+                detail: detail.clone(),
+            }),
+            // P2: scope changes in transit may only widen — the scope
+            // after the hop must strictly contain the scope before it.
+            Event::SpanHop {
+                action: SpanAction::Widened { from },
+                scope,
+                layer,
+                ..
+            } => match (Scope::from_name(from), Scope::from_name(scope)) {
+                (Some(a), Some(b)) if a < b => {}
+                _ => out.push(Violation {
+                    principle: 2,
+                    invariant: "widen-only-outward",
+                    at_us: Some(r.at_us),
+                    detail: format!("{layer} moved a {from}-scope error to {scope}"),
+                }),
+            },
+            // P3, half one: the ruling must be the one §3.4 assigns to
+            // the error's scope.
+            Event::Disposition {
+                job,
+                disposition,
+                scope,
+                ..
+            } => match Scope::from_name(scope) {
+                Some(s) if Disposition::for_scope(s).to_string() == *disposition => {}
+                Some(s) => out.push(Violation {
+                    principle: 3,
+                    invariant: "disposition-matches-scope",
+                    at_us: Some(r.at_us),
+                    detail: format!(
+                        "job {job}: {scope}-scope error ruled {disposition}, expected {}",
+                        Disposition::for_scope(s)
+                    ),
+                }),
+                None => out.push(Violation {
+                    principle: 3,
+                    invariant: "disposition-matches-scope",
+                    at_us: Some(r.at_us),
+                    detail: format!("job {job}: disposition on unknown scope {scope:?}"),
+                }),
+            },
+            _ => {}
+        }
+    }
+
+    // P3, half two: every journey that terminated must have terminated at
+    // exactly the Figure 3 layer managing its final scope. Journeys still
+    // in flight have no terminal hop to judge; if their job never
+    // finished either, P4 below catches it.
+    for j in journeys(stream) {
+        let Some((layer, scope_name)) = &j.managed_by else {
+            continue;
+        };
+        let expected = Scope::from_name(scope_name).and_then(|s| stack.manager_of(s));
+        if expected != Some(layer.as_str()) {
+            out.push(Violation {
+                principle: 3,
+                invariant: "delivered-to-scope-manager",
+                at_us: None,
+                detail: format!(
+                    "span {}: {scope_name}-scope error consumed by {layer}, manager is {}",
+                    j.span,
+                    expected.unwrap_or("unknown")
+                ),
+            });
+        }
+    }
+
+    // P4: no lost work. Every job ends Completed or Unexecutable, and the
+    // simulator actually drains.
+    if !summary.quiescent {
+        out.push(Violation {
+            principle: 4,
+            invariant: "no-lost-work",
+            at_us: None,
+            detail: "run hit the deadline without going quiescent".to_string(),
+        });
+    }
+    for u in &summary.unfinished {
+        out.push(Violation {
+            principle: 4,
+            invariant: "no-lost-work",
+            at_us: None,
+            detail: u.clone(),
+        });
+    }
+    out
+}
+
+/// Annotate an oracle failure: diff the violating stream against its
+/// same-seed fault-free reference and render the localizer's verdict, so
+/// a red campaign arrives with a named culprit.
+pub fn postmortem(faulty: &Stream, reference: &Stream) -> String {
+    let loc = obs_analyze::localize(faulty, reference);
+    obs_analyze::render_report(faulty, &loc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::Collector;
+
+    fn stream(events: Vec<Event>) -> Stream {
+        let mut c = Collector::new();
+        for (i, e) in events.into_iter().enumerate() {
+            c.record(i as u64 * 1_000_000, "test", e);
+        }
+        Stream::from_collector(&c).unwrap()
+    }
+
+    fn quiescent() -> RunSummary {
+        RunSummary {
+            quiescent: true,
+            unfinished: Vec::new(),
+        }
+    }
+
+    fn hop(span: u64, layer: &str, action: SpanAction, scope: &str) -> Event {
+        Event::SpanHop {
+            span,
+            layer: layer.to_string(),
+            action,
+            scope: scope.to_string(),
+        }
+    }
+
+    #[test]
+    fn a_lawful_journey_passes() {
+        // A virtual-machine-scope error raised in the jvm, handled by the
+        // jvm (its Figure 3 manager), with the scope-correct ruling.
+        let s = stream(vec![
+            hop(7, "jvm", SpanAction::Raised, "virtual-machine"),
+            hop(7, "jvm", SpanAction::Handled, "virtual-machine"),
+            Event::Disposition {
+                job: 1,
+                disposition: "log-and-reschedule".to_string(),
+                scope: "virtual-machine".to_string(),
+                span: 7,
+            },
+        ]);
+        assert!(check(&s, &quiescent()).is_empty());
+    }
+
+    #[test]
+    fn swallowed_hops_are_p1() {
+        let s = stream(vec![
+            hop(7, "jvm", SpanAction::Raised, "virtual-machine"),
+            hop(7, "wrapper", SpanAction::Swallowed, "virtual-machine"),
+        ]);
+        let v = check(&s, &quiescent());
+        assert!(v.iter().any(|v| v.principle == 1), "{v:?}");
+    }
+
+    #[test]
+    fn kernel_self_reports_are_surfaced() {
+        let s = stream(vec![Event::Violation {
+            principle: 3,
+            machine: 2,
+            detail: "pool-scope error delivered to user as a result".to_string(),
+        }]);
+        let v = check(&s, &quiescent());
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].principle, 3);
+        assert_eq!(v[0].invariant, "kernel-self-report");
+    }
+
+    #[test]
+    fn narrowing_and_sideways_widening_are_p2() {
+        // pool -> virtual-machine narrows; job -> remote-resource is
+        // incomparable. Both are illegal moves.
+        let s = stream(vec![
+            hop(
+                1,
+                "schedd",
+                SpanAction::Widened {
+                    from: "pool".to_string(),
+                },
+                "virtual-machine",
+            ),
+            hop(
+                2,
+                "shadow",
+                SpanAction::Widened {
+                    from: "job".to_string(),
+                },
+                "remote-resource",
+            ),
+        ]);
+        let v = check(&s, &quiescent());
+        assert_eq!(v.iter().filter(|v| v.principle == 2).count(), 2, "{v:?}");
+    }
+
+    #[test]
+    fn lawful_widening_is_not_flagged() {
+        let s = stream(vec![hop(
+            1,
+            "starter",
+            SpanAction::Widened {
+                from: "virtual-machine".to_string(),
+            },
+            "remote-resource",
+        )]);
+        assert!(check(&s, &quiescent()).is_empty());
+    }
+
+    #[test]
+    fn wrong_manager_is_p3() {
+        // remote-resource is managed by the starter; the shadow consuming
+        // it means the error crossed to the submission side unhandled.
+        let s = stream(vec![
+            hop(9, "starter", SpanAction::Raised, "remote-resource"),
+            hop(9, "shadow", SpanAction::Handled, "remote-resource"),
+        ]);
+        let v = check(&s, &quiescent());
+        assert!(
+            v.iter()
+                .any(|v| v.principle == 3 && v.invariant == "delivered-to-scope-manager"),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn wrong_disposition_is_p3() {
+        let s = stream(vec![Event::Disposition {
+            job: 4,
+            disposition: "log-and-reschedule".to_string(),
+            scope: "program".to_string(),
+            span: obs::NO_SPAN,
+        }]);
+        let v = check(&s, &quiescent());
+        assert!(
+            v.iter()
+                .any(|v| v.principle == 3 && v.detail.contains("expected return-completed")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn lost_work_is_p4() {
+        let empty = stream(vec![]);
+        let summary = RunSummary {
+            quiescent: false,
+            unfinished: vec!["job 2 ended Held".to_string()],
+        };
+        let v = check(&empty, &summary);
+        assert_eq!(v.iter().filter(|v| v.principle == 4).count(), 2, "{v:?}");
+    }
+}

@@ -1,0 +1,211 @@
+//! Silent-data-corruption accounting in the ORNL resilience vocabulary:
+//! for each campaign, how many injected flips were *detected* (caught by
+//! a digest and contained to a discarded image), how many were *recovered*
+//! (the job still completed from a cold restart), and how many *escaped*
+//! (the run finished, exit 0, wrong answer).
+//!
+//! The counts come from the stream's own `mem-flip` scrubber log — the
+//! injector's record of where each bit actually landed — cross-checked
+//! against checkpoint-discard events and final job states, so a campaign
+//! whose flip never fired (the job never revisited its checkpoint)
+//! contributes zero, not a phantom detection.
+
+use obs::Event;
+use obs_analyze::Stream;
+use std::collections::BTreeSet;
+
+/// Flip outcomes for one campaign (or, summed, for a whole sweep).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlipStats {
+    /// Bits flipped in stored checkpoint images.
+    pub ckpt_injected: u64,
+    /// Image flips caught by the restore digest (capped at injected).
+    /// Flipped images nobody ever refetched — the job finished some
+    /// other way — count as injected but neither detected nor escaped.
+    pub ckpt_detected: u64,
+    /// Flipped images that *passed* the digest and were restored — a
+    /// digest escape, which the theory says cannot happen.
+    pub ckpt_escaped: u64,
+    /// Bits flipped into live heaps after digest validation.
+    pub heap_injected: u64,
+    /// Heap flips whose job nonetheless reported normal completion —
+    /// the undetectable-by-construction escapes.
+    pub heap_escaped: u64,
+}
+
+impl FlipStats {
+    /// Accumulate another campaign's counts.
+    pub fn add(&mut self, other: FlipStats) {
+        self.ckpt_injected += other.ckpt_injected;
+        self.ckpt_detected += other.ckpt_detected;
+        self.ckpt_escaped += other.ckpt_escaped;
+        self.heap_injected += other.heap_injected;
+        self.heap_escaped += other.heap_escaped;
+    }
+
+    /// Fraction of flipped images *presented to the digest* that it
+    /// caught (1.0 when none were ever refetched).
+    pub fn detection_rate(&self) -> f64 {
+        let presented = self.ckpt_detected + self.ckpt_escaped;
+        if presented == 0 {
+            1.0
+        } else {
+            self.ckpt_detected as f64 / presented as f64
+        }
+    }
+
+    /// Fraction of heap flips that escaped to a completed result (0.0
+    /// when none fired).
+    pub fn escape_rate(&self) -> f64 {
+        if self.heap_injected == 0 {
+            0.0
+        } else {
+            self.heap_escaped as f64 / self.heap_injected as f64
+        }
+    }
+}
+
+/// Tally one campaign's flips. `completed` is the set of job ids that
+/// ended `Completed` — a heap flip into one of those is an escape.
+pub fn flip_stats(stream: &Stream, completed: &BTreeSet<u64>) -> FlipStats {
+    let mut s = FlipStats::default();
+    let mut discards = 0u64;
+    let mut restores = 0u64;
+    for r in &stream.records {
+        match &r.event {
+            Event::MemFlip { target, job, .. } => {
+                if target == "ckpt-image" {
+                    s.ckpt_injected += 1;
+                } else {
+                    s.heap_injected += 1;
+                    if completed.contains(job) {
+                        s.heap_escaped += 1;
+                    }
+                }
+            }
+            Event::CheckpointDiscarded { .. } => discards += 1,
+            Event::CheckpointRestored { .. } => restores += 1,
+            _ => {}
+        }
+    }
+    // Every flipped image that is ever fetched produces exactly one
+    // discard (caught) or one restore (escaped); a flipped image nobody
+    // revisits produces neither. In a campaign that flipped images at
+    // all, every stored image for the victim job was flipped, so any
+    // restore in such a run is a digest escape.
+    if s.ckpt_injected > 0 {
+        s.ckpt_detected = discards.min(s.ckpt_injected);
+        s.ckpt_escaped = restores;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::Collector;
+    use obs_analyze::Stream;
+
+    fn flip(job: u64, target: &str) -> Event {
+        Event::MemFlip {
+            job,
+            machine: 3,
+            target: target.to_string(),
+            bit: 42,
+        }
+    }
+
+    #[test]
+    fn flips_are_tallied_by_target_and_outcome() {
+        let mut c = Collector::new();
+        c.record(1, "ckptserver", flip(1, "ckpt-image"));
+        c.record(2, "ckptserver", flip(1, "ckpt-image"));
+        c.record(
+            3,
+            "startd:m1",
+            Event::CheckpointDiscarded {
+                job: 1,
+                machine: 3,
+                reason: "digest mismatch".to_string(),
+            },
+        );
+        c.record(
+            4,
+            "startd:m1",
+            Event::CheckpointRestored {
+                job: 1,
+                machine: 3,
+                saved_us: 100,
+            },
+        );
+        c.record(5, "startd:m1", flip(1, "heap-word"));
+        c.record(6, "startd:m1", flip(2, "heap-word"));
+        let s = Stream::from_collector(&c).unwrap();
+        let completed: BTreeSet<u64> = [1].into();
+        let stats = flip_stats(&s, &completed);
+        assert_eq!(
+            stats,
+            FlipStats {
+                ckpt_injected: 2,
+                ckpt_detected: 1,
+                ckpt_escaped: 1,
+                heap_injected: 2,
+                heap_escaped: 1,
+            }
+        );
+        assert_eq!(stats.detection_rate(), 0.5);
+        assert_eq!(stats.escape_rate(), 0.5);
+    }
+
+    #[test]
+    fn restores_without_image_flips_are_not_escapes() {
+        // A heap-flip campaign restores checkpoints legitimately; only
+        // runs that flipped stored images treat a restore as a miss.
+        let mut c = Collector::new();
+        c.record(
+            1,
+            "startd:m1",
+            Event::CheckpointRestored {
+                job: 1,
+                machine: 3,
+                saved_us: 100,
+            },
+        );
+        c.record(2, "startd:m1", flip(1, "heap-word"));
+        let s = Stream::from_collector(&c).unwrap();
+        let stats = flip_stats(&s, &BTreeSet::new());
+        assert_eq!(stats.ckpt_escaped, 0);
+        assert_eq!(stats.detection_rate(), 1.0);
+    }
+
+    #[test]
+    fn rates_degrade_gracefully_with_no_flips() {
+        let c = Collector::new();
+        let s = Stream::from_collector(&c).unwrap();
+        let stats = flip_stats(&s, &BTreeSet::new());
+        assert_eq!(stats.detection_rate(), 1.0);
+        assert_eq!(stats.escape_rate(), 0.0);
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let mut total = FlipStats::default();
+        total.add(FlipStats {
+            ckpt_injected: 3,
+            ckpt_detected: 3,
+            ckpt_escaped: 0,
+            heap_injected: 1,
+            heap_escaped: 1,
+        });
+        total.add(FlipStats {
+            ckpt_injected: 1,
+            ckpt_detected: 1,
+            ckpt_escaped: 0,
+            heap_injected: 0,
+            heap_escaped: 0,
+        });
+        assert_eq!(total.ckpt_injected, 4);
+        assert_eq!(total.detection_rate(), 1.0);
+        assert_eq!(total.escape_rate(), 1.0);
+    }
+}

@@ -307,6 +307,23 @@ pub fn corrupt_bytes(bytes: &[u8], at: usize) -> Vec<u8> {
     out
 }
 
+/// Flip exactly the bit addressed by `bit` (reduced modulo the body's bit
+/// count), skipping the magic like [`corrupt_bytes`]. Returns the flipped
+/// copy and the absolute bit index that changed — the SDC campaign's
+/// injector records that index so the post-mortem can name the damage.
+/// Images too short to have a body are returned unchanged (with index 0).
+pub fn flip_bit(bytes: &[u8], bit: u64) -> (Vec<u8>, u64) {
+    let mut out = bytes.to_vec();
+    if out.len() <= MAGIC.len() {
+        return (out, 0);
+    }
+    let span_bits = ((out.len() - MAGIC.len()) * 8) as u64;
+    let b = bit % span_bits;
+    let idx = MAGIC.len() + (b / 8) as usize;
+    out[idx] ^= 1 << (b % 8);
+    (out, idx as u64 * 8 + b % 8)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -386,6 +403,28 @@ mod tests {
                 "flip at {at} went undetected"
             );
         }
+    }
+
+    #[test]
+    fn every_flip_bit_is_caught_and_reported() {
+        let bytes = sample().to_bytes();
+        let body_bits = (bytes.len() - MAGIC.len()) as u64 * 8;
+        for bit in 0..body_bits {
+            let (bad, landed) = flip_bit(&bytes, bit);
+            assert!(
+                MachineState::from_bytes(&bad).is_err(),
+                "bit flip {bit} went undetected"
+            );
+            // The reported index names the one byte that differs.
+            let idx = (landed / 8) as usize;
+            assert_eq!(bad[idx] ^ bytes[idx], 1 << (landed % 8));
+            assert!(bad.iter().zip(&bytes).filter(|(a, b)| a != b).count() == 1);
+            // Reduction is modulo the body: a huge seed lands too.
+            let (worse, _) = flip_bit(&bytes, bit + body_bits * 7);
+            assert_eq!(worse, bad);
+        }
+        // Degenerate images pass through unchanged.
+        assert_eq!(flip_bit(b"CKP1", 3), (b"CKP1".to_vec(), 0));
     }
 
     #[test]

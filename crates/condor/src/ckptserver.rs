@@ -41,6 +41,7 @@ pub struct CkptServer {
     server: ChirpServer<MemFs>,
     max_frame: u32,
     corrupt_prefixes: Vec<String>,
+    flip_prefixes: Vec<(String, u64)>,
     /// Traffic counters.
     pub stats: CkptServerStats,
 }
@@ -52,6 +53,7 @@ impl CkptServer {
             server: ChirpServer::new(MemFs::default(), cookie),
             max_frame: wire::MAX_FRAME,
             corrupt_prefixes: Vec::new(),
+            flip_prefixes: Vec::new(),
             stats: CkptServerStats::default(),
         }
     }
@@ -70,13 +72,40 @@ impl CkptServer {
         self
     }
 
-    fn account(&mut self, req: &mut Request) {
+    /// Fault injection for the SDC campaign: flip exactly one bit of
+    /// every image stored under a key starting with `prefix` (builder
+    /// style), and log the flip as an [`obs::Event::MemFlip`] attributed
+    /// to `job` — bit rot in storage that the restorer's digest check
+    /// must catch. Unlike [`CkptServer::corrupt_key_prefix`], the damage
+    /// is on the scrubber's record, so a post-mortem can name it.
+    pub fn flip_bit_key_prefix(mut self, prefix: &str, job: u64) -> CkptServer {
+        self.flip_prefixes.push((prefix.to_string(), job));
+        self
+    }
+
+    fn account(&mut self, req: &mut Request, ctx: &mut Context<'_, Msg>) {
         match req {
             Request::PutCkpt { key, data } => {
                 self.stats.puts += 1;
                 self.stats.bytes_stored += data.len() as u64;
                 if self.corrupt_prefixes.iter().any(|p| key.starts_with(p)) {
                     *data = ckpt::corrupt_bytes(data, data.len() / 2);
+                }
+                if let Some((_, job)) = self
+                    .flip_prefixes
+                    .iter()
+                    .find(|(p, _)| key.starts_with(p.as_str()))
+                {
+                    // The bit is a deterministic function of the key, so
+                    // same-seed runs flip the same bit of the same image.
+                    let (flipped, bit) = ckpt::flip_bit(data, ckpt::fnv1a(key.as_bytes()));
+                    *data = flipped;
+                    ctx.emit(obs::Event::MemFlip {
+                        job: *job,
+                        machine: ctx.self_id as u64,
+                        target: "ckpt-image".to_string(),
+                        bit,
+                    });
                 }
             }
             Request::GetCkpt { .. } => self.stats.gets += 1,
@@ -115,7 +144,7 @@ impl Actor<Msg> for CkptServer {
                     break;
                 }
             };
-            self.account(&mut req);
+            self.account(&mut req, ctx);
             match self.server.handle(&req) {
                 ServerOutcome::Reply(resp) => {
                     out.extend_from_slice(&wire::frame(&wire::encode_response(&resp)));

@@ -6,8 +6,10 @@
 //! misconfiguration lives in [`crate::machine::MachineSpec`]; the plan
 //! holds the *timed* faults.
 
+use crate::job::JobId;
 use chirp::backend::EnvFault;
 use desim::{SimDuration, SimTime};
+use std::fmt;
 use std::sync::Arc;
 
 /// A half-open window of virtual time.
@@ -24,6 +26,13 @@ impl Window {
     pub fn new(from: SimTime, to: SimTime) -> Window {
         assert!(from < to, "empty fault window");
         Window { from, to }
+    }
+
+    /// A window covering `[from, to)`, or `None` if it would be empty or
+    /// inverted. Campaign generators that mass-produce plans use this to
+    /// reject bad samples instead of panicking mid-sweep.
+    pub fn checked(from: SimTime, to: SimTime) -> Option<Window> {
+        (from < to).then_some(Window { from, to })
     }
 
     /// From `from` onward, forever.
@@ -168,6 +177,45 @@ fn link_label(kind: &str, hosts: impl IntoIterator<Item = usize>) -> FaultLabel 
     }
 }
 
+/// Why a fault plan was rejected at build time.
+///
+/// `Window`'s fields are public (daemons pattern-match on them), so an
+/// inverted or zero-length window is constructible by struct literal even
+/// though [`Window::new`] asserts. [`FaultPlan::try_build`] is the last
+/// line of defense: a campaign generator mass-producing plans fails fast
+/// here instead of silently scheduling a fault that can never fire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// A fault's window is empty or inverted (`from >= to`).
+    BadWindow {
+        /// Which entry carries the bad window (e.g. `"crash of machine 3"`).
+        what: String,
+        /// The window's start.
+        from: SimTime,
+        /// The window's end.
+        to: SimTime,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::BadWindow { what, from, to } => write!(
+                f,
+                "bad fault window on {what}: [{}us, {}us) is empty or inverted",
+                from.as_micros(),
+                to.as_micros()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// The label kind used for same-link overlap warnings. Warning labels are
+/// advisory — they never widen [`FaultPlan::accepted_culprits`].
+pub const OVERLAP_WARNING: &str = "overlap-warning";
+
 /// The complete fault schedule for one run.
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
@@ -175,6 +223,8 @@ pub struct FaultPlan {
     crashes: Vec<MachineCrash>,
     owner_busy: Vec<OwnerBusy>,
     net_faults: Vec<TimedNetFault>,
+    heap_flips: Vec<(JobId, u64)>,
+    ckpt_flips: Vec<JobId>,
     labels: Vec<FaultLabel>,
 }
 
@@ -271,6 +321,46 @@ impl FaultPlan {
         self
     }
 
+    /// A memory bit-flip lands in `job`'s live heap the next time the job
+    /// is restored from a checkpoint — *after* the image digest has been
+    /// validated, so no checksum can see it. `bit` seeds the flip's
+    /// placement (it is reduced modulo the heap's size when it lands).
+    /// This is the silent-data-corruption class the FNV-1a digests cannot
+    /// catch: the run completes and the answer is wrong.
+    ///
+    /// No ground-truth label is attached here: which machine performs the
+    /// restore is not known at plan time, and the injector's own
+    /// `mem-flip` event records the culprit at the instant of the flip.
+    pub fn heap_flip(mut self, job: JobId, bit: u64) -> FaultPlan {
+        self.heap_flips.push((job, bit));
+        self
+    }
+
+    /// The checkpoint server flips one bit of every image stored for
+    /// `job` — damage in storage, *before* the digest is rechecked, which
+    /// the FNV-1a trailer must therefore catch on restore.
+    pub fn ckpt_flip(mut self, job: JobId) -> FaultPlan {
+        self.ckpt_flips.push(job);
+        self.labels.push(FaultLabel {
+            kind: "ckpt-flip".to_string(),
+            culprits: vec![CULPRIT_CKPT_SERVER.to_string()],
+        });
+        self
+    }
+
+    /// The heap-flip bit seed scheduled for `job`, if any.
+    pub fn heap_flip_for(&self, job: JobId) -> Option<u64> {
+        self.heap_flips
+            .iter()
+            .find(|(j, _)| *j == job)
+            .map(|(_, bit)| *bit)
+    }
+
+    /// Every job whose stored checkpoint images get a flipped bit.
+    pub fn ckpt_flip_jobs(&self) -> &[JobId] {
+        &self.ckpt_flips
+    }
+
     /// Declare ground truth for a fault the plan cannot see — a statically
     /// misconfigured machine, a corrupting checkpoint server — so a
     /// campaign built from this plan is self-describing: the localizer's
@@ -293,11 +383,13 @@ impl FaultPlan {
     }
 
     /// Every culprit name any declared fault accepts — the union of
-    /// [`FaultPlan::ground_truth`]'s label sets.
+    /// [`FaultPlan::ground_truth`]'s label sets. Advisory
+    /// [`OVERLAP_WARNING`] labels are excluded: a warning is not a fault.
     pub fn accepted_culprits(&self) -> Vec<String> {
         let mut out: Vec<String> = self
             .labels
             .iter()
+            .filter(|l| l.kind != OVERLAP_WARNING)
             .flat_map(|l| l.culprits.iter().cloned())
             .collect();
         out.sort();
@@ -305,9 +397,86 @@ impl FaultPlan {
         out
     }
 
-    /// Freeze into a shareable handle.
+    /// Every window in the plan, paired with a description of what it
+    /// schedules.
+    fn windows(&self) -> Vec<(String, Window)> {
+        let mut out = Vec::new();
+        for f in &self.fs_faults {
+            out.push((format!("fs fault at schedd {}", f.schedd), f.window));
+        }
+        for c in &self.crashes {
+            out.push((format!("crash of machine {}", c.machine), c.window));
+        }
+        for o in &self.owner_busy {
+            out.push((format!("owner activity on machine {}", o.machine), o.window));
+        }
+        for n in &self.net_faults {
+            out.push((format!("net {}", n.fault.kind()), n.window));
+        }
+        out
+    }
+
+    /// The undirected links a network fault touches, as normalized
+    /// `(low, high)` host pairs.
+    fn fault_links(fault: &NetFault) -> Vec<(usize, usize)> {
+        let norm = |a: usize, b: usize| (a.min(b), a.max(b));
+        match fault {
+            NetFault::Partition { a, b } => a
+                .iter()
+                .flat_map(|&x| b.iter().map(move |&y| norm(x, y)))
+                .collect(),
+            NetFault::Loss { a, b, .. }
+            | NetFault::LatencySpike { a, b, .. }
+            | NetFault::Duplication { a, b, .. } => vec![norm(*a, *b)],
+        }
+    }
+
+    /// Validate and freeze into a shareable handle.
+    ///
+    /// Rejects any entry whose window is empty or inverted. Two network
+    /// faults whose windows overlap on the same link are legal (the later
+    /// declaration wins while both are open) but usually a generator bug,
+    /// so each such pair gets an advisory [`OVERLAP_WARNING`] label naming
+    /// the shared link.
+    pub fn try_build(mut self) -> Result<Arc<FaultPlan>, PlanError> {
+        for (what, w) in self.windows() {
+            if w.from >= w.to {
+                return Err(PlanError::BadWindow {
+                    what,
+                    from: w.from,
+                    to: w.to,
+                });
+            }
+        }
+        let mut warned: Vec<(usize, usize)> = Vec::new();
+        for i in 0..self.net_faults.len() {
+            for j in i + 1..self.net_faults.len() {
+                let (a, b) = (&self.net_faults[i], &self.net_faults[j]);
+                // Half-open windows intersect iff each starts before the
+                // other ends.
+                if !(a.window.from < b.window.to && b.window.from < a.window.to) {
+                    continue;
+                }
+                for link in FaultPlan::fault_links(&a.fault) {
+                    if FaultPlan::fault_links(&b.fault).contains(&link) && !warned.contains(&link) {
+                        warned.push(link);
+                        self.labels.push(FaultLabel {
+                            kind: OVERLAP_WARNING.to_string(),
+                            culprits: vec![culprit_link(link.0), culprit_link(link.1)],
+                        });
+                    }
+                }
+            }
+        }
+        Ok(Arc::new(self))
+    }
+
+    /// Freeze into a shareable handle, panicking on a malformed plan.
+    /// Hand-written plans use this; generators should prefer
+    /// [`FaultPlan::try_build`].
     pub fn build(self) -> Arc<FaultPlan> {
-        Arc::new(self)
+        self.try_build()
+            .unwrap_or_else(|e| panic!("invalid fault plan: {e}"))
     }
 
     /// The scheduled network faults, in declaration order.
@@ -545,6 +714,121 @@ mod tests {
         assert!(!plan.crashed_at(0, t(100)));
         assert!(!plan.owner_busy_at(0, t(100)));
         assert_eq!(plan.owner_returns_during(0, t(0), t(100)), None);
+    }
+
+    #[test]
+    fn checked_window_rejects_empty_and_inverted() {
+        assert_eq!(
+            Window::checked(t(10), t(20)),
+            Some(Window::new(t(10), t(20)))
+        );
+        assert_eq!(Window::checked(t(10), t(10)), None);
+        assert_eq!(Window::checked(t(20), t(10)), None);
+    }
+
+    #[test]
+    fn try_build_rejects_inverted_windows() {
+        // Window's fields are pub, so an inverted window is constructible
+        // by literal even though Window::new asserts.
+        let bad = Window {
+            from: t(20),
+            to: t(10),
+        };
+        let err = FaultPlan::none().crash(3, bad).try_build().unwrap_err();
+        match &err {
+            PlanError::BadWindow { what, from, to } => {
+                assert_eq!(what, "crash of machine 3");
+                assert_eq!((*from, *to), (t(20), t(10)));
+            }
+        }
+        assert!(err.to_string().contains("crash of machine 3"));
+
+        let zero = Window {
+            from: t(5),
+            to: t(5),
+        };
+        assert!(FaultPlan::none()
+            .owner_activity(1, zero)
+            .try_build()
+            .is_err());
+        assert!(FaultPlan::none()
+            .net_loss(1, 2, 0.1, bad)
+            .try_build()
+            .is_err());
+        assert!(FaultPlan::none()
+            .fs_fault(0, bad, EnvFault::FilesystemOffline)
+            .try_build()
+            .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid fault plan")]
+    fn build_panics_on_inverted_window() {
+        let bad = Window {
+            from: t(20),
+            to: t(10),
+        };
+        let _ = FaultPlan::none().crash(3, bad).build();
+    }
+
+    #[test]
+    fn overlapping_same_link_faults_get_warning_labels() {
+        // Loss and a partition covering link 1–4 at once: warn-labeled.
+        let plan = FaultPlan::none()
+            .net_loss(1, 4, 0.2, Window::new(t(100), t(300)))
+            .net_partition([1], [4, 5], Window::new(t(200), t(400)))
+            .build();
+        let warnings: Vec<_> = plan
+            .ground_truth()
+            .iter()
+            .filter(|l| l.kind == OVERLAP_WARNING)
+            .collect();
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(warnings[0].culprits, vec!["link:1", "link:4"]);
+        // Advisory only: the warning never widens the accepted culprits.
+        assert_eq!(plan.accepted_culprits(), vec!["link:1", "link:4", "link:5"]);
+
+        // Disjoint windows on the same link: no warning.
+        let quiet = FaultPlan::none()
+            .net_loss(1, 4, 0.2, Window::new(t(100), t(200)))
+            .net_loss(4, 1, 0.5, Window::new(t(200), t(300)))
+            .build();
+        assert!(quiet
+            .ground_truth()
+            .iter()
+            .all(|l| l.kind != OVERLAP_WARNING));
+
+        // Overlapping windows on *different* links: no warning either.
+        let other = FaultPlan::none()
+            .net_loss(1, 4, 0.2, Window::new(t(100), t(300)))
+            .net_loss(1, 5, 0.2, Window::new(t(100), t(300)))
+            .build();
+        assert!(other
+            .ground_truth()
+            .iter()
+            .all(|l| l.kind != OVERLAP_WARNING));
+    }
+
+    #[test]
+    fn flip_schedules_are_queryable() {
+        let plan = FaultPlan::none()
+            .heap_flip(7, 0xDEAD_BEEF)
+            .ckpt_flip(3)
+            .ckpt_flip(9)
+            .build();
+        assert_eq!(plan.heap_flip_for(7), Some(0xDEAD_BEEF));
+        assert_eq!(plan.heap_flip_for(8), None);
+        assert_eq!(plan.ckpt_flip_jobs(), &[3, 9]);
+        // ckpt flips are self-describing (the server is the culprit);
+        // heap flips are not labeled — the mem-flip event names the
+        // machine at the instant of injection.
+        let kinds: Vec<_> = plan
+            .ground_truth()
+            .iter()
+            .map(|l| l.kind.as_str())
+            .collect();
+        assert_eq!(kinds, vec!["ckpt-flip", "ckpt-flip"]);
+        assert_eq!(plan.accepted_culprits(), vec![CULPRIT_CKPT_SERVER]);
     }
 
     #[test]

@@ -58,8 +58,8 @@ pub mod telemetry;
 
 pub use ckptserver::{CkptServer, CkptServerStats};
 pub use faults::{
-    culprit_link, culprit_machine, FaultLabel, FaultPlan, NetFault, TimedNetFault, Window,
-    CULPRIT_CKPT_SERVER,
+    culprit_link, culprit_machine, FaultLabel, FaultPlan, NetFault, PlanError, TimedNetFault,
+    Window, CULPRIT_CKPT_SERVER, OVERLAP_WARNING,
 };
 pub use health::{BreakerPolicy, BreakerState, CircuitBreaker, RetryPolicy};
 pub use job::{Attempt, JavaMode, JobId, JobRecord, JobSpec, JobState, Universe};

@@ -407,6 +407,11 @@ impl PoolBuilder {
             for prefix in &self.ckpt_corrupt_prefixes {
                 server = server.corrupt_key_prefix(prefix);
             }
+            // The plan's scheduled image flips arm the server here: one
+            // logged bit-flip per stored image of each targeted job.
+            for &job in plan.ckpt_flip_jobs() {
+                server = server.flip_bit_key_prefix(&format!("ckpt/job{job}/"), u64::from(job));
+            }
             let got = world.add_actor(Box::new(server));
             assert_eq!(got, id, "checkpoint server id precomputed wrong");
         }
@@ -989,6 +994,68 @@ mod ckpt_server_tests {
         let rec = &report.jobs[&1];
         assert!(matches!(rec.state, JobState::Completed { .. }));
         assert!(rec.attempts.iter().any(|a| a.note.contains("discarded")));
+    }
+
+    #[test]
+    fn scheduled_ckpt_flip_is_logged_and_detected_on_restore() {
+        // The plan's ckpt_flip arms the server: every stored image for
+        // job 1 gets one flipped bit plus a mem-flip scrubber record. The
+        // FNV-1a trailer must catch the damage at restore — an explicit
+        // discard, a cold restart, and still a completed job.
+        let report = PoolBuilder::new(36)
+            .machine(MachineSpec::healthy("interrupted", 1024))
+            .machine(MachineSpec::healthy("backup", 128))
+            .with_checkpoint_server()
+            .faults(
+                FaultPlan::none()
+                    .owner_activity(
+                        PoolBuilder::FIRST_MACHINE_ID,
+                        Window::new(SimTime::from_secs(300), SimTime::from_secs(4000)),
+                    )
+                    .ckpt_flip(1),
+            )
+            .job(standard_job(600))
+            .run(SimTime::from_secs(48 * 3600));
+        assert_eq!(report.metrics.jobs_completed, 1, "{:?}", report.jobs[&1]);
+        assert!(report.metrics.checkpoints_taken >= 1);
+        assert!(report.metrics.checkpoints_discarded >= 1);
+        assert_eq!(report.metrics.checkpoints_restored, 0);
+        let counts = report.telemetry.counts_by_kind();
+        assert!(counts.get("mem-flip").copied().unwrap_or(0) >= 1);
+        assert!(counts.get("ckpt-discarded").copied().unwrap_or(0) >= 1);
+    }
+
+    #[test]
+    fn scheduled_heap_flip_escapes_detection() {
+        // The heap flip lands *after* digest validation: the restore
+        // succeeds, nothing is discarded, and the job runs to normal
+        // completion with silently corrupted state — an escape, visible
+        // only in the scrubber's mem-flip record.
+        let report = PoolBuilder::new(37)
+            .machine(MachineSpec::healthy("interrupted", 1024))
+            .machine(MachineSpec::healthy("backup", 128))
+            .with_checkpoint_server()
+            .faults(
+                FaultPlan::none()
+                    .owner_activity(
+                        PoolBuilder::FIRST_MACHINE_ID,
+                        Window::new(SimTime::from_secs(300), SimTime::from_secs(4000)),
+                    )
+                    .heap_flip(1, 0x1234_5678),
+            )
+            .job(JobSpec {
+                universe: Universe::Standard,
+                ..JobSpec::java(1, "ada", programs::heap_sum(64), JavaMode::Scoped)
+                    .with_exec_time(SimDuration::from_secs(600))
+            })
+            .run(SimTime::from_secs(48 * 3600));
+        assert_eq!(report.metrics.jobs_completed, 1, "{:?}", report.jobs[&1]);
+        assert!(report.metrics.checkpoints_restored >= 1);
+        assert_eq!(report.metrics.checkpoints_discarded, 0);
+        let counts = report.telemetry.counts_by_kind();
+        assert!(counts.get("mem-flip").copied().unwrap_or(0) >= 1);
+        // Completed normally: the corruption produced no error at all.
+        assert!(matches!(report.jobs[&1].state, JobState::Completed { .. }));
     }
 
     #[test]

@@ -850,6 +850,7 @@ impl Schedd {
                     self.metrics.incidental_errors_shown_to_user += 1;
                     ctx.emit(obs::Event::Violation {
                         principle: 3,
+                        machine: machine as u64,
                         detail: format!(
                             "{truth_scope}-scope error delivered to user as a result: {truth_note}"
                         ),

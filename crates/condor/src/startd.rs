@@ -366,7 +366,23 @@ impl Actor<Msg> for Startd {
                     .map(|r| r.banked)
                     .unwrap_or(SimDuration::ZERO);
                 match self.validate_ckpt(&frames, &act) {
-                    Ok(machine) => {
+                    Ok(mut machine) => {
+                        // SDC injection window: the image digest has just
+                        // been validated, the machine is about to run. A
+                        // bit flipped into the live heap *here* is exactly
+                        // the damage no checksum can see — the scrubber
+                        // logs it, and the run completes with a silently
+                        // wrong answer (an escape, not a crash).
+                        if let Some(seed) = self.plan.heap_flip_for(act.job) {
+                            if let Some(bit) = machine.flip_heap_bit(seed) {
+                                ctx.emit(obs::Event::MemFlip {
+                                    job: u64::from(act.job),
+                                    machine: ctx.self_id as u64,
+                                    target: "heap-word".to_string(),
+                                    bit,
+                                });
+                            }
+                        }
                         ctx.emit(obs::Event::CheckpointRestored {
                             job: u64::from(act.job),
                             machine: ctx.self_id as u64,

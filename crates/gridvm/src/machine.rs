@@ -254,6 +254,32 @@ impl Machine {
         })
     }
 
+    /// Fault injection: flip one bit of the live heap — the DRAM-fault /
+    /// cosmic-ray model of silent data corruption. `bit` addresses the
+    /// heap's words flattened in allocation order, reduced modulo the
+    /// allocated size, so any seed lands somewhere. Returns the absolute
+    /// flat bit index `word * 64 + bit` actually flipped, or `None` when
+    /// the heap is empty (nothing to hit). The word count is unchanged, so
+    /// a flipped machine still passes every structural check — exactly the
+    /// damage no digest recomputed *before* the flip can see.
+    pub fn flip_heap_bit(&mut self, bit: u64) -> Option<u64> {
+        let total: u64 = self.heap.iter().map(|a| a.len() as u64).sum();
+        if total == 0 {
+            return None;
+        }
+        let mut word = (bit / 64) % total;
+        let b = bit % 64;
+        let landed = word * 64 + b;
+        for arr in &mut self.heap {
+            if word < arr.len() as u64 {
+                arr[word as usize] ^= 1i64 << b;
+                return Some(landed);
+            }
+            word -= arr.len() as u64;
+        }
+        unreachable!("flat heap index within total word count")
+    }
+
     /// Run until termination or until `budget` further instructions have
     /// executed. Returns `None` when the budget ran out first — the
     /// machine is suspended mid-program and may be snapshotted or run

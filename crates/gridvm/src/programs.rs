@@ -174,6 +174,64 @@ pub fn cpu_bound(n: i64) -> Vec<u8> {
     .to_bytes()
 }
 
+/// A heap-resident workload: fills an `n`-element array with `1..=n`, then
+/// sums it by re-reading every element and prints `n*(n+1)/2`. The answer
+/// lives in the *heap* between the two loops, which makes this the SDC
+/// campaign's victim of choice: a bit flipped into a checkpointed heap word
+/// changes the printed sum without ever faulting — indices come from
+/// locals, so no flip can turn into a bounds error or a crash.
+pub fn heap_sum(n: i64) -> Vec<u8> {
+    ProgramImage::single(
+        "heap-sum",
+        3,
+        vec![
+            Instr::Push(n),        // 0
+            Instr::NewArray,       // 1
+            Instr::Store(0),       // 2  arr = new[n]
+            Instr::Push(0),        // 3
+            Instr::Store(1),       // 4  i = 0
+            Instr::Load(1),        // 5  fill:
+            Instr::Push(n),        // 6
+            Instr::CmpLt,          // 7  i < n ?
+            Instr::JumpIfZero(20), // 8
+            Instr::Load(0),        // 9
+            Instr::Load(1),        // 10
+            Instr::Load(1),        // 11
+            Instr::Push(1),        // 12
+            Instr::Add,            // 13
+            Instr::AStore,         // 14 arr[i] = i+1
+            Instr::Load(1),        // 15
+            Instr::Push(1),        // 16
+            Instr::Add,            // 17
+            Instr::Store(1),       // 18 i += 1
+            Instr::Jump(5),        // 19
+            Instr::Push(0),        // 20
+            Instr::Store(2),       // 21 acc = 0
+            Instr::Push(0),        // 22
+            Instr::Store(1),       // 23 i = 0
+            Instr::Load(1),        // 24 sum:
+            Instr::Push(n),        // 25
+            Instr::CmpLt,          // 26 i < n ?
+            Instr::JumpIfZero(39), // 27
+            Instr::Load(2),        // 28
+            Instr::Load(0),        // 29
+            Instr::Load(1),        // 30
+            Instr::ALoad,          // 31
+            Instr::Add,            // 32
+            Instr::Store(2),       // 33 acc += arr[i]
+            Instr::Load(1),        // 34
+            Instr::Push(1),        // 35
+            Instr::Add,            // 36
+            Instr::Store(1),       // 37 i += 1
+            Instr::Jump(24),       // 38
+            Instr::Load(2),        // 39
+            Instr::Print,          // 40
+            Instr::Halt,           // 41
+        ],
+    )
+    .to_bytes()
+}
+
 /// A program that throws a user exception — "program generated errors such
 /// as an ArrayIndexOutOfBoundsException" that must reach the user.
 pub fn throws_user_exception() -> Vec<u8> {
@@ -266,6 +324,43 @@ mod tests {
     }
 
     #[test]
+    fn heap_sum_runs_clean() {
+        let out = load_and_run(&heap_sum(8), &Installation::healthy(), &mut NoIo);
+        assert_eq!(out.termination, Termination::Completed { exit_code: 0 });
+        assert_eq!(out.stdout, "36\n");
+    }
+
+    #[test]
+    fn heap_flip_after_restore_escapes_and_changes_the_answer() {
+        // The SDC escape window, end to end: checkpoint mid-run, restore
+        // (digest passes — the image is pristine), flip one live heap bit
+        // *after* validation, and run on. The program terminates normally
+        // with a wrong sum: an escape, not a crash.
+        use crate::jvmio::NoIo;
+        use crate::machine::Machine;
+        let bytes = heap_sum(8);
+        let img = ProgramImage::from_bytes(&bytes).unwrap();
+        let install = Installation::healthy();
+        let digest = ckpt::fnv1a(&bytes);
+
+        let mut m = Machine::new(&img);
+        // Past the fill loop (≈ 5 + 8*15 instructions), before the sum.
+        assert!(m.run(&img, &install, &mut NoIo, Some(130)).is_none());
+        let state = m.snapshot(digest);
+
+        let mut resumed = Machine::restore(state, &img, digest).expect("digest still valid");
+        assert!(resumed.flip_heap_bit(4 * 64 + 1).is_some()); // arr[4]: 5 -> 7
+        let out = resumed
+            .run(&img, &install, &mut NoIo, None)
+            .expect("runs to termination");
+        assert_eq!(out.termination, Termination::Completed { exit_code: 0 });
+        assert_eq!(out.stdout, "38\n"); // silently wrong: 36 + 2
+
+        // An empty heap gives the flip nothing to hit.
+        assert_eq!(Machine::new(&img).flip_heap_bit(3), None);
+    }
+
+    #[test]
     fn all_programs_verify_or_fail_loading_as_intended() {
         // Every canned program (except the deliberately corrupt one) must
         // load and verify.
@@ -279,6 +374,7 @@ mod tests {
             exhausts_memory(),
             uses_stdlib(),
             reads_and_writes(),
+            heap_sum(5),
             throws_user_exception(),
         ] {
             let img = ProgramImage::from_bytes(&bytes).expect("loads");

@@ -26,7 +26,8 @@ pub fn job_of(event: &Event) -> Option<u64> {
         | Event::CheckpointRestored { job, .. }
         | Event::CheckpointDiscarded { job, .. }
         | Event::LeaseExpired { job, .. }
-        | Event::StaleEpochDropped { job, .. } => Some(*job),
+        | Event::StaleEpochDropped { job, .. }
+        | Event::MemFlip { job, .. } => Some(*job),
         _ => None,
     }
 }
@@ -42,7 +43,9 @@ pub fn machine_of(event: &Event) -> Option<u64> {
         | Event::CheckpointRestored { machine, .. }
         | Event::CheckpointDiscarded { machine, .. }
         | Event::LeaseExpired { machine, .. }
-        | Event::BreakerStateChange { machine, .. } => Some(*machine),
+        | Event::BreakerStateChange { machine, .. }
+        | Event::MemFlip { machine, .. } => Some(*machine),
+        Event::Violation { machine, .. } if *machine != 0 => Some(*machine),
         _ => None,
     }
 }

@@ -13,9 +13,20 @@
 //!
 //! The evidence classes, in decision priority:
 //!
+//! 0. **heap-flip / ckpt-flip** — a `MemFlip` record: the (simulated)
+//!    hardware scrubber logged a bit-flip into live heap or stored
+//!    checkpoint bytes. Direct physical evidence outranks every protocol
+//!    inference, and without it a silent heap flip would fall through to
+//!    the weaker reschedule heuristic (or to no verdict at all — that is
+//!    what "silent" means). The earliest flip names the culprit:
+//!    `machine:{id}` for a heap flip, `ckpt-server` for an image flip.
+//!    0b. **principle-violation** — the kernel's own audit reported an
+//!    error-scope principle breach (naive-mode delivery to the user,
+//!    the campaign oracle's negative control). The machine whose
+//!    reports tripped the most violations is named `machine:{id}`.
 //! 1. **corrupt-checkpoint** — any `CheckpointDiscarded`: the store
-//!    handed back an image that failed validation. Highest priority
-//!    because discards never happen for network or host faults.
+//!    handed back an image that failed validation. Highest *protocol*
+//!    priority because discards never happen for network or host faults.
 //! 2. **unreachable** — `LeaseExpired` and timed-out `Claim`s name a
 //!    machine nobody can talk to; the fault is the *path*, so the
 //!    culprit is `link:{id}`.
@@ -27,7 +38,9 @@
 //!
 //! `NetFaultApplied` events are the injector's own answer key, so the
 //! diff and the evidence walk both ignore them — the localizer must earn
-//! its verdict from the protocol's behavior alone.
+//! its verdict from the protocol's behavior alone. `MemFlip` is the one
+//! exception, deliberately: machine-check and ECC-scrubber logs exist on
+//! real hardware, so reading them is post-mortem practice, not cheating.
 
 use crate::chain::causal_chains;
 use crate::journey::journeys;
@@ -58,7 +71,8 @@ pub struct Localization {
     /// The named culprit — `"machine:{id}"`, `"link:{id}"`,
     /// `"ckpt-server"` — or `None` when inconclusive.
     pub culprit: Option<String>,
-    /// The fault class the evidence supports (`"corrupt-checkpoint"`,
+    /// The fault class the evidence supports (`"heap-flip"`,
+    /// `"ckpt-flip"`, `"principle-violation"`, `"corrupt-checkpoint"`,
     /// `"unreachable"`, `"faulty-machine"`, `"degraded-link"`,
     /// `"no-fault"`, `"inconclusive"`).
     pub fault_class: String,
@@ -144,6 +158,11 @@ pub fn localize(faulty: &Stream, reference: &Stream) -> Localization {
     let mut ckpt_discards: u64 = 0;
     let mut ckpt_first: Option<&EventRecord> = None;
     let mut stale: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut flips: u64 = 0;
+    let mut flip_first: Option<&EventRecord> = None;
+    let mut violations: u64 = 0;
+    let mut violation_first: Option<&EventRecord> = None;
+    let mut violation_machines: BTreeMap<u64, u64> = BTreeMap::new();
 
     fn touch(
         machines: &mut BTreeMap<u64, MachineEvidence>,
@@ -158,6 +177,17 @@ pub fn localize(faulty: &Stream, reference: &Stream) -> Localization {
 
     for r in faulty.records.iter().filter(|r| r.at_us >= div.at_us) {
         match &r.event {
+            Event::MemFlip { .. } => {
+                flips += 1;
+                flip_first.get_or_insert(r);
+            }
+            Event::Violation { machine, .. } => {
+                violations += 1;
+                violation_first.get_or_insert(r);
+                if *machine != 0 {
+                    *violation_machines.entry(*machine).or_insert(0) += 1;
+                }
+            }
             Event::CheckpointDiscarded { .. } => {
                 ckpt_discards += 1;
                 ckpt_first.get_or_insert(r);
@@ -184,7 +214,70 @@ pub fn localize(faulty: &Stream, reference: &Stream) -> Localization {
         }
     }
 
-    // 1. Corrupt checkpoints trump everything: no other fault class
+    // 0. Logged bit-flips are physical evidence and trump every protocol
+    //    inference. The earliest flip names the culprit: a heap flip
+    //    happened on the restoring machine, an image flip in the store.
+    if let Some(first) = flip_first {
+        if let Event::MemFlip {
+            job,
+            machine,
+            target,
+            bit,
+        } = &first.event
+        {
+            let (class, culprit) = if target == "ckpt-image" {
+                ("ckpt-flip", "ckpt-server".to_string())
+            } else {
+                ("heap-flip", format!("machine:{machine}"))
+            };
+            return Localization {
+                culprit: Some(culprit),
+                fault_class: class.to_string(),
+                divergence,
+                evidence: vec![format!(
+                    "{flips} logged bit-flip(s); first: job {job} on machine {machine}, \
+                     {target} bit {bit} at {:.3}s",
+                    first.at_us as f64 / 1e6
+                )],
+                score: flips,
+            };
+        }
+    }
+
+    // 0b. Kernel-reported principle violations: the schedd's own audit
+    //     logged that an error reached the wrong party (the naive mode's
+    //     signature, and the campaign oracle's negative control). The
+    //     machine whose reports tripped the most violations is named;
+    //     ties break toward the lower actor id for determinism.
+    if violations > 0 {
+        let culprit = violation_machines
+            .iter()
+            .max_by_key(|(m, n)| (**n, std::cmp::Reverse(**m)))
+            .map(|(m, _)| format!("machine:{m}"));
+        let mut evidence = vec![format!(
+            "{violations} kernel-reported principle violation(s)"
+        )];
+        if let Some(first) = violation_first {
+            if let Event::Violation {
+                principle, detail, ..
+            } = &first.event
+            {
+                evidence.push(format!(
+                    "first: P{principle} at {:.3}s: {detail}",
+                    first.at_us as f64 / 1e6
+                ));
+            }
+        }
+        return Localization {
+            culprit,
+            fault_class: "principle-violation".to_string(),
+            divergence,
+            evidence,
+            score: violations,
+        };
+    }
+
+    // 1. Corrupt checkpoints trump everything else: no other fault class
     //    produces a validation failure at restore time.
     if ckpt_discards > 0 {
         let mut evidence = vec![format!(
@@ -501,6 +594,109 @@ mod tests {
         let loc = localize(&a, &b);
         assert_eq!(loc.fault_class, "corrupt-checkpoint");
         assert_eq!(loc.culprit.as_deref(), Some("ckpt-server"));
+    }
+
+    #[test]
+    fn heap_flip_log_names_the_machine_not_the_reschedule_heuristic() {
+        // Without the scrubber log, three reschedules would blame the
+        // machine via the weak heuristic; with it the verdict is exact.
+        let mut faulty = base();
+        faulty.push((
+            9_000_000,
+            "startd:m0",
+            Event::MemFlip {
+                job: 1,
+                machine: 2,
+                target: "heap-word".into(),
+                bit: 257,
+            },
+        ));
+        faulty.push((
+            10_000_000,
+            "schedd",
+            Event::Reschedule {
+                job: 1,
+                machine: 2,
+                reason: "program exited abnormally".into(),
+            },
+        ));
+        let a = stream(faulty);
+        let b = stream(base());
+        let loc = localize(&a, &b);
+        assert_eq!(loc.fault_class, "heap-flip");
+        assert_eq!(loc.culprit.as_deref(), Some("machine:2"));
+        assert_eq!(loc.score, 1);
+        let report = render_report(&a, &loc);
+        assert!(report.contains("verdict: heap-flip (culprit: machine:2)"));
+        assert!(report.contains("heap-word bit 257"));
+    }
+
+    #[test]
+    fn ckpt_flip_log_trumps_the_discard_it_caused() {
+        // The flipped image fails validation on restore; without the log
+        // this is "corrupt-checkpoint", with it the exact class. Culprit
+        // is the store either way.
+        let mut faulty = base();
+        faulty.push((
+            8_000_000,
+            "ckpt-server",
+            Event::MemFlip {
+                job: 1,
+                machine: 9,
+                target: "ckpt-image".into(),
+                bit: 40,
+            },
+        ));
+        faulty.push((
+            9_000_000,
+            "startd:m0",
+            Event::CheckpointDiscarded {
+                job: 1,
+                machine: 2,
+                reason: "checkpoint image checksum mismatch".into(),
+            },
+        ));
+        let a = stream(faulty);
+        let b = stream(base());
+        let loc = localize(&a, &b);
+        assert_eq!(loc.fault_class, "ckpt-flip");
+        assert_eq!(loc.culprit.as_deref(), Some("ckpt-server"));
+    }
+
+    #[test]
+    fn kernel_violations_name_the_machine_behind_them() {
+        // Naive-mode streams carry no journeys or lease evidence at all;
+        // the schedd's own P3 self-reports are the only signal, and each
+        // names the machine whose report it was processing.
+        let mut faulty = base();
+        for t in [9, 10] {
+            faulty.push((
+                t * 1_000_000,
+                "schedd",
+                Event::Violation {
+                    principle: 3,
+                    machine: 2,
+                    detail: "pool-scope error delivered to user as a result".into(),
+                },
+            ));
+        }
+        faulty.push((
+            11_000_000,
+            "schedd",
+            Event::Violation {
+                principle: 3,
+                machine: 3,
+                detail: "pool-scope error delivered to user as a result".into(),
+            },
+        ));
+        let a = stream(faulty);
+        let b = stream(base());
+        let loc = localize(&a, &b);
+        assert_eq!(loc.fault_class, "principle-violation");
+        assert_eq!(loc.culprit.as_deref(), Some("machine:2"));
+        assert_eq!(loc.score, 3);
+        let report = render_report(&a, &loc);
+        assert!(report.contains("verdict: principle-violation (culprit: machine:2)"));
     }
 
     #[test]

@@ -175,6 +175,9 @@ pub enum Event<S = String> {
     Violation {
         /// Which principle (1–4).
         principle: u8,
+        /// The machine whose report exposed the breach (0 when the
+        /// violation is not attributable to one).
+        machine: u64,
         /// What happened.
         detail: String,
     },
@@ -254,6 +257,24 @@ pub enum Event<S = String> {
         /// `true` when entering the window, `false` when leaving it.
         active: bool,
     },
+    /// A memory bit-flip was injected into live state — the fault
+    /// campaign's silent-data-corruption model (a DRAM fault the scrubber
+    /// logged). Unlike [`Event::NetFaultApplied`], this is evidence a real
+    /// post-mortem could hold: hardware error logs exist, so the localizer
+    /// is allowed to read it.
+    MemFlip {
+        /// The job whose state was hit.
+        job: u64,
+        /// The actor id of the host where the flip landed (the restoring
+        /// machine for a heap flip, the checkpoint server for an image
+        /// flip).
+        machine: u64,
+        /// What was hit: `"heap-word"` (live VM heap, post-validation) or
+        /// `"ckpt-image"` (stored checkpoint bytes, pre-validation).
+        target: String,
+        /// The absolute bit index that changed within the target.
+        bit: u64,
+    },
     /// One hop of an error's journey through the layer stack.
     SpanHop {
         /// The journey this hop belongs to.
@@ -286,6 +307,7 @@ impl<S> Event<S> {
             Event::StaleEpochDropped { .. } => "stale-epoch-dropped",
             Event::BreakerStateChange { .. } => "breaker-state-change",
             Event::NetFaultApplied { .. } => "net-fault-applied",
+            Event::MemFlip { .. } => "mem-flip",
             Event::SpanHop { .. } => "span-hop",
         }
     }
@@ -347,7 +369,15 @@ impl<S> Event<S> {
                 span,
             },
             Event::IoOp { op, outcome } => Event::IoOp { op, outcome },
-            Event::Violation { principle, detail } => Event::Violation { principle, detail },
+            Event::Violation {
+                principle,
+                machine,
+                detail,
+            } => Event::Violation {
+                principle,
+                machine,
+                detail,
+            },
             Event::CheckpointTaken {
                 job,
                 machine,
@@ -397,6 +427,17 @@ impl<S> Event<S> {
             Event::NetFaultApplied { kind, link, active } => {
                 Event::NetFaultApplied { kind, link, active }
             }
+            Event::MemFlip {
+                job,
+                machine,
+                target,
+                bit,
+            } => Event::MemFlip {
+                job,
+                machine,
+                target,
+                bit,
+            },
             Event::SpanHop {
                 span,
                 layer,
@@ -486,8 +527,13 @@ impl<S> Event<S> {
                     }
                 }
             }
-            Event::Violation { principle, detail } => {
+            Event::Violation {
+                principle,
+                machine,
+                detail,
+            } => {
                 field_u64(out, "principle", u64::from(*principle));
+                field_u64(out, "machine", *machine);
                 field_str(out, "detail", detail);
             }
             Event::CheckpointTaken {
@@ -546,6 +592,17 @@ impl<S> Event<S> {
                 out.push(',');
                 json::write_key(out, "active");
                 out.push_str(if *active { "true" } else { "false" });
+            }
+            Event::MemFlip {
+                job,
+                machine,
+                target,
+                bit,
+            } => {
+                field_u64(out, "job", *job);
+                field_u64(out, "machine", *machine);
+                field_str(out, "target", target);
+                field_u64(out, "bit", *bit);
             }
             Event::SpanHop {
                 span,
@@ -656,6 +713,7 @@ impl Event {
                 Ok(Event::Violation {
                     principle: u8::try_from(p)
                         .map_err(|_| format!("principle {p} out of range"))?,
+                    machine: u("machine").unwrap_or(0),
                     detail: s("detail")?,
                 })
             }
@@ -698,6 +756,12 @@ impl Event {
                     .get("active")
                     .and_then(Json::as_bool)
                     .ok_or("net-fault-applied event missing boolean \"active\"")?,
+            }),
+            "mem-flip" => Ok(Event::MemFlip {
+                job: u("job")?,
+                machine: u("machine")?,
+                target: s("target")?,
+                bit: u("bit")?,
             }),
             "span-hop" => {
                 let action = match s("action")?.as_str() {
@@ -778,8 +842,12 @@ impl fmt::Display for Event {
                 IoOutcome::Error { code } => write!(f, "io {op} error: {code}"),
                 IoOutcome::Escaped { code } => write!(f, "io {op} escaped: {code}"),
             },
-            Event::Violation { principle, detail } => {
-                write!(f, "violation P{principle}: {detail}")
+            Event::Violation {
+                principle,
+                machine,
+                detail,
+            } => {
+                write!(f, "violation P{principle} machine={machine}: {detail}")
             }
             Event::CheckpointTaken {
                 job,
@@ -826,6 +894,12 @@ impl fmt::Display for Event {
                 "net fault {kind} link={link} {}",
                 if *active { "applied" } else { "cleared" }
             ),
+            Event::MemFlip {
+                job,
+                machine,
+                target,
+                bit,
+            } => write!(f, "mem flip job={job} machine={machine} {target} bit={bit}"),
             Event::SpanHop {
                 span,
                 layer,
@@ -906,6 +980,7 @@ mod tests {
         });
         round_trip(Event::Violation {
             principle: 1,
+            machine: 4,
             detail: "swallowed at jvm".into(),
         });
         round_trip(Event::CheckpointTaken {
@@ -949,6 +1024,18 @@ mod tests {
             kind: "loss".into(),
             link: "1-2".into(),
             active: false,
+        });
+        round_trip(Event::MemFlip {
+            job: 4,
+            machine: 2,
+            target: "heap-word".into(),
+            bit: 257,
+        });
+        round_trip(Event::MemFlip {
+            job: 9,
+            machine: 7,
+            target: "ckpt-image".into(),
+            bit: 40,
         });
         round_trip(Event::SpanHop {
             span: 7,
