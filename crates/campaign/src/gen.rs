@@ -18,8 +18,10 @@
 //!   of those three clauses the hard way: chronic-host avoidance is
 //!   permanent, so even a *bounded* loss window on the anchor's link
 //!   can blacklist the last machine and strand the queue);
-//! * crashes target only the first machine, and every other fault window
-//!   is bounded well inside the 48-hour deadline;
+//! * crashes may land on any machine *except* the anchor — the rail is
+//!   "a healthy anchor always remains", not "only the first machine may
+//!   die" — and every other fault window is bounded well inside the
+//!   48-hour deadline;
 //! * chronic-host avoidance and claim leases are always on, so black
 //!   holes and partitions become explicit, routable errors instead of
 //!   infinite retry loops.
@@ -314,10 +316,13 @@ pub fn generate(seed: u64) -> Campaign {
         });
     }
 
-    // Crashes hit only the first machine, so the anchor always survives;
-    // an unbounded crash is legal there for the same reason.
+    // Crashes may hit any non-anchor machine (the same eligibility set
+    // as the net faults): the liveness rail is that *some* healthy
+    // anchor survives, not that only the first machine may die. An
+    // unbounded crash stays legal anywhere in the set for the same
+    // reason — the anchor outlives it.
     let crash = rng.chance(35).then(|| CrashPlan {
-        machine: PB::FIRST_MACHINE_ID,
+        machine: eligible[rng.below(eligible.len() as u64) as usize],
         from_s: 200 + rng.below(1800),
         len_s: (!rng.chance(30)).then(|| 600 + rng.below(1800)),
     });
@@ -548,6 +553,204 @@ pub fn negative_control_pool(seed: u64, faulty: bool) -> PoolBuilder {
         .without_trace()
 }
 
+/// Which remote-pool fault a [`FlockCampaign`] window injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlockFaultKind {
+    /// The remote pool's matchmaker crashes: flock probes must time out
+    /// into explicit `unreachable` pool faults, never hang.
+    MatchmakerCrash,
+    /// The inter-pool link partitions — the schedd loses the remote
+    /// matchmaker *and* its machines at once, mid-flock.
+    Partition,
+    /// The remote pool's machines revoke flocked claims at activation:
+    /// the visiting job is bounced back with an explicit revocation.
+    Revocation,
+}
+
+impl FlockFaultKind {
+    fn name(self) -> &'static str {
+        match self {
+            FlockFaultKind::MatchmakerCrash => "matchmaker-crash",
+            FlockFaultKind::Partition => "partition",
+            FlockFaultKind::Revocation => "revocation",
+        }
+    }
+}
+
+/// One timed fault against a remote pool in a [`FlockCampaign`].
+#[derive(Debug, Clone)]
+pub struct FlockFaultPlan {
+    /// What goes wrong.
+    pub kind: FlockFaultKind,
+    /// The victim pool (never the home pool, never the anchor pool).
+    pub pool: u64,
+    /// Onset, seconds.
+    pub from_s: u64,
+    /// Duration, seconds (always bounded).
+    pub len_s: u64,
+}
+
+/// A fully-sampled federation campaign: pool topology, queue, and the
+/// remote-pool fault schedule. The liveness rail generalizes the
+/// single-pool anchor: the *last* pool is the anchor pool — never a
+/// fault target — so some pool always retains healthy, reachable
+/// machines and P4 stays meaningful.
+#[derive(Debug, Clone)]
+pub struct FlockCampaign {
+    /// The generator seed (also the federation seed).
+    pub seed: u64,
+    /// Machines per pool; index 0 is the home pool (kept small or empty
+    /// so flocking actually happens), the last pool is the anchor.
+    pub pools: Vec<usize>,
+    /// Nominal execution time of each job, seconds (queue ids are
+    /// `1..=jobs.len()`).
+    pub jobs: Vec<u64>,
+    /// The remote-pool fault schedule.
+    pub faults: Vec<FlockFaultPlan>,
+}
+
+/// Sample the federation campaign for `seed`. Pure: same seed, same
+/// campaign.
+pub fn generate_flock(seed: u64) -> FlockCampaign {
+    let mut rng = Rng::new(seed);
+    let n_pools = 3 + rng.below(3) as usize;
+    let mut pools = Vec::with_capacity(n_pools);
+    // A starved home pool: zero or one machine, so most of the queue
+    // must flock.
+    pools.push(rng.below(2) as usize);
+    for _ in 1..n_pools {
+        pools.push(1 + rng.below(2) as usize);
+    }
+    let jobs = (0..2 + rng.below(4)).map(|_| 30 + rng.below(90)).collect();
+    // Fault targets exclude pool 0 (home: faults there are just the
+    // saturation flocking already exercises) and the anchor pool.
+    let targets = (n_pools - 2) as u64;
+    let faults = (0..1 + rng.below(2))
+        .map(|_| {
+            let kind = match rng.below(3) {
+                0 => FlockFaultKind::MatchmakerCrash,
+                1 => FlockFaultKind::Partition,
+                _ => FlockFaultKind::Revocation,
+            };
+            FlockFaultPlan {
+                kind,
+                pool: 1 + rng.below(targets),
+                from_s: rng.below(300),
+                len_s: 300 + rng.below(1200),
+            }
+        })
+        .collect();
+    FlockCampaign {
+        seed,
+        pools,
+        jobs,
+        faults,
+    }
+}
+
+impl FlockCampaign {
+    /// The machine actor ids of `pool`, mirroring
+    /// [`FederationBuilder`]'s deterministic layout (matchmaker `p` at
+    /// actor `p`, schedd after the matchmakers, machines after the
+    /// schedd grouped by pool).
+    fn machine_ids(&self, pool: u64) -> Vec<usize> {
+        let mut next = self.pools.len() + 1;
+        for (p, &n) in self.pools.iter().enumerate() {
+            if p as u64 == pool {
+                return (next..next + n).collect();
+            }
+            next += n;
+        }
+        Vec::new()
+    }
+
+    /// The campaign's fault schedule as an (unbuilt) [`FaultPlan`].
+    pub fn fault_plan(&self) -> FaultPlan {
+        let mut plan = FaultPlan::none();
+        let schedd = self.pools.len();
+        for f in &self.faults {
+            let window = Window::new(
+                SimTime::from_secs(f.from_s),
+                SimTime::from_secs(f.from_s + f.len_s),
+            );
+            match f.kind {
+                FlockFaultKind::MatchmakerCrash => {
+                    plan = plan.crash(f.pool as usize, window);
+                }
+                FlockFaultKind::Partition => {
+                    let mut far = vec![f.pool as usize];
+                    far.extend(self.machine_ids(f.pool));
+                    plan = plan.net_partition([schedd], far, window);
+                }
+                FlockFaultKind::Revocation => {
+                    for m in self.machine_ids(f.pool) {
+                        plan = plan.flock_revocation(m, window);
+                    }
+                }
+            }
+        }
+        plan
+    }
+
+    /// The federation for this campaign. `faulty = false` builds the
+    /// identical topology with the fault schedule removed — the
+    /// reference stream for the post-mortem localizer.
+    pub fn build(&self, faulty: bool) -> FederationBuilder {
+        let mut b = FederationBuilder::new(self.seed);
+        for (p, &n) in self.pools.iter().enumerate() {
+            b = b.pool((0..n).map(|i| MachineSpec::healthy(&format!("p{p}m{i}"), 256)));
+        }
+        let plan = if faulty {
+            self.fault_plan()
+        } else {
+            FaultPlan::none()
+        };
+        b.jobs(self.jobs.iter().enumerate().map(|(i, &exec)| {
+            JobSpec::java(
+                i as u32 + 1,
+                "ada",
+                programs::completes_main(),
+                JavaMode::Scoped,
+            )
+            .with_exec_time(SimDuration::from_secs(exec))
+        }))
+        .schedd_policy(ScheddPolicy {
+            max_attempts: 60,
+            ..ScheddPolicy::default()
+        })
+        .patience(SimDuration::from_secs(30))
+        .faults(plan)
+        .without_trace()
+    }
+
+    /// Run the campaign (or its fault-free reference) to the deadline.
+    pub fn run(&self, faulty: bool) -> FlockReport {
+        self.build(faulty).run(deadline())
+    }
+
+    /// Stable, line-oriented determinism witness (same contract as
+    /// [`Campaign::describe`]).
+    pub fn describe(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "flock-campaign seed={} pools={:?} jobs={:?}",
+            self.seed, self.pools, self.jobs
+        );
+        for f in &self.faults {
+            let _ = writeln!(
+                out,
+                "  fault {} pool={} [{}s, {}s)",
+                f.kind.name(),
+                f.pool,
+                f.from_s,
+                f.from_s + f.len_s
+            );
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -577,12 +780,12 @@ mod tests {
                 .try_build()
                 .unwrap_or_else(|e| panic!("seed {seed}: generator built a bad plan: {e}"));
             assert!(!c.jobs.is_empty(), "seed {seed}: empty queue");
-            // The liveness rails: crashes only ever hit the first
-            // machine, and no net fault touches the anchor's link.
-            if let Some(crash) = &c.crash {
-                assert_eq!(crash.machine, PB::FIRST_MACHINE_ID);
-            }
+            // The liveness rails: neither a crash window nor a net fault
+            // ever touches the anchor — a healthy anchor always remains.
             let anchor = PB::FIRST_MACHINE_ID + c.machines - 1;
+            if let Some(crash) = &c.crash {
+                assert_ne!(crash.machine, anchor, "seed {seed}: crash on the anchor");
+            }
             for n in &c.net {
                 assert_ne!(n.machine, anchor, "seed {seed}: net fault on the anchor");
             }
@@ -602,6 +805,57 @@ mod tests {
         assert!(
             violations.is_empty(),
             "oracle fired on a correct kernel: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn flock_generation_is_deterministic() {
+        for seed in [0, 1, 9, 0xFEED_FACE, u64::MAX] {
+            assert_eq!(
+                generate_flock(seed).describe(),
+                generate_flock(seed).describe()
+            );
+        }
+        let a = generate_flock(300).describe();
+        assert!((301..340).any(|s| generate_flock(s).describe() != a));
+    }
+
+    #[test]
+    fn every_flock_plan_validates_and_spares_the_anchor_pool() {
+        for seed in 0..100 {
+            let c = generate_flock(seed);
+            c.fault_plan()
+                .try_build()
+                .unwrap_or_else(|e| panic!("seed {seed}: generator built a bad plan: {e}"));
+            assert!(!c.jobs.is_empty(), "seed {seed}: empty queue");
+            assert!(!c.faults.is_empty(), "seed {seed}: nothing injected");
+            // The federated liveness rail: the last pool is the anchor —
+            // it has machines and no fault window ever targets it (or
+            // the home pool, whose starvation is the point).
+            let anchor = c.pools.len() as u64 - 1;
+            assert!(c.pools[anchor as usize] >= 1, "seed {seed}: empty anchor");
+            for f in &c.faults {
+                assert!(
+                    f.pool >= 1 && f.pool < anchor,
+                    "seed {seed}: fault on pool {} (anchor {anchor})",
+                    f.pool
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn a_sampled_flock_campaign_runs_clean_through_the_oracle() {
+        let c = generate_flock(5);
+        let report = c.run(true);
+        assert!(report.quiescent, "unfinished: {:?}", report.unfinished());
+        let stream = Stream::from_collector(&report.telemetry).unwrap();
+        let summary = RunSummary::of_flock(&report);
+        let violations = check(&stream, &summary);
+        assert!(
+            violations.is_empty(),
+            "oracle fired on a correct federation: {violations:?}\n{}",
+            c.describe()
         );
     }
 

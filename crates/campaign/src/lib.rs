@@ -38,7 +38,8 @@ pub mod oracle;
 pub mod sdc;
 
 pub use gen::{
-    generate, Campaign, CrashPlan, FlipPlan, JobPlan, NetKind, NetPlan, Program, RogueKind,
+    generate, generate_flock, Campaign, CrashPlan, FlipPlan, FlockCampaign, FlockFaultKind,
+    FlockFaultPlan, JobPlan, NetKind, NetPlan, Program, RogueKind,
 };
 pub use oracle::{check, postmortem, RunSummary, Violation};
 pub use sdc::{flip_stats, FlipStats};

@@ -75,6 +75,15 @@ impl RunSummary {
             unfinished,
         }
     }
+
+    /// Summarize a federation run: same P4 contract, sourced from the
+    /// flocking schedd's report.
+    pub fn of_flock(report: &condor::FlockReport) -> RunSummary {
+        RunSummary {
+            quiescent: report.quiescent,
+            unfinished: report.unfinished(),
+        }
+    }
 }
 
 /// Check every invariant over `stream` and `summary`; an empty result is
@@ -232,6 +241,93 @@ mod tests {
             action,
             scope: scope.to_string(),
         }
+    }
+
+    #[test]
+    fn a_lawful_pool_journey_passes() {
+        // The flocking journey: a network-scope error raised in the
+        // shadow, widened to pool scope by the schedd (lawful: network ⊂
+        // pool), handled there (the schedd manages pool scope), with the
+        // scope-correct escalate-to-human ruling.
+        let s = stream(vec![
+            hop(9, "shadow", SpanAction::Raised, "network"),
+            hop(
+                9,
+                "schedd",
+                SpanAction::Widened {
+                    from: "network".to_string(),
+                },
+                "pool",
+            ),
+            hop(9, "schedd", SpanAction::Handled, "pool"),
+            Event::Disposition {
+                job: 1,
+                disposition: "escalate-to-human".to_string(),
+                scope: "pool".to_string(),
+                span: 9,
+            },
+        ]);
+        let v = check(&s, &quiescent());
+        assert!(v.is_empty(), "lawful pool journey flagged: {v:?}");
+    }
+
+    #[test]
+    fn a_swallowed_pool_escape_is_a_p1_violation() {
+        // The mutation seed's signature: the schedd converts the remote
+        // pool's explicit escape into an implicit error instead of
+        // widening it. P1 must fire.
+        let s = stream(vec![
+            hop(9, "shadow", SpanAction::Raised, "network"),
+            hop(9, "schedd", SpanAction::Swallowed, "network"),
+        ]);
+        let v = check(&s, &quiescent());
+        assert!(
+            v.iter().any(|v| v.principle == 1),
+            "swallowed pool escape must trip P1: {v:?}"
+        );
+    }
+
+    #[test]
+    fn the_buggy_flocking_schedd_is_flagged_by_the_oracle() {
+        // End to end: a federation whose schedd carries the deliberate
+        // escape-swallowing mutation (test-only flag), driven into a
+        // saturation denial. The machine-checked oracle must flag the
+        // swallow as a P1 breach; the same world without the mutation
+        // must pass clean — the differential that proves the oracle can
+        // tell the two kernels apart.
+        use condor::prelude::*;
+        use desim::{SimDuration, SimTime};
+        let run = |buggy: bool| {
+            let mut b = FederationBuilder::new(71)
+                .pool([])
+                .pool([])
+                .pool([MachineSpec::healthy("r2", 256)])
+                .job(
+                    condor::JobSpec::java(
+                        1,
+                        "ada",
+                        gridvm::programs::completes_main(),
+                        condor::JavaMode::Scoped,
+                    )
+                    .with_exec_time(SimDuration::from_secs(30)),
+                );
+            if buggy {
+                b = b.swallow_escapes();
+            }
+            let report = b.run(SimTime::from_secs(3600));
+            let stream = Stream::from_collector(&report.telemetry).unwrap();
+            let summary = RunSummary::of_flock(&report);
+            check(&stream, &summary)
+        };
+        let violations = run(true);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.principle == 1 && v.detail.contains("swallow")),
+            "mutated schedd must trip P1: {violations:?}"
+        );
+        let clean = run(false);
+        assert!(clean.is_empty(), "correct schedd flagged: {clean:?}");
     }
 
     #[test]

@@ -73,6 +73,12 @@ struct OwnerBusy {
     window: Window,
 }
 
+#[derive(Debug, Clone)]
+struct FlockRevocation {
+    machine: usize,
+    window: Window,
+}
+
 /// What a timed network fault does to the fabric while its window is open.
 /// Hosts are named by actor id ([`desim::net::HostId`]).
 #[derive(Debug, Clone, PartialEq)]
@@ -164,6 +170,11 @@ pub fn culprit_link(id: usize) -> String {
     format!("link:{id}")
 }
 
+/// The culprit name for a faulty remote pool (by pool id).
+pub fn culprit_pool(id: u64) -> String {
+    format!("pool:{id}")
+}
+
 /// The culprit name for corrupted checkpoint storage.
 pub const CULPRIT_CKPT_SERVER: &str = "ckpt-server";
 
@@ -222,6 +233,7 @@ pub struct FaultPlan {
     fs_faults: Vec<FsFault>,
     crashes: Vec<MachineCrash>,
     owner_busy: Vec<OwnerBusy>,
+    flock_revocations: Vec<FlockRevocation>,
     net_faults: Vec<TimedNetFault>,
     heap_flips: Vec<(JobId, u64)>,
     ckpt_flips: Vec<JobId>,
@@ -258,6 +270,17 @@ impl FaultPlan {
     /// checkpointing (§2.1, Standard Universe) exists to survive.
     pub fn owner_activity(mut self, machine: usize, window: Window) -> FaultPlan {
         self.owner_busy.push(OwnerBusy { machine, window });
+        self
+    }
+
+    /// During `window`, `machine` (a remote pool's startd) revokes any
+    /// flocked claim at activation time — the remote administrator
+    /// reclaims the machine just as the visiting job arrives. The schedd
+    /// must convert the revocation into an explicit pool-scope error and
+    /// fall back to its home queue.
+    pub fn flock_revocation(mut self, machine: usize, window: Window) -> FaultPlan {
+        self.flock_revocations
+            .push(FlockRevocation { machine, window });
         self
     }
 
@@ -410,6 +433,12 @@ impl FaultPlan {
         for o in &self.owner_busy {
             out.push((format!("owner activity on machine {}", o.machine), o.window));
         }
+        for r in &self.flock_revocations {
+            out.push((
+                format!("flock revocation on machine {}", r.machine),
+                r.window,
+            ));
+        }
         for n in &self.net_faults {
             out.push((format!("net {}", n.fault.kind()), n.window));
         }
@@ -529,6 +558,13 @@ impl FaultPlan {
         self.crashes
             .iter()
             .any(|c| c.machine == machine && c.window.overlaps(start, end))
+    }
+
+    /// Does `machine` revoke flocked claims at instant `t`?
+    pub fn flock_revoked_at(&self, machine: usize, t: SimTime) -> bool {
+        self.flock_revocations
+            .iter()
+            .any(|r| r.machine == machine && r.window.contains(t))
     }
 
     /// Is the owner using `machine` at instant `t`?
@@ -829,6 +865,28 @@ mod tests {
             .collect();
         assert_eq!(kinds, vec!["ckpt-flip", "ckpt-flip"]);
         assert_eq!(plan.accepted_culprits(), vec![CULPRIT_CKPT_SERVER]);
+    }
+
+    #[test]
+    fn flock_revocation_windows() {
+        let plan = FaultPlan::none()
+            .flock_revocation(7, Window::new(t(100), t(200)))
+            .build();
+        assert!(!plan.flock_revoked_at(7, t(99)));
+        assert!(plan.flock_revoked_at(7, t(100)));
+        assert!(plan.flock_revoked_at(7, t(199)));
+        assert!(!plan.flock_revoked_at(7, t(200)));
+        assert!(!plan.flock_revoked_at(8, t(150)));
+        assert_eq!(culprit_pool(3), "pool:3");
+        // Revocation windows are validated like every other entry.
+        let bad = Window {
+            from: t(20),
+            to: t(10),
+        };
+        assert!(FaultPlan::none()
+            .flock_revocation(7, bad)
+            .try_build()
+            .is_err());
     }
 
     #[test]

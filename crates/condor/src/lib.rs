@@ -18,6 +18,9 @@
 //! * [`health`] — adaptive retry (exponential backoff with deterministic
 //!   jitter) and per-machine circuit breakers.
 //! * [`pool`] — one-stop pool assembly and run reports.
+//! * [`flock`] — federated pools: one schedd flocking to remote
+//!   matchmakers, with every cross-pool failure an explicit pool-scope
+//!   error.
 //! * [`metrics`] — the quantities the experiments report.
 //! * [`telemetry`] — error-journey span plumbing over the `obs` layer.
 //!
@@ -44,6 +47,7 @@
 
 pub mod ckptserver;
 pub mod faults;
+pub mod flock;
 pub mod health;
 pub mod job;
 pub mod machine;
@@ -58,9 +62,10 @@ pub mod telemetry;
 
 pub use ckptserver::{CkptServer, CkptServerStats};
 pub use faults::{
-    culprit_link, culprit_machine, FaultLabel, FaultPlan, NetFault, PlanError, TimedNetFault,
-    Window, CULPRIT_CKPT_SERVER, OVERLAP_WARNING,
+    culprit_link, culprit_machine, culprit_pool, FaultLabel, FaultPlan, NetFault, PlanError,
+    TimedNetFault, Window, CULPRIT_CKPT_SERVER, OVERLAP_WARNING,
 };
+pub use flock::{FederationBuilder, FlockReport};
 pub use health::{BreakerPolicy, BreakerState, CircuitBreaker, RetryPolicy};
 pub use job::{Attempt, JavaMode, JobId, JobRecord, JobSpec, JobState, Universe};
 pub use machine::MachineSpec;
@@ -71,17 +76,18 @@ pub use msg::{
 };
 pub use netdriver::NetFaultDriver;
 pub use pool::{PoolBuilder, RunReport};
-pub use schedd::{Schedd, ScheddPolicy, UserEvent};
+pub use schedd::{FlockConfig, FlockTarget, Schedd, ScheddPolicy, UserEvent};
 pub use startd::{Startd, StartdPolicy};
 
 /// Convenient glob import.
 pub mod prelude {
     pub use crate::faults::{FaultLabel, FaultPlan, Window};
+    pub use crate::flock::{FederationBuilder, FlockReport};
     pub use crate::health::{BreakerPolicy, RetryPolicy};
     pub use crate::job::{JavaMode, JobSpec, JobState, Universe};
     pub use crate::machine::MachineSpec;
     pub use crate::msg::LeaseInfo;
     pub use crate::pool::{PoolBuilder, RunReport};
-    pub use crate::schedd::{ScheddPolicy, UserEvent};
+    pub use crate::schedd::{FlockConfig, FlockTarget, ScheddPolicy, UserEvent};
     pub use crate::startd::StartdPolicy;
 }

@@ -31,6 +31,7 @@
 //! from every bucket, and consumed ads leave the index the moment a match
 //! notification fires.
 
+use crate::faults::FaultPlan;
 use crate::msg::Msg;
 use classads::ast::{AttrScope, BinOp, Expr};
 use classads::compile::{symmetric_match_compiled, CompiledAd, Scratch};
@@ -38,6 +39,7 @@ use classads::ClassAd;
 use classads::Value;
 use desim::prelude::*;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
 
 /// How often the matchmaker runs a negotiation cycle.
 pub const NEGOTIATE_PERIOD: SimDuration = SimDuration::from_secs(10);
@@ -676,10 +678,19 @@ impl MatchEngine {
 /// protocol.
 pub struct Matchmaker {
     engine: MatchEngine,
+    /// The pool this matchmaker serves; stamped on every match
+    /// notification and flock grant. Defaults to 0 (the home pool).
+    pool_id: u64,
+    /// The fault plan, consulted for matchmaker-down windows (the
+    /// matchmaker is an actor; [`FaultPlan::crash`] on its id silences
+    /// it). `None` means never down.
+    plan: Option<Arc<FaultPlan>>,
     /// Total matches produced.
     pub matches_made: u64,
     /// Negotiation cycles run.
     pub cycles: u64,
+    /// Flock requests granted.
+    pub flock_grants: u64,
 }
 
 impl Matchmaker {
@@ -687,14 +698,37 @@ impl Matchmaker {
     pub fn new() -> Matchmaker {
         Matchmaker {
             engine: MatchEngine::new(),
+            pool_id: 0,
+            plan: None,
             matches_made: 0,
             cycles: 0,
+            flock_grants: 0,
         }
+    }
+
+    /// Serve pool `pool_id` instead of the default pool 0.
+    pub fn with_pool(mut self, pool_id: u64) -> Matchmaker {
+        self.pool_id = pool_id;
+        self
+    }
+
+    /// Consult `plan` for crash windows scheduled against this
+    /// matchmaker's actor id: while crashed, every inbound ad and flock
+    /// request is dropped silently.
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Matchmaker {
+        self.plan = Some(plan);
+        self
     }
 
     /// The engine's counters.
     pub fn stats(&self) -> &MatchmakerStats {
         &self.engine.stats
+    }
+
+    fn down(&self, self_id: ActorId, now: SimTime) -> bool {
+        self.plan
+            .as_ref()
+            .is_some_and(|p| p.crashed_at(self_id, now))
     }
 }
 
@@ -714,12 +748,33 @@ impl Actor<Msg> for Matchmaker {
     }
 
     fn on_message(&mut self, from: ActorId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+        // A crashed matchmaker is silent: ads and flock requests vanish
+        // into it, and negotiation halts until the window closes. The
+        // timer keeps re-arming so it wakes up when the crash ends.
+        if self.down(ctx.self_id, ctx.now) {
+            if let Msg::NegotiateTick = msg {
+                ctx.send_self_after(NEGOTIATE_PERIOD, Msg::NegotiateTick);
+            }
+            return;
+        }
         match msg {
             Msg::MachineAd { ad } => {
                 self.engine.insert_machine(from, *ad, ctx.now);
             }
             Msg::JobAd { job, ad } => {
                 self.engine.insert_job(from, job, *ad);
+            }
+            Msg::FlockRequest { .. } => {
+                // Grant with the current machine-ad count: zero is an
+                // explicit saturation denial, never silence.
+                self.flock_grants += 1;
+                ctx.send_net(
+                    from,
+                    Msg::FlockGrant {
+                        pool: self.pool_id,
+                        free: self.engine.machine_count() as u64,
+                    },
+                );
             }
             Msg::NegotiateTick => {
                 self.cycles += 1;
@@ -737,7 +792,14 @@ impl Actor<Msg> for Matchmaker {
                         job: u64::from(job),
                         machine: machine as u64,
                     });
-                    ctx.send_net(schedd, Msg::MatchNotify { job, machine });
+                    ctx.send_net(
+                        schedd,
+                        Msg::MatchNotify {
+                            job,
+                            machine,
+                            pool: self.pool_id,
+                        },
+                    );
                 }
                 ctx.send_self_after(NEGOTIATE_PERIOD, Msg::NegotiateTick);
             }
@@ -801,7 +863,7 @@ mod tests {
             ctx.send_after(self.delay, self.mm, msg);
         }
         fn on_message(&mut self, _f: ActorId, msg: Msg, _c: &mut Context<'_, Msg>) {
-            if let Msg::MatchNotify { job, machine } = msg {
+            if let Msg::MatchNotify { job, machine, .. } = msg {
                 self.notified.push((job, machine));
             }
         }

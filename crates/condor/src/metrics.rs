@@ -47,6 +47,12 @@ pub struct Metrics {
     pub stale_epochs_dropped: u64,
     /// Times a per-machine circuit breaker tripped open.
     pub breaker_opens: u64,
+    /// Times the schedd escalated an idle job to a remote pool (flocking).
+    pub flock_escalations: u64,
+    /// Remote-pool failures converted into explicit pool-scope errors
+    /// (saturation, unreachable matchmaker, revoked or silent flock
+    /// claims). Each one is a fault that, unscoped, would have hung a job.
+    pub flock_faults: u64,
     /// Jobs evicted by owner activity.
     pub evictions: u64,
     /// Execution time preserved by checkpoints across evictions
@@ -140,6 +146,8 @@ impl Metrics {
             ("leases_expired", self.leases_expired),
             ("stale_epochs_dropped", self.stale_epochs_dropped),
             ("breaker_opens", self.breaker_opens),
+            ("flock_escalations", self.flock_escalations),
+            ("flock_faults", self.flock_faults),
             ("evictions", self.evictions),
             ("checkpointed_work_us", self.checkpointed_work.as_micros()),
             (

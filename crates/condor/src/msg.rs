@@ -70,6 +70,10 @@ pub struct Activation {
     pub epoch: u64,
     /// The lease terms, when leasing is enabled.
     pub lease: Option<LeaseInfo>,
+    /// The pool the schedd believes the claimed machine belongs to. A
+    /// startd in a different pool refuses the activation — a stale flock
+    /// claim can never activate across pool boundaries.
+    pub pool: u64,
 }
 
 /// A checkpoint the starter stored on the checkpoint server during this
@@ -238,6 +242,32 @@ pub enum Msg {
         job: JobId,
         /// The matched machine (startd actor id).
         machine: usize,
+        /// The pool the notifying matchmaker serves. The schedd stamps
+        /// the claim (and its `pool:{id}` attribution) with this.
+        pool: u64,
+    },
+
+    // ---- flocking (federated pools, §6) ----
+    /// A schedd asks a remote pool's matchmaker whether it will accept
+    /// flocked job ads. Doubles as the circuit breaker's half-open probe.
+    FlockRequest {
+        /// The pool id the schedd believes it is addressing.
+        pool: u64,
+    },
+    /// A matchmaker grants (or effectively denies, with `free == 0`) a
+    /// flock request.
+    FlockGrant {
+        /// The granting matchmaker's pool id.
+        pool: u64,
+        /// How many machine ads it currently holds. Zero means the pool
+        /// is saturated — an explicit pool-scope denial, not silence.
+        free: u64,
+    },
+    /// No [`Msg::FlockGrant`] arrived in time (schedd self-timer): the
+    /// remote matchmaker is unreachable.
+    FlockTimeout {
+        /// The pool that went silent.
+        pool: u64,
     },
 
     // ---- claiming (Figure 1: "Claiming Protocol") ----
@@ -252,6 +282,9 @@ pub enum Msg {
         /// The claim epoch this request opens. Every later message about
         /// the claim carries it; stale epochs are fenced.
         epoch: u64,
+        /// The pool the schedd believes the machine belongs to; the
+        /// startd rejects a mismatch.
+        pool: u64,
     },
     /// The startd accepts the claim.
     ClaimAccept {
@@ -274,6 +307,16 @@ pub enum Msg {
     ReleaseClaim {
         /// Which job.
         job: JobId,
+    },
+    /// A remote pool's startd revoked a flocked claim at activation time
+    /// (the remote administrator reclaimed the machine). The schedd
+    /// converts this into an explicit pool-scope error and falls back to
+    /// the home queue.
+    ClaimRevoked {
+        /// Which job.
+        job: JobId,
+        /// The epoch of the revoked claim.
+        epoch: u64,
     },
 
     // ---- shadow/starter (Figure 1: "Control Protocol") ----

@@ -87,6 +87,75 @@ impl Default for ScheddPolicy {
     }
 }
 
+/// One remote pool a flocking schedd may negotiate with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlockTarget {
+    /// The remote pool's id.
+    pub pool: u64,
+    /// The remote pool's matchmaker (actor id).
+    pub matchmaker: usize,
+}
+
+/// Flocking (§6): when the home pool cannot place a job, the schedd
+/// negotiates with remote pools in the configured order. Every remote
+/// interaction is wrapped in the robustness stack — a saturated pool, an
+/// unreachable matchmaker, or a partition mid-flock becomes an explicit
+/// pool-scope error, never a hang, and the job falls back to the home
+/// queue still schedulable.
+#[derive(Debug, Clone)]
+pub struct FlockConfig {
+    /// The home pool's id; machines without a recorded pool are assumed
+    /// to belong here.
+    pub home_pool: u64,
+    /// Remote pools, tried in preference order.
+    pub pools: Vec<FlockTarget>,
+    /// How long a job may sit idle before the schedd escalates to a
+    /// remote pool.
+    pub patience: SimDuration,
+    /// How long to wait for a [`Msg::FlockGrant`] before declaring the
+    /// remote matchmaker unreachable.
+    pub probe_timeout: SimDuration,
+    /// How long a denial (or failure) parks a pool before re-probing.
+    pub denial_delay: SimDuration,
+    /// Per-remote-pool circuit breaker policy.
+    pub breaker: BreakerPolicy,
+    /// **Test-only mutation seed.** A schedd built with this flag is
+    /// deliberately buggy: it swallows remote-pool escapes instead of
+    /// widening them to pool scope, exactly the Principle-1 breach the
+    /// campaign oracle must flag. Never set outside tests.
+    pub swallow_escapes: bool,
+}
+
+impl Default for FlockConfig {
+    fn default() -> Self {
+        FlockConfig {
+            home_pool: 0,
+            pools: Vec::new(),
+            patience: SimDuration::from_secs(30),
+            probe_timeout: SimDuration::from_secs(10),
+            denial_delay: SimDuration::from_secs(30),
+            breaker: BreakerPolicy::default(),
+            swallow_escapes: false,
+        }
+    }
+}
+
+/// Where the schedd stands with one remote pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlockState {
+    /// Never probed (or demoted after a failure and due for a re-probe).
+    Unprobed,
+    /// A [`Msg::FlockRequest`] is in flight; its timeout is armed.
+    Probing,
+    /// The pool accepted flocked ads; job ads flow there each tick.
+    Granted,
+    /// Denied or failed at `at`; re-probe after the denial delay.
+    Denied {
+        /// When the denial/failure was recorded.
+        at: SimTime,
+    },
+}
+
 /// One line of the user's view of the queue.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UserEvent {
@@ -116,6 +185,19 @@ pub struct Schedd {
     pub metrics: Metrics,
     /// What the user saw, in order.
     pub user_log: Vec<UserEvent>,
+    /// Flocking configuration; `None` keeps the schedd home-pool only.
+    flock: Option<FlockConfig>,
+    /// Per-remote-pool circuit breakers (pool id → breaker).
+    pub pool_breakers: BTreeMap<u64, CircuitBreaker>,
+    /// Where the schedd stands with each remote pool.
+    flock_states: BTreeMap<u64, FlockState>,
+    /// The job whose starvation drove the outstanding probe of each pool.
+    flock_probe_job: BTreeMap<u64, JobId>,
+    /// When each currently-idle job first went idle.
+    first_idle: BTreeMap<JobId, SimTime>,
+    /// Which pool each matched machine belongs to, learned from
+    /// [`Msg::MatchNotify`]. Claims and activations are stamped with it.
+    pub machine_pool: BTreeMap<usize, u64>,
     self_id: usize,
 }
 
@@ -132,8 +214,20 @@ impl Schedd {
             breakers: BTreeMap::new(),
             metrics: Metrics::default(),
             user_log: Vec::new(),
+            flock: None,
+            pool_breakers: BTreeMap::new(),
+            flock_states: BTreeMap::new(),
+            flock_probe_job: BTreeMap::new(),
+            first_idle: BTreeMap::new(),
+            machine_pool: BTreeMap::new(),
             self_id: usize::MAX,
         }
+    }
+
+    /// Enable flocking to the remote pools named in `cfg`.
+    pub fn with_flock(mut self, cfg: FlockConfig) -> Schedd {
+        self.flock = Some(cfg);
+        self
     }
 
     /// Submit a job before the world starts.
@@ -323,7 +417,18 @@ impl Actor<Msg> for Schedd {
                     .filter(|j| matches!(j.state, JobState::Idle))
                     .map(|j| (j.spec.id, Self::ad_excluding(&j.spec, &avoided)))
                     .collect();
+                self.note_idle_jobs(ctx.now);
+                let remotes = self.granted_matchmakers(ctx.now);
                 for (job, ad) in ads {
+                    for &mm in &remotes {
+                        ctx.send_net(
+                            mm,
+                            Msg::JobAd {
+                                job,
+                                ad: Box::new(ad.clone()),
+                            },
+                        );
+                    }
                     ctx.send_net(
                         self.matchmaker,
                         Msg::JobAd {
@@ -332,10 +437,12 @@ impl Actor<Msg> for Schedd {
                         },
                     );
                 }
+                self.maybe_flock(ctx);
                 ctx.send_self_after(ADVERTISE_PERIOD, Msg::AdvertiseTick);
             }
 
-            Msg::MatchNotify { job, machine } => {
+            Msg::MatchNotify { job, machine, pool } => {
+                self.machine_pool.insert(machine, pool);
                 let avoided = self.is_avoided(machine);
                 let breaker_open = self
                     .breakers
@@ -375,6 +482,7 @@ impl Actor<Msg> for Schedd {
                         job,
                         ad: Box::new(ad),
                         epoch,
+                        pool,
                     },
                 );
                 ctx.send_self_after(
@@ -440,6 +548,7 @@ impl Actor<Msg> for Schedd {
                 let resuming = resume.is_some();
                 let epoch = rec.epoch;
                 let snapshot = self.snapshot_for(&spec);
+                let pool = self.machine_pool.get(&machine).copied().unwrap_or(0);
                 ctx.trace_with(|| format!("shadow activating job {job} on machine {machine}"));
                 ctx.emit(obs::Event::Dispatch {
                     job: u64::from(job),
@@ -459,6 +568,7 @@ impl Actor<Msg> for Schedd {
                         resume,
                         epoch,
                         lease: self.policy.lease,
+                        pool,
                     })),
                 );
                 // The lease: the shadow expects heartbeats from the
@@ -524,6 +634,16 @@ impl Actor<Msg> for Schedd {
                     // A silent claim is a machine-scope signal: feed the
                     // breaker and back off instead of hammering the link.
                     self.machine_failure(machine, ctx);
+                    // On a flocked machine the silence sits on an inter-pool
+                    // link: surface it at pool scope too.
+                    self.note_remote_fault(
+                        job,
+                        machine,
+                        "claim",
+                        "FlockClaimSilent",
+                        format!("flocked claim for job {job} timed out on machine {machine}"),
+                        ctx,
+                    );
                     let delay = self.backoff_delay(job, ctx);
                     ctx.send_self_after(delay, Msg::RetryJob { job });
                 }
@@ -599,6 +719,14 @@ impl Actor<Msg> for Schedd {
                 self.metrics.wasted_cpu += exec_time;
                 *self.chronic.entry(machine).or_insert(0) += 1;
                 self.machine_failure(machine, ctx);
+                self.note_remote_fault(
+                    job,
+                    machine,
+                    "claim",
+                    "FlockClaimVanished",
+                    format!("flocked job {job} vanished on remote machine {machine}"),
+                    ctx,
+                );
                 let delay = self.backoff_delay(job, ctx);
                 self.reschedule_or_hold(job, delay, ctx);
             }
@@ -609,6 +737,128 @@ impl Actor<Msg> for Schedd {
                         rec.state = JobState::Idle;
                     }
                 }
+            }
+
+            Msg::FlockGrant { pool, free } => {
+                let Some(cfg) = self.flock.clone() else {
+                    return;
+                };
+                let Some(target) = cfg.pools.iter().find(|t| t.pool == pool).copied() else {
+                    return;
+                };
+                if !matches!(self.flock_states.get(&pool), Some(FlockState::Probing)) {
+                    return; // the probe already timed out; stale grant
+                }
+                let Some(&job) = self.flock_probe_job.get(&pool) else {
+                    return;
+                };
+                // Either way the matchmaker answered: the link is healthy.
+                self.pool_breaker_success(pool, target.matchmaker, ctx);
+                if free == 0 {
+                    // An explicit pool-scope denial — saturation, not
+                    // silence. Park the pool and fall back to the home
+                    // queue; the job stays schedulable.
+                    self.flock_states
+                        .insert(pool, FlockState::Denied { at: ctx.now });
+                    self.pool_fault(
+                        job,
+                        pool,
+                        "saturated",
+                        "PoolSaturated",
+                        format!("pool {pool} denied flocking: saturated"),
+                        ctx,
+                    );
+                } else {
+                    self.flock_states.insert(pool, FlockState::Granted);
+                    ctx.trace_with(|| {
+                        format!("pool {pool} granted flocking ({free} machines advertised)")
+                    });
+                }
+            }
+
+            Msg::FlockTimeout { pool } => {
+                let Some(cfg) = self.flock.clone() else {
+                    return;
+                };
+                if !matches!(self.flock_states.get(&pool), Some(FlockState::Probing)) {
+                    return; // a grant arrived first; stale timer
+                }
+                let Some(target) = cfg.pools.iter().find(|t| t.pool == pool).copied() else {
+                    return;
+                };
+                let Some(&job) = self.flock_probe_job.get(&pool) else {
+                    return;
+                };
+                // Silence from the remote matchmaker: an unreachable pool,
+                // made explicit by time (§5) instead of hanging the probe.
+                self.flock_states
+                    .insert(pool, FlockState::Denied { at: ctx.now });
+                self.pool_fault(
+                    job,
+                    pool,
+                    "unreachable",
+                    "PoolUnreachable",
+                    format!(
+                        "pool {pool} matchmaker silent for {}: unreachable",
+                        cfg.probe_timeout
+                    ),
+                    ctx,
+                );
+                self.pool_breaker_failure(pool, target.matchmaker, ctx);
+            }
+
+            Msg::ClaimRevoked { job, epoch } => {
+                let Some(rec) = self.jobs.get(&job) else {
+                    return;
+                };
+                if epoch != rec.epoch {
+                    let current = rec.epoch;
+                    self.drop_stale(job, "claim-revoked", epoch, current, ctx);
+                    return;
+                }
+                let (JobState::Running { machine } | JobState::Claiming { machine }) = rec.state
+                else {
+                    return;
+                };
+                if machine != from {
+                    return;
+                }
+                ctx.trace_with(|| {
+                    format!("remote pool revoked the claim for job {job} on machine {machine}")
+                });
+                ctx.emit(obs::Event::Reschedule {
+                    job: u64::from(job),
+                    machine: machine as u64,
+                    reason: "flocked claim revoked by remote pool".into(),
+                });
+                let rec = self.jobs.get_mut(&job).unwrap();
+                rec.epoch += 1; // the claim is dead; anything later is stale
+                rec.attempts.push(Attempt {
+                    machine,
+                    started: ctx.now,
+                    ended: ctx.now,
+                    scope: None,
+                    note: "flocked claim revoked by remote pool".into(),
+                });
+                self.metrics.failed_claims += 1;
+                let pool = self.machine_pool.get(&machine).copied().unwrap_or(0);
+                self.pool_fault(
+                    job,
+                    pool,
+                    "revoked",
+                    "FlockClaimRevoked",
+                    format!("remote pool {pool} revoked the claim for job {job}"),
+                    ctx,
+                );
+                if let Some(cfg) = self.flock.clone() {
+                    if let Some(t) = cfg.pools.iter().find(|t| t.pool == pool) {
+                        self.pool_breaker_failure(pool, t.matchmaker, ctx);
+                    }
+                }
+                // Graceful degradation: back to the home queue, still
+                // schedulable.
+                let delay = self.backoff_delay(job, ctx);
+                self.reschedule_or_hold(job, delay, ctx);
             }
 
             Msg::PostmortemDone { job } => {
@@ -629,6 +879,215 @@ impl Actor<Msg> for Schedd {
 }
 
 impl Schedd {
+    /// Refresh the first-went-idle clock each advertise tick: idle jobs
+    /// keep (or gain) their timestamp, everything else sheds it.
+    fn note_idle_jobs(&mut self, now: SimTime) {
+        let idle: Vec<JobId> = self
+            .jobs
+            .values()
+            .filter(|j| matches!(j.state, JobState::Idle))
+            .map(|j| j.spec.id)
+            .collect();
+        self.first_idle.retain(|j, _| idle.contains(j));
+        for j in idle {
+            self.first_idle.entry(j).or_insert(now);
+        }
+    }
+
+    /// Matchmakers of remote pools currently granting flocked ads, with
+    /// breaker-blocked pools withheld.
+    fn granted_matchmakers(&mut self, now: SimTime) -> Vec<usize> {
+        let Some(cfg) = &self.flock else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for t in &cfg.pools {
+            if !matches!(self.flock_states.get(&t.pool), Some(FlockState::Granted)) {
+                continue;
+            }
+            let blocked = self
+                .pool_breakers
+                .get_mut(&t.pool)
+                .is_some_and(|b| b.is_blocked(now));
+            if !blocked {
+                out.push(t.matchmaker);
+            }
+        }
+        out
+    }
+
+    /// The flocking ladder: when some job has starved past the patience
+    /// window, probe the first remote pool (in configured order) that is
+    /// neither already granting, mid-probe, freshly denied, nor breaker-
+    /// blocked. One probe per tick; the probe doubles as a half-open
+    /// breaker's trial request.
+    fn maybe_flock(&mut self, ctx: &mut Context<'_, Msg>) {
+        let Some(cfg) = self.flock.clone() else {
+            return;
+        };
+        let starving = self
+            .first_idle
+            .iter()
+            .filter(|(_, t)| ctx.now.since(**t) >= cfg.patience)
+            .map(|(j, _)| *j)
+            .next();
+        let Some(job) = starving else {
+            return;
+        };
+        for target in &cfg.pools {
+            match self
+                .flock_states
+                .get(&target.pool)
+                .copied()
+                .unwrap_or(FlockState::Unprobed)
+            {
+                FlockState::Granted => continue,
+                FlockState::Probing => return, // one probe in flight
+                FlockState::Denied { at } if ctx.now.since(at) < cfg.denial_delay => continue,
+                FlockState::Unprobed | FlockState::Denied { .. } => {}
+            }
+            let blocked = self
+                .pool_breakers
+                .get_mut(&target.pool)
+                .is_some_and(|b| b.is_blocked(ctx.now));
+            if blocked {
+                continue;
+            }
+            self.flock_states.insert(target.pool, FlockState::Probing);
+            self.flock_probe_job.insert(target.pool, job);
+            self.metrics.flock_escalations += 1;
+            ctx.trace_with(|| {
+                format!(
+                    "job {job} starved past patience; probing pool {} for flocking",
+                    target.pool
+                )
+            });
+            ctx.send_net(target.matchmaker, Msg::FlockRequest { pool: target.pool });
+            ctx.send_self_after(cfg.probe_timeout, Msg::FlockTimeout { pool: target.pool });
+            return;
+        }
+    }
+
+    /// Convert a remote-pool failure into an explicit pool-scope error:
+    /// emit the [`obs::Event::FlockFault`] marker, walk a lawful journey
+    /// (a network-scope escape at the shadow, widened to pool scope at the
+    /// schedd — the pool scope's Figure 3 manager — and handled there),
+    /// and rule the scope-correct disposition. Under the test-only
+    /// `swallow_escapes` mutation the schedd instead swallows the escape,
+    /// exactly the Principle-1 breach the oracle must flag.
+    fn pool_fault(
+        &mut self,
+        job: JobId,
+        pool: u64,
+        kind: &str,
+        code: &'static str,
+        note: String,
+        ctx: &mut Context<'_, Msg>,
+    ) {
+        self.metrics.flock_faults += 1;
+        ctx.emit(obs::Event::FlockFault {
+            job: u64::from(job),
+            pool,
+            kind: kind.to_string(),
+        });
+        ctx.trace_with(|| format!("pool-scope fault for job {job}: {note}"));
+        let err = errorscope::ScopedError::escaping(code, Scope::Network, "shadow", note);
+        if self.flock.as_ref().is_some_and(|f| f.swallow_escapes) {
+            // The deliberate bug: the escape dies here, unwidened and
+            // invisible to the user. P1 ("explicit stays explicit") fires.
+            let err = err.swallow("schedd");
+            for ev in err.trail_events() {
+                ctx.emit(ev);
+            }
+            return;
+        }
+        let err = err.widen(Scope::Pool, "schedd").handle("schedd");
+        for ev in err.trail_events() {
+            ctx.emit(ev);
+        }
+        ctx.emit(obs::Event::Disposition {
+            job: u64::from(job),
+            disposition: Disposition::for_scope(Scope::Pool).to_string(),
+            scope: Scope::Pool.name().to_string(),
+            span: err.span,
+        });
+    }
+
+    /// Feed a failure to `pool`'s breaker and demote the pool: a failing
+    /// pool must re-earn its grant through a fresh probe.
+    fn pool_breaker_failure(&mut self, pool: u64, matchmaker: usize, ctx: &mut Context<'_, Msg>) {
+        let Some(cfg) = &self.flock else {
+            return;
+        };
+        let policy = cfg.breaker;
+        let breaker = self
+            .pool_breakers
+            .entry(pool)
+            .or_insert_with(|| CircuitBreaker::new(policy));
+        if let Some(tr) = breaker.on_failure(ctx.now) {
+            if matches!(tr.to, BreakerState::Open { .. }) {
+                self.metrics.breaker_opens += 1;
+            }
+            ctx.emit(obs::Event::BreakerStateChange {
+                machine: matchmaker as u64,
+                from: tr.from.name().to_string(),
+                to: tr.to.name().to_string(),
+            });
+            ctx.trace_with(|| {
+                format!(
+                    "breaker for pool {pool}: {} -> {}",
+                    tr.from.name(),
+                    tr.to.name()
+                )
+            });
+        }
+        self.flock_states
+            .insert(pool, FlockState::Denied { at: ctx.now });
+    }
+
+    /// Feed a proof of health to `pool`'s breaker.
+    fn pool_breaker_success(&mut self, pool: u64, matchmaker: usize, ctx: &mut Context<'_, Msg>) {
+        if let Some(breaker) = self.pool_breakers.get_mut(&pool) {
+            if let Some(tr) = breaker.on_success(ctx.now) {
+                ctx.emit(obs::Event::BreakerStateChange {
+                    machine: matchmaker as u64,
+                    from: tr.from.name().to_string(),
+                    to: tr.to.name().to_string(),
+                });
+                ctx.trace_with(|| format!("breaker for pool {pool}: closed"));
+            }
+        }
+    }
+
+    /// If `machine` is a flocked (remote-pool) machine, its failure also
+    /// sits on an inter-pool link: surface it at pool scope and charge the
+    /// pool's breaker. Home-pool machines are untouched.
+    fn note_remote_fault(
+        &mut self,
+        job: JobId,
+        machine: usize,
+        kind: &str,
+        code: &'static str,
+        note: String,
+        ctx: &mut Context<'_, Msg>,
+    ) {
+        let Some(cfg) = self.flock.clone() else {
+            return;
+        };
+        let pool = self
+            .machine_pool
+            .get(&machine)
+            .copied()
+            .unwrap_or(cfg.home_pool);
+        if pool == cfg.home_pool {
+            return;
+        }
+        self.pool_fault(job, pool, kind, code, note, ctx);
+        if let Some(t) = cfg.pools.iter().find(|t| t.pool == pool) {
+            self.pool_breaker_failure(pool, t.matchmaker, ctx);
+        }
+    }
+
     /// Reschedule after `delay`, or hold the job if its attempt budget is
     /// exhausted.
     fn reschedule_or_hold(&mut self, job: JobId, delay: SimDuration, ctx: &mut Context<'_, Msg>) {
@@ -699,6 +1158,14 @@ impl Schedd {
         self.metrics.wasted_cpu += exec_time;
         *self.chronic.entry(machine).or_insert(0) += 1;
         self.machine_failure(machine, ctx);
+        self.note_remote_fault(
+            job,
+            machine,
+            "lease",
+            "FlockLeaseExpired",
+            format!("lease on flocked machine {machine} expired for job {job}"),
+            ctx,
+        );
         let delay = self.backoff_delay(job, ctx);
         self.reschedule_or_hold(job, delay, ctx);
     }

@@ -124,6 +124,9 @@ pub struct Startd {
     plan: Arc<FaultPlan>,
     state: State,
     advertising_java: bool,
+    /// The pool this machine belongs to. Claims stamped with a different
+    /// pool are rejected; activations are revoked. Defaults to 0.
+    pool_id: u64,
     /// The checkpoint server to migrate Standard-universe jobs through,
     /// if the pool runs one.
     ckpt_server: Option<(ActorId, Cookie)>,
@@ -153,6 +156,7 @@ impl Startd {
             plan,
             state: State::Free,
             advertising_java: false,
+            pool_id: 0,
             ckpt_server: None,
             stats_id: usize::MAX,
             stats,
@@ -162,6 +166,12 @@ impl Startd {
     /// Point this startd at the pool's checkpoint server (builder style).
     pub fn with_ckpt_server(mut self, server: ActorId, cookie: Cookie) -> Startd {
         self.ckpt_server = Some((server, cookie));
+        self
+    }
+
+    /// Place this machine in pool `pool_id` (builder style).
+    pub fn with_pool(mut self, pool_id: u64) -> Startd {
+        self.pool_id = pool_id;
         self
     }
 
@@ -232,9 +242,36 @@ impl Actor<Msg> for Startd {
                 }
                 ctx.send_self_after(ADVERTISE_PERIOD, Msg::AdvertiseTick);
             }
-            Msg::ClaimRequest { job, ad, epoch } => {
+            Msg::ClaimRequest {
+                job,
+                ad,
+                epoch,
+                pool,
+            } => {
                 if self.crashed(ctx.now) {
                     return; // silence; the schedd's claim timeout fires
+                }
+                if pool != self.pool_id {
+                    // A claim fenced to the wrong pool (a stale flock
+                    // target, or a schedd with an outdated map): explicit
+                    // rejection, never a cross-pool activation.
+                    self.stats.claims_rejected += 1;
+                    self.emit_claim(
+                        ctx,
+                        job,
+                        obs::ClaimOutcome::Rejected {
+                            reason: "pool mismatch".into(),
+                        },
+                    );
+                    ctx.send_net(
+                        from,
+                        Msg::ClaimReject {
+                            job,
+                            reason: "pool mismatch".into(),
+                            epoch,
+                        },
+                    );
+                    return;
                 }
                 if !matches!(self.state, State::Free) {
                     self.stats.claims_rejected += 1;
@@ -320,6 +357,16 @@ impl Actor<Msg> for Startd {
                         got: act.epoch,
                         current: epoch,
                     });
+                    return;
+                }
+                if act.pool != self.pool_id || self.plan.flock_revoked_at(ctx.self_id, ctx.now) {
+                    // The remote administrator reclaims the machine at the
+                    // worst moment (or the activation is fenced to the
+                    // wrong pool): revoke explicitly — the visiting schedd
+                    // hears a claim-scope error, never silence.
+                    ctx.trace_with(|| format!("revoking flocked claim for job {job}"));
+                    self.state = State::Free;
+                    ctx.send_net(from, Msg::ClaimRevoked { job, epoch });
                     return;
                 }
                 if let (Universe::Standard, Some(resume), Some((server, cookie))) =

@@ -1,0 +1,120 @@
+//! Circuit-breaker recovery against a remote matchmaker.
+//!
+//! The flock probe doubles as the breaker's half-open trial request: when
+//! a remote pool's breaker half-opens, the next starving-job escalation
+//! sends one FlockRequest through it. A probe timeout while half-open
+//! must reopen the breaker (with a longer open window); a successful
+//! negotiation must close it and let flocked jobs flow again.
+
+use condor::prelude::*;
+use condor::{CircuitBreaker, FederationBuilder};
+use desim::{SimDuration, SimTime};
+use gridvm::programs;
+
+fn t(s: u64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+/// Breaker transitions recorded for the remote matchmaker's actor id,
+/// as (from, to) pairs in stream order.
+fn transitions(report: &condor::FlockReport, matchmaker: usize) -> Vec<(String, String)> {
+    report
+        .telemetry
+        .iter()
+        .filter_map(|r| match &r.event {
+            obs::Event::BreakerStateChange { machine, from, to }
+                if *machine == matchmaker as u64 =>
+            {
+                Some((from.clone(), to.clone()))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn pool_breaker_reopens_on_probe_timeout_and_closes_on_negotiation() {
+    // Pool 1's matchmaker is dead until t=200: probes fail, the breaker
+    // opens, the half-open trial probe times out and reopens it, and
+    // after the heal a probe finally succeeds, closes the breaker, and
+    // the job completes on pool 1's machine.
+    let breaker = BreakerPolicy {
+        threshold: 2,
+        open_for: SimDuration::from_secs(60),
+        max_open: SimDuration::from_secs(600),
+    };
+    let report = FederationBuilder::new(61)
+        .pool([])
+        .pool([MachineSpec::healthy("r1", 256)])
+        .pool_breaker(breaker)
+        .faults(FaultPlan::none().crash(
+            FederationBuilder::matchmaker_id(1),
+            Window::new(SimTime::ZERO, t(200)),
+        ))
+        .job(
+            JobSpec::java(1, "ada", programs::completes_main(), JavaMode::Scoped)
+                .with_exec_time(SimDuration::from_secs(30)),
+        )
+        .run(t(3600));
+
+    assert!(report.quiescent, "{:?}", report.jobs);
+    assert_eq!(report.metrics.jobs_completed, 1);
+
+    let trs = transitions(&report, FederationBuilder::matchmaker_id(1));
+    assert!(
+        trs.iter().any(|(f, to)| f == "closed" && to == "open"),
+        "repeated probe timeouts must open the breaker: {trs:?}"
+    );
+    assert!(
+        trs.iter().any(|(f, to)| f == "half-open" && to == "open"),
+        "a half-open trial probe that times out must reopen: {trs:?}"
+    );
+    assert!(
+        trs.iter().any(|(f, to)| f == "half-open" && to == "closed"),
+        "a successful negotiation must close the breaker: {trs:?}"
+    );
+    // The reopen window doubles: the close comes only after the heal.
+    let unreachable = report
+        .telemetry
+        .iter()
+        .filter(|r| {
+            matches!(&r.event,
+                obs::Event::FlockFault { pool, kind, .. } if *pool == 1 && kind == "unreachable")
+        })
+        .count();
+    assert!(unreachable >= 3, "every failed probe is an explicit fault");
+    // The job eventually ran on the once-broken pool.
+    let machine = report.jobs[&1].attempts.last().unwrap().machine;
+    assert_eq!(report.pool_of_machine[&machine], 1);
+    assert!(
+        report.jobs[&1].finished.unwrap() >= t(200),
+        "after the heal"
+    );
+}
+
+#[test]
+fn breaker_reopen_window_grows_per_half_open_failure() {
+    // Direct state-machine check with the same policy the federation
+    // uses: each half-open failure reopens for open_for << reopens.
+    let policy = BreakerPolicy {
+        threshold: 1,
+        open_for: SimDuration::from_secs(60),
+        max_open: SimDuration::from_secs(600),
+    };
+    let mut b = CircuitBreaker::new(policy);
+    // First failure opens for 60s.
+    assert!(b.on_failure(t(0)).is_some());
+    assert!(b.is_blocked(t(30)));
+    assert!(!b.is_blocked(t(61)), "half-open admits the probe");
+    // Probe timeout while half-open: reopens, now for 120s.
+    let tr = b.on_failure(t(71)).expect("reopen transition");
+    assert_eq!(tr.from.name(), "half-open");
+    assert_eq!(tr.to.name(), "open");
+    assert!(b.is_blocked(t(130)), "doubled window still blocks");
+    assert!(!b.is_blocked(t(192)), "half-open again after 120s");
+    // Successful negotiation closes from half-open.
+    let tr = b.on_success(t(193)).expect("close transition");
+    assert_eq!(tr.from.name(), "half-open");
+    assert_eq!(tr.to.name(), "closed");
+    assert!(!b.is_blocked(t(194)));
+}

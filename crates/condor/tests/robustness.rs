@@ -27,6 +27,7 @@ fn duplicate_match_notifications_are_idempotent() {
             Msg::MatchNotify {
                 job: 1,
                 machine: machines[0],
+                pool: 0,
             },
         );
         world.inject(
@@ -34,6 +35,7 @@ fn duplicate_match_notifications_are_idempotent() {
             Msg::MatchNotify {
                 job: 99, // nonexistent job
                 machine: machines[1],
+                pool: 0,
             },
         );
     }
@@ -102,6 +104,7 @@ fn stale_activations_do_not_run_jobs() {
             resume: None,
             epoch: 0,
             lease: None,
+            pool: 0,
         })),
     );
     world.run_until(SimTime::from_secs(300));
@@ -155,6 +158,7 @@ fn busy_machine_rejects_second_claim() {
                 job: 2,
                 ad: Box::new(ad),
                 epoch: 0,
+                pool: 0,
             },
         );
         world.run_until(SimTime::from_secs(20));

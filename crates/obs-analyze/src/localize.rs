@@ -27,6 +27,15 @@
 //! 1. **corrupt-checkpoint** — any `CheckpointDiscarded`: the store
 //!    handed back an image that failed validation. Highest *protocol*
 //!    priority because discards never happen for network or host faults.
+//!    1b. **remote-pool** — any `FlockFault`: the schedd's flocking layer
+//!    already ran its own diagnosis and scoped the failure to a remote
+//!    pool (saturation, unreachable matchmaker, revoked or silent flocked
+//!    claim). This out-ranks the machine-level silence and reschedule
+//!    heuristics below, because when the silence is on an inter-pool
+//!    link the same outage also produces lease/claim evidence against
+//!    every remotely-matched machine — blaming one `machine:{id}` would
+//!    name a symptom. The culprit is `pool:{id}` (most faults, ties to
+//!    the lower pool id).
 //! 2. **unreachable** — `LeaseExpired` and timed-out `Claim`s name a
 //!    machine nobody can talk to; the fault is the *path*, so the
 //!    culprit is `link:{id}`.
@@ -73,8 +82,8 @@ pub struct Localization {
     pub culprit: Option<String>,
     /// The fault class the evidence supports (`"heap-flip"`,
     /// `"ckpt-flip"`, `"principle-violation"`, `"corrupt-checkpoint"`,
-    /// `"unreachable"`, `"faulty-machine"`, `"degraded-link"`,
-    /// `"no-fault"`, `"inconclusive"`).
+    /// `"remote-pool"`, `"unreachable"`, `"faulty-machine"`,
+    /// `"degraded-link"`, `"no-fault"`, `"inconclusive"`).
     pub fault_class: String,
     /// Where the faulty stream left the reference, if anywhere.
     pub divergence: Option<Divergence>,
@@ -163,6 +172,9 @@ pub fn localize(faulty: &Stream, reference: &Stream) -> Localization {
     let mut violations: u64 = 0;
     let mut violation_first: Option<&EventRecord> = None;
     let mut violation_machines: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut flock_faults: u64 = 0;
+    let mut flock_first: Option<&EventRecord> = None;
+    let mut flock_pools: BTreeMap<u64, u64> = BTreeMap::new();
 
     fn touch(
         machines: &mut BTreeMap<u64, MachineEvidence>,
@@ -191,6 +203,11 @@ pub fn localize(faulty: &Stream, reference: &Stream) -> Localization {
             Event::CheckpointDiscarded { .. } => {
                 ckpt_discards += 1;
                 ckpt_first.get_or_insert(r);
+            }
+            Event::FlockFault { pool, .. } => {
+                flock_faults += 1;
+                flock_first.get_or_insert(r);
+                *flock_pools.entry(*pool).or_insert(0) += 1;
             }
             Event::LeaseExpired { machine, .. } => {
                 touch(&mut machines, *machine, r.at_us).lease_expiries += 1;
@@ -302,6 +319,38 @@ pub fn localize(faulty: &Stream, reference: &Stream) -> Localization {
             divergence,
             evidence,
             score: ckpt_discards,
+        };
+    }
+
+    // 1b. Remote-pool faults: the flocking layer already diagnosed the
+    //     failure and scoped it to a pool. This must out-rank the
+    //     machine-level silence evidence below — when an inter-pool link
+    //     partitions, every remotely-matched machine also goes silent,
+    //     and blaming one of them would mistake a symptom for the cause.
+    //     Most faults win; ties break toward the lower pool id.
+    if flock_faults > 0 {
+        let culprit = flock_pools
+            .iter()
+            .max_by_key(|(p, n)| (**n, std::cmp::Reverse(**p)))
+            .map(|(p, _)| format!("pool:{p}"));
+        let mut evidence = vec![format!(
+            "{flock_faults} remote-pool flock fault(s) — the silence is on an \
+             inter-pool link, so machine-level evidence is a symptom"
+        )];
+        if let Some(first) = flock_first {
+            if let Event::FlockFault { job, pool, kind } = &first.event {
+                evidence.push(format!(
+                    "first: job {job}, pool {pool} ({kind}) at {:.3}s",
+                    first.at_us as f64 / 1e6
+                ));
+            }
+        }
+        return Localization {
+            culprit,
+            fault_class: "remote-pool".to_string(),
+            divergence,
+            evidence,
+            score: flock_faults,
         };
     }
 
@@ -697,6 +746,102 @@ mod tests {
         assert_eq!(loc.score, 3);
         let report = render_report(&a, &loc);
         assert!(report.contains("verdict: principle-violation (culprit: machine:2)"));
+    }
+
+    #[test]
+    fn flock_faults_outrank_machine_silence_evidence() {
+        // A partition on the inter-pool link silences the remotely-matched
+        // machine too: lease expiry and reschedule evidence against
+        // machine 2 would normally yield "unreachable (link:2)". The
+        // flocking layer's own diagnosis scopes the fault to pool 1, and
+        // that verdict must win — the machine silence is a symptom.
+        let mut faulty = base();
+        faulty.push((
+            9_000_000,
+            "schedd",
+            Event::FlockFault {
+                job: 1,
+                pool: 1,
+                kind: "unreachable".into(),
+            },
+        ));
+        faulty.push((
+            10_000_000,
+            "schedd",
+            Event::LeaseExpired {
+                job: 1,
+                machine: 2,
+                side: "schedd".into(),
+            },
+        ));
+        faulty.push((
+            10_500_000,
+            "schedd",
+            Event::Reschedule {
+                job: 1,
+                machine: 2,
+                reason: "lease expired".into(),
+            },
+        ));
+        let a = stream(faulty);
+        let b = stream(base());
+        let loc = localize(&a, &b);
+        assert_eq!(loc.fault_class, "remote-pool");
+        assert_eq!(loc.culprit.as_deref(), Some("pool:1"));
+        assert_eq!(loc.score, 1);
+        let report = render_report(&a, &loc);
+        assert!(report.contains("verdict: remote-pool (culprit: pool:1)"));
+    }
+
+    #[test]
+    fn busiest_pool_wins_and_ties_break_low() {
+        let mut faulty = base();
+        for (t, pool) in [(9u64, 2u64), (10, 2), (11, 1), (12, 1)] {
+            faulty.push((
+                t * 1_000_000,
+                "schedd",
+                Event::FlockFault {
+                    job: 1,
+                    pool,
+                    kind: "saturated".into(),
+                },
+            ));
+        }
+        let a = stream(faulty);
+        let b = stream(base());
+        let loc = localize(&a, &b);
+        assert_eq!(loc.fault_class, "remote-pool");
+        // Two faults each: the tie breaks to the lower pool id.
+        assert_eq!(loc.culprit.as_deref(), Some("pool:1"));
+        assert_eq!(loc.score, 4);
+    }
+
+    #[test]
+    fn checkpoint_discards_still_trump_flock_faults() {
+        let mut faulty = base();
+        faulty.push((
+            8_000_000,
+            "startd:m0",
+            Event::CheckpointDiscarded {
+                job: 1,
+                machine: 2,
+                reason: "digest mismatch".into(),
+            },
+        ));
+        faulty.push((
+            9_000_000,
+            "schedd",
+            Event::FlockFault {
+                job: 1,
+                pool: 1,
+                kind: "revoked".into(),
+            },
+        ));
+        let a = stream(faulty);
+        let b = stream(base());
+        let loc = localize(&a, &b);
+        assert_eq!(loc.fault_class, "corrupt-checkpoint");
+        assert_eq!(loc.culprit.as_deref(), Some("ckpt-server"));
     }
 
     #[test]

@@ -275,6 +275,19 @@ pub enum Event<S = String> {
         /// The absolute bit index that changed within the target.
         bit: u64,
     },
+    /// A remote-pool interaction failed during flocking — saturation,
+    /// an unreachable matchmaker, a revoked flock claim, or silence on
+    /// an inter-pool link — and the schedd converted it into an explicit
+    /// pool-scope error instead of hanging.
+    FlockFault {
+        /// The job whose flock attempt (or remote claim) was hit.
+        job: u64,
+        /// The remote pool the failure is attributed to.
+        pool: u64,
+        /// What failed: `"saturated"`, `"unreachable"`, `"revoked"`,
+        /// `"lease"`, or `"claim"`.
+        kind: String,
+    },
     /// One hop of an error's journey through the layer stack.
     SpanHop {
         /// The journey this hop belongs to.
@@ -308,6 +321,7 @@ impl<S> Event<S> {
             Event::BreakerStateChange { .. } => "breaker-state-change",
             Event::NetFaultApplied { .. } => "net-fault-applied",
             Event::MemFlip { .. } => "mem-flip",
+            Event::FlockFault { .. } => "flock-fault",
             Event::SpanHop { .. } => "span-hop",
         }
     }
@@ -438,6 +452,7 @@ impl<S> Event<S> {
                 target,
                 bit,
             },
+            Event::FlockFault { job, pool, kind } => Event::FlockFault { job, pool, kind },
             Event::SpanHop {
                 span,
                 layer,
@@ -604,6 +619,11 @@ impl<S> Event<S> {
                 field_str(out, "target", target);
                 field_u64(out, "bit", *bit);
             }
+            Event::FlockFault { job, pool, kind } => {
+                field_u64(out, "job", *job);
+                field_u64(out, "pool", *pool);
+                field_str(out, "kind", kind);
+            }
             Event::SpanHop {
                 span,
                 layer,
@@ -763,6 +783,11 @@ impl Event {
                 target: s("target")?,
                 bit: u("bit")?,
             }),
+            "flock-fault" => Ok(Event::FlockFault {
+                job: u("job")?,
+                pool: u("pool")?,
+                kind: s("kind")?,
+            }),
             "span-hop" => {
                 let action = match s("action")?.as_str() {
                     "raised" => SpanAction::Raised,
@@ -900,6 +925,9 @@ impl fmt::Display for Event {
                 target,
                 bit,
             } => write!(f, "mem flip job={job} machine={machine} {target} bit={bit}"),
+            Event::FlockFault { job, pool, kind } => {
+                write!(f, "flock fault job={job} pool={pool} {kind}")
+            }
             Event::SpanHop {
                 span,
                 layer,
@@ -1036,6 +1064,16 @@ mod tests {
             machine: 7,
             target: "ckpt-image".into(),
             bit: 40,
+        });
+        round_trip(Event::FlockFault {
+            job: 3,
+            pool: 2,
+            kind: "unreachable".into(),
+        });
+        round_trip(Event::FlockFault {
+            job: 4,
+            pool: 1,
+            kind: "saturated".into(),
         });
         round_trip(Event::SpanHop {
             span: 7,
