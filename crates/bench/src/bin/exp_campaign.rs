@@ -39,7 +39,7 @@ use desim::SimTime;
 use obs_analyze::Stream;
 use std::collections::BTreeSet;
 
-const FULL_CAMPAIGNS: u64 = 1200;
+const FULL_CAMPAIGNS: u64 = 5000;
 const SMOKE_CAMPAIGNS: u64 = 64;
 
 fn seeds(smoke: bool) -> Vec<u64> {
@@ -156,7 +156,7 @@ fn snapshot(results: &[CampaignResult], totals: &FlipStats) -> String {
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let seeds = seeds(smoke);
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = desim::sweep::default_width();
 
     println!(
         "E12: fault-campaign fuzzing — {} randomized campaigns, {} worker thread(s)\n\

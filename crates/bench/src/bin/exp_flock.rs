@@ -360,7 +360,7 @@ fn scale_study(
     threads: usize,
 ) -> Vec<PoolScale> {
     let idx: Vec<u64> = (0..pools).collect();
-    run_sweep(&idx, threads, |_, p| {
+    run_sweep(&idx, threads, move |_, p| {
         negotiate_pool(p, machines_per, jobs_per, check_naive)
     })
 }
@@ -477,7 +477,7 @@ fn main() {
         FULL_CAMPAIGNS
     };
     let seeds: Vec<u64> = (2000..2000 + n).collect();
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let threads = desim::sweep::default_width();
     // (pools, machines per pool, jobs per pool)
     let big = if smoke {
         (5, 600, 120)

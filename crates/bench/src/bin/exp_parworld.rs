@@ -1,0 +1,505 @@
+//! Experiment E13 — intra-world parallel simulation: sharded actors,
+//! conservative time windows, bit-identical multi-core single-world runs.
+//!
+//! E8 already scales *across* seeds (independent worlds fanned over a
+//! pool). This experiment gates the other axis: one world, its actors
+//! sharded, simulated time advanced in conservative windows no wider
+//! than the network's minimum latency, cross-shard deliveries merged at
+//! the window barrier in canonical `(time, source, seq)` order
+//! ([`desim::ParWorld`]). The contract under test: **thread count is
+//! invisible in the output** — only in the wall-clock.
+//!
+//! Three sections, each gated:
+//!
+//! 1. **E12 campaign differential.** Three fault campaigns (rogue
+//!    machines, partitions, latency spikes, bit-flips) and one fault-free
+//!    reference, each run as a sharded world at 1, 2, and 8 threads.
+//!    Every arm's merged telemetry stream must be **byte-identical**
+//!    across the three thread counts.
+//! 2. **E11 federation differential.** The five-pool flocking federation
+//!    with a starved home pool, and the partition-during-flock scenario,
+//!    both sharded and run at 1, 2, and 8 threads. Byte-identical
+//!    streams again — flock probes, breaker trips, and fault windows
+//!    included.
+//! 3. **100k-machine scaling.** Five pools of 20,000 machines each
+//!    (600 in smoke), default latency raised to 50ms so the conservative
+//!    window carries real work, telemetry off. Wall-clock at 1, 2, and 8
+//!    threads; every arm must agree on event count, final virtual time,
+//!    and delivery statistics. The ≥2x-at-8-threads gate applies when
+//!    the host actually has ≥8 cores (on smaller hosts the gate is
+//!    determinism, not speedup — same discipline as E8's sweep section).
+//!
+//! Artifacts: `BENCH_parworld.json` — a `deterministic` core (stream
+//! digests and counts; two passes must serialize byte-identically) plus
+//! a `scaling` section (wall-clocks, excluded from the two-pass gate).
+//!
+//! Run with: `cargo run --release -p bench --bin exp_parworld`
+//! (pass `--smoke` for the CI-sized study).
+
+use bench::{f, render_table};
+use campaign::gen::deadline;
+use campaign::generate;
+use condor::prelude::*;
+use desim::{ParConfig, SimDuration, SimTime, World};
+
+fn t(s: u64) -> SimTime {
+    SimTime::from_secs(s)
+}
+
+const SHARDS: usize = 4;
+const THREADS: [usize; 3] = [1, 2, 8];
+const CAMPAIGN_SEEDS: [u64; 3] = [1042, 1207, 1333];
+
+/// FNV-1a over a byte stream: a stable, dependency-free digest for the
+/// exported fingerprints.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Everything observable from one sharded run, reduced to comparable
+/// form. `stream` is the full merged JSONL (byte-compared across thread
+/// counts); the rest pins the run shape.
+struct Fingerprint {
+    stream: String,
+    events: u64,
+    now_us: u64,
+    dropped: u64,
+}
+
+/// Run a built world as a `ParWorld` and fingerprint the outcome.
+fn par_fingerprint<M: Send + 'static>(
+    world: World<M>,
+    shards: usize,
+    threads: usize,
+    until: SimTime,
+) -> Fingerprint {
+    let mut pw = world.into_parallel(ParConfig::new(shards, threads));
+    pw.run_until(until);
+    let fin = pw.finish();
+    Fingerprint {
+        stream: fin.telemetry.to_jsonl(),
+        events: fin.events_processed,
+        now_us: fin.now.as_micros(),
+        dropped: fin.net_stats.dropped_total(),
+    }
+}
+
+/// Run `build`'s world at every thread count and assert the streams are
+/// byte-identical; returns the reference fingerprint.
+fn differential<M: Send + 'static>(
+    label: &str,
+    until: SimTime,
+    build: impl Fn() -> World<M>,
+) -> Fingerprint {
+    let mut reference: Option<Fingerprint> = None;
+    for threads in THREADS {
+        let fp = par_fingerprint(build(), SHARDS, threads, until);
+        match &reference {
+            None => reference = Some(fp),
+            Some(r) => {
+                assert_eq!(
+                    r.stream, fp.stream,
+                    "{label}: merged event stream diverged at {threads} threads"
+                );
+                assert_eq!(
+                    (r.events, r.now_us, r.dropped),
+                    (fp.events, fp.now_us, fp.dropped),
+                    "{label}: run shape diverged at {threads} threads"
+                );
+            }
+        }
+    }
+    reference.expect("at least one arm ran")
+}
+
+// ---------------------------------------------------------------------
+// Section 1: E12 campaign workloads
+// ---------------------------------------------------------------------
+
+/// One campaign differential row: the faulty arm and its fault-free
+/// reference, both thread-invariant.
+struct CampaignRow {
+    seed: u64,
+    faulty: Fingerprint,
+    reference: Fingerprint,
+}
+
+fn campaign_differentials() -> Vec<CampaignRow> {
+    CAMPAIGN_SEEDS
+        .iter()
+        .map(|&seed| {
+            let faulty = differential(&format!("campaign {seed} (faulty)"), deadline(), || {
+                generate(seed).build_pool(true).build().0
+            });
+            let reference =
+                differential(&format!("campaign {seed} (reference)"), deadline(), || {
+                    generate(seed).build_pool(false).build().0
+                });
+            assert!(
+                faulty.events > 0 && reference.events > 0,
+                "campaign {seed}: both arms must do work"
+            );
+            CampaignRow {
+                seed,
+                faulty,
+                reference,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Section 2: E11 federation workloads
+// ---------------------------------------------------------------------
+
+fn job(id: u32, exec_s: u64) -> JobSpec {
+    JobSpec::java(
+        id,
+        "ada",
+        gridvm::programs::completes_main(),
+        JavaMode::Scoped,
+    )
+    .with_exec_time(SimDuration::from_secs(exec_s))
+}
+
+fn policy() -> ScheddPolicy {
+    ScheddPolicy {
+        lease: Some(LeaseInfo {
+            interval: SimDuration::from_secs(10),
+            timeout: SimDuration::from_secs(30),
+        }),
+        max_attempts: 60,
+        ..ScheddPolicy::default()
+    }
+}
+
+/// E11's section-1 federation: five pools, starved home pool, 30 jobs.
+fn federation_world() -> World<condor::Msg> {
+    let mut b = FederationBuilder::new(47)
+        .pool((0..2).map(|i| MachineSpec::healthy(&format!("home{i}"), 256)));
+    for p in 1..5 {
+        b = b.pool((0..3).map(|i| MachineSpec::healthy(&format!("p{p}m{i}"), 256)));
+    }
+    b.jobs((1..=30).map(|i| job(i, 60 + u64::from(i % 5) * 30)))
+        .schedd_policy(policy())
+        .without_trace()
+        .build()
+        .0
+}
+
+/// E11's section-2 scenario: the inter-pool link to the serving pool
+/// drops mid-claim, then heals — fault windows ride the deferred net-op
+/// path through the barrier.
+fn partition_world() -> World<condor::Msg> {
+    let b = FederationBuilder::new(48)
+        .pool([])
+        .pool([MachineSpec::healthy("r1", 256)])
+        .pool([MachineSpec::healthy("r2", 256)]);
+    let mut far = vec![FederationBuilder::matchmaker_id(1)];
+    far.extend(b.machine_ids(1));
+    let schedd = b.schedd_id();
+    b.schedd_policy(policy())
+        .faults(FaultPlan::none().net_partition([schedd], far, Window::new(t(80), t(900))))
+        .job(job(1, 120))
+        .build()
+        .0
+}
+
+// ---------------------------------------------------------------------
+// Section 3: the 100k-machine scaling world
+// ---------------------------------------------------------------------
+
+/// Conservative-window lookahead for the scaling world: 50ms default
+/// latency instead of 1ms, so each window batches ~50x more work per
+/// barrier. A build-time choice — the workload's own protocol timeouts
+/// are all ≥ seconds, so behavior is unaffected in kind.
+const SCALE_LATENCY: SimDuration = SimDuration::from_millis(50);
+
+struct ScaleShape {
+    pools: u64,
+    machines_per: usize,
+    jobs: u32,
+    horizon: SimTime,
+}
+
+fn scale_world(shape: &ScaleShape) -> World<condor::Msg> {
+    let mut b = FederationBuilder::new(51);
+    for p in 0..shape.pools {
+        b = b
+            .pool((0..shape.machines_per).map(|i| MachineSpec::healthy(&format!("p{p}m{i}"), 256)));
+    }
+    let (mut world, _, _) = b
+        .jobs((1..=shape.jobs).map(|i| job(i, 60 + u64::from(i % 7) * 30)))
+        .schedd_policy(policy())
+        .without_trace()
+        .build();
+    world.net_mut().set_default_latency(SCALE_LATENCY);
+    // The stream at this scale would be hundreds of MB; the scaling gate
+    // compares counts and stats instead.
+    *world.telemetry_mut() = obs::Collector::disabled();
+    world
+}
+
+struct ScaleRow {
+    threads: usize,
+    secs: f64,
+    events: u64,
+}
+
+fn scale_study(shape: &ScaleShape) -> Vec<ScaleRow> {
+    let mut rows = Vec::new();
+    let mut reference: Option<(u64, u64, u64)> = None;
+    for threads in THREADS {
+        let world = scale_world(shape);
+        let wall = std::time::Instant::now();
+        let fp = par_fingerprint(world, 8, threads, shape.horizon);
+        let secs = wall.elapsed().as_secs_f64();
+        assert!(fp.events > 0, "the scaling world must do work");
+        let shape_key = (fp.events, fp.now_us, fp.dropped);
+        match &reference {
+            None => reference = Some(shape_key),
+            Some(r) => assert_eq!(*r, shape_key, "scaling world diverged at {threads} threads"),
+        }
+        rows.push(ScaleRow {
+            threads,
+            secs,
+            events: fp.events,
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// The deterministic core and its export
+// ---------------------------------------------------------------------
+
+struct Pass {
+    campaigns: Vec<CampaignRow>,
+    federation: Fingerprint,
+    partition: Fingerprint,
+}
+
+fn run_pass() -> Pass {
+    obs::reset_span_ids(0);
+    let campaigns = campaign_differentials();
+    obs::reset_span_ids(0);
+    let federation = differential("federation", t(8 * 3600), federation_world);
+    obs::reset_span_ids(0);
+    let partition = differential("partition-during-flock", t(4 * 3600), partition_world);
+    Pass {
+        campaigns,
+        federation,
+        partition,
+    }
+}
+
+/// The deterministic core: digests and counts only, no wall-clock. Two
+/// passes must serialize byte-identically.
+fn deterministic_core(pass: &Pass) -> String {
+    let fp_json = |fp: &Fingerprint| {
+        format!(
+            "{{\"digest\":\"{:016x}\",\"bytes\":{},\"events\":{},\"now_us\":{},\"dropped\":{}}}",
+            fnv1a(fp.stream.as_bytes()),
+            fp.stream.len(),
+            fp.events,
+            fp.now_us,
+            fp.dropped
+        )
+    };
+    let rows: Vec<String> = pass
+        .campaigns
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"seed\":{},\"faulty\":{},\"reference\":{}}}",
+                r.seed,
+                fp_json(&r.faulty),
+                fp_json(&r.reference)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"shards\":{SHARDS},\"threads\":[1,2,8],\"campaigns\":[{}],\
+         \"federation\":{},\"partition\":{}}}",
+        rows.join(","),
+        fp_json(&pass.federation),
+        fp_json(&pass.partition)
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let shape = if smoke {
+        ScaleShape {
+            pools: 5,
+            machines_per: 600,
+            jobs: 120,
+            horizon: t(300),
+        }
+    } else {
+        ScaleShape {
+            pools: 5,
+            machines_per: 20_000,
+            jobs: 2_000,
+            horizon: t(600),
+        }
+    };
+
+    println!(
+        "E13: intra-world parallel simulation — {SHARDS}-shard worlds at 1/2/8\n\
+         threads must be bit-identical; {}x{} machine scaling world ({} core(s))\n",
+        shape.pools, shape.machines_per, cores
+    );
+
+    // Sections 1 + 2: the determinism differentials, twice (the two-pass
+    // export gate below compares their serialized cores).
+    let pass = run_pass();
+
+    println!(
+        "{}",
+        render_table(
+            &["workload", "events", "stream bytes", "dropped"],
+            &pass
+                .campaigns
+                .iter()
+                .flat_map(|r| {
+                    [
+                        vec![
+                            format!("campaign {} faulty", r.seed),
+                            r.faulty.events.to_string(),
+                            r.faulty.stream.len().to_string(),
+                            r.faulty.dropped.to_string(),
+                        ],
+                        vec![
+                            format!("campaign {} reference", r.seed),
+                            r.reference.events.to_string(),
+                            r.reference.stream.len().to_string(),
+                            r.reference.dropped.to_string(),
+                        ],
+                    ]
+                })
+                .chain([
+                    vec![
+                        "federation".to_string(),
+                        pass.federation.events.to_string(),
+                        pass.federation.stream.len().to_string(),
+                        pass.federation.dropped.to_string(),
+                    ],
+                    vec![
+                        "partition-during-flock".to_string(),
+                        pass.partition.events.to_string(),
+                        pass.partition.stream.len().to_string(),
+                        pass.partition.dropped.to_string(),
+                    ],
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
+    println!(
+        "differentials: every workload byte-identical at 1/2/8 threads \
+         ({} campaign arms + 2 federation scenarios)\n",
+        pass.campaigns.len() * 2
+    );
+
+    // Section 3: the scaling world.
+    let rows = scale_study(&shape);
+    let base = rows[0].secs;
+    println!(
+        "scaling: {} pools x {} machines, {} jobs, {}s horizon, 8 shards, \
+         50ms lookahead",
+        shape.pools,
+        shape.machines_per,
+        shape.jobs,
+        shape.horizon.as_micros() / 1_000_000
+    );
+    println!(
+        "{}",
+        render_table(
+            &["threads", "events", "wall-clock (s)", "speedup"],
+            &rows
+                .iter()
+                .map(|r| vec![
+                    r.threads.to_string(),
+                    r.events.to_string(),
+                    f(r.secs, 3),
+                    format!("{:.2}x", base / r.secs),
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
+    let at8 = rows.iter().find(|r| r.threads == 8).expect("8-thread arm");
+    let speedup = base / at8.secs;
+    if cores >= 8 && !smoke {
+        assert!(
+            speedup >= 2.0,
+            "with {cores} cores the 8-thread arm must be >=2x the 1-thread arm \
+             (got {speedup:.2}x)"
+        );
+        println!("scaling gate: {speedup:.2}x at 8 threads (>=2x required)\n");
+    } else {
+        println!(
+            "(host has {cores} core(s){}: wall-clock parity across thread counts \
+             is the expected result here; the gate is determinism, not speedup)\n",
+            if smoke { ", smoke mode" } else { "" }
+        );
+    }
+
+    // The export: deterministic core (two-pass byte-identical) + scaling.
+    let core = deterministic_core(&pass);
+    let second = run_pass();
+    let core_again = deterministic_core(&second);
+    assert_eq!(
+        core, core_again,
+        "two passes must serialize byte-identical deterministic cores"
+    );
+    for (a, b) in pass.campaigns.iter().zip(&second.campaigns) {
+        assert_eq!(
+            a.faulty.stream, b.faulty.stream,
+            "campaign {} faulty stream must be byte-identical across passes",
+            a.seed
+        );
+    }
+    assert_eq!(pass.federation.stream, second.federation.stream);
+    println!(
+        "determinism: two full passes byte-identical ({} core bytes)",
+        core.len()
+    );
+
+    let mut doc = String::from("{\"deterministic\":");
+    doc.push_str(&core);
+    doc.push_str(&format!(",\"cores_available\":{cores},\"scaling\":{{"));
+    doc.push_str(&format!(
+        "\"pools\":{},\"machines_per_pool\":{},\"jobs\":{},\"horizon_secs\":{},\
+         \"shards\":8,\"rows\":[",
+        shape.pools,
+        shape.machines_per,
+        shape.jobs,
+        shape.horizon.as_micros() / 1_000_000
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            doc.push(',');
+        }
+        doc.push_str(&format!(
+            "{{\"threads\":{},\"events\":{},\"wall_clock_secs\":{:.6},\"speedup\":{:.3}}}",
+            r.threads,
+            r.events,
+            r.secs,
+            base / r.secs
+        ));
+    }
+    doc.push_str("]}}");
+    std::fs::write("BENCH_parworld.json", &doc).expect("write BENCH_parworld.json");
+    obs::json::parse(&doc).expect("parworld metrics are valid JSON");
+    println!(
+        "\nTelemetry: BENCH_parworld.json written and re-parsed cleanly \
+         ({} scaling rows).",
+        rows.len()
+    );
+}

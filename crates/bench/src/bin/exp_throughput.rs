@@ -18,6 +18,11 @@
 //! 3. **Sweep scaling.** The same 32-seed pool study fanned over 1, 4,
 //!    and 8 threads. Wall-clock is reported per width; merged telemetry
 //!    and metric snapshots must be bit-identical across all three.
+//! 4. **Single-world scaling.** One 64-machine pool run as a sharded
+//!    [`desim::ParWorld`] (8 shards) at 1, 4, and 8 threads — the
+//!    *intra*-world axis the sweep can't touch. Wall-clock per width;
+//!    the merged event stream, event count, and final time must be
+//!    bit-identical across all three.
 //!
 //! Artifacts: `BENCH_throughput.json` (all figures + the A/B verdict)
 //! and `BENCH_throughput.events.jsonl` (the pool scenario's stream).
@@ -48,8 +53,9 @@ fn main() {
     let kernel = pingpong_throughput();
     let pool = pool_throughput();
     let sweep = sweep_scaling();
+    let parworld = parworld_scaling();
 
-    export(&ab, kernel, pool, &sweep);
+    export(&ab, kernel, pool, &sweep, &parworld);
 }
 
 struct AbResult {
@@ -345,7 +351,89 @@ fn sweep_scaling() -> Vec<SweepResultRow> {
     rows
 }
 
-fn export(ab: &AbResult, kernel_rate: f64, pool: (f64, RunReport), sweep: &[SweepResultRow]) {
+/// The intra-world workload: big enough that eight shards all carry
+/// actors and windows batch real work. Built unrun, so every width
+/// converts the identical world.
+fn parworld_world() -> desim::World<condor::Msg> {
+    PoolBuilder::new(53)
+        .machines((0..64).map(|i| MachineSpec::healthy(&format!("pw{i}"), 256)))
+        .schedd_policy(ScheddPolicy {
+            retry: RetryPolicy::Backoff {
+                base: SimDuration::from_secs(5),
+                max: SimDuration::from_secs(30),
+                jitter: 0.2,
+            },
+            ..ScheddPolicy::default()
+        })
+        .jobs((1..=256).map(|i| {
+            JobSpec::java(i, "ada", programs::completes_main(), JavaMode::Scoped)
+                .with_exec_time(SimDuration::from_secs(60))
+        }))
+        .without_trace()
+        .build()
+        .0
+}
+
+/// One world, 8 shards, three thread counts: the stream must not move.
+fn parworld_scaling() -> Vec<SweepResultRow> {
+    let mut rows = Vec::new();
+    let mut reference: Option<(String, u64, u64)> = None;
+    for threads in [1usize, 4, 8] {
+        let world = parworld_world();
+        let t = Instant::now();
+        let mut pw = world.into_parallel(desim::ParConfig::new(8, threads));
+        pw.run_until(SimTime::from_secs(24 * 3600));
+        let secs = t.elapsed().as_secs_f64();
+        let fin = pw.finish();
+        let got = (
+            fin.telemetry.to_jsonl(),
+            fin.events_processed,
+            fin.now.as_micros(),
+        );
+        assert!(got.1 > 0, "the sharded pool must do work");
+        match &reference {
+            None => reference = Some(got),
+            Some(r) => {
+                assert_eq!(
+                    r.0, got.0,
+                    "{threads}-thread ParWorld: event stream diverged"
+                );
+                assert_eq!(
+                    (r.1, r.2),
+                    (got.1, got.2),
+                    "{threads}-thread ParWorld: run shape diverged"
+                );
+            }
+        }
+        rows.push(SweepResultRow { threads, secs });
+    }
+    let base = rows[0].secs;
+    println!("single world: 64-machine pool, 8 shards, one day simulated");
+    println!(
+        "{}",
+        render_table(
+            &["threads", "wall-clock (s)", "speedup"],
+            &rows
+                .iter()
+                .map(|r| vec![
+                    r.threads.to_string(),
+                    f(r.secs, 3),
+                    format!("{:.2}x", base / r.secs),
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
+    println!("determinism gate: single-world stream bit-identical at 1/4/8 threads\n");
+    rows
+}
+
+fn export(
+    ab: &AbResult,
+    kernel_rate: f64,
+    pool: (f64, RunReport),
+    sweep: &[SweepResultRow],
+    parworld: &[SweepResultRow],
+) {
     let (pool_rate, report) = pool;
     let mut doc = String::from("{");
     doc.push_str(&format!(
@@ -370,6 +458,16 @@ fn export(ab: &AbResult, kernel_rate: f64, pool: (f64, RunReport), sweep: &[Swee
     ));
     doc.push_str("\"sweep\":[");
     for (i, row) in sweep.iter().enumerate() {
+        if i > 0 {
+            doc.push(',');
+        }
+        doc.push_str(&format!(
+            "{{\"threads\":{},\"wall_clock_secs\":{:.6}}}",
+            row.threads, row.secs
+        ));
+    }
+    doc.push_str("],\"parworld\":[");
+    for (i, row) in parworld.iter().enumerate() {
         if i > 0 {
             doc.push(',');
         }

@@ -52,6 +52,18 @@ impl<M: 'static> dyn Actor<M> {
     }
 }
 
+impl<M: 'static> dyn Actor<M> + Send {
+    /// Downcast to a concrete actor type (for post-run inspection).
+    pub fn downcast_ref<T: Actor<M>>(&self) -> Option<&T> {
+        (self as &dyn Any).downcast_ref::<T>()
+    }
+
+    /// Mutable downcast.
+    pub fn downcast_mut<T: Actor<M>>(&mut self) -> Option<&mut T> {
+        (self as &mut dyn Any).downcast_mut::<T>()
+    }
+}
+
 /// The capabilities an actor has while handling a message: learn the time,
 /// send messages (reliably or over the simulated network), draw randomness,
 /// record trace entries, and stop the world.

@@ -6,12 +6,20 @@
 //! telemetry collector (see the `obs` crate; actors record events with
 //! [`Context::emit`]).
 //!
-//! Each world is single-threaded and reproducible: the same seed and the
-//! same actor set always produce the same history, which is what lets the
-//! test suite assert exact error-routing tables and lets every experiment
-//! in the paper reproduction be replayed bit-for-bit. Multi-seed studies
-//! fan independent worlds across threads with [`sweep`], whose merged
-//! output is bit-identical regardless of thread count.
+//! Each world is reproducible: the same seed and the same actor set
+//! always produce the same history, which is what lets the test suite
+//! assert exact error-routing tables and lets every experiment in the
+//! paper reproduction be replayed bit-for-bit. Parallelism never changes
+//! output, only wall-clock, along two independent axes sharing one
+//! process-wide worker pool ([`pool`]):
+//!
+//! * **Across seeds** — multi-seed studies fan independent worlds across
+//!   threads with [`sweep`]; merged output is bit-identical regardless of
+//!   thread count.
+//! * **Within one world** — [`World::into_parallel`] shards a world's
+//!   actors across workers that advance simulated time in conservative
+//!   windows ([`par`]); event streams and telemetry are bit-identical to
+//!   a single-threaded drain at any thread count.
 //!
 //! ```
 //! use desim::prelude::*;
@@ -37,6 +45,8 @@
 
 pub mod actor;
 pub mod net;
+pub mod par;
+pub mod pool;
 pub mod queue;
 pub mod rng;
 pub mod sweep;
@@ -45,10 +55,11 @@ pub mod trace;
 pub mod world;
 
 pub use actor::{Actor, ActorId, Context, Envelope};
-pub use net::{Fate, NetStats, Network};
-pub use queue::EventQueue;
+pub use net::{Fate, NetOp, NetStats, Network};
+pub use par::{ParConfig, ParFinished, ParWorld};
+pub use queue::{EventKey, EventQueue, KeyedEventQueue};
 pub use rng::SimRng;
-pub use sweep::{run_sweep, SeedRun, Sweep};
+pub use sweep::{default_width, run_sweep, SeedRun, Sweep};
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEntry, TraceLog};
 pub use world::World;

@@ -64,6 +64,51 @@ impl NetStats {
     pub fn duplicated_total(&self) -> u64 {
         self.duplicated.values().sum()
     }
+
+    /// Fold another stats table into this one, link by link. The sharded
+    /// engine gives each shard its own network replica and sums the
+    /// replicas' tables at the end of a run; `BTreeMap` keys keep the
+    /// result independent of merge order.
+    pub fn merge(&mut self, other: &NetStats) {
+        for (k, v) in &other.dropped {
+            *self.dropped.entry(*k).or_insert(0) += v;
+        }
+        for (k, v) in &other.duplicated {
+            *self.duplicated.entry(*k).or_insert(0) += v;
+        }
+    }
+}
+
+/// One topology/configuration mutation, reified so the sharded engine can
+/// defer it: with op recording on (the sharded engine's mode), an actor's
+/// `ctx.net` mutation is *recorded instead of applied*, then applied to
+/// every shard's replica — including the originator's — at the next
+/// window barrier. Deferring keeps all replicas identical within a
+/// window, which is what makes the window width a sound lookahead bound:
+/// a latency *decrease* can only take effect at a barrier, where the next
+/// window's width is recomputed from the new minimum.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetOp {
+    /// [`Network::set_link_latency`].
+    SetLinkLatency(HostId, HostId, SimDuration),
+    /// [`Network::clear_link_latency`].
+    ClearLinkLatency(HostId, HostId),
+    /// [`Network::set_link_loss`].
+    SetLinkLoss(HostId, HostId, f64),
+    /// [`Network::clear_link_loss`].
+    ClearLinkLoss(HostId, HostId),
+    /// [`Network::set_link_duplication`].
+    SetLinkDuplication(HostId, HostId, f64),
+    /// [`Network::clear_link_duplication`].
+    ClearLinkDuplication(HostId, HostId),
+    /// [`Network::partition`].
+    Partition(HostId, HostId),
+    /// [`Network::heal`].
+    Heal(HostId, HostId),
+    /// [`Network::set_host_down`].
+    HostDown(HostId),
+    /// [`Network::set_host_up`].
+    HostUp(HostId),
 }
 
 /// The simulated network fabric.
@@ -79,6 +124,10 @@ pub struct Network {
     dup_prob: f64,
     link_dup: HashMap<(HostId, HostId), f64>,
     stats: NetStats,
+    /// When true, every mutation is also recorded in `pending` for
+    /// replication to sibling replicas (the sharded engine's mode).
+    record_ops: bool,
+    pending: Vec<NetOp>,
 }
 
 impl Default for Network {
@@ -101,6 +150,8 @@ impl Network {
             dup_prob: 0.0,
             link_dup: HashMap::new(),
             stats: NetStats::default(),
+            record_ops: false,
+            pending: Vec::new(),
         }
     }
 
@@ -126,13 +177,38 @@ impl Network {
         self
     }
 
+    /// Change the default (no-override) link latency. A *build-time*
+    /// knob — raise it before converting a world with
+    /// [`crate::World::into_parallel`] to widen the conservative window;
+    /// it is deliberately not a [`NetOp`], so actors cannot change it
+    /// mid-run.
+    pub fn set_default_latency(&mut self, latency: SimDuration) {
+        self.default_latency = latency;
+    }
+
+    /// True when the mutation was recorded for barrier application
+    /// instead of applied (deferred mode).
+    #[inline]
+    fn deferred(&mut self, op: NetOp) -> bool {
+        if self.record_ops {
+            self.pending.push(op);
+        }
+        self.record_ops
+    }
+
     /// Override the latency of one (undirected) link.
     pub fn set_link_latency(&mut self, a: HostId, b: HostId, latency: SimDuration) {
+        if self.deferred(NetOp::SetLinkLatency(a, b, latency)) {
+            return;
+        }
         self.link_latency.insert(link_key(a, b), latency);
     }
 
     /// Remove a per-link latency override, reverting to the default.
     pub fn clear_link_latency(&mut self, a: HostId, b: HostId) {
+        if self.deferred(NetOp::ClearLinkLatency(a, b)) {
+            return;
+        }
         self.link_latency.remove(&link_key(a, b));
     }
 
@@ -140,11 +216,17 @@ impl Network {
     /// network-wide drop probability on that link.
     pub fn set_link_loss(&mut self, a: HostId, b: HostId, p: f64) {
         assert!((0.0..=1.0).contains(&p));
+        if self.deferred(NetOp::SetLinkLoss(a, b, p)) {
+            return;
+        }
         self.link_loss.insert(link_key(a, b), p);
     }
 
     /// Remove a per-link loss override.
     pub fn clear_link_loss(&mut self, a: HostId, b: HostId) {
+        if self.deferred(NetOp::ClearLinkLoss(a, b)) {
+            return;
+        }
         self.link_loss.remove(&link_key(a, b));
     }
 
@@ -152,21 +234,33 @@ impl Network {
     /// the network-wide duplication probability on that link.
     pub fn set_link_duplication(&mut self, a: HostId, b: HostId, p: f64) {
         assert!((0.0..=1.0).contains(&p));
+        if self.deferred(NetOp::SetLinkDuplication(a, b, p)) {
+            return;
+        }
         self.link_dup.insert(link_key(a, b), p);
     }
 
     /// Remove a per-link duplication override.
     pub fn clear_link_duplication(&mut self, a: HostId, b: HostId) {
+        if self.deferred(NetOp::ClearLinkDuplication(a, b)) {
+            return;
+        }
         self.link_dup.remove(&link_key(a, b));
     }
 
     /// Sever one link in both directions.
     pub fn partition(&mut self, a: HostId, b: HostId) {
+        if self.deferred(NetOp::Partition(a, b)) {
+            return;
+        }
         self.partitioned.insert(link_key(a, b));
     }
 
     /// Restore a severed link.
     pub fn heal(&mut self, a: HostId, b: HostId) {
+        if self.deferred(NetOp::Heal(a, b)) {
+            return;
+        }
         self.partitioned.remove(&link_key(a, b));
     }
 
@@ -177,12 +271,90 @@ impl Network {
 
     /// Take a host offline: nothing is delivered to or from it.
     pub fn set_host_down(&mut self, h: HostId) {
+        if self.deferred(NetOp::HostDown(h)) {
+            return;
+        }
         self.down.insert(h);
     }
 
     /// Bring a host back.
     pub fn set_host_up(&mut self, h: HostId) {
+        if self.deferred(NetOp::HostUp(h)) {
+            return;
+        }
         self.down.remove(&h);
+    }
+
+    /// Turn deferred-op recording on or off (see [`NetOp`]). While on,
+    /// mutators record instead of applying. Recording starts empty;
+    /// turning it off discards anything pending.
+    pub fn set_op_recording(&mut self, on: bool) {
+        self.record_ops = on;
+        if !on {
+            self.pending.clear();
+        }
+    }
+
+    /// Drain the mutations recorded since the last take.
+    pub fn take_pending_ops(&mut self) -> Vec<NetOp> {
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Apply one recorded mutation to this replica *without* re-recording
+    /// it (replication path; ops are idempotent).
+    pub fn apply_op(&mut self, op: &NetOp) {
+        match *op {
+            NetOp::SetLinkLatency(a, b, lat) => {
+                self.link_latency.insert(link_key(a, b), lat);
+            }
+            NetOp::ClearLinkLatency(a, b) => {
+                self.link_latency.remove(&link_key(a, b));
+            }
+            NetOp::SetLinkLoss(a, b, p) => {
+                self.link_loss.insert(link_key(a, b), p);
+            }
+            NetOp::ClearLinkLoss(a, b) => {
+                self.link_loss.remove(&link_key(a, b));
+            }
+            NetOp::SetLinkDuplication(a, b, p) => {
+                self.link_dup.insert(link_key(a, b), p);
+            }
+            NetOp::ClearLinkDuplication(a, b) => {
+                self.link_dup.remove(&link_key(a, b));
+            }
+            NetOp::Partition(a, b) => {
+                self.partitioned.insert(link_key(a, b));
+            }
+            NetOp::Heal(a, b) => {
+                self.partitioned.remove(&link_key(a, b));
+            }
+            NetOp::HostDown(h) => {
+                self.down.insert(h);
+            }
+            NetOp::HostUp(h) => {
+                self.down.remove(&h);
+            }
+        }
+    }
+
+    /// The smallest latency any non-loopback message can currently have:
+    /// the minimum of the default and every per-link override, clamped to
+    /// the 1µs floor. Jitter only scales latency *up*, so this is a safe
+    /// lookahead bound — a conservative window no wider than this value
+    /// guarantees every cross-shard delivery lands in a later window.
+    pub fn min_latency(&self) -> SimDuration {
+        let mut min = self.default_latency;
+        for lat in self.link_latency.values() {
+            if *lat < min {
+                min = *lat;
+            }
+        }
+        SimDuration::from_micros(min.as_micros().max(1))
+    }
+
+    /// Fold another replica's delivery statistics into this one.
+    pub fn merge_stats(&mut self, other: &NetStats) {
+        self.stats.merge(other);
     }
 
     /// Is the host offline?

@@ -1,0 +1,132 @@
+//! The persistent worker pool.
+//!
+//! One process-wide pool of worker threads serves *both* axes of
+//! parallelism in the simulator: per-seed fan-out ([`crate::sweep`]) and
+//! intra-world shard draining ([`crate::par`]). Sharing one pool means a
+//! sweep of parallel worlds never multiplies thread counts — a seed task
+//! running on a pool worker can itself submit shard-drain tasks right
+//! back to the same pool.
+//!
+//! Two disciplines make that nesting safe and deterministic:
+//!
+//! * **Submitters never block on the pool.** Every parallel construct in
+//!   this crate is a *claim loop*: work items are claimed from a shared
+//!   counter, helpers are submitted as extra claimers, and the submitting
+//!   thread runs the same loop inline. If the pool is saturated (or has a
+//!   single worker), the submitter simply drains every item itself —
+//!   slower, never stuck, bit-identical output.
+//! * **Span-counter bracketing.** Span ids come from a thread-local
+//!   counter ([`obs::next_span_id`]); tasks pin their own bases with
+//!   [`obs::reset_span_ids`]. The worker loop saves the counter around
+//!   every task, so one task's position never leaks into the next — a
+//!   worker's history has no effect on any task's output.
+//!
+//! Tasks must be `'static`: the pool outlives every submitter, so shared
+//! state travels in `Arc`s, never borrows.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    queue: Mutex<VecDeque<Task>>,
+    available: Condvar,
+}
+
+static POOL: OnceLock<&'static PoolState> = OnceLock::new();
+
+fn pool() -> &'static PoolState {
+    POOL.get_or_init(|| {
+        let state: &'static PoolState = Box::leak(Box::new(PoolState {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        }));
+        for i in 0..worker_count() {
+            std::thread::Builder::new()
+                .name(format!("desim-pool-{i}"))
+                .spawn(move || worker_loop(state))
+                .expect("spawn pool worker");
+        }
+        state
+    })
+}
+
+fn worker_loop(state: &'static PoolState) {
+    loop {
+        let task = {
+            let mut q = state.queue.lock().expect("pool queue");
+            loop {
+                match q.pop_front() {
+                    Some(t) => break t,
+                    None => q = state.available.wait(q).expect("pool queue"),
+                }
+            }
+        };
+        let saved = obs::peek_span_id();
+        // A panicking task must not kill the worker: claim-loop tasks
+        // catch and report their own panics, and anything that still
+        // escapes is the submitter's to surface, not the pool's.
+        let _ = catch_unwind(AssertUnwindSafe(task));
+        obs::reset_span_ids(saved);
+    }
+}
+
+/// Number of worker threads the pool runs: one per available core, less
+/// one for the submitting thread (which always works inline), floor 1.
+pub fn worker_count() -> usize {
+    crate::sweep::default_width().saturating_sub(1).max(1)
+}
+
+/// Submit a task. Returns immediately; the task runs on some pool worker
+/// eventually. There is no completion handle — claim-loop callers track
+/// completion through their own shared counters.
+pub fn spawn(task: impl FnOnce() + Send + 'static) {
+    let p = pool();
+    p.queue
+        .lock()
+        .expect("pool queue")
+        .push_back(Box::new(task));
+    p.available.notify_one();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn tasks_run_and_complete() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..64 {
+            let hits = hits.clone();
+            spawn(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let start = std::time::Instant::now();
+        while hits.load(Ordering::SeqCst) < 64 {
+            assert!(start.elapsed().as_secs() < 30, "pool tasks never ran");
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn panicking_task_does_not_kill_workers() {
+        spawn(|| panic!("deliberate"));
+        let hits = Arc::new(AtomicUsize::new(0));
+        {
+            let hits = hits.clone();
+            spawn(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let start = std::time::Instant::now();
+        while hits.load(Ordering::SeqCst) < 1 {
+            assert!(start.elapsed().as_secs() < 30, "worker died after a panic");
+            std::thread::yield_now();
+        }
+    }
+}

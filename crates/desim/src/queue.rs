@@ -9,29 +9,104 @@
 //! `std::collections::BinaryHeap`. The simulator's pop-one/push-a-few
 //! cadence spends most of its queue time sifting; a 4-ary layout halves
 //! the tree depth (fewer key comparisons resolve to fewer cache lines
-//! touched per sift) and keys compare directly as `(at, seq)` with no
-//! `Ord`-inversion wrapper.
+//! touched per sift) and keys compare directly with no `Ord`-inversion
+//! wrapper.
+//!
+//! Two queue flavors share the heap core:
+//!
+//! * [`EventQueue`] — the classic single-threaded queue, keyed
+//!   `(time, push-seq)`: ties pop in *push* order. Its tie-break depends
+//!   on global push order, which only exists on one thread.
+//! * [`KeyedEventQueue`] — the sharded engine's queue, keyed
+//!   `(time, source, per-source seq)`: the caller supplies the key, so
+//!   the pop order is a pure function of the key *set*, independent of
+//!   the order events were pushed. That push-order independence is what
+//!   lets cross-shard deliveries merge at a window barrier in any
+//!   arrival order and still drain identically.
 
 use crate::time::SimTime;
 
 const ARITY: usize = 4;
 
-struct Entry<E> {
-    at: SimTime,
-    seq: u64,
-    event: E,
+/// The heap core: a 4-ary min-heap over `(K, E)` ordered by `K` alone.
+/// Callers must guarantee key uniqueness if they need a total order.
+struct Heap<K, E> {
+    items: Vec<(K, E)>,
 }
 
-impl<E> Entry<E> {
-    #[inline]
-    fn key(&self) -> (SimTime, u64) {
-        (self.at, self.seq)
+impl<K: Ord + Copy, E> Heap<K, E> {
+    fn new() -> Self {
+        Heap { items: Vec::new() }
+    }
+
+    fn push(&mut self, key: K, event: E) {
+        self.items.push((key, event));
+        self.sift_up(self.items.len() - 1);
+    }
+
+    fn pop(&mut self) -> Option<(K, E)> {
+        if self.items.is_empty() {
+            return None;
+        }
+        let last = self.items.len() - 1;
+        self.items.swap(0, last);
+        let entry = self.items.pop().expect("non-empty");
+        if !self.items.is_empty() {
+            self.sift_down(0);
+        }
+        Some(entry)
+    }
+
+    fn peek_key(&self) -> Option<K> {
+        self.items.first().map(|e| e.0)
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / ARITY;
+            if self.items[i].0 >= self.items[parent].0 {
+                break;
+            }
+            self.items.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let len = self.items.len();
+        loop {
+            let first_child = i * ARITY + 1;
+            if first_child >= len {
+                break;
+            }
+            // Smallest of up to ARITY children.
+            let mut min = first_child;
+            let last_child = (first_child + ARITY).min(len);
+            for c in first_child + 1..last_child {
+                if self.items[c].0 < self.items[min].0 {
+                    min = c;
+                }
+            }
+            if self.items[min].0 >= self.items[i].0 {
+                break;
+            }
+            self.items.swap(i, min);
+            i = min;
+        }
     }
 }
 
 /// A deterministic time-ordered event queue.
 pub struct EventQueue<E> {
-    heap: Vec<Entry<E>>,
+    heap: Heap<(SimTime, u64), E>,
     seq: u64,
 }
 
@@ -45,7 +120,7 @@ impl<E> EventQueue<E> {
     /// An empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: Vec::new(),
+            heap: Heap::new(),
             seq: 0,
         }
     }
@@ -54,27 +129,17 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, at: SimTime, event: E) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry { at, seq, event });
-        self.sift_up(self.heap.len() - 1);
+        self.heap.push((at, seq), event);
     }
 
     /// Remove and return the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        if self.heap.is_empty() {
-            return None;
-        }
-        let last = self.heap.len() - 1;
-        self.heap.swap(0, last);
-        let entry = self.heap.pop().expect("non-empty");
-        if !self.heap.is_empty() {
-            self.sift_down(0);
-        }
-        Some((entry.at, entry.event))
+        self.heap.pop().map(|((at, _), e)| (at, e))
     }
 
     /// The time of the earliest event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.first().map(|e| e.at)
+        self.heap.peek_key().map(|(at, _)| at)
     }
 
     /// Number of pending events.
@@ -84,46 +149,92 @@ impl<E> EventQueue<E> {
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.heap.len() == 0
     }
 
     /// Drop all pending events.
     pub fn clear(&mut self) {
         self.heap.clear();
     }
+}
 
-    fn sift_up(&mut self, mut i: usize) {
-        while i > 0 {
-            let parent = (i - 1) / ARITY;
-            if self.heap[i].key() >= self.heap[parent].key() {
-                break;
-            }
-            self.heap.swap(i, parent);
-            i = parent;
-        }
+/// The canonical ordering key of one event in the sharded engine:
+/// `(time, source, per-source sequence)`.
+///
+/// `source` is the sender's global actor id (or [`EventKey::EXTERNAL`] for
+/// injections from outside the world) and `seq` counts that sender's sends
+/// from the start of the run — so the key is unique, per-sender FIFO is
+/// preserved at equal times, and the total order does not depend on which
+/// shard pushed the event first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct EventKey {
+    /// Delivery time.
+    pub at: SimTime,
+    /// Sender's global actor id, or [`EventKey::EXTERNAL`].
+    pub src: u64,
+    /// The sender's send counter at the moment of sending.
+    pub seq: u64,
+}
+
+impl EventKey {
+    /// The `src` of events injected from outside any actor. Orders after
+    /// every real sender at the same instant.
+    pub const EXTERNAL: u64 = u64::MAX;
+}
+
+/// A deterministic event queue whose tie-break is the caller-supplied
+/// [`EventKey`] rather than push order — see the module docs for why the
+/// sharded engine needs this.
+pub struct KeyedEventQueue<E> {
+    heap: Heap<EventKey, E>,
+}
+
+impl<E> Default for KeyedEventQueue<E> {
+    fn default() -> Self {
+        KeyedEventQueue::new()
+    }
+}
+
+impl<E> KeyedEventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        KeyedEventQueue { heap: Heap::new() }
     }
 
-    fn sift_down(&mut self, mut i: usize) {
-        let len = self.heap.len();
-        loop {
-            let first_child = i * ARITY + 1;
-            if first_child >= len {
-                break;
-            }
-            // Smallest of up to ARITY children.
-            let mut min = first_child;
-            let last_child = (first_child + ARITY).min(len);
-            for c in first_child + 1..last_child {
-                if self.heap[c].key() < self.heap[min].key() {
-                    min = c;
-                }
-            }
-            if self.heap[min].key() >= self.heap[i].key() {
-                break;
-            }
-            self.heap.swap(i, min);
-            i = min;
-        }
+    /// Schedule `event` under `key`. Keys must be unique across the run
+    /// (guaranteed when `seq` is a per-`src` counter).
+    pub fn push(&mut self, key: EventKey, event: E) {
+        self.heap.push(key, event);
+    }
+
+    /// Remove and return the earliest event with its key.
+    pub fn pop(&mut self) -> Option<(EventKey, E)> {
+        self.heap.pop()
+    }
+
+    /// The key of the earliest event without removing it.
+    pub fn peek_key(&self) -> Option<EventKey> {
+        self.heap.peek_key()
+    }
+
+    /// The time of the earliest event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek_key().map(|k| k.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.len() == 0
+    }
+
+    /// Drop all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
     }
 }
 
@@ -219,5 +330,60 @@ mod tests {
             assert_eq!(q.pop(), Some((at, payload)));
         }
         assert_eq!(q.pop(), None);
+    }
+
+    fn key(at_us: u64, src: u64, seq: u64) -> EventKey {
+        EventKey {
+            at: SimTime::from_micros(at_us),
+            src,
+            seq,
+        }
+    }
+
+    #[test]
+    fn keyed_queue_orders_by_time_then_source_then_seq() {
+        let mut q = KeyedEventQueue::new();
+        q.push(key(5, 1, 0), "t5-s1");
+        q.push(key(3, 9, 2), "t3-s9");
+        q.push(key(3, 2, 7), "t3-s2");
+        q.push(key(3, 2, 4), "t3-s2-earlier");
+        let popped: Vec<&str> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(popped, vec!["t3-s2-earlier", "t3-s2", "t3-s9", "t5-s1"]);
+    }
+
+    #[test]
+    fn keyed_queue_order_is_push_order_independent() {
+        // The defining property: any permutation of pushes drains the same.
+        let keys: Vec<EventKey> = (0..24u64).map(|i| key(i % 4, (i * 7) % 5, i)).collect();
+        let drain = |order: &[usize]| -> Vec<EventKey> {
+            let mut q = KeyedEventQueue::new();
+            for &i in order {
+                q.push(keys[i], i);
+            }
+            std::iter::from_fn(|| q.pop()).map(|(k, _)| k).collect()
+        };
+        let forward: Vec<usize> = (0..keys.len()).collect();
+        let mut reversed = forward.clone();
+        reversed.reverse();
+        // A deterministic shuffle.
+        let mut shuffled = forward.clone();
+        for i in (1..shuffled.len()).rev() {
+            shuffled.swap(i, (i * 2_654_435_761) % (i + 1));
+        }
+        let want = drain(&forward);
+        assert_eq!(drain(&reversed), want);
+        assert_eq!(drain(&shuffled), want);
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(want, sorted);
+    }
+
+    #[test]
+    fn external_key_orders_after_every_sender() {
+        let mut q = KeyedEventQueue::new();
+        q.push(key(1, EventKey::EXTERNAL, 0), "injected");
+        q.push(key(1, 3, 99), "sent");
+        assert_eq!(q.pop().unwrap().1, "sent");
+        assert_eq!(q.pop().unwrap().1, "injected");
     }
 }

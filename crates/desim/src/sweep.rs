@@ -3,12 +3,14 @@
 //! Experiments answer statistical questions ("median goodput over 32
 //! seeds"), which means running the *same* scenario under many seeds. Each
 //! [`crate::World`] is single-threaded and self-contained, so seeds are
-//! embarrassingly parallel — this module fans them out across a scoped
-//! thread pool and then merges the results **in seed order**, so the
-//! merged registry snapshot and event stream are bit-identical no matter
-//! how many worker threads ran the sweep or which thread ran which seed.
+//! embarrassingly parallel — this module fans them out across the
+//! process-wide [`crate::pool`] (shared with intra-world shard draining,
+//! so nested parallelism never multiplies threads) and then merges the
+//! results **in seed order**, so the merged registry snapshot and event
+//! stream are bit-identical no matter how many worker threads ran the
+//! sweep or which thread ran which seed.
 //!
-//! Two details make that guarantee hold:
+//! Three details make that guarantee hold:
 //!
 //! * Results are collected keyed by seed *index* and reassembled in index
 //!   order; thread scheduling affects only wall-clock, never output order.
@@ -18,10 +20,15 @@
 //!   index ([`span_base`]). A seed's span ids are therefore a pure
 //!   function of its own execution — and distinct across seeds in the
 //!   merged stream.
+//! * The submitting thread claims seeds inline alongside the pool
+//!   helpers, so a sweep makes progress even when every pool worker is
+//!   busy — it never blocks waiting for the pool.
 
 use crate::world::World;
 use obs::{Collector, Registry};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Span-id stride between adjacent seeds: each seed `i` allocates span ids
 /// in `[span_base(i), span_base(i+1))`. 2^40 ids per seed is unreachable
@@ -34,54 +41,117 @@ pub fn span_base(seed_index: usize) -> u64 {
     (seed_index as u64) * SPAN_STRIDE + 1
 }
 
+/// The default fan-out width: one lane per core the host exposes
+/// (floor 1). This is both the width experiments pass to sweeps when the
+/// caller does not override it and the basis for the shared pool's size
+/// ([`crate::pool::worker_count`]).
+pub fn default_width() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Shared state for one in-flight sweep: the claim counter, the result
+/// slots, and completion/panic plumbing. Lives in an `Arc` because pool
+/// helpers are `'static` and may outlive a panicking driver's stack frame.
+struct SweepJob<T, F> {
+    seeds: Vec<u64>,
+    run: F,
+    next: AtomicUsize,
+    slots: Mutex<Vec<Option<T>>>,
+    done: Mutex<usize>,
+    all_done: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl<T, F> SweepJob<T, F>
+where
+    T: Send + 'static,
+    F: Fn(usize, u64) -> T + Send + Sync + 'static,
+{
+    /// Claim-and-run loop shared by the driver thread and pool helpers.
+    /// Each claimed seed runs under its own span base; a panic is captured
+    /// into the job (first one wins) and the loop keeps claiming so the
+    /// driver is always released.
+    fn drain_claims(&self) {
+        let n = self.seeds.len();
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                obs::reset_span_ids(span_base(i));
+                (self.run)(i, self.seeds[i])
+            }));
+            match result {
+                Ok(t) => self.slots.lock().expect("sweep slots")[i] = Some(t),
+                Err(p) => {
+                    let mut slot = self.panic.lock().expect("sweep panic slot");
+                    if slot.is_none() {
+                        *slot = Some(p);
+                    }
+                }
+            }
+            let mut done = self.done.lock().expect("sweep done");
+            *done += 1;
+            if *done == n {
+                self.all_done.notify_all();
+            }
+        }
+    }
+
+    fn wait_all_done(&self) {
+        let n = self.seeds.len();
+        let mut done = self.done.lock().expect("sweep done");
+        while *done < n {
+            done = self.all_done.wait(done).expect("sweep done");
+        }
+    }
+}
+
 /// Run `run(index, seed)` for every seed, fanning across at most
-/// `threads` worker threads (clamped to at least 1), and return the
-/// results in seed order.
+/// `threads` claim lanes (clamped to at least 1), and return the results
+/// in seed order.
 ///
-/// Workers claim seeds from a shared counter, so a slow seed never stalls
-/// the others. Before each claim the worker pins its thread-local span
+/// Lanes claim seeds from a shared counter, so a slow seed never stalls
+/// the others. Before each claim the lane pins its thread-local span
 /// counter to [`span_base`]`(index)`, making every result independent of
-/// thread placement. Panics in `run` propagate.
+/// thread placement. The extra lanes run on the process-wide
+/// [`crate::pool`]; the calling thread always claims inline, so the sweep
+/// completes even if every pool worker is busy. Panics in `run`
+/// propagate to the caller.
 pub fn run_sweep<T, F>(seeds: &[u64], threads: usize, run: F) -> Vec<T>
 where
-    T: Send,
-    F: Fn(usize, u64) -> T + Sync,
+    T: Send + 'static,
+    F: Fn(usize, u64) -> T + Send + Sync + 'static,
 {
     let n = seeds.len();
     if n == 0 {
         return Vec::new();
     }
-    let workers = threads.max(1).min(n);
-    let next = AtomicUsize::new(0);
-    let run = &run;
-    let parts: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut out = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
-                        }
-                        obs::reset_span_ids(span_base(i));
-                        out.push((i, run(i, seeds[i])));
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep worker panicked"))
-            .collect()
+    let job = Arc::new(SweepJob {
+        seeds: seeds.to_vec(),
+        run,
+        next: AtomicUsize::new(0),
+        slots: Mutex::new((0..n).map(|_| None).collect()),
+        done: Mutex::new(0),
+        all_done: Condvar::new(),
+        panic: Mutex::new(None),
     });
-    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    for part in parts {
-        for (i, t) in part {
-            slots[i] = Some(t);
-        }
+    let helpers = threads.max(1).min(n).saturating_sub(1);
+    for _ in 0..helpers {
+        let job = Arc::clone(&job);
+        crate::pool::spawn(move || job.drain_claims());
     }
+    // The driver claims inline with its own span bracket: a sweep must
+    // not disturb the caller's span-id position.
+    let saved = obs::peek_span_id();
+    job.drain_claims();
+    obs::reset_span_ids(saved);
+    job.wait_all_done();
+    if let Some(p) = job.panic.lock().expect("sweep panic slot").take() {
+        resume_unwind(p);
+    }
+    let slots = std::mem::take(&mut *job.slots.lock().expect("sweep slots"));
     slots
         .into_iter()
         .map(|s| s.expect("every seed produces exactly one result"))
@@ -124,10 +194,10 @@ impl Sweep {
     /// seed order regardless of scheduling.
     pub fn run<F>(seeds: &[u64], threads: usize, run: F) -> Sweep
     where
-        F: Fn(u64) -> SeedRun + Sync,
+        F: Fn(u64) -> SeedRun + Send + Sync + 'static,
     {
         Sweep {
-            runs: run_sweep(seeds, threads, |_, seed| run(seed)),
+            runs: run_sweep(seeds, threads, move |_, seed| run(seed)),
         }
     }
 

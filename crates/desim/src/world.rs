@@ -12,20 +12,23 @@ use obs::Collector;
 /// virtual clock, a network fabric, a random stream, a trace log, and a
 /// typed event collector.
 pub struct World<M> {
-    actors: Vec<Option<Box<dyn Actor<M>>>>,
-    names: Vec<String>,
-    queue: EventQueue<Envelope<M>>,
-    now: SimTime,
-    rng: SimRng,
-    net: Network,
-    trace: TraceLog,
-    collector: Collector,
+    // Actors are stored `+ Send` so a built world can be converted into a
+    // sharded parallel run ([`crate::par::ParWorld`]); the classic
+    // single-threaded loop below is unchanged by the bound.
+    pub(crate) actors: Vec<Option<Box<dyn Actor<M> + Send>>>,
+    pub(crate) names: Vec<String>,
+    pub(crate) queue: EventQueue<Envelope<M>>,
+    pub(crate) now: SimTime,
+    pub(crate) rng: SimRng,
+    pub(crate) net: Network,
+    pub(crate) trace: TraceLog,
+    pub(crate) collector: Collector,
     // Reused across dispatches: drained into the queue after each handler,
     // keeping its capacity so steady-state dispatch allocates nothing.
-    outbox: Vec<(SimTime, Envelope<M>)>,
-    started: bool,
-    stop_requested: bool,
-    events_processed: u64,
+    pub(crate) outbox: Vec<(SimTime, Envelope<M>)>,
+    pub(crate) started: bool,
+    pub(crate) stop_requested: bool,
+    pub(crate) events_processed: u64,
 }
 
 impl<M: 'static> World<M> {
@@ -70,7 +73,7 @@ impl<M: 'static> World<M> {
     }
 
     /// Register an actor; returns its id (also its [`crate::net::HostId`]).
-    pub fn add_actor(&mut self, actor: Box<dyn Actor<M>>) -> ActorId {
+    pub fn add_actor(&mut self, actor: Box<dyn Actor<M> + Send>) -> ActorId {
         assert!(
             !self.started,
             "actors must be added before the world starts"

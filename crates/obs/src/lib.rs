@@ -41,4 +41,4 @@ pub use event::{ClaimOutcome, Event, IoOutcome};
 pub use intern::{Interner, Sym};
 pub use metrics::{Histogram, MetricKey, Registry};
 pub use ring::RingBuffer;
-pub use span::{next_span_id, reset_span_ids, SpanAction, SpanId, NO_SPAN};
+pub use span::{next_span_id, peek_span_id, reset_span_ids, SpanAction, SpanId, NO_SPAN};

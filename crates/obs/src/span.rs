@@ -37,6 +37,16 @@ pub fn next_span_id() -> SpanId {
     })
 }
 
+/// The next span id this thread would allocate, without allocating it.
+///
+/// Lets a harness *bracket* span allocation: save the counter, run work
+/// that pins its own bases via [`reset_span_ids`], then restore — so a
+/// worker thread that executes many unrelated tasks (seeds, shards)
+/// never leaks one task's counter position into the next.
+pub fn peek_span_id() -> SpanId {
+    NEXT_SPAN.with(|c| c.get())
+}
+
 /// Reset this thread's span counter to `base` (clamped to 1 so
 /// [`NO_SPAN`] is never handed out).
 ///

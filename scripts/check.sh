@@ -15,4 +15,7 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> exp_parworld smoke (thread-count determinism differential)"
+cargo run --release -p bench --bin exp_parworld -- --smoke
+
 echo "All checks passed."
