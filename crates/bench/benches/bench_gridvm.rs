@@ -1,11 +1,13 @@
-//! B3 — GridVM interpreter throughput: dispatch rate, startup path, and the
-//! wrapper's overhead over the bare VM.
+//! B3 — GridVM interpreter throughput: dispatch rate, startup path, the
+//! wrapper's overhead over the bare VM, and the trace-compiled tier
+//! against the plain interpreter on the canonical hot loop.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use gridvm::jvmio::NoIo;
 use gridvm::prelude::*;
 use gridvm::programs;
 use gridvm::wrapper::{run_naive, run_wrapped};
+use gridvm::TraceConfig;
 
 fn bench_interpreter(c: &mut Criterion) {
     let mut g = c.benchmark_group("interpreter");
@@ -48,10 +50,28 @@ fn bench_wrapper_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_trace_tier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_tier");
+    for n in [10_000i64, 1_000_000] {
+        let image = programs::cpu_bound(n);
+        let interp = Installation::healthy().with_trace(TraceConfig::off());
+        let compiled = Installation::healthy().with_trace(TraceConfig::default());
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("interpreted", n), &image, |b, image| {
+            b.iter(|| black_box(load_and_run(image, &interp, &mut NoIo)))
+        });
+        g.bench_with_input(BenchmarkId::new("trace_compiled", n), &image, |b, image| {
+            b.iter(|| black_box(load_and_run(image, &compiled, &mut NoIo)))
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_interpreter,
     bench_startup,
-    bench_wrapper_overhead
+    bench_wrapper_overhead,
+    bench_trace_tier
 );
 criterion_main!(benches);

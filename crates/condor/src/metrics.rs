@@ -206,9 +206,28 @@ pub struct MachineStats {
     pub leases_expired: u64,
     /// Messages this startd fenced for carrying a stale claim epoch.
     pub stale_epochs_dropped: u64,
+    /// Hot-loop recordings the machine's VMs closed into linear traces.
+    /// Like every other counter here, a pure function of the executed
+    /// instruction streams — byte-identical across same-seed runs.
+    pub vm_traces_recorded: u64,
+    /// Traces lowered and installed as compiled programs.
+    pub vm_traces_compiled: u64,
+    /// Guard exits: compiled executions that bailed back to the
+    /// interpreter at a scope-relevant condition.
+    pub vm_guard_exits: u64,
+    /// Base instructions executed through the compiled tier.
+    pub vm_compiled_instructions: u64,
 }
 
 impl MachineStats {
+    /// Fold one VM run's trace-tier counters into this machine's view.
+    pub fn absorb_vm(&mut self, vm: &gridvm::VmStats) {
+        self.vm_traces_recorded += vm.traces_recorded;
+        self.vm_traces_compiled += vm.traces_compiled;
+        self.vm_guard_exits += vm.guard_exits;
+        self.vm_compiled_instructions += vm.compiled_instructions;
+    }
+
     /// Add this machine's counters to a registry under a `machine` label.
     pub fn register_into(&self, reg: &mut obs::Registry) {
         let labels: &[(&str, &str)] = &[("machine", &self.name)];
@@ -222,6 +241,14 @@ impl MachineStats {
         );
         reg.counter_add("leases_expired", labels, self.leases_expired);
         reg.counter_add("stale_epochs_dropped", labels, self.stale_epochs_dropped);
+        reg.counter_add("vm_traces_recorded", labels, self.vm_traces_recorded);
+        reg.counter_add("vm_traces_compiled", labels, self.vm_traces_compiled);
+        reg.counter_add("vm_guard_exits", labels, self.vm_guard_exits);
+        reg.counter_add(
+            "vm_compiled_instructions",
+            labels,
+            self.vm_compiled_instructions,
+        );
         reg.gauge_set(
             "advertising_java",
             labels,
@@ -262,6 +289,34 @@ mod tests {
             ..Metrics::default()
         };
         assert_eq!(m.jobs_finished(), 6);
+    }
+
+    #[test]
+    fn vm_counters_flow_from_runs_into_the_machine_registry() {
+        use gridvm::prelude::*;
+        use gridvm::TraceConfig;
+        let install = Installation::healthy().with_trace(TraceConfig::eager());
+        let out = load_and_run(&gridvm::programs::cpu_bound(500), &install, &mut NoIo);
+        assert!(out.vm.traces_compiled > 0);
+        let mut stats = MachineStats {
+            name: "node3".into(),
+            ..MachineStats::default()
+        };
+        stats.absorb_vm(&out.vm);
+        stats.absorb_vm(&out.vm);
+        assert_eq!(stats.vm_traces_compiled, 2 * out.vm.traces_compiled);
+        let mut reg = obs::Registry::new();
+        stats.register_into(&mut reg);
+        let labels = [("machine", "node3")];
+        assert_eq!(
+            reg.counter("vm_traces_recorded", &labels),
+            2 * out.vm.traces_recorded
+        );
+        assert_eq!(
+            reg.counter("vm_compiled_instructions", &labels),
+            2 * out.vm.compiled_instructions
+        );
+        assert!(reg.counter("vm_compiled_instructions", &labels) > 0);
     }
 
     #[test]

@@ -613,6 +613,7 @@ impl Startd {
                 let out = m
                     .run(&image, &self.spec.installation, &mut NoIo, None)
                     .expect("unbudgeted run always terminates");
+                self.stats.absorb_vm(&out.vm);
                 self.finish(out.termination, out.stdout, out.instructions, &act)
             }
             None => self.execute(&act, ctx),
@@ -883,6 +884,7 @@ impl Startd {
                 // (Standard additionally checkpoints on eviction, handled
                 // by the caller.)
                 let (_exit, out) = run_naive(&act.image, &self.spec.installation, &mut NoIo);
+                self.stats.absorb_vm(&out.vm);
                 self.finish(out.termination, out.stdout, out.instructions, act)
             }
             Universe::Java(mode) => {
@@ -919,10 +921,12 @@ impl Startd {
                 let out = match mode {
                     crate::job::JavaMode::Naive => {
                         let (_exit, out) = run_naive(&act.image, &self.spec.installation, &mut io);
+                        self.stats.absorb_vm(&out.vm);
                         self.finish(out.termination, out.stdout, out.instructions, act)
                     }
                     crate::job::JavaMode::Scoped => {
                         let w = run_wrapped(&act.image, &self.spec.installation, &mut io);
+                        self.stats.absorb_vm(&w.vm);
                         // The starter examines the result file and ignores
                         // the JVM result entirely (§4).
                         let result = ResultFile::from_json(&w.result_file_bytes)

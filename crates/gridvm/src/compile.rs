@@ -1,0 +1,806 @@
+//! Trace lowering and compiled execution — the back half of the trace tier.
+//!
+//! A recorded linear trace (one observed iteration of a hot loop, see
+//! [`crate::trace`]) is lowered here into a flattened program of
+//! [`TraceOp`]s: superinstructions fuse common pairs and quads
+//! (`Push+Add`, `Load+CmpLt+JumpIf`, the full `i += k` idiom), operand
+//! slots (locals, constants, branch targets) are resolved at compile time,
+//! and every scope-relevant condition becomes an explicit **guard exit**.
+//!
+//! The containment rule, after Hukerikar & Engelmann's resilience-pattern
+//! vocabulary: the compiled tier never *raises* an error. When a guard
+//! trips — null or dangling reference, array bounds, division by zero,
+//! heap exhaustion, a broken installation under `StdCall`, fuel or budget
+//! running dry, or a terminal bail at an instruction the tier does not
+//! execute (I/O, calls, terminators) — the trace exits *before* the
+//! faulting instruction with the machine in exactly the interpreter's
+//! state at that pc. The interpreter then re-executes the instruction and
+//! produces the identical scoped [`crate::machine::Termination`] it always
+//! would. Branch divergence (the loop condition finally failing) is the
+//! one *committed* exit: the branch instruction counts, and control
+//! resumes at the divergent target.
+
+use crate::config::Installation;
+use crate::isa::Instr;
+use crate::trace::Recorder;
+
+/// One flattened trace operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceOp {
+    /// pc of the first base instruction this op covers — where the
+    /// interpreter resumes if a guard trips before the op commits.
+    pub pc: u32,
+    /// Number of base instructions the op fuses; charged against fuel and
+    /// any run budget exactly as the interpreter would charge them.
+    pub cost: u32,
+    /// What the op does.
+    pub kind: OpKind,
+}
+
+/// The flattened operation set. Plain variants mirror single interpreter
+/// instructions; the compound variants are superinstructions with operand
+/// slots resolved at compile time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Push a constant (also lowers `PushNull` as 0).
+    Push(i64),
+    /// Discard the top of stack.
+    Pop,
+    /// Duplicate the top of stack.
+    Dup,
+    /// Swap the top two values.
+    Swap,
+    /// Wrapping add.
+    Add,
+    /// Wrapping subtract.
+    Sub,
+    /// Wrapping multiply.
+    Mul,
+    /// Divide; guards divisor-is-zero.
+    Div,
+    /// Remainder; guards divisor-is-zero.
+    Mod,
+    /// Wrapping negate.
+    Neg,
+    /// Equality compare.
+    CmpEq,
+    /// Less-than compare.
+    CmpLt,
+    /// Greater-than compare.
+    CmpGt,
+    /// Push local `n`.
+    Load(u8),
+    /// Pop into local `n`.
+    Store(u8),
+    /// Pop and append to stdout.
+    Print,
+    /// Allocate; guards negative size and the heap limit.
+    NewArray,
+    /// Array length; guards null.
+    ALen,
+    /// Array load; guards null and bounds.
+    ALoad,
+    /// Array store; guards null and bounds.
+    AStore,
+    /// Standard-library call; guards a broken installation, unknown
+    /// routines, and `isqrt` of a negative.
+    StdCall(u8),
+    /// `Push k; Add` fused.
+    AddConst(i64),
+    /// `Push k; Sub` fused.
+    SubConst(i64),
+    /// `Push k; Mul` fused.
+    MulConst(i64),
+    /// `Push k; Div` fused — only emitted for `k != 0`, so the
+    /// division-by-zero guard is discharged at compile time.
+    DivConst(i64),
+    /// `Push k; Mod` fused — only emitted for `k != 0`.
+    ModConst(i64),
+    /// `Push k; Store n` fused.
+    StoreConst {
+        /// Destination local.
+        local: u8,
+        /// The constant.
+        k: i64,
+    },
+    /// `Load src; Store dst` fused.
+    CopyLocal {
+        /// Source local.
+        src: u8,
+        /// Destination local.
+        dst: u8,
+    },
+    /// `Load n; Push k; Add; Store n` fused: `locals[n] += k` (a `Sub`
+    /// in the source fuses with `k` negated — exact under wrapping).
+    IncLocal {
+        /// The local being stepped.
+        local: u8,
+        /// The (signed) step.
+        k: i64,
+    },
+    /// `Load a; Load b` fused.
+    LoadLoad(u8, u8),
+    /// `Load n; Add` fused: top += locals[n].
+    AddLocal(u8),
+    /// `Load n; Sub` fused: top -= locals[n].
+    SubLocal(u8),
+    /// `Load n; Mul` fused: top *= locals[n].
+    MulLocal(u8),
+    /// `Load n; Push k; CmpLt; JumpIf*` fused — the canonical counted-loop
+    /// condition, net stack effect zero. Continues in-trace when
+    /// `(locals[n] < k) == 0` matches `expect_zero`; otherwise commits and
+    /// side-exits to `diverge`.
+    LoadCmpLtConstBranch {
+        /// The loop counter local.
+        local: u8,
+        /// The loop bound.
+        k: i64,
+        /// Whether the trace continues on a zero condition value.
+        expect_zero: bool,
+        /// Interpreter pc to resume at when the branch diverges.
+        diverge: u32,
+    },
+    /// A lone conditional jump: pop the condition; continue in-trace when
+    /// `(v == 0) == expect_zero`, else commit and side-exit to `diverge`.
+    Branch {
+        /// Whether the trace continues on a zero condition value.
+        expect_zero: bool,
+        /// Interpreter pc to resume at when the branch diverges.
+        diverge: u32,
+    },
+    /// An unconditional jump inside the trace: control flow is already
+    /// linearized, so this only charges the jump's cost.
+    Goto,
+    /// End of the loop body: charge the closing jump and continue from op 0.
+    LoopBack,
+    /// Terminal guard exit: the recording ended at an instruction the tier
+    /// leaves to the interpreter (I/O, `Call`, `Ret`, terminators).
+    Bail,
+}
+
+/// A compiled trace: a flattened, guard-checked program for one hot loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledTrace {
+    /// Function the trace lives in.
+    pub func: u32,
+    /// The loop-head pc the trace starts at.
+    pub head: u32,
+    /// The flattened program.
+    pub ops: Vec<TraceOp>,
+    /// Base instructions per full circuit (the sum of op costs).
+    pub base_len: u32,
+}
+
+/// Lower a closed recording. `bail_pc` is `Some(pc)` when the recording
+/// ended at an unsupported instruction (terminal bail there) and `None`
+/// when it closed by jumping back to its head (loop back). Returns `None`
+/// for recordings not worth compiling (empty: the head itself was
+/// unsupported).
+pub fn compile(r: &Recorder, bail_pc: Option<u32>) -> Option<CompiledTrace> {
+    if r.steps.is_empty() {
+        return None;
+    }
+    let mut ops: Vec<TraceOp> = Vec::with_capacity(r.steps.len() + 1);
+    // A loop closed by a plain `Jump head` folds the jump into `LoopBack`
+    // (one dispatch saved per circuit); a loop closed by a conditional
+    // jump keeps its branch op and loops back for free.
+    let (steps, closer) = match (bail_pc, r.steps.last()) {
+        (None, Some(last)) if matches!(last.ins, Instr::Jump(_)) => (
+            &r.steps[..r.steps.len() - 1],
+            TraceOp {
+                pc: last.pc,
+                cost: 1,
+                kind: OpKind::LoopBack,
+            },
+        ),
+        (None, _) => (
+            &r.steps[..],
+            TraceOp {
+                pc: r.head,
+                cost: 0,
+                kind: OpKind::LoopBack,
+            },
+        ),
+        (Some(pc), _) => (
+            &r.steps[..],
+            TraceOp {
+                pc,
+                cost: 0,
+                kind: OpKind::Bail,
+            },
+        ),
+    };
+    let mut i = 0;
+    while i < steps.len() {
+        if let Some((op, used)) = fuse(&steps[i..]) {
+            ops.push(op);
+            i += used;
+        } else {
+            ops.push(lower_single(&steps[i]));
+            i += 1;
+        }
+    }
+    ops.push(closer);
+    let base_len = ops.iter().map(|o| o.cost).sum();
+    Some(CompiledTrace {
+        func: r.func,
+        head: r.head,
+        ops,
+        base_len,
+    })
+}
+
+/// Try the superinstruction patterns, longest first, at the start of
+/// `window`. Fused members are never jumps (except a pattern-final one),
+/// so their pcs are consecutive and a bail before the op resumes the
+/// interpreter on the exact same path.
+fn fuse(window: &[crate::trace::Recorded]) -> Option<(TraceOp, usize)> {
+    use Instr as I;
+    // Load n; Push k; CmpLt; JumpIf* — the counted-loop condition.
+    if window.len() >= 4 {
+        if let (I::Load(n), I::Push(k), I::CmpLt) = (window[0].ins, window[1].ins, window[2].ins) {
+            let j = &window[3];
+            let branch = match j.ins {
+                I::JumpIfZero(t) => Some(if j.taken {
+                    (true, j.pc + 1)
+                } else {
+                    (false, t)
+                }),
+                I::JumpIfNonZero(t) => Some(if j.taken {
+                    (false, j.pc + 1)
+                } else {
+                    (true, t)
+                }),
+                _ => None,
+            };
+            if let Some((expect_zero, diverge)) = branch {
+                return Some((
+                    TraceOp {
+                        pc: window[0].pc,
+                        cost: 4,
+                        kind: OpKind::LoadCmpLtConstBranch {
+                            local: n,
+                            k,
+                            expect_zero,
+                            diverge,
+                        },
+                    },
+                    4,
+                ));
+            }
+        }
+        // Load n; Push k; Add|Sub; Store n — `locals[n] += k`.
+        if let (I::Load(a), I::Push(k), op, I::Store(b)) =
+            (window[0].ins, window[1].ins, window[2].ins, window[3].ins)
+        {
+            if a == b {
+                let k = match op {
+                    I::Add => Some(k),
+                    I::Sub => Some(k.wrapping_neg()),
+                    _ => None,
+                };
+                if let Some(k) = k {
+                    return Some((
+                        TraceOp {
+                            pc: window[0].pc,
+                            cost: 4,
+                            kind: OpKind::IncLocal { local: a, k },
+                        },
+                        4,
+                    ));
+                }
+            }
+        }
+    }
+    if window.len() >= 2 {
+        let pc = window[0].pc;
+        let pair = |kind| Some((TraceOp { pc, cost: 2, kind }, 2));
+        match (window[0].ins, window[1].ins) {
+            (I::Push(k), I::Add) => return pair(OpKind::AddConst(k)),
+            (I::Push(k), I::Sub) => return pair(OpKind::SubConst(k)),
+            (I::Push(k), I::Mul) => return pair(OpKind::MulConst(k)),
+            (I::Push(k), I::Div) if k != 0 => return pair(OpKind::DivConst(k)),
+            (I::Push(k), I::Mod) if k != 0 => return pair(OpKind::ModConst(k)),
+            (I::Push(k), I::Store(n)) => return pair(OpKind::StoreConst { local: n, k }),
+            (I::Load(src), I::Store(dst)) => return pair(OpKind::CopyLocal { src, dst }),
+            (I::Load(n), I::Add) => return pair(OpKind::AddLocal(n)),
+            (I::Load(n), I::Sub) => return pair(OpKind::SubLocal(n)),
+            (I::Load(n), I::Mul) => return pair(OpKind::MulLocal(n)),
+            (I::Load(a), I::Load(b)) => return pair(OpKind::LoadLoad(a, b)),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn lower_single(s: &crate::trace::Recorded) -> TraceOp {
+    use Instr as I;
+    let kind = match s.ins {
+        I::Push(v) => OpKind::Push(v),
+        I::PushNull => OpKind::Push(0),
+        I::Pop => OpKind::Pop,
+        I::Dup => OpKind::Dup,
+        I::Swap => OpKind::Swap,
+        I::Add => OpKind::Add,
+        I::Sub => OpKind::Sub,
+        I::Mul => OpKind::Mul,
+        I::Div => OpKind::Div,
+        I::Mod => OpKind::Mod,
+        I::Neg => OpKind::Neg,
+        I::CmpEq => OpKind::CmpEq,
+        I::CmpLt => OpKind::CmpLt,
+        I::CmpGt => OpKind::CmpGt,
+        I::Load(n) => OpKind::Load(n),
+        I::Store(n) => OpKind::Store(n),
+        I::Print => OpKind::Print,
+        I::NewArray => OpKind::NewArray,
+        I::ALen => OpKind::ALen,
+        I::ALoad => OpKind::ALoad,
+        I::AStore => OpKind::AStore,
+        I::StdCall(n) => OpKind::StdCall(n),
+        I::Jump(_) => OpKind::Goto,
+        I::JumpIfZero(t) => {
+            if s.taken {
+                OpKind::Branch {
+                    expect_zero: true,
+                    diverge: s.pc + 1,
+                }
+            } else {
+                OpKind::Branch {
+                    expect_zero: false,
+                    diverge: t,
+                }
+            }
+        }
+        I::JumpIfNonZero(t) => {
+            if s.taken {
+                OpKind::Branch {
+                    expect_zero: false,
+                    diverge: s.pc + 1,
+                }
+            } else {
+                OpKind::Branch {
+                    expect_zero: true,
+                    diverge: t,
+                }
+            }
+        }
+        // Unsupported instructions end recording before they are recorded.
+        other => unreachable!("unsupported instruction {other:?} in a recorded trace"),
+    };
+    TraceOp {
+        pc: s.pc,
+        cost: 1,
+        kind,
+    }
+}
+
+/// How a compiled execution handed control back to the interpreter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceExit {
+    /// The interpreter pc to resume at.
+    pub pc: u32,
+    /// Base instructions committed by this execution (already reflected in
+    /// the machine state; the caller adds them to its counters).
+    pub committed: u64,
+    /// True for guard exits (bail *before* the op at `pc`: fault guards,
+    /// fuel/budget boundaries, terminal bails); false for committed branch
+    /// side-exits (the loop condition diverged).
+    pub guard: bool,
+}
+
+/// Execute a compiled trace against borrowed machine state. `remaining` is
+/// the instruction headroom (the lesser of fuel and any run budget): the
+/// runner never commits past it, so fuel exhaustion and budget suspension
+/// always land on pure interpreter state at the exact instruction the
+/// interpreter would have stopped at.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_trace(
+    t: &CompiledTrace,
+    stack: &mut Vec<i64>,
+    locals: &mut [i64],
+    heap: &mut Vec<Vec<i64>>,
+    heap_words: &mut u64,
+    stdout: &mut String,
+    install: &Installation,
+    remaining: u64,
+) -> TraceExit {
+    let mut committed: u64 = 0;
+    let mut i = 0usize;
+    loop {
+        let op = t.ops[i];
+        let cost = u64::from(op.cost);
+        // Fuel/budget guard: bail before any op that would overrun, and
+        // let the interpreter burn the last instructions one at a time so
+        // the stop lands on the exact boundary.
+        if committed + cost > remaining {
+            return TraceExit {
+                pc: op.pc,
+                committed,
+                guard: true,
+            };
+        }
+        macro_rules! bail {
+            () => {
+                return TraceExit {
+                    pc: op.pc,
+                    committed,
+                    guard: true,
+                }
+            };
+        }
+        // Stack-depth guard: the verifier makes underflow impossible for
+        // verified images, but the interpreter survives it with an
+        // explicit VM-scope error — so must we, by bailing to it.
+        macro_rules! need {
+            ($n:expr) => {
+                if stack.len() < $n {
+                    bail!();
+                }
+            };
+        }
+        macro_rules! binop {
+            ($f:ident) => {{
+                need!(2);
+                let b = stack.pop().unwrap();
+                let a = stack.last_mut().unwrap();
+                *a = a.$f(b);
+            }};
+        }
+        macro_rules! cmpop {
+            ($cmp:tt) => {{
+                need!(2);
+                let b = stack.pop().unwrap();
+                let a = stack.last_mut().unwrap();
+                *a = i64::from(*a $cmp b);
+            }};
+        }
+        match op.kind {
+            OpKind::Push(v) => stack.push(v),
+            OpKind::Pop => {
+                need!(1);
+                stack.pop();
+            }
+            OpKind::Dup => {
+                need!(1);
+                let v = *stack.last().unwrap();
+                stack.push(v);
+            }
+            OpKind::Swap => {
+                need!(2);
+                let n = stack.len();
+                stack.swap(n - 1, n - 2);
+            }
+            OpKind::Add => binop!(wrapping_add),
+            OpKind::Sub => binop!(wrapping_sub),
+            OpKind::Mul => binop!(wrapping_mul),
+            OpKind::Div => {
+                need!(2);
+                if stack[stack.len() - 1] == 0 {
+                    bail!(); // ArithmeticException, raised by the interpreter
+                }
+                binop!(wrapping_div);
+            }
+            OpKind::Mod => {
+                need!(2);
+                if stack[stack.len() - 1] == 0 {
+                    bail!();
+                }
+                binop!(wrapping_rem);
+            }
+            OpKind::Neg => {
+                need!(1);
+                let v = stack.last_mut().unwrap();
+                *v = v.wrapping_neg();
+            }
+            OpKind::CmpEq => cmpop!(==),
+            OpKind::CmpLt => cmpop!(<),
+            OpKind::CmpGt => cmpop!(>),
+            OpKind::Load(n) => stack.push(locals[n as usize]),
+            OpKind::Store(n) => {
+                need!(1);
+                locals[n as usize] = stack.pop().unwrap();
+            }
+            OpKind::Print => {
+                need!(1);
+                let v = stack.pop().unwrap();
+                stdout.push_str(&v.to_string());
+                stdout.push('\n');
+            }
+            OpKind::NewArray => {
+                need!(1);
+                let size = stack[stack.len() - 1];
+                if size < 0 {
+                    bail!(); // NegativeArraySizeException
+                }
+                let words = size as u64;
+                if *heap_words + words > install.heap_limit {
+                    bail!(); // OutOfMemoryError, VM scope
+                }
+                stack.pop();
+                *heap_words += words;
+                heap.push(vec![0; size as usize]);
+                stack.push(heap.len() as i64);
+            }
+            OpKind::ALen => {
+                need!(1);
+                let r = stack[stack.len() - 1];
+                if r <= 0 || r as usize > heap.len() {
+                    bail!(); // NullPointerException
+                }
+                let n = heap[r as usize - 1].len() as i64;
+                *stack.last_mut().unwrap() = n;
+            }
+            OpKind::ALoad => {
+                need!(2);
+                let idx = stack[stack.len() - 1];
+                let r = stack[stack.len() - 2];
+                if r <= 0 || r as usize > heap.len() {
+                    bail!(); // NullPointerException
+                }
+                let a = &heap[r as usize - 1];
+                if idx < 0 || idx as usize >= a.len() {
+                    bail!(); // ArrayIndexOutOfBoundsException
+                }
+                let v = a[idx as usize];
+                stack.pop();
+                *stack.last_mut().unwrap() = v;
+            }
+            OpKind::AStore => {
+                need!(3);
+                let idx = stack[stack.len() - 2];
+                let r = stack[stack.len() - 3];
+                if r <= 0 || r as usize > heap.len() {
+                    bail!();
+                }
+                let a = &mut heap[r as usize - 1];
+                if idx < 0 || idx as usize >= a.len() {
+                    bail!();
+                }
+                let val = stack.pop().unwrap();
+                stack.pop();
+                stack.pop();
+                a[idx as usize] = val;
+            }
+            OpKind::StdCall(n) => {
+                if !install.has_stdlib() {
+                    bail!(); // MisconfiguredInstallation, remote-resource scope
+                }
+                need!(1);
+                let v = *stack.last().unwrap();
+                let out = match n {
+                    0 => v.wrapping_abs(),
+                    1 => v.signum(),
+                    2 => {
+                        if v < 0 {
+                            bail!(); // ArithmeticException: isqrt of negative
+                        }
+                        (v as f64).sqrt() as i64
+                    }
+                    _ => bail!(), // NoSuchMethodError
+                };
+                *stack.last_mut().unwrap() = out;
+            }
+            OpKind::AddConst(k) => {
+                need!(1);
+                let v = stack.last_mut().unwrap();
+                *v = v.wrapping_add(k);
+            }
+            OpKind::SubConst(k) => {
+                need!(1);
+                let v = stack.last_mut().unwrap();
+                *v = v.wrapping_sub(k);
+            }
+            OpKind::MulConst(k) => {
+                need!(1);
+                let v = stack.last_mut().unwrap();
+                *v = v.wrapping_mul(k);
+            }
+            OpKind::DivConst(k) => {
+                need!(1);
+                let v = stack.last_mut().unwrap();
+                *v = v.wrapping_div(k);
+            }
+            OpKind::ModConst(k) => {
+                need!(1);
+                let v = stack.last_mut().unwrap();
+                *v = v.wrapping_rem(k);
+            }
+            OpKind::StoreConst { local, k } => locals[local as usize] = k,
+            OpKind::CopyLocal { src, dst } => locals[dst as usize] = locals[src as usize],
+            OpKind::IncLocal { local, k } => {
+                let v = &mut locals[local as usize];
+                *v = v.wrapping_add(k);
+            }
+            OpKind::LoadLoad(a, b) => {
+                stack.push(locals[a as usize]);
+                stack.push(locals[b as usize]);
+            }
+            OpKind::AddLocal(n) => {
+                need!(1);
+                let v = stack.last_mut().unwrap();
+                *v = v.wrapping_add(locals[n as usize]);
+            }
+            OpKind::SubLocal(n) => {
+                need!(1);
+                let v = stack.last_mut().unwrap();
+                *v = v.wrapping_sub(locals[n as usize]);
+            }
+            OpKind::MulLocal(n) => {
+                need!(1);
+                let v = stack.last_mut().unwrap();
+                *v = v.wrapping_mul(locals[n as usize]);
+            }
+            OpKind::LoadCmpLtConstBranch {
+                local,
+                k,
+                expect_zero,
+                diverge,
+            } => {
+                let v = i64::from(locals[local as usize] < k);
+                if (v == 0) != expect_zero {
+                    return TraceExit {
+                        pc: diverge,
+                        committed: committed + cost,
+                        guard: false,
+                    };
+                }
+            }
+            OpKind::Branch {
+                expect_zero,
+                diverge,
+            } => {
+                need!(1);
+                let v = stack.pop().unwrap();
+                if (v == 0) != expect_zero {
+                    return TraceExit {
+                        pc: diverge,
+                        committed: committed + cost,
+                        guard: false,
+                    };
+                }
+            }
+            OpKind::Goto => {}
+            OpKind::LoopBack => {
+                committed += cost;
+                i = 0;
+                continue;
+            }
+            OpKind::Bail => bail!(),
+        }
+        committed += cost;
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Recorded;
+
+    fn rec(steps: Vec<(u32, Instr, bool)>) -> Recorder {
+        Recorder {
+            func: 0,
+            head: steps.first().map_or(0, |s| s.0),
+            steps: steps
+                .into_iter()
+                .map(|(pc, ins, taken)| Recorded { pc, ins, taken })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn empty_recording_is_rejected() {
+        assert!(compile(&rec(vec![]), Some(0)).is_none());
+    }
+
+    #[test]
+    fn cpu_bound_loop_body_fuses() {
+        // The cpu_bound(n) loop, pcs 4..=18 closing back to 4 (see
+        // programs::cpu_bound): condition, acc += i*i, i += 1, jump.
+        let n = 1000;
+        let r = rec(vec![
+            (4, Instr::Load(1), false),
+            (5, Instr::Push(n), false),
+            (6, Instr::CmpLt, false),
+            (7, Instr::JumpIfZero(19), false), // not taken: loop continues
+            (8, Instr::Load(0), false),
+            (9, Instr::Load(1), false),
+            (10, Instr::Load(1), false),
+            (11, Instr::Mul, false),
+            (12, Instr::Add, false),
+            (13, Instr::Store(0), false),
+            (14, Instr::Load(1), false),
+            (15, Instr::Push(1), false),
+            (16, Instr::Add, false),
+            (17, Instr::Store(1), false),
+            (18, Instr::Jump(4), true),
+        ]);
+        let t = compile(&r, None).unwrap();
+        assert_eq!(t.base_len, 15);
+        let kinds: Vec<_> = t.ops.iter().map(|o| o.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                OpKind::LoadCmpLtConstBranch {
+                    local: 1,
+                    k: n,
+                    expect_zero: false,
+                    diverge: 19
+                },
+                OpKind::LoadLoad(0, 1),
+                OpKind::MulLocal(1),
+                OpKind::Add,
+                OpKind::Store(0),
+                OpKind::IncLocal { local: 1, k: 1 },
+                OpKind::LoopBack,
+            ]
+        );
+    }
+
+    #[test]
+    fn div_by_constant_zero_is_not_fused() {
+        let r = rec(vec![
+            (0, Instr::Push(0), false),
+            (1, Instr::Div, false),
+            (2, Instr::Jump(0), true),
+        ]);
+        let t = compile(&r, None).unwrap();
+        // Push(0); Div stay separate so the Div guard still fires.
+        assert_eq!(t.ops[0].kind, OpKind::Push(0));
+        assert_eq!(t.ops[1].kind, OpKind::Div);
+    }
+
+    #[test]
+    fn terminal_bail_is_appended_for_unsupported_tails() {
+        let r = rec(vec![(3, Instr::Load(0), false)]);
+        let t = compile(&r, Some(4)).unwrap();
+        assert_eq!(
+            t.ops.last().unwrap(),
+            &TraceOp {
+                pc: 4,
+                cost: 0,
+                kind: OpKind::Bail
+            }
+        );
+    }
+
+    #[test]
+    fn sub_fuses_to_negated_increment_exactly() {
+        // i64::MIN negates to itself; wrapping_add(MIN) == wrapping_sub(MIN).
+        let r = rec(vec![
+            (0, Instr::Load(2), false),
+            (1, Instr::Push(i64::MIN), false),
+            (2, Instr::Sub, false),
+            (3, Instr::Store(2), false),
+            (4, Instr::Jump(0), true),
+        ]);
+        let t = compile(&r, None).unwrap();
+        assert_eq!(
+            t.ops[0].kind,
+            OpKind::IncLocal {
+                local: 2,
+                k: i64::MIN
+            }
+        );
+        let mut locals = [0i64, 0, 7];
+        let mut stack = Vec::new();
+        let mut heap = Vec::new();
+        let mut hw = 0;
+        let mut out = String::new();
+        let exit = run_trace(
+            &t,
+            &mut stack,
+            &mut locals,
+            &mut heap,
+            &mut hw,
+            &mut out,
+            &Installation::healthy(),
+            5, // exactly one circuit
+        );
+        assert_eq!(locals[2], 7i64.wrapping_sub(i64::MIN));
+        assert_eq!(exit.committed, 5);
+        assert!(exit.guard); // stopped by the headroom limit at the head
+        assert_eq!(exit.pc, 0);
+    }
+}

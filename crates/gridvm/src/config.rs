@@ -28,6 +28,57 @@ pub enum InstallHealth {
     MissingStdlib,
 }
 
+/// Configuration for the interpreter's trace-compilation tier.
+///
+/// The interpreter counts taken backward branches; when a target's count
+/// reaches `hot_threshold` it records one linear trace through the loop and
+/// compiles it into a flattened program of superinstructions with explicit
+/// guard exits (see [`crate::compile`]). Compilation is a pure
+/// *containment-preserving* optimization: every observable — exit codes,
+/// [`crate::machine::Termination`] scopes, instruction counts, checkpoint
+/// state — is bit-identical with the tier on or off, so it defaults to on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceConfig {
+    /// Master switch for the trace tier.
+    pub enabled: bool,
+    /// Taken-backward-branch count at which a target is recorded.
+    pub hot_threshold: u32,
+    /// Longest trace (in recorded instructions) worth compiling; longer
+    /// recordings (typically unrolled inner loops) are abandoned and the
+    /// head blacklisted.
+    pub max_trace_len: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            enabled: true,
+            hot_threshold: 16,
+            max_trace_len: 256,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Tracing disabled: the frozen pure-interpreter baseline that the
+    /// differential suite (E14) pins the compiled tier against.
+    pub fn off() -> TraceConfig {
+        TraceConfig {
+            enabled: false,
+            ..TraceConfig::default()
+        }
+    }
+
+    /// A hair-trigger threshold so tests and the differential corpus hit
+    /// the compiled tier even on short loops.
+    pub fn eager() -> TraceConfig {
+        TraceConfig {
+            hot_threshold: 2,
+            ..TraceConfig::default()
+        }
+    }
+}
+
 /// An installation descriptor, as the machine owner would configure it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Installation {
@@ -42,6 +93,10 @@ pub struct Installation {
     pub fuel: u64,
     /// Actual health of this installation.
     pub health: InstallHealth,
+    /// Trace-compilation tier settings (absent in old serialized
+    /// installations, which get the default: enabled).
+    #[serde(default)]
+    pub trace: TraceConfig,
 }
 
 impl Default for Installation {
@@ -59,6 +114,7 @@ impl Installation {
             max_call_depth: 512,
             fuel: 50_000_000,
             health: InstallHealth::Healthy,
+            trace: TraceConfig::default(),
         }
     }
 
@@ -94,6 +150,12 @@ impl Installation {
     /// Cap the instruction budget (builder style).
     pub fn with_fuel(mut self, fuel: u64) -> Installation {
         self.fuel = fuel;
+        self
+    }
+
+    /// Override the trace-compilation settings (builder style).
+    pub fn with_trace(mut self, trace: TraceConfig) -> Installation {
+        self.trace = trace;
         self
     }
 

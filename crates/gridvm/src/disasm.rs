@@ -5,6 +5,7 @@
 //! Used for debugging job images and in tests as an inverse of the
 //! assembler.
 
+use crate::compile::{CompiledTrace, OpKind};
 use crate::image::ProgramImage;
 use crate::isa::{Instr, IoMode};
 use std::collections::BTreeSet;
@@ -40,6 +41,89 @@ pub fn disassemble(img: &ProgramImage) -> String {
         }
     }
     out
+}
+
+/// Render a compiled trace as a listing: one flattened op per line with
+/// its covering base pc and fused-instruction cost. Not assembler input —
+/// traces are an execution artifact, not a program representation — but
+/// the format mirrors [`disassemble`] so the two read side by side.
+pub fn disassemble_trace(t: &CompiledTrace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        ".trace func={} head=L{} ops={} base_len={}",
+        t.func,
+        t.head,
+        t.ops.len(),
+        t.base_len
+    );
+    for op in &t.ops {
+        let _ = writeln!(
+            out,
+            "    [pc {:>4} cost {}] {}",
+            op.pc,
+            op.cost,
+            render_op(&op.kind)
+        );
+    }
+    out
+}
+
+fn render_op(k: &OpKind) -> String {
+    match k {
+        OpKind::Push(v) => format!("push {v}"),
+        OpKind::Pop => "pop".into(),
+        OpKind::Dup => "dup".into(),
+        OpKind::Swap => "swap".into(),
+        OpKind::Add => "add".into(),
+        OpKind::Sub => "sub".into(),
+        OpKind::Mul => "mul".into(),
+        OpKind::Div => "div ; guards /0".into(),
+        OpKind::Mod => "mod ; guards %0".into(),
+        OpKind::Neg => "neg".into(),
+        OpKind::CmpEq => "cmpeq".into(),
+        OpKind::CmpLt => "cmplt".into(),
+        OpKind::CmpGt => "cmpgt".into(),
+        OpKind::Load(n) => format!("load {n}"),
+        OpKind::Store(n) => format!("store {n}"),
+        OpKind::Print => "print".into(),
+        OpKind::NewArray => "newarray ; guards size/heap".into(),
+        OpKind::ALen => "alen ; guards null".into(),
+        OpKind::ALoad => "aload ; guards null/bounds".into(),
+        OpKind::AStore => "astore ; guards null/bounds".into(),
+        OpKind::StdCall(n) => format!("stdcall {n} ; guards install"),
+        OpKind::AddConst(k) => format!("add.k {k}"),
+        OpKind::SubConst(k) => format!("sub.k {k}"),
+        OpKind::MulConst(k) => format!("mul.k {k}"),
+        OpKind::DivConst(k) => format!("div.k {k}"),
+        OpKind::ModConst(k) => format!("mod.k {k}"),
+        OpKind::StoreConst { local, k } => format!("store.k {local} <- {k}"),
+        OpKind::CopyLocal { src, dst } => format!("copy {src} -> {dst}"),
+        OpKind::IncLocal { local, k } => format!("inc {local} += {k}"),
+        OpKind::LoadLoad(a, b) => format!("load2 {a} {b}"),
+        OpKind::AddLocal(n) => format!("add.l {n}"),
+        OpKind::SubLocal(n) => format!("sub.l {n}"),
+        OpKind::MulLocal(n) => format!("mul.l {n}"),
+        OpKind::LoadCmpLtConstBranch {
+            local,
+            k,
+            expect_zero,
+            diverge,
+        } => format!(
+            "loopcond {local} < {k} stay-if-{} else L{diverge}",
+            if *expect_zero { "zero" } else { "nonzero" }
+        ),
+        OpKind::Branch {
+            expect_zero,
+            diverge,
+        } => format!(
+            "branch stay-if-{} else L{diverge}",
+            if *expect_zero { "zero" } else { "nonzero" }
+        ),
+        OpKind::Goto => "goto".into(),
+        OpKind::LoopBack => "loopback".into(),
+        OpKind::Bail => "bail ; terminal guard exit".into(),
+    }
 }
 
 fn sanitize(name: &str, index: usize) -> String {
@@ -164,6 +248,27 @@ mod tests {
         let src = disassemble(&img);
         assert!(src.contains("L4:"), "{src}");
         assert!(src.contains("jump L4"), "{src}");
+    }
+
+    #[test]
+    fn compiled_traces_disassemble_with_fusion_visible() {
+        use crate::config::{Installation, TraceConfig};
+        use crate::machine::Machine;
+        let img = ProgramImage::from_bytes(&programs::cpu_bound(100)).unwrap();
+        let install = Installation::healthy().with_trace(TraceConfig::eager());
+        let mut m = Machine::new(&img);
+        m.run(&img, &install, &mut crate::jvmio::NoIo, None);
+        let traces = m.trace_state().compiled_traces();
+        assert_eq!(traces.len(), 1);
+        let src = disassemble_trace(&traces[0]);
+        assert!(src.starts_with(".trace func=0 head=L4"), "{src}");
+        assert!(src.contains("base_len=15"), "{src}");
+        // The fused loop condition and induction step both render.
+        assert!(src.contains("loopcond 1 < 100 stay-if-nonzero"), "{src}");
+        assert!(src.contains("inc 1 += 1"), "{src}");
+        assert!(src.contains("loopback"), "{src}");
+        // One line per op plus the header.
+        assert_eq!(src.lines().count(), traces[0].ops.len() + 1, "{src}");
     }
 
     #[test]

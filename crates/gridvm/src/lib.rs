@@ -23,15 +23,22 @@
 //! * [`config`] — installations, their health, and the startd self-test.
 //! * [`machine`] — the interpreter.
 //! * [`jvmio`] — the job I/O interface (Chirp-backed in production).
-//! * [`programs`] — canned jobs, one per Figure 4 row.
+//! * [`programs`] — canned jobs, one per Figure 4 row, plus the seeded
+//!   random-program generator shared by tests, the differential corpus,
+//!   and the campaign fuzzer.
 //! * [`wrapper`] — the §4 wrapper and the naive exit-code baseline.
 //! * [`asm`] — a small text assembler for writing jobs by hand.
 //! * [`disasm`] — the matching disassembler.
+//! * [`trace`] / [`mod@compile`] — the trace tier: hot loops are recorded
+//!   and compiled to flattened superinstruction programs whose guard exits
+//!   bail back to the interpreter on every scope-relevant condition, so
+//!   compiled execution is bit-identical to interpreted execution.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod asm;
+pub mod compile;
 pub mod config;
 pub mod disasm;
 pub mod image;
@@ -39,14 +46,17 @@ pub mod isa;
 pub mod jvmio;
 pub mod machine;
 pub mod programs;
+pub mod trace;
 pub mod verify;
 pub mod wrapper;
 
-pub use config::{self_test, InstallHealth, Installation, SelfTestDepth};
+pub use compile::{CompiledTrace, OpKind, TraceOp};
+pub use config::{self_test, InstallHealth, Installation, SelfTestDepth, TraceConfig};
 pub use image::{Function, ImageError, ProgramImage};
 pub use isa::{Instr, IoMode};
 pub use jvmio::{ChirpJobIo, IoOutcome, JobIo, NoIo};
 pub use machine::{execute, load_and_run, Machine, RunOutput, Termination};
+pub use trace::VmStats;
 pub use verify::{verify, VerifyError};
 pub use wrapper::{classify, run_naive, run_wrapped, NaiveExit, WrappedRun};
 

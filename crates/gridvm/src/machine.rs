@@ -10,6 +10,7 @@ use crate::config::Installation;
 use crate::image::{ProgramImage, MAGIC};
 use crate::isa::Instr;
 use crate::jvmio::{IoOutcome, JobIo};
+use crate::trace::{Plan, Recorded, TraceState, VmStats};
 use crate::verify::verify;
 use errorscope::error::codes;
 use errorscope::{ErrorCode, Scope, ScopedError};
@@ -59,7 +60,7 @@ impl Termination {
 }
 
 /// Everything an execution attempt produced.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct RunOutput {
     /// How it ended.
     pub termination: Termination,
@@ -71,6 +72,22 @@ pub struct RunOutput {
     /// I/O layer, the original [`ScopedError`] — span id and trail intact —
     /// so the telemetry journey survives the `Termination` flattening.
     pub env_error: Option<ScopedError>,
+    /// Trace-tier counters for this machine (how it ran, not what it
+    /// computed — excluded from equality, see below).
+    pub vm: VmStats,
+}
+
+/// Equality covers what the program *computed* — termination, stdout,
+/// instruction count, any escaping error — and deliberately excludes the
+/// [`VmStats`] describing *how* it ran, so a compiled execution compares
+/// equal to the interpreted execution it must be bit-identical to.
+impl PartialEq for RunOutput {
+    fn eq(&self, other: &Self) -> bool {
+        self.termination == other.termination
+            && self.stdout == other.stdout
+            && self.instructions == other.instructions
+            && self.env_error == other.env_error
+    }
 }
 
 /// Run a serialised image through the full startup-and-execute path.
@@ -86,6 +103,7 @@ pub fn load_and_run(image_bytes: &[u8], install: &Installation, io: &mut dyn Job
             stdout: String::new(),
             instructions: 0,
             env_error: None,
+            vm: VmStats::default(),
         };
     }
     // Corrupt image: job scope.
@@ -101,6 +119,7 @@ pub fn load_and_run(image_bytes: &[u8], install: &Installation, io: &mut dyn Job
                 stdout: String::new(),
                 instructions: 0,
                 env_error: None,
+                vm: VmStats::default(),
             }
         }
     };
@@ -114,6 +133,7 @@ pub fn load_and_run(image_bytes: &[u8], install: &Installation, io: &mut dyn Job
             stdout: String::new(),
             instructions: 0,
             env_error: None,
+            vm: VmStats::default(),
         };
     }
     execute(&image, install, io)
@@ -146,6 +166,10 @@ pub struct Machine {
     instructions: u64,
     io_ops: u64,
     stdout: String,
+    /// Trace-tier state: hotness counts, compiled traces, the active
+    /// recording, counters. Never checkpointed — [`Machine::snapshot`]
+    /// captures pure interpreter state, so a restored machine starts cold.
+    trace: TraceState,
 }
 
 impl Machine {
@@ -163,6 +187,7 @@ impl Machine {
             instructions: 0,
             io_ops: 0,
             stdout: String::new(),
+            trace: TraceState::default(),
         }
     }
 
@@ -174,6 +199,16 @@ impl Machine {
     /// I/O operations performed so far.
     pub fn io_ops(&self) -> u64 {
         self.io_ops
+    }
+
+    /// Trace-tier counters accumulated by this machine.
+    pub fn vm_stats(&self) -> VmStats {
+        self.trace.stats
+    }
+
+    /// Trace-tier state (read-only: for the disassembler and tests).
+    pub fn trace_state(&self) -> &TraceState {
+        &self.trace
     }
 
     /// Capture this machine's complete state as a checkpoint, bound to the
@@ -251,6 +286,7 @@ impl Machine {
             instructions: state.instructions,
             io_ops: state.io_ops,
             stdout: state.stdout,
+            trace: TraceState::default(),
         })
     }
 
@@ -300,6 +336,7 @@ impl Machine {
                     stdout: self.stdout.clone(),
                     instructions: self.instructions,
                     env_error: None,
+                    vm: self.trace.stats,
                 })
             };
         }
@@ -334,6 +371,7 @@ impl Machine {
                     stdout: self.stdout.clone(),
                     instructions: self.instructions,
                     env_error: Some(se),
+                    vm: self.trace.stats,
                 });
             }};
         }
@@ -371,7 +409,12 @@ impl Machine {
             };
             let code = &image.functions[func].code;
             if pc >= code.len() {
-                // Fell off the end of a function: implicit return.
+                // Fell off the end of a function: implicit return. A
+                // recording ends here with a terminal bail — the frame
+                // change is the interpreter's business.
+                if self.trace.recorder.is_some() {
+                    self.trace.finish_recording(Some(pc as u32));
+                }
                 self.frames.pop();
                 if self.frames.is_empty() {
                     done!(Termination::Completed { exit_code: 0 });
@@ -380,6 +423,15 @@ impl Machine {
             }
             self.frames.last_mut().unwrap().pc += 1;
             let ins = code[pc];
+
+            // Trace recording observes the interpreter doing exactly what
+            // it always does; it never changes execution.
+            if self.trace.recorder.is_some() {
+                self.observe(func, pc, ins, install.trace.max_trace_len);
+            }
+
+            // Taken branch target, noted for the trace tier below.
+            let mut taken_branch: Option<u32> = None;
 
             match ins {
                 Instr::Push(v) => self.stack.push(v),
@@ -448,15 +500,20 @@ impl Machine {
                     let a = pop!();
                     self.stack.push(i64::from(a > b));
                 }
-                Instr::Jump(t) => self.frames.last_mut().unwrap().pc = t as usize,
+                Instr::Jump(t) => {
+                    self.frames.last_mut().unwrap().pc = t as usize;
+                    taken_branch = Some(t);
+                }
                 Instr::JumpIfZero(t) => {
                     if pop!() == 0 {
                         self.frames.last_mut().unwrap().pc = t as usize;
+                        taken_branch = Some(t);
                     }
                 }
                 Instr::JumpIfNonZero(t) => {
                     if pop!() != 0 {
                         self.frames.last_mut().unwrap().pc = t as usize;
+                        taken_branch = Some(t);
                     }
                 }
                 Instr::Load(i) => {
@@ -629,6 +686,100 @@ impl Machine {
                         IoOutcome::Exception(m) => exception!("IOException", m),
                         IoOutcome::Escape(se) => escape!(se),
                     }
+                }
+            }
+
+            // Trace tier: a taken backward branch is the only place a loop
+            // can close, so it carries all the bookkeeping — hotness
+            // counting, recording kick-off, and compiled-trace entry. The
+            // straight-line interpreter path above pays nothing.
+            if let Some(target) = taken_branch {
+                if install.trace.enabled && target as usize <= pc && self.trace.recorder.is_none() {
+                    match self
+                        .trace
+                        .plan(func as u32, target, install.trace.hot_threshold)
+                    {
+                        Plan::Enter(tr) => {
+                            // Headroom: the runner never commits past the
+                            // fuel limit or the run budget, so those stops
+                            // always land on pure interpreter state.
+                            let fuel_left = install.fuel.saturating_sub(self.instructions);
+                            let remaining = match budget {
+                                Some(b) => fuel_left.min(b.saturating_sub(used)),
+                                None => fuel_left,
+                            };
+                            let frame = self.frames.last_mut().unwrap();
+                            let exit = crate::compile::run_trace(
+                                &tr,
+                                &mut self.stack,
+                                &mut frame.locals,
+                                &mut self.heap,
+                                &mut self.heap_words,
+                                &mut self.stdout,
+                                install,
+                                remaining,
+                            );
+                            frame.pc = exit.pc as usize;
+                            self.instructions += exit.committed;
+                            used += exit.committed;
+                            self.trace.stats.compiled_instructions += exit.committed;
+                            if exit.guard {
+                                self.trace.stats.guard_exits += 1;
+                            }
+                        }
+                        Plan::Record => self.trace.start_recording(func as u32, target),
+                        Plan::Nothing => {}
+                    }
+                }
+            }
+        }
+    }
+
+    /// Feed one fetched instruction to the active recording. Unsupported
+    /// instructions (frame changes, terminators, I/O) close the trace with
+    /// a terminal bail at their pc; a taken jump landing on the head
+    /// closes the loop; an over-long recording (usually an unrolled inner
+    /// loop) is abandoned and its head blacklisted.
+    fn observe(&mut self, func: usize, pc: usize, ins: Instr, max_trace_len: usize) {
+        match ins {
+            Instr::Call(_)
+            | Instr::Ret
+            | Instr::Exit
+            | Instr::Halt
+            | Instr::Throw(_)
+            | Instr::IoOpen { .. }
+            | Instr::IoReadSum
+            | Instr::IoWriteNum
+            | Instr::IoClose => {
+                self.trace.finish_recording(Some(pc as u32));
+                return;
+            }
+            _ => {}
+        }
+        // Peek the branch outcome the interpreter is about to take. (A
+        // conditional jump over an empty stack terminates the run with the
+        // interpreter's underflow error; the recording dies with it.)
+        let taken = match ins {
+            Instr::Jump(_) => true,
+            Instr::JumpIfZero(_) => self.stack.last() == Some(&0),
+            Instr::JumpIfNonZero(_) => self.stack.last().is_some_and(|v| *v != 0),
+            _ => false,
+        };
+        let rec = self.trace.recorder.as_mut().expect("recording active");
+        rec.steps.push(Recorded {
+            pc: pc as u32,
+            ins,
+            taken,
+        });
+        if rec.steps.len() > max_trace_len {
+            self.trace.abort_recording();
+            return;
+        }
+        if taken {
+            if let Some(t) = ins.branch_target() {
+                let rec = self.trace.recorder.as_ref().expect("recording active");
+                if rec.func == func as u32 && t == rec.head {
+                    self.trace.finish_recording(None);
                 }
             }
         }
@@ -1109,6 +1260,169 @@ mod tests {
             panic!("{out:?}")
         };
         assert_eq!(code.as_str(), "CpuLimitExceeded");
+    }
+
+    #[test]
+    fn hot_loop_compiles_and_matches_the_interpreter_exactly() {
+        use crate::config::TraceConfig;
+        let bytes = crate::programs::cpu_bound(500);
+        let img = ProgramImage::from_bytes(&bytes).unwrap();
+        let interp = Installation::healthy().with_trace(TraceConfig::off());
+        let compiled = Installation::healthy().with_trace(TraceConfig::eager());
+        let a = execute(&img, &interp, &mut NoIo);
+        let b = execute(&img, &compiled, &mut NoIo);
+        assert_eq!(a, b);
+        assert_eq!(a.vm, crate::trace::VmStats::default());
+        assert!(b.vm.traces_compiled >= 1, "{:?}", b.vm);
+        assert!(
+            b.vm.compiled_instructions > a.instructions / 2,
+            "{:?}",
+            b.vm
+        );
+    }
+
+    #[test]
+    fn guard_exits_reproduce_the_interpreters_scoped_errors() {
+        use crate::config::TraceConfig;
+        // Each program gets hot, compiles, then trips a different guard
+        // mid-trace. The compiled run must terminate identically.
+        let div0_mid_loop = ProgramImage::single(
+            "div0",
+            2,
+            vec![
+                Instr::Push(40),         // 0: i = 40
+                Instr::Store(0),         // 1
+                Instr::Push(100),        // 2: loop: acc = 100 / (i - 8)
+                Instr::Load(0),          // 3
+                Instr::Push(8),          // 4
+                Instr::Sub,              // 5
+                Instr::Div,              // 6  <- faults when i reaches 8
+                Instr::Store(1),         // 7
+                Instr::Load(0),          // 8: i -= 1
+                Instr::Push(1),          // 9
+                Instr::Sub,              // 10
+                Instr::Store(0),         // 11
+                Instr::Load(0),          // 12
+                Instr::JumpIfNonZero(2), // 13
+                Instr::Halt,             // 14
+            ],
+        );
+        let oob_last_iteration = ProgramImage::single(
+            "oob",
+            2,
+            vec![
+                Instr::Push(32),         // 0: arr = new[32]
+                Instr::NewArray,         // 1
+                Instr::Store(1),         // 2
+                Instr::Push(0),          // 3: i = 0
+                Instr::Store(0),         // 4
+                Instr::Load(1),          // 5: loop: arr[i] = i  (faults at i == 32)
+                Instr::Load(0),          // 6
+                Instr::Load(0),          // 7
+                Instr::AStore,           // 8
+                Instr::Load(0),          // 9: i += 1
+                Instr::Push(1),          // 10
+                Instr::Add,              // 11
+                Instr::Store(0),         // 12
+                Instr::Load(0),          // 13: while i < 40
+                Instr::Push(40),         // 14
+                Instr::CmpLt,            // 15
+                Instr::JumpIfNonZero(5), // 16
+                Instr::Halt,             // 17
+            ],
+        );
+        let oom_mid_loop = ProgramImage::from_bytes(&crate::programs::exhausts_memory()).unwrap();
+        let stdlib_loop = ProgramImage::single(
+            "stdlib-loop",
+            1,
+            vec![
+                Instr::Push(0),          // 0: i = 0
+                Instr::Store(0),         // 1
+                Instr::Load(0),          // 2: loop: isqrt(i)
+                Instr::StdCall(2),       // 3
+                Instr::Pop,              // 4
+                Instr::Load(0),          // 5: i += 1
+                Instr::Push(1),          // 6
+                Instr::Add,              // 7
+                Instr::Store(0),         // 8
+                Instr::Load(0),          // 9: while i < 50
+                Instr::Push(50),         // 10
+                Instr::CmpLt,            // 11
+                Instr::JumpIfNonZero(2), // 12
+                Instr::Halt,             // 13
+            ],
+        );
+        let cases: Vec<(ProgramImage, Installation)> = vec![
+            (div0_mid_loop, Installation::healthy()),
+            (oob_last_iteration, Installation::healthy()),
+            (
+                oom_mid_loop,
+                Installation::healthy().with_heap_limit(1 << 14),
+            ),
+            // The loop warms up healthy... and a separate machine with a
+            // missing stdlib guard-bails on its very first StdCall.
+            (stdlib_loop.clone(), Installation::healthy()),
+            (stdlib_loop, Installation::missing_stdlib()),
+        ];
+        for (img, install) in cases {
+            let a = execute(
+                &img,
+                &install.clone().with_trace(TraceConfig::off()),
+                &mut NoIo,
+            );
+            let b = execute(&img, &install.with_trace(TraceConfig::eager()), &mut NoIo);
+            assert_eq!(a, b, "{}", img.functions[0].name);
+        }
+    }
+
+    #[test]
+    fn mid_trace_checkpoint_is_pure_interpreter_state() {
+        use crate::config::TraceConfig;
+        // A snapshot taken while a compiled trace is hot must be the exact
+        // bytes an interpreter-only machine would produce at the same cut,
+        // and must resume bit-identically whether the resuming host has
+        // compilation on or off.
+        let img = long_program();
+        let bytes = img.to_bytes();
+        let digest = ckpt::fnv1a(&bytes);
+        let off = Installation::healthy().with_trace(TraceConfig::off());
+        let eager = Installation::healthy().with_trace(TraceConfig::eager());
+        let straight = execute(&img, &off, &mut NoIo);
+
+        for cut in [40u64, 137, 300, 700, 1100] {
+            let mut interp = Machine::new(&img);
+            assert!(interp.run(&img, &off, &mut NoIo, Some(cut)).is_none());
+            let mut traced = Machine::new(&img);
+            assert!(traced.run(&img, &eager, &mut NoIo, Some(cut)).is_none());
+            // The mid-trace snapshot materializes interpreter state:
+            // byte-identical to the interpreter-only machine's snapshot.
+            let a = interp.snapshot(digest).to_bytes();
+            let b = traced.snapshot(digest).to_bytes();
+            assert_eq!(a, b, "cut at {cut}");
+            // Resume the traced snapshot on both kinds of host.
+            for resume_install in [&off, &eager] {
+                let state = ckpt::MachineState::from_bytes(&b).unwrap();
+                let mut back = Machine::restore(state, &img, digest).unwrap();
+                let out = back.run(&img, resume_install, &mut NoIo, None).unwrap();
+                assert_eq!(out, straight, "cut at {cut}");
+            }
+        }
+        // Sanity: the traced machine really was running compiled code.
+        let mut traced = Machine::new(&img);
+        traced.run(&img, &eager, &mut NoIo, None);
+        assert!(traced.vm_stats().traces_compiled >= 1);
+    }
+
+    #[test]
+    fn budget_suspension_lands_exactly_even_inside_a_trace() {
+        use crate::config::TraceConfig;
+        let img = long_program();
+        let eager = Installation::healthy().with_trace(TraceConfig::eager());
+        for cut in [100u64, 101, 102, 103, 104, 105] {
+            let mut m = Machine::new(&img);
+            assert!(m.run(&img, &eager, &mut NoIo, Some(cut)).is_none());
+            assert_eq!(m.instructions(), cut);
+        }
     }
 
     #[test]

@@ -238,6 +238,317 @@ pub fn throws_user_exception() -> Vec<u8> {
     ProgramImage::single("throws", 0, vec![Instr::Throw(1)]).to_bytes()
 }
 
+/// Options steering the seeded random-program generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GenOptions {
+    /// Emit remote-I/O sequences (sometimes inside a hot loop, where the
+    /// trace tier must end the trace with a terminal bail).
+    pub include_io: bool,
+    /// Arm mid-loop fault sites: divisions that reach zero partway
+    /// through, array indices that walk out of bounds on a late iteration,
+    /// conditional null dereferences and throws, per-iteration allocations
+    /// that exhaust a small heap.
+    pub include_faults: bool,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        GenOptions {
+            include_io: true,
+            include_faults: true,
+        }
+    }
+}
+
+/// Generate a seeded random program with the default [`GenOptions`].
+///
+/// This is the **one** generator shared by the gridvm unit tests, the E14
+/// compiled-vs-interpreted differential corpus, and the campaign fuzzer.
+/// Every program it emits passes the verifier by construction (statements
+/// are net-stack-zero segments over locals), and the same seed produces
+/// the same bytes on every platform.
+pub fn generate(seed: u64) -> Vec<u8> {
+    generate_with(seed, &GenOptions::default())
+}
+
+/// Generate a seeded random program.
+pub fn generate_with(seed: u64, opts: &GenOptions) -> Vec<u8> {
+    Gen::new(seed, *opts).build()
+}
+
+/// SplitMix64 — tiny, dependency-free, stable across platforms.
+struct Sm64(u64);
+
+impl Sm64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish draw in `0..n` (modulo bias is irrelevant here).
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// True with probability `num`/`den`.
+    fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+/// Locals layout used by every generated program.
+const ACC: u8 = 0; // running accumulator, printed at the end
+const CTR: u8 = 1; // loop counter
+const ARR: u8 = 2; // array handle (0 = none allocated)
+const TMP: u8 = 3; // scratch (I/O sums, etc.)
+
+struct Gen {
+    rng: Sm64,
+    opts: GenOptions,
+    code: Vec<Instr>,
+    arr_len: Option<i64>,
+    uses_io: bool,
+}
+
+impl Gen {
+    fn new(seed: u64, opts: GenOptions) -> Gen {
+        Gen {
+            rng: Sm64(seed.wrapping_mul(0x2545_f491_4f6c_dd1d) ^ 0x6a09_e667_f3bc_c908),
+            opts,
+            code: Vec::new(),
+            arr_len: None,
+            uses_io: false,
+        }
+    }
+
+    fn build(mut self) -> Vec<u8> {
+        // Prologue: seed the accumulator, maybe allocate an array.
+        let init = self.rng.below(1000) as i64 - 200;
+        self.code.push(Instr::Push(init));
+        self.code.push(Instr::Store(ACC));
+        if self.rng.chance(7, 10) {
+            let len = 1 + self.rng.below(24) as i64;
+            self.code.push(Instr::Push(len));
+            self.code.push(Instr::NewArray);
+            self.code.push(Instr::Store(ARR));
+            self.arr_len = Some(len);
+        }
+        if self.opts.include_io && self.rng.chance(1, 6) {
+            self.emit_io_read();
+        }
+        let loops = 1 + self.rng.below(3);
+        for _ in 0..loops {
+            self.emit_loop();
+        }
+        if self.opts.include_io && self.rng.chance(1, 6) {
+            self.emit_io_write();
+        }
+        // Epilogue: print the answer, then one of the program-scope ends.
+        self.code.push(Instr::Load(ACC));
+        self.code.push(Instr::Print);
+        match self.rng.below(4) {
+            0 => {
+                let c = self.rng.below(200) as i64;
+                self.code.push(Instr::Push(c));
+                self.code.push(Instr::Exit);
+            }
+            1 => {} // fall off the end: implicit completion
+            _ => self.code.push(Instr::Halt),
+        }
+        let strings = if self.uses_io {
+            vec!["input.txt".into(), "output.txt".into()]
+        } else {
+            vec![]
+        };
+        let mut img = ProgramImage::single("generated", 8, std::mem::take(&mut self.code));
+        img.strings = strings;
+        img.to_bytes()
+    }
+
+    /// One counted loop in the canonical shape the trace tier fuses:
+    /// `for (i = 0; i < bound; i += 1) { body }`.
+    fn emit_loop(&mut self) {
+        let bound = 8 + self.rng.below(33) as i64;
+        self.code.push(Instr::Push(0));
+        self.code.push(Instr::Store(CTR));
+        let head = self.code.len() as u32;
+        self.code.push(Instr::Load(CTR));
+        self.code.push(Instr::Push(bound));
+        self.code.push(Instr::CmpLt);
+        let exit_patch = self.code.len();
+        self.code.push(Instr::JumpIfZero(u32::MAX)); // patched below
+        let stmts = 1 + self.rng.below(4);
+        for _ in 0..stmts {
+            self.emit_statement(bound);
+        }
+        // i += 1; loop.
+        self.code.push(Instr::Load(CTR));
+        self.code.push(Instr::Push(1));
+        self.code.push(Instr::Add);
+        self.code.push(Instr::Store(CTR));
+        self.code.push(Instr::Jump(head));
+        let exit = self.code.len() as u32;
+        self.code[exit_patch] = Instr::JumpIfZero(exit);
+    }
+
+    /// One net-stack-zero loop-body statement.
+    fn emit_statement(&mut self, bound: i64) {
+        let faults = self.opts.include_faults;
+        match self.rng.below(10) {
+            // acc = acc <op> <operand>
+            0..=2 => {
+                self.code.push(Instr::Load(ACC));
+                match self.rng.below(3) {
+                    0 => self.code.push(Instr::Push(1 + self.rng.below(50) as i64)),
+                    1 => self.code.push(Instr::Load(CTR)),
+                    _ => self.code.push(Instr::Load(ACC)),
+                }
+                let op = match self.rng.below(3) {
+                    0 => Instr::Add,
+                    1 => Instr::Sub,
+                    _ => Instr::Mul,
+                };
+                self.code.push(op);
+                self.code.push(Instr::Store(ACC));
+            }
+            // acc = acc / divisor (or %): the divisor is either a safe
+            // constant or `i - f`, which reaches zero mid-trace.
+            3 => {
+                self.code.push(Instr::Load(ACC));
+                if faults && self.rng.chance(1, 3) {
+                    let f = self.rng.below(bound as u64 + 4) as i64;
+                    self.code.push(Instr::Load(CTR));
+                    self.code.push(Instr::Push(f));
+                    self.code.push(Instr::Sub);
+                } else {
+                    self.code.push(Instr::Push(2 + self.rng.below(9) as i64));
+                }
+                let op = if self.rng.chance(1, 2) {
+                    Instr::Div
+                } else {
+                    Instr::Mod
+                };
+                self.code.push(op);
+                self.code.push(Instr::Store(ACC));
+            }
+            // arr[idx] = acc — idx is `i % len` (safe) or raw `i`, which
+            // walks out of bounds when the loop outlives the array.
+            4 => {
+                let Some(len) = self.arr_len else { return };
+                self.code.push(Instr::Load(ARR));
+                self.code.push(Instr::Load(CTR));
+                if !(faults && bound > len && self.rng.chance(1, 2)) {
+                    self.code.push(Instr::Push(len));
+                    self.code.push(Instr::Mod);
+                }
+                self.code.push(Instr::Load(ACC));
+                self.code.push(Instr::AStore);
+            }
+            // acc += arr[i % len]
+            5 => {
+                let Some(len) = self.arr_len else { return };
+                self.code.push(Instr::Load(ACC));
+                self.code.push(Instr::Load(ARR));
+                self.code.push(Instr::Load(CTR));
+                self.code.push(Instr::Push(len));
+                self.code.push(Instr::Mod);
+                self.code.push(Instr::ALoad);
+                self.code.push(Instr::Add);
+                self.code.push(Instr::Store(ACC));
+            }
+            // acc = stdlib(acc): abs/sgn always safe; isqrt is taken
+            // through abs first unless we are deliberately arming the
+            // isqrt-of-negative fault.
+            6 => {
+                self.code.push(Instr::Load(ACC));
+                match self.rng.below(3) {
+                    0 => self.code.push(Instr::StdCall(0)),
+                    1 => self.code.push(Instr::StdCall(1)),
+                    _ => {
+                        if !faults || self.rng.chance(2, 3) {
+                            self.code.push(Instr::StdCall(0));
+                        }
+                        self.code.push(Instr::StdCall(2));
+                    }
+                }
+                self.code.push(Instr::Store(ACC));
+            }
+            // print the accumulator (stdout must match bit-for-bit)
+            7 => {
+                self.code.push(Instr::Load(ACC));
+                self.code.push(Instr::Print);
+            }
+            // allocate i+1 words per iteration — exhausts a small heap
+            // partway through the loop
+            8 => {
+                if !faults {
+                    return;
+                }
+                self.code.push(Instr::Load(CTR));
+                self.code.push(Instr::Push(1));
+                self.code.push(Instr::Add);
+                self.code.push(Instr::NewArray);
+                self.code.push(Instr::Pop);
+            }
+            // a conditional fault site: when i == f, dereference null or
+            // throw — the guard must trip on exactly that iteration
+            _ => {
+                if !faults {
+                    return;
+                }
+                let f = self.rng.below(bound as u64) as i64;
+                self.code.push(Instr::Load(CTR));
+                self.code.push(Instr::Push(f));
+                self.code.push(Instr::CmpEq);
+                let skip_patch = self.code.len();
+                self.code.push(Instr::JumpIfZero(u32::MAX)); // patched below
+                if self.rng.chance(1, 2) {
+                    self.code.push(Instr::PushNull);
+                    self.code.push(Instr::Push(0));
+                    self.code.push(Instr::ALoad);
+                    self.code.push(Instr::Pop);
+                } else {
+                    let n = self.rng.below(8) as u16;
+                    self.code.push(Instr::Throw(n));
+                }
+                let skip = self.code.len() as u32;
+                self.code[skip_patch] = Instr::JumpIfZero(skip);
+            }
+        }
+    }
+
+    fn emit_io_read(&mut self) {
+        self.uses_io = true;
+        self.code.push(Instr::IoOpen {
+            path: 0,
+            mode: IoMode::Read,
+        });
+        self.code.push(Instr::Dup);
+        self.code.push(Instr::IoReadSum);
+        self.code.push(Instr::Store(TMP));
+        self.code.push(Instr::IoClose);
+        self.code.push(Instr::Load(ACC));
+        self.code.push(Instr::Load(TMP));
+        self.code.push(Instr::Add);
+        self.code.push(Instr::Store(ACC));
+    }
+
+    fn emit_io_write(&mut self) {
+        self.uses_io = true;
+        self.code.push(Instr::IoOpen {
+            path: 1,
+            mode: IoMode::Write,
+        });
+        self.code.push(Instr::Dup);
+        self.code.push(Instr::Load(ACC));
+        self.code.push(Instr::IoWriteNum);
+        self.code.push(Instr::IoClose);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,5 +692,71 @@ mod tests {
             verify(&img).expect("verifies");
         }
         assert!(ProgramImage::from_bytes(&corrupt_image()).is_err());
+    }
+
+    #[test]
+    fn generated_programs_always_load_and_verify() {
+        use crate::image::ProgramImage;
+        use crate::verify::verify;
+        for seed in 0..400u64 {
+            let bytes = generate(seed);
+            let img = ProgramImage::from_bytes(&bytes)
+                .unwrap_or_else(|e| panic!("seed {seed}: load failed: {e:?}"));
+            verify(&img).unwrap_or_else(|e| panic!("seed {seed}: verify failed: {e:?}"));
+        }
+        // Options variants stay verifier-clean too.
+        for seed in 0..100u64 {
+            for opts in [
+                GenOptions {
+                    include_io: false,
+                    include_faults: false,
+                },
+                GenOptions {
+                    include_io: false,
+                    include_faults: true,
+                },
+                GenOptions {
+                    include_io: true,
+                    include_faults: false,
+                },
+            ] {
+                let bytes = generate_with(seed, &opts);
+                let img = ProgramImage::from_bytes(&bytes).expect("loads");
+                verify(&img).expect("verifies");
+            }
+        }
+    }
+
+    #[test]
+    fn generated_programs_are_deterministic_and_seed_sensitive() {
+        assert_eq!(generate(42), generate(42));
+        // Not every pair of seeds differs, but these do — and a collision
+        // across the board would mean the rng is not wired in at all.
+        assert_ne!(generate(1), generate(2));
+    }
+
+    #[test]
+    fn generated_corpus_exercises_faults_and_hot_loops() {
+        use crate::config::{Installation, TraceConfig};
+        use crate::machine::{load_and_run, Termination};
+        let install = Installation::healthy().with_trace(TraceConfig::eager());
+        let mut errors = 0usize;
+        let mut compiled = 0usize;
+        for seed in 0..150u64 {
+            let bytes = generate(seed);
+            let out = load_and_run(&bytes, &install, &mut crate::jvmio::NoIo);
+            match out.termination {
+                Termination::Completed { .. } => {}
+                _ => errors += 1,
+            }
+            if out.vm.traces_compiled > 0 {
+                compiled += 1;
+            }
+        }
+        // The corpus must contain both clean runs and scoped faults, and
+        // most programs must get hot enough to hit the compiled tier.
+        assert!(errors > 20, "only {errors} faulting programs in 150");
+        assert!(errors < 140, "almost everything faults ({errors}/150)");
+        assert!(compiled > 75, "only {compiled} programs compiled a trace");
     }
 }

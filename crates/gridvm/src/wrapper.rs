@@ -16,6 +16,7 @@
 use crate::config::Installation;
 use crate::jvmio::JobIo;
 use crate::machine::{load_and_run, RunOutput, Termination};
+use crate::trace::VmStats;
 use errorscope::resultfile::ResultFile;
 use errorscope::ScopedError;
 
@@ -44,7 +45,7 @@ pub fn run_naive(
 }
 
 /// The wrapper's complete report.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct WrappedRun {
     /// What the VM process exit code would have been (for comparison; the
     /// starter ignores it).
@@ -57,11 +58,28 @@ pub struct WrappedRun {
     pub stdout: String,
     /// Instructions executed.
     pub instructions: u64,
+    /// Trace-tier counters for the run (not part of equality: they
+    /// describe how the VM ran, not what the program computed).
+    pub vm: VmStats,
     /// For environment failures, the error's telemetry journey so far: the
     /// original escaping error (if the failure arrived from the I/O layer)
     /// or a fresh one raised here, re-expressed by the wrapper into the
     /// result file. The starter continues the journey from this point.
     pub journey: Option<ScopedError>,
+}
+
+impl PartialEq for WrappedRun {
+    /// Equality is over what the run *produced* — exit code, result file,
+    /// stdout, instruction count, journey — not the [`VmStats`] describing
+    /// which execution tier produced it.
+    fn eq(&self, other: &Self) -> bool {
+        self.jvm_exit == other.jvm_exit
+            && self.result_file == other.result_file
+            && self.result_file_bytes == other.result_file_bytes
+            && self.stdout == other.stdout
+            && self.instructions == other.instructions
+            && self.journey == other.journey
+    }
 }
 
 /// Execute a job under the wrapper: run it, catch everything, classify the
@@ -81,6 +99,7 @@ pub fn run_wrapped(image_bytes: &[u8], install: &Installation, io: &mut dyn JobI
         result_file_bytes,
         stdout: out.stdout,
         instructions: out.instructions,
+        vm: out.vm,
         journey,
     }
 }

@@ -18,4 +18,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> exp_parworld smoke (thread-count determinism differential)"
 cargo run --release -p bench --bin exp_parworld -- --smoke
 
+echo "==> exp_gridvm smoke (trace-tier differential corpus + guard coverage)"
+cargo run --release -p bench --bin exp_gridvm -- --smoke
+
 echo "All checks passed."
